@@ -1,0 +1,220 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Each ablation isolates one Treadmill design decision and shows what
+breaks without it:
+
+* open-loop vs closed-loop control at the same offered load (the
+  controller choice, Section II-A);
+* Poisson vs deterministic inter-arrival gaps (the gap *distribution*
+  matters, not just open-loop-ness);
+* per-instance-then-aggregate vs pooled-distribution metrics
+  (Section II-B / III-B);
+* adaptive vs static histogram binning under rising latency
+  (Section II-B).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.aggregation import aggregate_quantile, pooled_quantile
+from repro.core.arrival import DeterministicArrivals
+from repro.core.bench import BenchConfig, TestBench
+from repro.core.treadmill import TreadmillConfig, TreadmillInstance
+from repro.loadtesters.mutilate import MutilateTester
+from repro.stats.histogram import AdaptiveHistogram
+from repro.workloads.memcached import MemcachedWorkload
+
+UTILIZATION = 0.8
+SAMPLES = 8_000
+
+
+def open_loop_truth(seed=21, arrival_factory=None):
+    """NIC-level p99 measured by a fleet of Treadmill instances."""
+    bench = TestBench(BenchConfig(workload=MemcachedWorkload(), seed=seed))
+    rate = bench.server.arrival_rate_for_utilization(UTILIZATION) * 1e6
+    instances = []
+    for i in range(8):
+        arrival = arrival_factory(rate / 8) if arrival_factory else None
+        instances.append(
+            TreadmillInstance(
+                bench,
+                f"tm{i}",
+                TreadmillConfig(
+                    rate_rps=rate / 8,
+                    connections=8,
+                    warmup_samples=300,
+                    measurement_samples=SAMPLES // 8,
+                    keep_raw=True,
+                    arrival=arrival,
+                ),
+            )
+        )
+    for inst in instances:
+        inst.start()
+    bench.run_to_completion(instances)
+    reports = [inst.report() for inst in instances]
+    gt = np.concatenate([r.ground_truth_samples for r in reports])
+    samples_by_client = {r.name: np.asarray(r.raw_samples) for r in reports}
+    return gt, samples_by_client
+
+
+@pytest.mark.artifact("ablation")
+def test_ablation_closed_loop_underestimates(benchmark, show):
+    """Removing the open-loop controller (keeping everything else)
+    truncates the measured tail."""
+
+    def run():
+        gt_open, _ = open_loop_truth()
+        bench = TestBench(BenchConfig(workload=MemcachedWorkload(), seed=21))
+        rate = bench.server.arrival_rate_for_utilization(UTILIZATION) * 1e6
+        tester = MutilateTester(
+            bench, rate, measurement_samples=SAMPLES, warmup_samples=300
+        )
+        tester.start()
+        bench.run_to_completion([tester])
+        gt_closed = tester.report().ground_truth_samples
+        return float(np.quantile(gt_open, 0.99)), float(np.quantile(gt_closed, 0.99))
+
+    open_p99, closed_p99 = benchmark.pedantic(run, rounds=1, iterations=1)
+    show(
+        "Ablation: controller — NIC-level p99 "
+        f"open-loop={open_p99:.1f} us vs closed-loop={closed_p99:.1f} us"
+    )
+    assert closed_p99 < 0.8 * open_p99
+
+
+@pytest.mark.artifact("ablation")
+def test_ablation_deterministic_arrivals_undershoot(benchmark, show):
+    """Open-loop but metronome-paced gaps also underestimate queueing:
+    the exponential gap distribution is load-bearing."""
+
+    def run():
+        gt_poisson, _ = open_loop_truth(seed=22)
+        gt_constant, _ = open_loop_truth(
+            seed=22, arrival_factory=lambda rate: DeterministicArrivals(rate)
+        )
+        return (
+            float(np.quantile(gt_poisson, 0.99)),
+            float(np.quantile(gt_constant, 0.99)),
+        )
+
+    poisson_p99, constant_p99 = benchmark.pedantic(run, rounds=1, iterations=1)
+    show(
+        "Ablation: arrival process — NIC-level p99 "
+        f"poisson={poisson_p99:.1f} us vs deterministic={constant_p99:.1f} us"
+    )
+    assert constant_p99 < poisson_p99
+
+
+@pytest.mark.artifact("ablation")
+def test_ablation_pooled_aggregation_bias(benchmark, show):
+    """Replacing per-instance metric aggregation with pooled
+    distributions lets one cross-rack client own the estimate."""
+
+    def run():
+        bench = TestBench(BenchConfig(workload=MemcachedWorkload(), seed=23))
+        rate = bench.server.arrival_rate_for_utilization(0.5) * 1e6
+        instances = []
+        for i in range(4):
+            rack = "rack1" if i == 0 else bench.config.server_rack
+            instances.append(
+                TreadmillInstance(
+                    bench,
+                    f"tm{i}",
+                    TreadmillConfig(
+                        rate_rps=rate / 4,
+                        connections=8,
+                        warmup_samples=300,
+                        measurement_samples=2500,
+                        keep_raw=True,
+                    ),
+                    rack=rack,
+                )
+            )
+        for inst in instances:
+            inst.start()
+        bench.run_to_completion(instances)
+        samples = {
+            inst.name: np.asarray(inst.report().raw_samples) for inst in instances
+        }
+        return (
+            pooled_quantile(samples, 0.99),
+            aggregate_quantile(samples, 0.99, "median"),
+        )
+
+    pooled, sound = benchmark.pedantic(run, rounds=1, iterations=1)
+    show(
+        "Ablation: aggregation — p99 pooled="
+        f"{pooled:.1f} us vs per-instance-median={sound:.1f} us"
+    )
+    assert pooled > 1.2 * sound
+
+
+@pytest.mark.artifact("ablation")
+def test_ablation_static_histogram_bias(benchmark, show):
+    """Replacing the adaptive histogram with static bins (calibrated on
+    early, low-latency samples and clamped at the cap) underestimates
+    the tail when latency rises — the Section II-B failure mode."""
+
+    def run():
+        rng = np.random.default_rng(24)
+        # Latency ramps up as the server approaches steady state.
+        early = rng.exponential(50.0, size=1000)
+        late = rng.exponential(400.0, size=9000) + 100.0
+        stream = np.concatenate([early, late])
+
+        adaptive = AdaptiveHistogram(num_bins=256, calibration_size=500)
+        adaptive.extend(stream)
+
+        # Static histogram: bins fixed from the first 500 samples' max.
+        cap = float(early[:500].max())
+        clipped = np.minimum(stream, cap)
+        return (
+            float(np.quantile(stream, 0.99)),
+            adaptive.quantile(0.99),
+            float(np.quantile(clipped, 0.99)),
+        )
+
+    exact, adaptive_p99, static_p99 = benchmark.pedantic(run, rounds=1, iterations=1)
+    show(
+        "Ablation: histogram — p99 exact="
+        f"{exact:.1f}, adaptive={adaptive_p99:.1f}, static-bins={static_p99:.1f} us"
+    )
+    assert abs(adaptive_p99 - exact) / exact < 0.1
+    assert static_p99 < 0.5 * exact
+
+
+@pytest.mark.artifact("ablation")
+def test_ablation_wrk2_constant_throughput(benchmark, show):
+    """A wrk2-style tester (open-loop but metronome-paced) fixes the
+    closed-loop flaw yet still sits slightly below the Poisson-driven
+    ground truth — the gap *distribution* matters, not just
+    open-loop-ness."""
+    from repro.loadtesters.wrk2 import Wrk2Tester
+
+    def run():
+        gt_open_parts, gt_wrk2_parts = [], []
+        for seed in (25, 26):
+            gt_open, _ = open_loop_truth(seed=seed)
+            bench = TestBench(BenchConfig(workload=MemcachedWorkload(), seed=seed))
+            rate = bench.server.arrival_rate_for_utilization(UTILIZATION) * 1e6
+            tester = Wrk2Tester(
+                bench, rate, measurement_samples=SAMPLES, warmup_samples=300
+            )
+            tester.start()
+            bench.run_to_completion([tester])
+            gt_open_parts.append(gt_open)
+            gt_wrk2_parts.append(tester.report().ground_truth_samples)
+        return (
+            float(np.quantile(np.concatenate(gt_open_parts), 0.99)),
+            float(np.quantile(np.concatenate(gt_wrk2_parts), 0.99)),
+        )
+
+    poisson_p99, wrk2_p99 = benchmark.pedantic(run, rounds=1, iterations=1)
+    show(
+        "Ablation: wrk2-style pacing — NIC-level p99 "
+        f"poisson={poisson_p99:.1f} us vs wrk2={wrk2_p99:.1f} us"
+    )
+    # Far better than closed loop (no 2x truncation), mildly low.
+    assert wrk2_p99 > 0.55 * poisson_p99
+    assert wrk2_p99 < 1.05 * poisson_p99

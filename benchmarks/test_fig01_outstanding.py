@@ -1,0 +1,26 @@
+"""Bench: regenerate Fig. 1 (outstanding requests, open vs closed loop).
+
+Paper shape: the open-loop distribution has a long upper tail at 80%
+utilization, while closed-loop controllers are structurally truncated
+at their connection count and therefore underestimate queueing.
+"""
+
+import pytest
+
+from repro.experiments import fig01_outstanding
+
+
+@pytest.mark.artifact("fig1")
+def test_fig01_outstanding_requests(benchmark, show):
+    result = benchmark.pedantic(
+        fig01_outstanding.run, kwargs={"scale": "default"}, rounds=1, iterations=1
+    )
+    show(fig01_outstanding.render(result))
+    for n in (4, 8, 12):
+        levels, _ = result.cdfs[f"Closed-Loop w/{n} Connections"]
+        assert levels.max() <= n
+    open_levels, _ = result.cdfs["Open-Loop"]
+    assert open_levels.max() > 12
+    assert result.quantile("Open-Loop", 0.99) > 2 * result.quantile(
+        "Closed-Loop w/12 Connections", 0.99
+    )

@@ -1,0 +1,22 @@
+"""Bench: regenerate Fig. 2 (cross-client aggregation bias).
+
+Paper shape: the cross-rack client contributes nearly all samples in
+the top latency bins, so a pooled distribution's p99 is a function of
+that single client, while per-instance metric aggregation is robust.
+"""
+
+import pytest
+
+from repro.experiments import fig02_client_bias
+
+
+@pytest.mark.artifact("fig2")
+def test_fig02_cross_client_bias(benchmark, show):
+    result = benchmark.pedantic(
+        fig02_client_bias.run, kwargs={"scale": "default"}, rounds=1, iterations=1
+    )
+    show(fig02_client_bias.render(result))
+    assert result.tail_share(result.outlier) > 0.9
+    others = [v for k, v in result.per_client_p99.items() if k != result.outlier]
+    assert result.per_client_p99[result.outlier] > 2 * max(others)
+    assert result.pooled_p99 > 1.3 * result.aggregated_p99

@@ -1,0 +1,23 @@
+"""Bench: regenerate Fig. 3 (client-side queueing bias vs utilization).
+
+Paper shape: in the single-client setup the client and network latency
+components grow with server utilization; in the multi-client setup
+they stay flat and the server component dominates the growth.
+"""
+
+import pytest
+
+from repro.experiments import fig03_queueing_bias
+
+
+@pytest.mark.artifact("fig3")
+def test_fig03_single_vs_multi_client(benchmark, show):
+    result = benchmark.pedantic(
+        fig03_queueing_bias.run, kwargs={"scale": "default"}, rounds=1, iterations=1
+    )
+    show(fig03_queueing_bias.render(result))
+    assert result.component_growth("single-client", "client") > 1.15
+    assert result.component_growth("single-client", "network") > 1.02
+    assert result.component_growth("multi-client", "client") < 1.03
+    assert result.component_growth("multi-client", "network") < 1.03
+    assert result.component_growth("multi-client", "server") > 2.0

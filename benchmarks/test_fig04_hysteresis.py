@@ -1,0 +1,23 @@
+"""Bench: regenerate Fig. 4 (performance hysteresis across restarts).
+
+Paper shape: each run's p99 estimate converges within the run, yet
+independent runs converge to different values (the paper saw 15-67%
+deviations from the average), so only repetition + aggregation works.
+"""
+
+import pytest
+
+from repro.experiments import fig04_hysteresis
+
+
+@pytest.mark.artifact("fig4")
+def test_fig04_hysteresis(benchmark, show):
+    result = benchmark.pedantic(
+        fig04_hysteresis.run, kwargs={"scale": "default"}, rounds=1, iterations=1
+    )
+    show(fig04_hysteresis.render(result))
+    # Within-run convergence for most runs...
+    stable = result.within_run_stable(window=4, rel_tol=0.1)
+    assert sum(stable) >= len(stable) - 1
+    # ...but across-run disagreement that more samples cannot fix.
+    assert result.max_deviation_pct > 4.0

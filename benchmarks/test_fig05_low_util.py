@@ -1,0 +1,30 @@
+"""Bench: regenerate Fig. 5 (tool accuracy at 10% utilization).
+
+Paper shape: CloudSuite drastically overestimates the tail (client-side
+queueing at ~90% client utilization); Mutilate overestimates moderately;
+Treadmill tracks the tcpdump ground truth with a constant ~30 us
+kernel-path offset at every quantile.
+"""
+
+import pytest
+
+from repro.experiments import fig05_low_util
+
+
+@pytest.mark.artifact("fig5")
+def test_fig05_accuracy_low_utilization(benchmark, show):
+    result = benchmark.pedantic(
+        fig05_low_util.run, kwargs={"scale": "default"}, rounds=1, iterations=1
+    )
+    show(fig05_low_util.render(result))
+    cs = result.runs["cloudsuite"]
+    tm = result.runs["treadmill"]
+    mu = result.runs["mutilate"]
+    assert cs is not None and cs.reported_quantile(0.99) > 2.5 * cs.ground_truth_quantile(0.99)
+    assert max(cs.client_utilizations.values()) > 0.7
+    assert mu.offset_at(0.99) > tm.offset_at(0.99) - 5.0
+    # Treadmill: constant offset across quantiles, near the 30 us kernel path.
+    offsets = [tm.offset_at(q) for q in (0.5, 0.9, 0.99)]
+    assert all(22.0 < o < 45.0 for o in offsets)
+    assert max(offsets) - min(offsets) < 12.0
+    assert max(tm.client_utilizations.values()) < 0.1

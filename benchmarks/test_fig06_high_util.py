@@ -1,0 +1,24 @@
+"""Bench: regenerate Fig. 6 (tool accuracy at 80% utilization).
+
+Paper shape: CloudSuite cannot generate the load at all; Mutilate's
+closed loop truncates the queueing distribution and underestimates the
+open-loop p99 (paper: >2x); Treadmill keeps the same fixed kernel
+offset it had at 10% utilization.
+"""
+
+import pytest
+
+from repro.experiments import fig05_low_util, fig06_high_util
+
+
+@pytest.mark.artifact("fig6")
+def test_fig06_accuracy_high_utilization(benchmark, show):
+    result = benchmark.pedantic(
+        fig06_high_util.run, kwargs={"scale": "default"}, rounds=1, iterations=1
+    )
+    show(fig06_high_util.render(result))
+    assert result.cloudsuite_saturated
+    assert result.mutilate_underestimation() > 1.3
+    # The Treadmill offset matches the low-utilization one (Fig. 5).
+    low = fig05_low_util.run(scale="default")
+    assert abs(result.treadmill_offset() - low.treadmill_offset_constant()) < 8.0

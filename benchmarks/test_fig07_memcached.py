@@ -1,0 +1,30 @@
+"""Bench: regenerate Fig. 7 (memcached per-configuration estimates).
+
+Paper shape: the latency spread across configurations widens with both
+load and quantile; NUMA-interleave configurations dominate the worst
+cases at high load.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig07_memcached_estimates as fig07
+
+
+@pytest.mark.artifact("fig7")
+def test_fig07_memcached_config_estimates(benchmark, show):
+    result = benchmark.pedantic(
+        fig07.run, kwargs={"scale": "default"}, rounds=1, iterations=1
+    )
+    show(fig07.render(result))
+    spread = lambda d: max(d.values()) - min(d.values())
+    low99 = result.config_estimates("low", 0.99)
+    high99 = result.config_estimates("high", 0.99)
+    high50 = result.config_estimates("high", 0.5)
+    # Finding 1: variance grows with utilization.
+    assert spread(high99) > spread(low99)
+    # Finding 2: variance grows with the quantile.
+    assert spread(high99) > spread(high50)
+    # Finding 6: the worst high-load configs are numa-interleave ones.
+    worst = sorted(high99, key=high99.get)[-4:]
+    assert sum(cfg[0] == 1 for cfg in worst) >= 3

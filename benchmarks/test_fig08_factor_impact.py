@@ -1,0 +1,32 @@
+"""Bench: regenerate Fig. 8 (memcached average factor impacts).
+
+Paper shape (Findings 6-7): numa-interleave increases latency most at
+high load; dvfs=performance helps most at low load; the dominant
+factor changes with the load level.
+"""
+
+import pytest
+
+from repro.experiments import fig08_factor_impact as fig08
+
+
+@pytest.mark.artifact("fig8")
+def test_fig08_memcached_factor_impacts(benchmark, show):
+    result = benchmark.pedantic(
+        fig08.run, kwargs={"scale": "default"}, rounds=1, iterations=1
+    )
+    show(fig08.render(result))
+    low = result.factor_impacts("low", 0.99)
+    high = result.factor_impacts("high", 0.99)
+    # Finding 6: numa hurts, and much more at high load.
+    assert high["numa"] > 0
+    assert high["numa"] > low["numa"]
+    # Finding 3/7: dvfs=performance helps most at low load.
+    assert low["dvfs"] < 0
+    assert abs(low["dvfs"]) > abs(high["dvfs"]) - 2.0
+    # Turbo helps on average at high load (paper: -29 us at p99).
+    assert high["turbo"] < 0
+    # Finding 7: the dominant factor differs between load levels.
+    dominant_low = max(low, key=lambda f: abs(low[f]))
+    dominant_high = max(high, key=lambda f: abs(high[f]))
+    assert dominant_low != dominant_high

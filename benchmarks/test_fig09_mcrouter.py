@@ -1,0 +1,27 @@
+"""Bench: regenerate Fig. 9 (mcrouter per-configuration estimates).
+
+Paper shape: mcrouter's configuration spread is much narrower than
+memcached's (compare Fig. 9's y-axis to Fig. 7's) because the router
+barely touches connection-buffer memory.
+"""
+
+import pytest
+
+from repro.experiments import fig07_memcached_estimates as fig07
+from repro.experiments import fig09_mcrouter_estimates as fig09
+
+
+@pytest.mark.artifact("fig9")
+def test_fig09_mcrouter_config_estimates(benchmark, show):
+    result = benchmark.pedantic(
+        fig09.run, kwargs={"scale": "default"}, rounds=1, iterations=1
+    )
+    show(fig09.render(result))
+    spread = lambda d: max(d.values()) - min(d.values())
+    mcrouter_spread = spread(result.config_estimates("high", 0.95))
+    memcached = fig07.run(scale="default")
+    memcached_spread = spread(memcached.config_estimates("high", 0.95))
+    assert mcrouter_spread < memcached_spread
+    # Latency grows with quantile for every configuration.
+    for coded, v50 in result.config_estimates("high", 0.5).items():
+        assert result.config_estimates("high", 0.99)[coded] > v50

@@ -1,0 +1,30 @@
+"""Bench: regenerate Fig. 10 (mcrouter average factor impacts).
+
+Paper shape (Finding 8): Turbo Boost helps mcrouter and its benefit is
+damped at high load (thermal headroom); the numa factor matters far
+less than for memcached.
+"""
+
+import pytest
+
+from repro.experiments import fig08_factor_impact as fig08
+from repro.experiments import fig10_mcrouter_impact as fig10
+
+
+@pytest.mark.artifact("fig10")
+def test_fig10_mcrouter_factor_impacts(benchmark, show):
+    result = benchmark.pedantic(
+        fig10.run, kwargs={"scale": "default"}, rounds=1, iterations=1
+    )
+    show(fig10.render(result))
+    low = result.factor_impacts("low", 0.99)
+    high = result.factor_impacts("high", 0.99)
+    assert low["turbo"] < 0.5  # turbo helps at low load
+    # numa matters less than for memcached (p95 is the stable contrast).
+    memcached = fig08.run(scale="default")
+    assert abs(result.factor_impacts("high", 0.95)["numa"]) < abs(
+        memcached.factor_impacts("high", 0.95)["numa"]
+    )
+    # dvfs dominates at low load here too (Finding 7).
+    assert low["dvfs"] < 0
+    assert abs(low["dvfs"]) > abs(low["numa"])

@@ -1,0 +1,22 @@
+"""Bench: the Section V findings report at default scale.
+
+Derived from the same cached sweeps as Figs. 7-10, so this bench is
+nearly free when run with the rest of the suite.
+"""
+
+import pytest
+
+from repro.experiments import findings
+
+
+@pytest.mark.artifact("findings")
+def test_findings_report(benchmark, show):
+    result = benchmark.pedantic(
+        findings.run, kwargs={"scale": "default"}, rounds=1, iterations=1
+    )
+    show(findings.render(result))
+    assert result.holding >= 7
+    by_number = {c.number: c for c in result.checks}
+    # The load-bearing findings must hold at default scale.
+    for n in (1, 2, 5, 6, 7):
+        assert by_number[n].holds, by_number[n].measured

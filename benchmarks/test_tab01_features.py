@@ -1,0 +1,23 @@
+"""Bench: regenerate Table I (feature matrix) and Table II (hardware)."""
+
+import pytest
+
+from repro.experiments import tab01_features
+
+
+@pytest.mark.artifact("tab1")
+def test_tab01_feature_tables(benchmark, show):
+    result = benchmark.pedantic(
+        tab01_features.run, kwargs={"scale": "default"}, rounds=1, iterations=1
+    )
+    show(tab01_features.render(result))
+    # Table I shape: Treadmill is the only tool handling all five rows.
+    assert result.treadmill_complete
+    per_tool = {
+        tool: sum(cols[tool] for cols in result.features.values())
+        for tool in ("YCSB", "Faban", "CloudSuite", "Mutilate")
+    }
+    assert all(score < len(result.features) for score in per_tool.values())
+    # Table II shape: the simulated spec names the paper's subsystems.
+    assert "NUMA" in result.hardware["DRAM"]
+    assert "RSS" in result.hardware["Ethernet"]

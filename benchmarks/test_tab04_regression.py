@@ -1,0 +1,36 @@
+"""Bench: regenerate Table IV (quantile-regression coefficients,
+memcached at high utilization).
+
+Paper shape: numa hurts the tail, turbo helps, nic alone hurts at high
+load, dvfs is small/insignificant at high load; standard errors grow
+from p50 to p99; several interactions are significant.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import tab04_regression
+
+
+@pytest.mark.artifact("tab4")
+def test_tab04_quantile_regression(benchmark, show):
+    result = benchmark.pedantic(
+        tab04_regression.run, kwargs={"scale": "default"}, rounds=1, iterations=1
+    )
+    show(tab04_regression.render(result))
+    # Effect directions at the tail (paper: numa +56, turbo -29, nic +29).
+    assert result.coef("numa", 0.99) > 0
+    assert result.coef("turbo", 0.99) < 0
+    assert result.coef("nic", 0.99) > 0
+    # dvfs is small at high load relative to numa (paper: -8 vs +56).
+    assert abs(result.coef("dvfs", 0.99)) < abs(result.coef("numa", 0.99))
+    # Intercepts ordered and in the paper's order of magnitude.
+    i50, i99 = result.coef("(Intercept)", 0.5), result.coef("(Intercept)", 0.99)
+    assert 40 < i50 < 120
+    assert 120 < i99 < 700
+    # Finding 2: standard errors grow toward the tail.
+    f50, f99 = result.report.fits[0.5], result.report.fits[0.99]
+    assert np.median(f99.stderr) > np.median(f50.stderr)
+    # Finding 5: interactions can be significant.
+    sig = result.significant_terms(0.5)
+    assert any(":" in term for term in sig) or len(sig) >= 2

@@ -1,0 +1,78 @@
+"""Capacity planning: what the attribution's advice is worth in servers.
+
+The paper motivates precise tail measurement with provisioning:
+machines are bought thousands at a time against a latency SLO.  This
+example turns the Fig. 12 result into that currency:
+
+1. find the maximum utilization a *default* (all-factors-low) server
+   sustains under a p99 SLO;
+2. find the same for the configuration the attribution recommends;
+3. report the capacity gain — the fraction of a fleet you no longer
+   need to buy.
+
+Run::
+
+    python examples/capacity_planning.py
+"""
+
+from repro import apply_factors
+from repro.core.capacity import find_max_load
+from repro.sim import HardwareSpec
+from repro.workloads import MemcachedWorkload
+
+SLO_US = 150.0
+#: The configuration the default-scale attribution study recommends
+#: (see EXPERIMENTS.md): numa=same-node, turbo=on, dvfs=performance,
+#: nic=same-node.
+RECOMMENDED = (0, 1, 1, 0)
+
+
+def plan(label: str, hardware: HardwareSpec) -> float:
+    result = find_max_load(
+        MemcachedWorkload(),
+        slo_us=SLO_US,
+        quantile=0.99,
+        hardware=hardware,
+        tolerance=0.02,
+        runs_per_probe=2,
+        samples_per_instance=2000,
+        seed=9,
+    )
+    print(f"{label}:")
+    for probe in result.probes:
+        verdict = "ok" if probe.meets_slo else "violates SLO"
+        print(
+            f"  probe util={probe.utilization:.2f}: "
+            f"p99={probe.metric_us:7.1f} us ({verdict})"
+        )
+    print(
+        f"  -> max utilization {result.max_utilization:.2f} "
+        f"(p99 {result.achieved_us:.1f} us, "
+        f"{result.headroom_pct():.0f}% SLO headroom)\n"
+    )
+    return result.max_utilization
+
+
+def main() -> None:
+    print(f"SLO: p99 <= {SLO_US:.0f} us\n")
+    base = plan("default configuration (all factors low)", HardwareSpec())
+    tuned = plan(
+        "recommended configuration (numa low, turbo on, dvfs high, nic low)",
+        apply_factors(HardwareSpec(), RECOMMENDED),
+    )
+    if base > 0:
+        gain = 100.0 * (tuned - base) / base
+        print(
+            f"capacity gain from tuning: {gain:+.0f}% load per server at the "
+            "same SLO"
+        )
+        if gain > 0:
+            fleet = 100.0 * (1.0 - base / tuned)
+            print(
+                f"equivalently: a fleet sized for the default config could "
+                f"shrink by ~{fleet:.0f}% after tuning."
+            )
+
+
+if __name__ == "__main__":
+    main()

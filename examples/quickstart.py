@@ -1,0 +1,44 @@
+"""Quickstart: measure a server's tail latency the Treadmill way.
+
+Stands up a simulated memcached server at 70% utilization, loads it
+with four lightly-utilized Treadmill instances, repeats the whole
+experiment across server restarts until the p99 estimate converges,
+and prints the statistically sound result.
+
+Run::
+
+    python examples/quickstart.py
+"""
+
+from repro import MeasurementProcedure, ProcedureConfig
+from repro.workloads import MemcachedWorkload
+
+
+def main() -> None:
+    procedure = MeasurementProcedure(
+        ProcedureConfig(
+            workload=MemcachedWorkload(),
+            target_utilization=0.7,
+            num_instances=4,
+            measurement_samples_per_instance=3000,
+            min_runs=3,
+            max_runs=8,
+            seed=42,
+        )
+    )
+    result = procedure.run()
+
+    print(f"runs executed: {len(result.runs)} (converged: {result.converged})")
+    print(f"measured server utilization: {result.runs[0].server_utilization:.0%}")
+    print()
+    print("latency estimates (mean over runs of per-run, per-instance metrics):")
+    for q, value in sorted(result.estimates.items()):
+        spread = result.dispersion[q]
+        print(f"  p{int(q * 100):>2}: {value:7.1f} us  (run-to-run sd {spread:.1f} us)")
+    print()
+    print("per-run p99 values (the hysteresis the procedure averages over):")
+    print("  " + ", ".join(f"{v:.1f}" for v in result.per_run(0.99)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""Dev probe: quick factorial sweep to check factor effect calibration.
+
+Not part of the library; used while tuning simulator constants against
+the paper's Table IV / Figs. 7-11 shape targets.
+"""
+
+import sys
+import time
+
+from repro import AttributionConfig, AttributionStudy
+from repro.workloads import McrouterWorkload, MemcachedWorkload
+
+workload = sys.argv[1] if len(sys.argv) > 1 else "memcached"
+util = float(sys.argv[2]) if len(sys.argv) > 2 else 0.7
+reps = int(sys.argv[3]) if len(sys.argv) > 3 else 4
+
+wl = MemcachedWorkload() if workload == "memcached" else McrouterWorkload()
+t0 = time.time()
+cfg = AttributionConfig(
+    workload=wl,
+    target_utilization=util,
+    replications=reps,
+    num_instances=4,
+    measurement_samples_per_instance=3000,
+    n_boot=0,
+    seed=7,
+)
+report = AttributionStudy(cfg).analyze()
+for tau in cfg.taus:
+    fit = report.fits[tau]
+    main = "  ".join(
+        f"{n} {fit.coef(n):7.1f}" for n in ("numa", "turbo", "dvfs", "nic")
+    )
+    print(f"tau={tau}: intercept {fit.coef('(Intercept)'):7.1f}  {main}")
+print("pseudo-R2:", {k: round(v, 3) for k, v in report.pseudo_r2.items()})
+print(
+    "avg impacts p99:",
+    {f.name: round(report.factor_average_impact(f.name, 0.99), 1) for f in report.factors},
+)
+est = report.all_config_estimates(0.99)
+print("config p99 range:", round(min(est.values()), 1), "->", round(max(est.values()), 1))
+print("best config:", report.best_config(0.99))
+print("wall:", round(time.time() - t0, 1), "s")

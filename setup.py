@@ -1,0 +1,7 @@
+"""Setup shim: enables `python setup.py develop` in offline
+environments where pip's PEP 660 editable path is unavailable (no
+`wheel` package).  All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

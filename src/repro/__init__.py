@@ -1,0 +1,72 @@
+"""repro — a reproduction of "Treadmill: Attributing the Source of
+Tail Latency through Precise Load Testing and Statistical Inference"
+(Zhang, Meisner, Mars, Tang — ISCA 2016).
+
+The package provides:
+
+* ``repro.sim`` — a discrete-event datacenter substrate (CPU with
+  DVFS/Turbo, NUMA memory, RSS NIC, kernel path, rack network, packet
+  capture) replacing the paper's production hardware;
+* ``repro.workloads`` — memcached and mcrouter service models with
+  JSON-configurable request characteristics;
+* ``repro.core`` — the Treadmill load tester, the robust multi-client
+  multi-run measurement procedure, and the quantile-regression
+  tail-latency attribution pipeline;
+* ``repro.loadtesters`` — faithful models of the flawed baselines the
+  paper compares against (CloudSuite, Mutilate, YCSB, Faban);
+* ``repro.stats`` — adaptive histograms, quantile estimation and CIs,
+  factorial designs, quantile regression, pseudo-R², bootstrap
+  inference;
+* ``repro.experiments`` — one module per paper table/figure,
+  regenerating its rows/series.
+
+Quickstart::
+
+    from repro import MeasurementProcedure, ProcedureConfig
+    from repro.workloads import MemcachedWorkload
+
+    proc = MeasurementProcedure(ProcedureConfig(
+        workload=MemcachedWorkload(), target_utilization=0.7))
+    result = proc.run()
+    print(result.estimates)   # {0.5: ..., 0.95: ..., 0.99: ...} in us
+"""
+
+from .core import (
+    AttributionConfig,
+    AttributionReport,
+    AttributionStudy,
+    BenchConfig,
+    MeasurementProcedure,
+    ProcedureConfig,
+    ProcedureResult,
+    TestBench,
+    TreadmillConfig,
+    TreadmillInstance,
+    TREADMILL_FACTORS,
+    apply_factors,
+    workload_from_json,
+)
+from .sim import HardwareSpec
+from .workloads import McrouterWorkload, MemcachedWorkload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AttributionConfig",
+    "AttributionReport",
+    "AttributionStudy",
+    "BenchConfig",
+    "MeasurementProcedure",
+    "ProcedureConfig",
+    "ProcedureResult",
+    "TestBench",
+    "TreadmillConfig",
+    "TreadmillInstance",
+    "TREADMILL_FACTORS",
+    "apply_factors",
+    "workload_from_json",
+    "HardwareSpec",
+    "McrouterWorkload",
+    "MemcachedWorkload",
+    "__version__",
+]

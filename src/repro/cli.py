@@ -1,0 +1,107 @@
+"""Command-line entry point: regenerate paper artifacts.
+
+Usage::
+
+    repro list                     # artifact ids and titles
+    repro run fig7 --scale default # regenerate one artifact
+    repro all --scale quick        # regenerate everything
+    repro hardware                 # show the simulated Table II spec
+
+Scales: ``quick`` (seconds, smoke), ``default`` (tens of seconds, what
+the benchmark suite uses), ``paper`` (the paper's replication counts;
+expect a long run).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .experiments.common import SCALES
+from .experiments.runner import EXPERIMENTS, experiment_ids, run_experiment
+from .sim.machine import HardwareSpec
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Treadmill: Attributing the Source of Tail "
+            "Latency through Precise Load Testing and Statistical "
+            "Inference' (ISCA 2016)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the paper artifacts this tool regenerates")
+
+    run_p = sub.add_parser("run", help="regenerate one artifact")
+    run_p.add_argument("artifact", choices=experiment_ids())
+    run_p.add_argument(
+        "--scale", choices=sorted(SCALES), default="default", help="experiment size"
+    )
+    run_p.add_argument(
+        "--out", default=None, help="also write the rendered report to this file"
+    )
+
+    all_p = sub.add_parser("all", help="regenerate every artifact in order")
+    all_p.add_argument(
+        "--scale", choices=sorted(SCALES), default="default", help="experiment size"
+    )
+
+    sub.add_parser("hardware", help="print the simulated hardware spec (Table II)")
+    return parser
+
+
+def _cmd_list() -> int:
+    width = max(len(i) for i in experiment_ids())
+    for exp_id in experiment_ids():
+        print(f"{exp_id.ljust(width)}  {EXPERIMENTS[exp_id].title}")
+    return 0
+
+
+def _cmd_run(artifact: str, scale: str, out: Optional[str] = None) -> int:
+    start = time.time()
+    report = run_experiment(artifact, scale=scale)
+    print(report)
+    if out:
+        with open(out, "w") as f:
+            f.write(report + "\n")
+        print(f"[report written to {out}]")
+    print(f"\n[{artifact} regenerated at scale={scale} in {time.time() - start:.1f}s]")
+    return 0
+
+
+def _cmd_all(scale: str) -> int:
+    for exp_id in experiment_ids():
+        print(f"=== {exp_id}: {EXPERIMENTS[exp_id].title} ===")
+        _cmd_run(exp_id, scale)
+        print()
+    return 0
+
+
+def _cmd_hardware() -> int:
+    for key, value in HardwareSpec().describe().items():
+        print(f"{key:>10}: {value}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args.artifact, args.scale, args.out)
+    if args.command == "all":
+        return _cmd_all(args.scale)
+    if args.command == "hardware":
+        return _cmd_hardware()
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

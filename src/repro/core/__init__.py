@@ -1,0 +1,95 @@
+"""The paper's contribution: the Treadmill load tester, the robust
+multi-instance multi-run measurement procedure, and the tail-latency
+attribution pipeline."""
+
+from .arrival import (
+    ArrivalProcess,
+    BurstyArrivals,
+    DeterministicArrivals,
+    LognormalArrivals,
+    PoissonArrivals,
+    arrival_from_spec,
+)
+from .controllers import ClosedLoopController, OpenLoopController, OutstandingTracker
+from .phases import PhaseManager
+from .bench import BenchConfig, TestBench
+from .treadmill import InstanceReport, TreadmillConfig, TreadmillInstance
+from .aggregation import (
+    aggregate_quantile,
+    client_share_by_latency,
+    per_instance_quantiles,
+    pooled_quantile,
+)
+from .config import treadmill_config_from_json, workload_from_json
+from .procedure import (
+    MeasurementProcedure,
+    ProcedureConfig,
+    ProcedureResult,
+    RunResult,
+)
+from .breakdown import QuantileBreakdown, breakdown_at_quantile
+from .capacity import CapacityProbe, CapacityResult, find_max_load
+from .sweeps import SweepPoint, SweepResult, sweep_utilization
+from .trace import RequestTrace, TRACE_FIELDS
+from .reporting import render_procedure_report
+from .fanout import (
+    fanout_degradation,
+    fanout_latency_quantile,
+    required_leaf_quantile,
+    simulate_fanout,
+)
+from .attribution import (
+    TREADMILL_FACTORS,
+    AttributionConfig,
+    AttributionReport,
+    AttributionStudy,
+    apply_factors,
+)
+
+__all__ = [
+    "ArrivalProcess",
+    "BurstyArrivals",
+    "DeterministicArrivals",
+    "LognormalArrivals",
+    "PoissonArrivals",
+    "arrival_from_spec",
+    "ClosedLoopController",
+    "OpenLoopController",
+    "OutstandingTracker",
+    "PhaseManager",
+    "BenchConfig",
+    "TestBench",
+    "InstanceReport",
+    "TreadmillConfig",
+    "TreadmillInstance",
+    "aggregate_quantile",
+    "client_share_by_latency",
+    "per_instance_quantiles",
+    "pooled_quantile",
+    "treadmill_config_from_json",
+    "workload_from_json",
+    "MeasurementProcedure",
+    "ProcedureConfig",
+    "ProcedureResult",
+    "RunResult",
+    "QuantileBreakdown",
+    "CapacityProbe",
+    "SweepPoint",
+    "SweepResult",
+    "sweep_utilization",
+    "CapacityResult",
+    "find_max_load",
+    "RequestTrace",
+    "TRACE_FIELDS",
+    "breakdown_at_quantile",
+    "render_procedure_report",
+    "fanout_degradation",
+    "fanout_latency_quantile",
+    "required_leaf_quantile",
+    "simulate_fanout",
+    "TREADMILL_FACTORS",
+    "AttributionConfig",
+    "AttributionReport",
+    "AttributionStudy",
+    "apply_factors",
+]

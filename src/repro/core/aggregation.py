@@ -1,0 +1,121 @@
+"""Cross-client statistical aggregation — the sound way and the pitfall.
+
+Section III-B: "the common practice that combines distributions
+obtained from all Treadmill instances to a holistic distribution and
+then extracts interested metrics could be heavily biased by outliers
+[...]. Instead, we first compute the interested metrics from each
+individual Treadmill instance, and then combine them by applying
+aggregation functions (e.g., mean, median) on these metrics."
+
+This module provides both paths so the bias is demonstrable
+(Fig. 2 / the fig02 benchmark):
+
+* :func:`aggregate_quantile` — extract the quantile per instance, then
+  combine the per-instance metrics (mean/median/max).  Statistically
+  sound; a single weird client moves the estimate by at most 1/n of
+  its own deviation under ``mean`` and not at all under ``median``.
+* :func:`pooled_quantile` — merge all samples into one distribution
+  first (the pitfall).  A single cross-rack client that contributes
+  most of the tail mass then *owns* the high quantiles.
+* :func:`client_share_by_latency` — the stacked decomposition of
+  Fig. 2: at each latency level, which client contributed what share
+  of the samples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+__all__ = [
+    "per_instance_quantiles",
+    "aggregate_quantile",
+    "pooled_quantile",
+    "client_share_by_latency",
+]
+
+_COMBINERS = {
+    "mean": np.mean,
+    "median": np.median,
+    "max": np.max,
+    "min": np.min,
+}
+
+
+def per_instance_quantiles(samples_by_client: Dict[str, Sequence[float]], q: float) -> Dict[str, float]:
+    """The q-quantile of each client's own distribution."""
+    if not samples_by_client:
+        raise ValueError("need at least one client's samples")
+    out = {}
+    for name, samples in samples_by_client.items():
+        arr = np.asarray(samples, dtype=float)
+        if arr.size == 0:
+            raise ValueError(f"client {name!r} has no samples")
+        out[name] = float(np.quantile(arr, q))
+    return out
+
+
+def aggregate_quantile(
+    samples_by_client: Dict[str, Sequence[float]],
+    q: float,
+    combine: str = "mean",
+) -> float:
+    """Sound aggregation: per-instance metric extraction, then combine."""
+    fn = _COMBINERS.get(combine)
+    if fn is None:
+        raise ValueError(f"unknown combiner {combine!r} (have {sorted(_COMBINERS)})")
+    metrics = per_instance_quantiles(samples_by_client, q)
+    return float(fn(list(metrics.values())))
+
+
+def pooled_quantile(samples_by_client: Dict[str, Sequence[float]], q: float) -> float:
+    """The pitfall: merge all samples, then take the quantile.
+
+    Provided for demonstrating the Fig. 2 bias; production code should
+    use :func:`aggregate_quantile`.
+    """
+    if not samples_by_client:
+        raise ValueError("need at least one client's samples")
+    pooled = np.concatenate(
+        [np.asarray(s, dtype=float) for s in samples_by_client.values()]
+    )
+    if pooled.size == 0:
+        raise ValueError("no samples to pool")
+    return float(np.quantile(pooled, q))
+
+
+def client_share_by_latency(
+    samples_by_client: Dict[str, Sequence[float]],
+    num_bins: int = 40,
+) -> Dict[str, np.ndarray]:
+    """Fig. 2's stacked decomposition.
+
+    Returns a dict with ``"edges"`` (bin right edges over the pooled
+    latency range) and, per client, the *fraction of samples within
+    each bin* contributed by that client (fractions across clients sum
+    to 1 in every non-empty bin).
+    """
+    if not samples_by_client:
+        raise ValueError("need at least one client's samples")
+    if num_bins < 2:
+        raise ValueError("num_bins must be >= 2")
+    arrays = {k: np.asarray(v, dtype=float) for k, v in samples_by_client.items()}
+    pooled = np.concatenate(list(arrays.values()))
+    if pooled.size == 0:
+        raise ValueError("no samples")
+    lo, hi = pooled.min(), pooled.max()
+    if hi <= lo:
+        hi = lo + 1.0
+    edges = np.linspace(lo, hi, num_bins + 1)
+    counts = {
+        name: np.histogram(arr, bins=edges)[0].astype(float)
+        for name, arr in arrays.items()
+    }
+    totals = np.sum(list(counts.values()), axis=0)
+    shares: Dict[str, np.ndarray] = {"edges": edges[1:]}
+    with np.errstate(divide="ignore", invalid="ignore"):
+        for name, c in counts.items():
+            share = np.where(totals > 0, c / np.maximum(totals, 1), 0.0)
+            shares[name] = share
+    return shares

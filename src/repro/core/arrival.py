@@ -1,0 +1,172 @@
+"""Inter-arrival processes for load generation.
+
+The paper's first pitfall (Section II-A) is about *when* a load tester
+sends its next request.  Treadmill's open-loop controller draws
+exponentially distributed inter-arrival gaps — "consistent with the
+measurements obtained from Google production clusters" — so the
+offered load is a Poisson process and the server's queueing behaviour
+matches production.  Closed-loop testers have no inter-arrival process
+at all (the response schedule *is* the send schedule), which is
+exactly what breaks them.
+
+Alternative processes (deterministic, lognormal, bursty) are provided
+for ablation studies: they let the benchmarks show how sensitive the
+measured tail is to the arrival-process assumption.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict
+
+import numpy as np
+
+__all__ = [
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "DeterministicArrivals",
+    "LognormalArrivals",
+    "BurstyArrivals",
+    "arrival_from_spec",
+]
+
+
+class ArrivalProcess(abc.ABC):
+    """Generates successive inter-arrival gaps for one load generator."""
+
+    def __init__(self, rate_rps: float):
+        if rate_rps <= 0:
+            raise ValueError("arrival rate must be positive")
+        #: Target throughput in requests per second.
+        self.rate_rps = float(rate_rps)
+
+    @property
+    def mean_gap_us(self) -> float:
+        return 1e6 / self.rate_rps
+
+    @abc.abstractmethod
+    def next_gap_us(self, rng: np.random.Generator) -> float:
+        """Time until the next request, in microseconds."""
+
+    @abc.abstractmethod
+    def spec(self) -> Dict:
+        """JSON-style description."""
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Exponential gaps — Treadmill's default open-loop process."""
+
+    def next_gap_us(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(self.mean_gap_us))
+
+    def spec(self) -> Dict:
+        return {"type": "poisson", "rate_rps": self.rate_rps}
+
+
+class DeterministicArrivals(ArrivalProcess):
+    """Perfectly paced gaps (a metronome).
+
+    Underestimates queueing relative to Poisson (no arrival variance);
+    included to demonstrate that *open loop* alone is not enough — the
+    gap distribution matters too.
+    """
+
+    def next_gap_us(self, rng: np.random.Generator) -> float:
+        return self.mean_gap_us
+
+    def spec(self) -> Dict:
+        return {"type": "deterministic", "rate_rps": self.rate_rps}
+
+
+class LognormalArrivals(ArrivalProcess):
+    """Lognormal gaps with configurable coefficient of variation."""
+
+    def __init__(self, rate_rps: float, cv: float = 1.0):
+        super().__init__(rate_rps)
+        if cv <= 0:
+            raise ValueError("cv must be positive")
+        self.cv = float(cv)
+        self._sigma = np.sqrt(np.log(1.0 + cv**2))
+        self._mu = np.log(self.mean_gap_us) - 0.5 * self._sigma**2
+
+    def next_gap_us(self, rng: np.random.Generator) -> float:
+        return float(rng.lognormal(self._mu, self._sigma))
+
+    def spec(self) -> Dict:
+        return {"type": "lognormal", "rate_rps": self.rate_rps, "cv": self.cv}
+
+
+class BurstyArrivals(ArrivalProcess):
+    """Markov-modulated Poisson: alternating calm and burst phases.
+
+    During a burst the instantaneous rate is ``burst_factor`` times the
+    calm rate; phase durations are exponential.  The constructor's
+    ``rate_rps`` is the *average* rate.
+    """
+
+    def __init__(
+        self,
+        rate_rps: float,
+        burst_factor: float = 5.0,
+        burst_fraction: float = 0.1,
+        phase_mean_us: float = 10_000.0,
+    ):
+        super().__init__(rate_rps)
+        if burst_factor <= 1.0:
+            raise ValueError("burst_factor must exceed 1")
+        if not 0.0 < burst_fraction < 1.0:
+            raise ValueError("burst_fraction must be in (0, 1)")
+        self.burst_factor = float(burst_factor)
+        self.burst_fraction = float(burst_fraction)
+        self.phase_mean_us = float(phase_mean_us)
+        # Solve calm rate so the time-average rate equals rate_rps.
+        denom = (1.0 - burst_fraction) + burst_fraction * burst_factor
+        self._calm_rate = rate_rps / denom
+        self._in_burst = False
+        self._phase_left_us = 0.0
+
+    def next_gap_us(self, rng: np.random.Generator) -> float:
+        if self._phase_left_us <= 0.0:
+            self._in_burst = rng.random() < self.burst_fraction
+            self._phase_left_us = float(rng.exponential(self.phase_mean_us))
+        rate = self._calm_rate * (self.burst_factor if self._in_burst else 1.0)
+        gap = float(rng.exponential(1e6 / rate))
+        self._phase_left_us -= gap
+        return gap
+
+    def spec(self) -> Dict:
+        return {
+            "type": "bursty",
+            "rate_rps": self.rate_rps,
+            "burst_factor": self.burst_factor,
+            "burst_fraction": self.burst_fraction,
+            "phase_mean_us": self.phase_mean_us,
+        }
+
+
+_BUILDERS = {
+    "poisson": lambda s: PoissonArrivals(s["rate_rps"]),
+    "deterministic": lambda s: DeterministicArrivals(s["rate_rps"]),
+    "lognormal": lambda s: LognormalArrivals(s["rate_rps"], s.get("cv", 1.0)),
+    "bursty": lambda s: BurstyArrivals(
+        s["rate_rps"],
+        s.get("burst_factor", 5.0),
+        s.get("burst_fraction", 0.1),
+        s.get("phase_mean_us", 10_000.0),
+    ),
+}
+
+
+def arrival_from_spec(spec: Dict) -> ArrivalProcess:
+    """Build an arrival process from a JSON-style dict."""
+    if not isinstance(spec, dict) or "type" not in spec:
+        raise ValueError(f"arrival spec must be a dict with a 'type': {spec!r}")
+    builder = _BUILDERS.get(spec["type"])
+    if builder is None:
+        raise ValueError(
+            f"unknown arrival type {spec['type']!r} (known: {sorted(_BUILDERS)})"
+        )
+    try:
+        return builder(spec)
+    except KeyError as exc:
+        raise ValueError(f"arrival spec {spec!r} missing field {exc}") from None

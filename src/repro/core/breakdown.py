@@ -1,0 +1,101 @@
+"""Request-level latency breakdown at a quantile.
+
+"Attributing the source of tail latency" happens at two granularities
+in the paper: across *hardware factors* (quantile regression, Section
+IV) and across *pipeline stages* (Fig. 3's server/client/network
+decomposition).  This module provides the second one as a reusable
+analysis: given per-request component measurements (collected by a
+:class:`~repro.core.treadmill.TreadmillInstance` with
+``keep_components=True``), report where the time goes *for the
+requests that form the tail*.
+
+The subtlety this handles: the p99 of the total is NOT the sum of the
+component p99s (components are dependent and their extremes rarely
+coincide).  The honest decomposition conditions on the tail: take the
+requests whose total latency lands near the target quantile and
+average each component over exactly those requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+__all__ = ["QuantileBreakdown", "breakdown_at_quantile"]
+
+
+@dataclass
+class QuantileBreakdown:
+    """Component attribution for requests around one quantile."""
+
+    q: float
+    total_us: float
+    #: Mean microseconds per component over the conditioned requests.
+    components_us: Dict[str, float]
+    #: Number of requests in the conditioning window.
+    n_requests: int
+
+    def share(self, component: str) -> float:
+        """Fraction of the conditioned total spent in ``component``."""
+        total = sum(self.components_us.values())
+        if total <= 0:
+            return 0.0
+        return self.components_us[component] / total
+
+    def dominant(self) -> str:
+        """The component owning the largest share of the tail."""
+        return max(self.components_us, key=self.components_us.get)
+
+
+def breakdown_at_quantile(
+    components: Dict[str, Sequence[float]],
+    q: float,
+    window: float = 0.005,
+) -> QuantileBreakdown:
+    """Attribute the ``q``-quantile latency to pipeline components.
+
+    Parameters
+    ----------
+    components:
+        Mapping of component name to per-request latency arrays, all
+        the same length and order (e.g. the ``components`` dict of an
+        :class:`~repro.core.treadmill.InstanceReport`).
+    q:
+        Target quantile of the *total* latency.
+    window:
+        Half-width, in quantile space, of the conditioning band: the
+        requests between the ``q - window`` and ``q + window`` totals
+        are averaged.  Wider = smoother, narrower = more literally
+        "the p99 request".
+    """
+    if not components:
+        raise ValueError("need at least one component series")
+    if not 0.0 < q < 1.0:
+        raise ValueError("q must be in (0, 1)")
+    if not 0.0 < window < min(q, 1.0 - q):
+        raise ValueError(
+            f"window must be in (0, min(q, 1-q)) = (0, {min(q, 1.0 - q)})"
+        )
+    arrays = {name: np.asarray(vals, dtype=float) for name, vals in components.items()}
+    lengths = {arr.size for arr in arrays.values()}
+    if len(lengths) != 1 or lengths == {0}:
+        raise ValueError("all component series must be non-empty and equal-length")
+
+    total = np.sum(list(arrays.values()), axis=0)
+    lo, hi = np.quantile(total, [q - window, q + window])
+    mask = (total >= lo) & (total <= hi)
+    if not mask.any():
+        # Degenerate distributions: fall back to the nearest request.
+        idx = np.argmin(np.abs(total - np.quantile(total, q)))
+        mask = np.zeros(total.size, dtype=bool)
+        mask[idx] = True
+    return QuantileBreakdown(
+        q=q,
+        total_us=float(np.quantile(total, q)),
+        components_us={
+            name: float(arr[mask].mean()) for name, arr in arrays.items()
+        },
+        n_requests=int(mask.sum()),
+    )

@@ -1,0 +1,179 @@
+"""SLO-driven capacity planning on top of precise measurement.
+
+The paper's introduction motivates accurate tail measurement with
+provisioning: "servers are typically acquired in large quantities
+(e.g., 1000s at a time), so it is important to choose the best design
+possible and carefully provision resources."  The operational question
+is: *given a tail-latency SLO, how much load can one server carry?*
+
+:func:`find_max_load` answers it with the library's own methodology —
+repeated multi-instance measurements at each probe point — and a
+bisection over utilization (tail latency is monotone in offered load,
+so bisection is sound).  Because each probe uses the statistically
+robust procedure, the answer inherits its accuracy; running the search
+with a *flawed* tester would inherit its bias instead, which is a nice
+way to quantify what the paper's pitfalls cost in provisioning terms
+(an overestimating tester under-provisions utilization and wastes
+machines; an underestimating one violates the SLO in production).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..sim.machine import HardwareSpec
+from ..workloads.base import Workload
+from .procedure import MeasurementProcedure, ProcedureConfig
+
+__all__ = ["CapacityProbe", "CapacityResult", "find_max_load"]
+
+
+@dataclass
+class CapacityProbe:
+    """One bisection probe: a utilization point and its measured tail."""
+
+    utilization: float
+    metric_us: float
+    meets_slo: bool
+
+
+@dataclass
+class CapacityResult:
+    """Outcome of the SLO capacity search."""
+
+    slo_us: float
+    quantile: float
+    #: Highest probed utilization that met the SLO (0 if none did).
+    max_utilization: float
+    #: The measured metric at that utilization.
+    achieved_us: float
+    probes: List[CapacityProbe]
+
+    @property
+    def feasible(self) -> bool:
+        return self.max_utilization > 0.0
+
+    def headroom_pct(self) -> float:
+        """How much of the SLO budget the operating point leaves unused."""
+        if not self.feasible:
+            return 0.0
+        return 100.0 * (1.0 - self.achieved_us / self.slo_us)
+
+
+def _measure(
+    workload: Workload,
+    hardware: HardwareSpec,
+    utilization: float,
+    quantile: float,
+    runs: int,
+    samples_per_instance: int,
+    instances: int,
+    seed: int,
+) -> float:
+    proc = MeasurementProcedure(
+        ProcedureConfig(
+            workload=workload,
+            hardware=hardware,
+            target_utilization=utilization,
+            num_instances=instances,
+            measurement_samples_per_instance=samples_per_instance,
+            quantiles=(0.5, 0.95, quantile) if quantile not in (0.5, 0.95) else (0.5, 0.95, 0.99),
+            primary_quantile=quantile,
+            keep_raw=True,
+            min_runs=max(2, runs),
+            max_runs=max(2, runs),
+            seed=seed,
+        )
+    )
+    values = [proc.run_once(i).metrics[quantile] for i in range(runs)]
+    return float(np.mean(values))
+
+
+def find_max_load(
+    workload: Workload,
+    slo_us: float,
+    quantile: float = 0.99,
+    hardware: Optional[HardwareSpec] = None,
+    lo: float = 0.05,
+    hi: float = 0.92,
+    tolerance: float = 0.02,
+    runs_per_probe: int = 2,
+    samples_per_instance: int = 1500,
+    instances: int = 2,
+    seed: int = 0,
+) -> CapacityResult:
+    """Bisect for the highest utilization whose ``quantile`` latency
+    meets ``slo_us``.
+
+    Parameters mirror the measurement procedure; ``tolerance`` is the
+    utilization resolution at which the search stops.  Each probe
+    averages ``runs_per_probe`` independent runs (hysteresis defense).
+    """
+    if slo_us <= 0:
+        raise ValueError("slo_us must be positive")
+    if not 0.0 < quantile < 1.0:
+        raise ValueError("quantile must be in (0, 1)")
+    if not 0.0 < lo < hi < 1.0:
+        raise ValueError("need 0 < lo < hi < 1")
+    if tolerance <= 0:
+        raise ValueError("tolerance must be positive")
+    hardware = hardware or HardwareSpec()
+    probes: List[CapacityProbe] = []
+
+    def probe(util: float) -> CapacityProbe:
+        metric = _measure(
+            workload,
+            hardware,
+            util,
+            quantile,
+            runs_per_probe,
+            samples_per_instance,
+            instances,
+            seed + int(util * 1000),
+        )
+        result = CapacityProbe(
+            utilization=util, metric_us=metric, meets_slo=metric <= slo_us
+        )
+        probes.append(result)
+        return result
+
+    low_probe = probe(lo)
+    if not low_probe.meets_slo:
+        # Even the lightest load violates the SLO: infeasible.
+        return CapacityResult(
+            slo_us=slo_us,
+            quantile=quantile,
+            max_utilization=0.0,
+            achieved_us=low_probe.metric_us,
+            probes=probes,
+        )
+    high_probe = probe(hi)
+    if high_probe.meets_slo:
+        return CapacityResult(
+            slo_us=slo_us,
+            quantile=quantile,
+            max_utilization=hi,
+            achieved_us=high_probe.metric_us,
+            probes=probes,
+        )
+
+    best = low_probe
+    left, right = lo, hi
+    while right - left > tolerance:
+        mid = (left + right) / 2.0
+        mid_probe = probe(mid)
+        if mid_probe.meets_slo:
+            best = mid_probe
+            left = mid
+        else:
+            right = mid
+    return CapacityResult(
+        slo_us=slo_us,
+        quantile=quantile,
+        max_utilization=best.utilization,
+        achieved_us=best.metric_us,
+        probes=probes,
+    )

@@ -1,0 +1,142 @@
+"""JSON workload configuration.
+
+Section III-A ("Configurable workload"): "a JSON formatted
+configuration file can be used to describe the workload characteristics
+(e.g., request size distribution) and fed into Treadmill."  This module
+is that entry point: :func:`workload_from_json` builds a fully
+configured workload model from a dict or a JSON file, and
+:func:`treadmill_config_from_json` does the same for the load-tester
+parameters.
+
+Example configuration::
+
+    {
+      "workload": "memcached",
+      "get_fraction": 0.95,
+      "key_size": {"type": "uniform", "low": 16, "high": 64},
+      "value_size": {"type": "lognormal", "mean": 320, "sigma": 1.2}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+from ..workloads.base import Workload
+from ..workloads.generators import distribution_from_spec
+from ..workloads.mcrouter import McrouterWorkload
+from ..workloads.memcached import MemcachedWorkload
+from ..workloads.searchleaf import SearchLeafWorkload
+from .arrival import arrival_from_spec
+from .treadmill import TreadmillConfig
+
+__all__ = ["workload_from_json", "treadmill_config_from_json", "load_json"]
+
+
+def load_json(source: Union[str, Path, Dict]) -> Dict:
+    """Accept a dict, a JSON string, or a path to a JSON file."""
+    if isinstance(source, dict):
+        return source
+    if isinstance(source, Path) or (
+        isinstance(source, str) and source.lstrip()[:1] not in ("{", "[")
+    ):
+        path = Path(source)
+        if not path.exists():
+            raise FileNotFoundError(f"workload config file not found: {path}")
+        with open(path) as f:
+            return json.load(f)
+    return json.loads(source)
+
+
+_SIZE_FIELDS = ("key_size", "value_size")
+
+_MEMCACHED_SCALARS = (
+    "get_fraction",
+    "base_work_us",
+    "work_per_kb_us",
+    "mem_accesses_base",
+    "mem_accesses_per_kb",
+    "set_work_factor",
+    "fixed_us",
+    "service_noise_sigma",
+)
+
+_MCROUTER_SCALARS = (
+    "get_fraction",
+    "deserialize_us_per_kb",
+    "route_work_us",
+    "reply_work_us",
+    "mem_accesses_base",
+    "fixed_us",
+    "service_noise_sigma",
+)
+
+_SEARCHLEAF_SCALARS = (
+    "scan_us_per_term",
+    "mem_accesses_per_term",
+    "expensive_query_fraction",
+    "expensive_factor",
+    "fixed_us",
+    "service_noise_sigma",
+)
+
+
+def workload_from_json(source: Union[str, Path, Dict]) -> Workload:
+    """Build a workload model from a JSON configuration.
+
+    The ``workload`` key selects the model (``memcached`` or
+    ``mcrouter``); remaining keys override that model's constructor
+    defaults.  Distribution-valued fields use the
+    :func:`~repro.workloads.generators.distribution_from_spec`
+    vocabulary.
+    """
+    cfg = dict(load_json(source))
+    kind = cfg.pop("workload", None)
+    if kind is None:
+        raise ValueError("configuration must name a 'workload'")
+
+    kwargs: Dict = {}
+    for fld in _SIZE_FIELDS:
+        if fld in cfg:
+            kwargs[fld] = distribution_from_spec(cfg.pop(fld))
+
+    if kind == "memcached":
+        allowed = _MEMCACHED_SCALARS
+        cls = MemcachedWorkload
+    elif kind == "mcrouter":
+        allowed = _MCROUTER_SCALARS
+        cls = McrouterWorkload
+        if "backend_wait" in cfg:
+            kwargs["backend_wait"] = distribution_from_spec(cfg.pop("backend_wait"))
+    elif kind == "searchleaf":
+        allowed = _SEARCHLEAF_SCALARS
+        cls = SearchLeafWorkload
+        if "terms" in cfg:
+            kwargs["terms"] = distribution_from_spec(cfg.pop("terms"))
+    else:
+        raise ValueError(
+            f"unknown workload {kind!r} (have: memcached, mcrouter, searchleaf)"
+        )
+
+    for key in list(cfg):
+        if key in allowed:
+            kwargs[key] = cfg.pop(key)
+    if cfg:
+        raise ValueError(
+            f"unknown {kind} configuration keys: {sorted(cfg)} "
+            f"(allowed: {sorted(allowed) + list(_SIZE_FIELDS)})"
+        )
+    return cls(**kwargs)
+
+
+def treadmill_config_from_json(source: Union[str, Path, Dict]) -> TreadmillConfig:
+    """Build a :class:`~repro.core.treadmill.TreadmillConfig` from JSON."""
+    cfg = dict(load_json(source))
+    if "arrival" in cfg:
+        cfg["arrival"] = arrival_from_spec(cfg["arrival"])
+    try:
+        return TreadmillConfig(**cfg)
+    except TypeError as exc:
+        raise ValueError(f"bad treadmill configuration: {exc}") from None

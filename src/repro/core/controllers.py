@@ -1,0 +1,269 @@
+"""Open-loop and closed-loop request controllers.
+
+The paper's central design distinction (Section II-A, Fig. 1):
+
+* An **open-loop** controller sends requests at times drawn from an
+  inter-arrival process *regardless of outstanding responses*.  The
+  number of outstanding requests is unbounded and follows the queueing
+  distribution a production fan-out actually sees.
+
+* A **closed-loop** controller only sends request ``k+1`` on a
+  connection after response ``k`` arrived (thread-per-connection load
+  generators behave this way by construction).  The number of
+  outstanding requests is capped at the connection count, which
+  truncates the queueing distribution and *systematically
+  underestimates tail latency*.
+
+Both controllers drive an abstract ``send(conn_id)`` function supplied
+by the load tester and are notified of completions via
+:meth:`on_response`.  :class:`OutstandingTracker` records the
+time-weighted distribution of in-flight requests — the exact quantity
+Fig. 1 plots.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..sim.engine import Event, Simulator
+from .arrival import ArrivalProcess
+
+__all__ = ["OutstandingTracker", "OpenLoopController", "ClosedLoopController"]
+
+
+class OutstandingTracker:
+    """Time-weighted distribution of the number of outstanding requests.
+
+    Every change of the in-flight count credits the elapsed duration to
+    the previous count; :meth:`cdf` then returns the fraction of time
+    spent at or below each level — Fig. 1's y-axis.
+    """
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.count = 0
+        self._last_change = sim.now
+        self._durations: Dict[int, float] = defaultdict(float)
+
+    def _credit(self) -> None:
+        now = self.sim.now
+        self._durations[self.count] += now - self._last_change
+        self._last_change = now
+
+    def increment(self) -> None:
+        self._credit()
+        self.count += 1
+
+    def decrement(self) -> None:
+        if self.count <= 0:
+            raise ValueError("outstanding count would go negative")
+        self._credit()
+        self.count -= 1
+
+    def finalize(self) -> None:
+        """Credit the trailing interval (call once at measurement end)."""
+        self._credit()
+
+    def distribution(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(levels, time-fraction) pairs, levels ascending."""
+        if not self._durations:
+            return np.array([0]), np.array([1.0])
+        levels = np.array(sorted(self._durations))
+        durs = np.array([self._durations[l] for l in levels], dtype=float)
+        total = durs.sum()
+        if total <= 0:
+            return levels, np.full(levels.shape, 1.0 / len(levels))
+        return levels, durs / total
+
+    def cdf(self) -> Tuple[np.ndarray, np.ndarray]:
+        levels, probs = self.distribution()
+        return levels, np.cumsum(probs)
+
+    def mean(self) -> float:
+        levels, probs = self.distribution()
+        return float(np.dot(levels, probs))
+
+    def quantile(self, q: float) -> int:
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        levels, cdf = self.cdf()
+        idx = int(np.searchsorted(cdf, q, side="left"))
+        return int(levels[min(idx, len(levels) - 1)])
+
+
+class OpenLoopController:
+    """Precisely timed open-loop send schedule (Treadmill's controller).
+
+    Sends are scheduled on the simulator's virtual clock directly from
+    the arrival process; responses are observed only for accounting.
+    ``send`` receives a connection id chosen uniformly at random across
+    the instance's connections: random splitting preserves the Poisson
+    property on every connection (round-robin splitting would turn
+    each connection's arrivals into low-variance Erlang gaps and
+    artificially suppress server-side queueing — a subtle load-tester
+    bug of exactly the kind the paper warns about).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        arrival: ArrivalProcess,
+        send: Callable[[int], None],
+        connections: List[int],
+        rng: np.random.Generator,
+    ):
+        if not connections:
+            raise ValueError("need at least one connection")
+        self.sim = sim
+        self.arrival = arrival
+        self._send = send
+        self.connections = list(connections)
+        self._rng = rng
+        self._running = False
+        self._pending_event: Optional[Event] = None
+        self.tracker = OutstandingTracker(sim)
+        self.sent = 0
+        self.completed = 0
+
+    def start(self) -> None:
+        if self._running:
+            raise RuntimeError("controller already started")
+        self._running = True
+        # Random initial phase: multiple instances must not fire in
+        # lockstep (with low-variance gap distributions, synchronized
+        # phases would superpose into periodic bursts the offered load
+        # does not actually contain).
+        phase = float(self._rng.uniform(0.0, self.arrival.mean_gap_us))
+        self._pending_event = self.sim.schedule(phase, self._fire)
+
+    def stop(self) -> None:
+        """Stop issuing new requests (in-flight ones still complete)."""
+        self._running = False
+        if self._pending_event is not None:
+            self._pending_event.cancel()
+            self._pending_event = None
+
+    def _schedule_next(self) -> None:
+        gap = self.arrival.next_gap_us(self._rng)
+        self._pending_event = self.sim.schedule(gap, self._fire)
+
+    def _fire(self) -> None:
+        if not self._running:
+            return
+        conn = self.connections[int(self._rng.integers(0, len(self.connections)))]
+        self.tracker.increment()
+        self.sent += 1
+        # Schedule the next send *before* issuing: the send timing must
+        # never depend on how long issuing takes (open-loop property).
+        self._schedule_next()
+        self._send(conn)
+
+    def on_response(self, conn_id: int) -> None:
+        self.completed += 1
+        self.tracker.decrement()
+
+
+class ClosedLoopController:
+    """Thread-per-connection closed loop (the pitfall, reproduced).
+
+    Each of the ``connections`` behaves like a blocking worker thread:
+    issue, wait for the response, optionally think, issue again.  The
+    offered rate is emergent (``connections / (latency + think)``), so
+    callers targeting a rate must size ``connections`` and
+    ``think_time_us`` accordingly — exactly the awkwardness real
+    closed-loop tools have.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        send: Callable[[int], None],
+        connections: List[int],
+        rng: np.random.Generator,
+        think_time_us: float = 0.0,
+        target_rate_rps: Optional[float] = None,
+    ):
+        if not connections:
+            raise ValueError("need at least one connection")
+        if think_time_us < 0:
+            raise ValueError("think time must be non-negative")
+        if target_rate_rps is not None and target_rate_rps <= 0:
+            raise ValueError("target_rate_rps must be positive")
+        self.sim = sim
+        self._send = send
+        self.connections = list(connections)
+        self._rng = rng
+        self.think_time_us = think_time_us
+        #: Optional QPS throttle: after each response the connection
+        #: sleeps so its cycle time averages ``n_conns / rate`` — how
+        #: rate-targeted closed-loop tools (mutilate --qps, YCSB
+        #: -target) pace themselves.  When the server is slower than
+        #: the pace, the loop simply runs response-limited: the
+        #: closed-loop saturation flaw the paper demonstrates.
+        self.target_rate_rps = target_rate_rps
+        self._running = False
+        self.tracker = OutstandingTracker(sim)
+        self.sent = 0
+        self.completed = 0
+        self._think_events: List[Event] = []
+        self._issue_times: Dict[int, float] = {}
+
+    @property
+    def max_outstanding(self) -> int:
+        """The structural cap closed loops impose (Fig. 1's truncation)."""
+        return len(self.connections)
+
+    def start(self) -> None:
+        if self._running:
+            raise RuntimeError("controller already started")
+        self._running = True
+        # Stagger the initial issues: real tools' connections come up
+        # as they are established, not in a thundering herd.  With
+        # pacing, spread over one pacing cycle; otherwise over a small
+        # window.
+        if self.target_rate_rps is not None:
+            window = len(self.connections) * 1e6 / self.target_rate_rps
+        else:
+            window = 100.0
+        for conn in self.connections:
+            delay = float(self._rng.uniform(0.0, window))
+            self._think_events.append(self.sim.schedule(delay, self._issue, conn))
+
+    def stop(self) -> None:
+        self._running = False
+        for ev in self._think_events:
+            ev.cancel()
+        self._think_events.clear()
+
+    def _issue(self, conn_id: int) -> None:
+        if not self._running:
+            return
+        self.tracker.increment()
+        self.sent += 1
+        self._issue_times[conn_id] = self.sim.now
+        self._send(conn_id)
+
+    def _pacing_delay(self, conn_id: int) -> float:
+        """Residual sleep so this connection's cycle hits the pace."""
+        if self.target_rate_rps is None:
+            return 0.0
+        cycle_us = len(self.connections) * 1e6 / self.target_rate_rps
+        elapsed = self.sim.now - self._issue_times.get(conn_id, self.sim.now)
+        return max(0.0, cycle_us - elapsed)
+
+    def on_response(self, conn_id: int) -> None:
+        self.completed += 1
+        self.tracker.decrement()
+        if not self._running:
+            return
+        delay = self._pacing_delay(conn_id)
+        if self.think_time_us > 0:
+            # Exponential think time keeps the loop from phase-locking.
+            delay += float(self._rng.exponential(self.think_time_us))
+        if delay > 0:
+            self._think_events.append(self.sim.schedule(delay, self._issue, conn_id))
+        else:
+            self._issue(conn_id)

@@ -1,0 +1,112 @@
+"""Cluster fan-out tail analysis (the paper's motivating setting).
+
+The introduction frames why single-server tails matter: "a single
+request is distributed among a large number of servers in a 'fan-out'
+pattern [where] the overall performance of such systems depends on the
+slowest responding machine."  Once Treadmill has measured one server's
+latency distribution precisely, this module answers the cluster-level
+questions that motivated the measurement:
+
+* :func:`fanout_latency_quantile` — the q-quantile of the *maximum* of
+  ``n`` independent per-leaf latencies, computed from the measured
+  single-server distribution (empirical inverse-CDF composition:
+  ``Q_max(q) = Q_leaf(q^(1/n))``).
+* :func:`fanout_degradation` — how far the cluster p99 sits above the
+  single-server p99 as the fan-out widens: the "tail at scale" curve.
+* :func:`required_leaf_quantile` — the inverse design question: to hit
+  a cluster-level SLO at fan-out ``n``, which single-server quantile
+  must meet it?  (At n = 100, the cluster p99 is the leaf p99.99 —
+  the reason the paper insists on accurate *high*-quantile
+  measurement.)
+
+All functions take raw latency samples, exactly what
+:class:`~repro.core.treadmill.InstanceReport` provides.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "fanout_latency_quantile",
+    "fanout_degradation",
+    "required_leaf_quantile",
+    "simulate_fanout",
+]
+
+
+def _validate(samples: Sequence[float], fanout: int, q: float) -> np.ndarray:
+    arr = np.asarray(samples, dtype=float)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValueError("samples must be a non-empty 1-D array")
+    if fanout < 1:
+        raise ValueError("fanout must be >= 1")
+    if not 0.0 < q < 1.0:
+        raise ValueError("q must be in (0, 1)")
+    return arr
+
+
+def fanout_latency_quantile(
+    samples: Sequence[float], fanout: int, q: float
+) -> float:
+    """q-quantile of the slowest of ``fanout`` independent leaves.
+
+    If leaf latency has CDF F, the max of n i.i.d. draws has CDF F^n,
+    so ``Q_max(q) = Q_leaf(q^(1/n))``.
+    """
+    arr = _validate(samples, fanout, q)
+    leaf_q = q ** (1.0 / fanout)
+    return float(np.quantile(arr, leaf_q))
+
+
+def fanout_degradation(
+    samples: Sequence[float], fanouts: Sequence[int], q: float = 0.99
+) -> dict:
+    """Cluster-q latency at each fan-out, normalized to fan-out 1.
+
+    Returns ``{fanout: (latency, ratio_to_single_server)}`` — the
+    "tail at scale" degradation curve.
+    """
+    arr = _validate(samples, 1, q)
+    base = float(np.quantile(arr, q))
+    out = {}
+    for n in fanouts:
+        value = fanout_latency_quantile(arr, int(n), q)
+        out[int(n)] = (value, value / base if base > 0 else float("inf"))
+    return out
+
+
+def required_leaf_quantile(fanout: int, cluster_q: float = 0.99) -> float:
+    """Which leaf quantile governs the cluster-level ``cluster_q``.
+
+    ``cluster_q^(1/fanout)`` — e.g. a 100-way fan-out's p99 is the
+    leaf's p99.99.
+    """
+    if fanout < 1:
+        raise ValueError("fanout must be >= 1")
+    if not 0.0 < cluster_q < 1.0:
+        raise ValueError("cluster_q must be in (0, 1)")
+    return cluster_q ** (1.0 / fanout)
+
+
+def simulate_fanout(
+    samples: Sequence[float],
+    fanout: int,
+    n_requests: int,
+    rng: np.random.Generator = None,
+) -> np.ndarray:
+    """Monte-Carlo cluster latencies: max over ``fanout`` leaf draws.
+
+    Provided as an empirical cross-check of the analytic composition
+    (useful when leaves are resampled with replacement from a finite
+    measurement set).
+    """
+    arr = _validate(samples, fanout, 0.5)
+    if n_requests < 1:
+        raise ValueError("n_requests must be >= 1")
+    if rng is None:
+        rng = np.random.default_rng(0)
+    draws = rng.choice(arr, size=(n_requests, fanout), replace=True)
+    return draws.max(axis=1)

@@ -1,0 +1,87 @@
+"""Treadmill's three execution phases.
+
+Section III-A: "Treadmill goes through three phases during one
+execution: warm-up, calibration and measurement.  During the warm-up
+phase, all measured samples are discarded.  Next, we determine the
+lower and upper bounds of the sample histogram bins in the calibration
+phase. [...] Finally, Treadmill begins to collect samples until the
+end of execution."
+
+:class:`PhaseManager` implements that lifecycle around an
+:class:`~repro.stats.histogram.AdaptiveHistogram`:
+
+* ``warm-up`` — the first ``warmup_samples`` responses are dropped
+  (they observe a cold server: empty queues, cold caches, idle-state
+  frequencies).
+* ``calibration`` — the histogram buffers raw samples and derives its
+  bin range.
+* ``measurement`` — samples accumulate until ``measurement_samples``
+  have been collected, after which :attr:`done` turns true.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..stats.histogram import AdaptiveHistogram
+
+__all__ = ["PhaseManager"]
+
+PHASE_WARMUP = "warm-up"
+PHASE_CALIBRATION = "calibration"
+PHASE_MEASUREMENT = "measurement"
+
+
+class PhaseManager:
+    """Warm-up / calibration / measurement lifecycle for one instance."""
+
+    def __init__(
+        self,
+        warmup_samples: int = 500,
+        measurement_samples: int = 10_000,
+        histogram: Optional[AdaptiveHistogram] = None,
+        keep_raw: bool = False,
+    ):
+        if warmup_samples < 0:
+            raise ValueError("warmup_samples must be non-negative")
+        if measurement_samples < 1:
+            raise ValueError("measurement_samples must be >= 1")
+        self.warmup_samples = warmup_samples
+        self.measurement_samples = measurement_samples
+        self.histogram = histogram or AdaptiveHistogram()
+        #: Optionally retain raw measurement samples (experiments that
+        #: need exact values, e.g. quantile-regression input).
+        self.keep_raw = keep_raw
+        self.raw_samples: List[float] = []
+        self._seen = 0
+
+    @property
+    def seen(self) -> int:
+        """Total samples observed, including discarded warm-up ones."""
+        return self._seen
+
+    @property
+    def phase(self) -> str:
+        if self._seen < self.warmup_samples:
+            return PHASE_WARMUP
+        if self.histogram.calibrating:
+            return PHASE_CALIBRATION
+        return PHASE_MEASUREMENT
+
+    @property
+    def collected(self) -> int:
+        """Samples recorded after warm-up (calibration + measurement)."""
+        return self.histogram.count
+
+    @property
+    def done(self) -> bool:
+        return self.histogram.count >= self.measurement_samples
+
+    def record(self, latency_us: float) -> None:
+        """Feed one response latency through the phase machine."""
+        self._seen += 1
+        if self._seen <= self.warmup_samples:
+            return
+        self.histogram.add(latency_us)
+        if self.keep_raw:
+            self.raw_samples.append(latency_us)

@@ -1,0 +1,207 @@
+"""The paper's robust tail-latency measurement procedure.
+
+Section III-B assembles the methodology from the pieces the pitfalls
+demand:
+
+1. **Multiple Treadmill instances** (client machines) split the
+   offered load so every client stays lightly utilized — no
+   client-side queueing bias.
+2. **Per-instance metric extraction, then aggregation** of metrics
+   across instances (mean/median) — no pooled-distribution bias.
+3. **Repeat the whole experiment** (fresh server boot, fresh seeds)
+   and aggregate per-run results *until the mean converges* — the only
+   defense against performance hysteresis, since no amount of extra
+   samples within one run helps.
+
+:class:`MeasurementProcedure` runs that loop and reports the final
+estimates with their across-run dispersion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..sim.machine import HardwareSpec
+from ..stats.convergence import MeanConvergence
+from ..workloads.base import Workload
+from .aggregation import aggregate_quantile
+from .bench import BenchConfig, TestBench
+from .treadmill import InstanceReport, TreadmillConfig, TreadmillInstance
+
+__all__ = ["ProcedureConfig", "RunResult", "ProcedureResult", "MeasurementProcedure"]
+
+
+@dataclass
+class ProcedureConfig:
+    """Configuration of the full measurement procedure."""
+
+    workload: Workload
+    hardware: HardwareSpec = field(default_factory=HardwareSpec)
+    #: Either an absolute offered load or a target server utilization
+    #: (exactly one must be set).
+    total_rate_rps: Optional[float] = None
+    target_utilization: Optional[float] = None
+    num_instances: int = 4
+    connections_per_instance: int = 16
+    warmup_samples: int = 300
+    measurement_samples_per_instance: int = 5_000
+    quantiles: Sequence[float] = (0.5, 0.95, 0.99)
+    #: Metric combiner across instances within one run.
+    combine: str = "mean"
+    #: The quantile whose across-run mean drives the stopping rule.
+    primary_quantile: float = 0.99
+    min_runs: int = 3
+    max_runs: int = 12
+    convergence_rel_tol: float = 0.05
+    keep_raw: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if (self.total_rate_rps is None) == (self.target_utilization is None):
+            raise ValueError(
+                "set exactly one of total_rate_rps / target_utilization"
+            )
+        if self.num_instances < 1:
+            raise ValueError("num_instances must be >= 1")
+        if self.primary_quantile not in tuple(self.quantiles):
+            raise ValueError("primary_quantile must be one of quantiles")
+
+
+@dataclass
+class RunResult:
+    """One independent experiment (one server boot)."""
+
+    run_index: int
+    reports: List[InstanceReport]
+    #: Sound per-run estimates: per-instance quantiles combined.
+    metrics: Dict[float, float]
+    server_utilization: float
+    client_utilizations: Dict[str, float]
+
+    def ground_truth(self) -> np.ndarray:
+        """Pooled NIC-level samples across instances (tcpdump view)."""
+        parts = [r.ground_truth_samples for r in self.reports]
+        return np.concatenate(parts) if parts else np.empty(0)
+
+    def raw_samples(self) -> np.ndarray:
+        """Pooled raw user-level samples (only if keep_raw was set)."""
+        parts = [np.asarray(r.raw_samples) for r in self.reports]
+        return np.concatenate(parts) if parts else np.empty(0)
+
+
+@dataclass
+class ProcedureResult:
+    """Outcome of the repeat-until-converged procedure."""
+
+    runs: List[RunResult]
+    #: Across-run mean of each per-run metric.
+    estimates: Dict[float, float]
+    #: Across-run standard deviation of each metric.
+    dispersion: Dict[float, float]
+    converged: bool
+
+    def per_run(self, q: float) -> List[float]:
+        return [r.metrics[q] for r in self.runs]
+
+
+class MeasurementProcedure:
+    """Runs the full multi-instance, multi-run procedure."""
+
+    def __init__(self, config: ProcedureConfig):
+        self.config = config
+
+    # ------------------------------------------------------------------
+    def _build_bench(self, run_index: int) -> TestBench:
+        cfg = self.config
+        return TestBench(
+            BenchConfig(workload=cfg.workload, hardware=cfg.hardware, seed=cfg.seed),
+            run_index=run_index,
+        )
+
+    def _total_rate(self, bench: TestBench) -> float:
+        cfg = self.config
+        if cfg.total_rate_rps is not None:
+            return cfg.total_rate_rps
+        per_us = bench.server.arrival_rate_for_utilization(cfg.target_utilization)
+        return per_us * 1e6
+
+    def run_once(self, run_index: int) -> RunResult:
+        """One independent experiment: boot, load, measure, report."""
+        cfg = self.config
+        bench = self._build_bench(run_index)
+        rate_per_instance = self._total_rate(bench) / cfg.num_instances
+        instances = []
+        for i in range(cfg.num_instances):
+            tm_cfg = TreadmillConfig(
+                rate_rps=rate_per_instance,
+                connections=cfg.connections_per_instance,
+                warmup_samples=cfg.warmup_samples,
+                measurement_samples=cfg.measurement_samples_per_instance,
+                keep_raw=cfg.keep_raw,
+            )
+            instances.append(TreadmillInstance(bench, f"client{i}", tm_cfg))
+        for inst in instances:
+            inst.start()
+        bench.run_to_completion(instances)
+
+        reports = [inst.report() for inst in instances]
+        samples_by_client = {
+            r.name: _histogram_samples(r) for r in reports
+        }
+        metrics = {
+            q: aggregate_quantile(samples_by_client, q, combine=cfg.combine)
+            for q in cfg.quantiles
+        }
+        return RunResult(
+            run_index=run_index,
+            reports=reports,
+            metrics=metrics,
+            server_utilization=bench.server.measured_utilization(),
+            client_utilizations={
+                name: client.utilization() for name, client in bench.clients.items()
+            },
+        )
+
+    def run(self) -> ProcedureResult:
+        """Repeat independent runs until the primary metric's mean
+        converges (or max_runs is hit)."""
+        cfg = self.config
+        rule = MeanConvergence(
+            rel_tol=cfg.convergence_rel_tol,
+            min_runs=cfg.min_runs,
+            max_runs=cfg.max_runs,
+        )
+        runs: List[RunResult] = []
+        while not rule.converged():
+            result = self.run_once(len(runs))
+            runs.append(result)
+            rule.add(result.metrics[cfg.primary_quantile])
+        estimates = {
+            q: float(np.mean([r.metrics[q] for r in runs])) for q in cfg.quantiles
+        }
+        dispersion = {
+            q: float(np.std([r.metrics[q] for r in runs], ddof=1)) if len(runs) > 1 else 0.0
+            for q in cfg.quantiles
+        }
+        half = rule.half_width()
+        mean = rule.mean()
+        converged = mean != 0 and half / abs(mean) <= cfg.convergence_rel_tol
+        return ProcedureResult(
+            runs=runs, estimates=estimates, dispersion=dispersion, converged=converged
+        )
+
+
+def _histogram_samples(report: InstanceReport) -> np.ndarray:
+    """Per-instance latency view for metric extraction.
+
+    Raw samples when kept (exact); otherwise the histogram is queried
+    directly through a dense quantile grid, which preserves metric
+    extraction accuracy to within a bin width.
+    """
+    if report.raw_samples:
+        return np.asarray(report.raw_samples, dtype=float)
+    qs = np.linspace(0.0005, 0.9995, 2000)
+    return np.asarray(report.histogram.quantiles(qs))

@@ -1,0 +1,83 @@
+"""Human-readable measurement reports with honest uncertainty.
+
+The paper's methodological message is that a tail-latency number
+without run-level repetition and distribution-free uncertainty is not
+a measurement.  :func:`render_procedure_report` turns a
+:class:`~repro.core.procedure.ProcedureResult` into the report a
+practitioner should actually read:
+
+* per-quantile estimates with across-run dispersion,
+* distribution-free order-statistic confidence intervals computed on
+  the pooled final run (for within-run sampling uncertainty),
+* convergence diagnostics (did the repeat-until-converged rule
+  actually converge, and how wide is the mean's interval), and
+* client-side health (max client utilization — the Section II-C bias
+  guard).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..stats.convergence import MeanConvergence
+from ..stats.quantile import order_statistic_ci
+from .procedure import ProcedureResult
+
+__all__ = ["render_procedure_report"]
+
+
+def render_procedure_report(
+    result: ProcedureResult,
+    quantiles: Sequence[float] = None,
+    confidence: float = 0.95,
+) -> str:
+    """Render a full measurement report as plain text."""
+    if not result.runs:
+        raise ValueError("result has no runs")
+    qs = list(quantiles) if quantiles is not None else sorted(result.estimates)
+    lines: List[str] = []
+    lines.append("Tail-latency measurement report")
+    lines.append("=" * 48)
+    lines.append(f"independent runs: {len(result.runs)}")
+    lines.append(f"converged: {'yes' if result.converged else 'NO - treat with caution'}")
+
+    last = result.runs[-1]
+    lines.append(
+        "server utilization (last run): "
+        f"{last.server_utilization:.1%}"
+    )
+    max_client = max(last.client_utilizations.values())
+    guard = "ok" if max_client < 0.3 else "WARNING: client-side queueing bias likely"
+    lines.append(f"max client utilization: {max_client:.1%} ({guard})")
+    lines.append("")
+
+    lines.append("estimates (mean over runs; dispersion is across-run sd):")
+    raw = last.raw_samples()
+    for q in qs:
+        est = result.estimates[q]
+        sd = result.dispersion[q]
+        line = f"  p{int(q * 100):>4}: {est:9.1f} us  (run-to-run sd {sd:6.1f})"
+        if raw.size > 10:
+            lo, hi = order_statistic_ci(raw, q, confidence=confidence)
+            line += f"  [within-run {int(confidence * 100)}% CI {lo:.1f}..{hi:.1f}]"
+        lines.append(line)
+    lines.append("")
+
+    primary = max(qs)
+    per_run = result.per_run(primary)
+    rule = MeanConvergence(min_runs=2)
+    for value in per_run:
+        rule.add(value)
+    lines.append(
+        f"p{int(primary * 100)} per run: "
+        + ", ".join(f"{v:.1f}" for v in per_run)
+    )
+    half = rule.half_width()
+    if np.isfinite(half):
+        lines.append(
+            f"mean of per-run p{int(primary * 100)}: {rule.mean():.1f} "
+            f"+/- {half:.1f} us (95% CI of the mean)"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,146 @@
+"""Latency-vs-load sweeps: the standard systems curve, done right.
+
+Plotting tail latency against offered load is the first thing anyone
+does with a load tester — and the paper's pitfalls corrupt exactly this
+curve (closed loops flatten its knee, saturated clients steepen it).
+:func:`sweep_utilization` produces the curve with the library's sound
+methodology: at each utilization point it runs the full multi-instance
+procedure (optionally with repeated runs) and records per-quantile
+estimates plus the measured utilization, client health, and dispersion.
+
+The result renders as a text table and exposes knee detection — the
+lowest utilization where the chosen quantile exceeds a multiple of its
+low-load baseline — which is the operational summary of the curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..sim.machine import HardwareSpec
+from ..workloads.base import Workload
+from .procedure import MeasurementProcedure, ProcedureConfig
+
+__all__ = ["SweepPoint", "SweepResult", "sweep_utilization"]
+
+
+@dataclass
+class SweepPoint:
+    """Measurements at one utilization level."""
+
+    target_utilization: float
+    measured_utilization: float
+    estimates_us: Dict[float, float]
+    dispersion_us: Dict[float, float]
+    max_client_utilization: float
+
+
+@dataclass
+class SweepResult:
+    """The full latency-vs-load curve."""
+
+    quantiles: Sequence[float]
+    points: List[SweepPoint]
+
+    def series(self, q: float) -> List[float]:
+        """The latency series for one quantile, in sweep order."""
+        return [p.estimates_us[q] for p in self.points]
+
+    def knee_utilization(self, q: float = 0.99, factor: float = 2.0) -> Optional[float]:
+        """Lowest target utilization where the ``q`` latency exceeds
+        ``factor`` times its value at the sweep's first point; ``None``
+        if the curve never gets there."""
+        if factor <= 1.0:
+            raise ValueError("factor must exceed 1")
+        series = self.series(q)
+        base = series[0]
+        for point, value in zip(self.points, series):
+            if value > factor * base:
+                return point.target_utilization
+        return None
+
+    def render(self) -> str:
+        header = ["util (target/measured)"] + [
+            f"p{int(q * 100)} (us)" for q in self.quantiles
+        ] + ["max client util"]
+        widths = [len(h) for h in header]
+        rows = []
+        for p in self.points:
+            row = [f"{p.target_utilization:.0%} / {p.measured_utilization:.0%}"]
+            row += [f"{p.estimates_us[q]:.1f}" for q in self.quantiles]
+            row += [f"{p.max_client_utilization:.0%}"]
+            rows.append(row)
+            widths = [max(w, len(c)) for w, c in zip(widths, row)]
+        lines = ["  ".join(h.ljust(w) for h, w in zip(header, widths))]
+        lines += ["  ".join(c.rjust(w) for c, w in zip(row, widths)) for row in rows]
+        return "\n".join(lines)
+
+
+def sweep_utilization(
+    workload: Workload,
+    utilizations: Sequence[float],
+    quantiles: Sequence[float] = (0.5, 0.95, 0.99),
+    hardware: Optional[HardwareSpec] = None,
+    num_instances: int = 2,
+    samples_per_instance: int = 1500,
+    runs_per_point: int = 2,
+    seed: int = 0,
+) -> SweepResult:
+    """Measure the latency-vs-load curve over ``utilizations``.
+
+    Each point uses ``runs_per_point`` independent runs (hysteresis
+    defense) through the standard procedure; the sweep preserves the
+    order given (ascending is conventional but not required).
+    """
+    if not utilizations:
+        raise ValueError("need at least one utilization point")
+    for u in utilizations:
+        if not 0.0 < u < 1.0:
+            raise ValueError(f"utilization {u} outside (0, 1)")
+    hardware = hardware or HardwareSpec()
+    points: List[SweepPoint] = []
+    for idx, util in enumerate(utilizations):
+        proc = MeasurementProcedure(
+            ProcedureConfig(
+                workload=workload,
+                hardware=hardware,
+                target_utilization=util,
+                num_instances=num_instances,
+                measurement_samples_per_instance=samples_per_instance,
+                quantiles=tuple(quantiles),
+                primary_quantile=max(quantiles),
+                keep_raw=True,
+                min_runs=max(2, runs_per_point),
+                max_runs=max(2, runs_per_point),
+                seed=seed + idx,
+            )
+        )
+        runs = [proc.run_once(i) for i in range(runs_per_point)]
+        estimates = {
+            q: float(np.mean([r.metrics[q] for r in runs])) for q in quantiles
+        }
+        dispersion = {
+            q: (
+                float(np.std([r.metrics[q] for r in runs], ddof=1))
+                if runs_per_point > 1
+                else 0.0
+            )
+            for q in quantiles
+        }
+        points.append(
+            SweepPoint(
+                target_utilization=util,
+                measured_utilization=float(
+                    np.mean([r.server_utilization for r in runs])
+                ),
+                estimates_us=estimates,
+                dispersion_us=dispersion,
+                max_client_utilization=max(
+                    max(r.client_utilizations.values()) for r in runs
+                ),
+            )
+        )
+    return SweepResult(quantiles=tuple(quantiles), points=points)

@@ -1,0 +1,145 @@
+"""Per-request trace capture and export.
+
+Sometimes the histogram is not enough: debugging a surprising tail
+means looking at *individual requests* — their full timestamp trail
+through client CPU, kernel, wire, IRQ, and worker service.  This
+module collects complete :class:`~repro.workloads.base.Request`
+records from a load-tester instance and exports them as CSV for
+external analysis (pandas, R, spreadsheets).
+
+Usage::
+
+    trace = RequestTrace(limit=10_000)
+    inst = TreadmillInstance(bench, "tm0", cfg, request_observer=trace.observe)
+    ...
+    trace.write_csv("requests.csv")
+    slow = trace.slowest(20)        # the 20 worst requests, full trail
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import List, Union
+
+import numpy as np
+
+from ..workloads.base import Request
+
+__all__ = ["RequestTrace", "TRACE_FIELDS"]
+
+#: Columns exported per request, in order.
+TRACE_FIELDS = [
+    "req_id",
+    "conn_id",
+    "client_name",
+    "op",
+    "request_bytes",
+    "response_bytes",
+    "t_user_send",
+    "t_nic_send",
+    "t_server_nic_in",
+    "t_service_start",
+    "t_service_end",
+    "t_server_nic_out",
+    "t_nic_recv",
+    "t_user_recv",
+    "user_latency_us",
+    "server_latency_us",
+    "network_latency_us",
+    "client_latency_us",
+]
+
+
+class RequestTrace:
+    """Collects completed requests, bounded by ``limit``.
+
+    When the limit is reached, further requests are counted but not
+    stored (``dropped``), keeping memory bounded on long runs.
+    """
+
+    def __init__(self, limit: int = 100_000):
+        if limit < 1:
+            raise ValueError("limit must be >= 1")
+        self.limit = limit
+        self.requests: List[Request] = []
+        self.dropped = 0
+
+    def observe(self, request: Request) -> None:
+        """Record one completed request (pass as ``request_observer``)."""
+        if len(self.requests) < self.limit:
+            self.requests.append(request)
+        else:
+            self.dropped += 1
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    # ------------------------------------------------------------------
+    # analysis
+    # ------------------------------------------------------------------
+    def latencies(self) -> np.ndarray:
+        return np.array([r.user_latency_us for r in self.requests])
+
+    def slowest(self, n: int = 10) -> List[Request]:
+        """The ``n`` highest-latency requests, worst first."""
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        return sorted(
+            self.requests, key=lambda r: r.user_latency_us, reverse=True
+        )[:n]
+
+    def interarrival_cv(self) -> float:
+        """Coefficient of variation of observed send gaps.
+
+        ~1.0 for a Poisson schedule, ~0 for a metronome — a quick check
+        that the load tester offered the arrival process it promised.
+        """
+        if len(self.requests) < 3:
+            raise ValueError("need at least 3 requests")
+        sends = np.sort(np.array([r.t_user_send for r in self.requests]))
+        gaps = np.diff(sends)
+        gaps = gaps[gaps > 0]
+        if gaps.size < 2 or gaps.mean() == 0:
+            return 0.0
+        return float(gaps.std() / gaps.mean())
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def _row(self, request: Request) -> List:
+        return [
+            request.req_id,
+            request.conn_id,
+            request.client_name,
+            request.op,
+            request.request_bytes,
+            request.response_bytes,
+            request.t_user_send,
+            request.t_nic_send,
+            request.t_server_nic_in,
+            request.t_service_start,
+            request.t_service_end,
+            request.t_server_nic_out,
+            request.t_nic_recv,
+            request.t_user_recv,
+            request.user_latency_us,
+            request.server_latency_us,
+            request.network_latency_us,
+            request.client_latency_us,
+        ]
+
+    def to_csv_string(self) -> str:
+        buf = io.StringIO()
+        writer = csv.writer(buf)
+        writer.writerow(TRACE_FIELDS)
+        for request in self.requests:
+            writer.writerow(self._row(request))
+        return buf.getvalue()
+
+    def write_csv(self, path: Union[str, Path]) -> int:
+        """Write all recorded requests; returns the row count."""
+        with open(path, "w", newline="") as f:
+            f.write(self.to_csv_string())
+        return len(self.requests)

@@ -1,0 +1,210 @@
+"""The Treadmill load-tester instance.
+
+One :class:`TreadmillInstance` is one process of the paper's tool
+running on one lightly-utilized client machine:
+
+* **open-loop, precisely timed** sends with exponential inter-arrival
+  gaps (:mod:`repro.core.arrival`), scheduled on the virtual clock so
+  issuing latency can never perturb the schedule;
+* **inline response handling** — the response callback runs as soon as
+  the user-space wakeup completes (the paper uses wangle's inline
+  executor for this), modelled as a single small CPU cost on the
+  generator thread rather than a handoff to another queue;
+* **warm-up / calibration / measurement phases** feeding an adaptive
+  histogram (:mod:`repro.core.phases`);
+* a low per-request CPU cost (:class:`~repro.sim.machine.ClientSpec`
+  defaults), reflecting the real tool's lock-free implementation — the
+  property that keeps client utilization low and the measurement free
+  of client-side queueing bias.
+
+Multiple instances against one server, plus repetition across runs,
+are orchestrated by :mod:`repro.core.procedure`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..sim.machine import ClientSpec
+from ..stats.histogram import AdaptiveHistogram
+from ..workloads.base import Request
+from .arrival import ArrivalProcess, PoissonArrivals
+from .bench import TestBench
+from .controllers import OpenLoopController
+from .phases import PhaseManager
+
+__all__ = ["TreadmillConfig", "InstanceReport", "TreadmillInstance"]
+
+#: Default per-request user-space CPU cost of a Treadmill instance.
+#: The real tool is highly optimized (lock-free, inline callbacks);
+#: 1.2 us/op keeps a 100 kRPS instance under 15% utilization.
+TREADMILL_CLIENT_SPEC = ClientSpec(tx_cpu_us=0.6, rx_cpu_us=0.6)
+
+
+@dataclass
+class TreadmillConfig:
+    """Configuration of one Treadmill instance."""
+
+    #: This instance's share of the offered load.
+    rate_rps: float = 10_000.0
+    #: Concurrent connections to the server (sends round-robin).
+    connections: int = 4
+    warmup_samples: int = 500
+    measurement_samples: int = 10_000
+    #: Histogram sizing (see AdaptiveHistogram).
+    histogram_bins: int = 512
+    calibration_samples: int = 500
+    #: Retain raw latency samples alongside the histogram (needed by
+    #: the attribution pipeline, which sub-samples raw latencies).
+    keep_raw: bool = False
+    #: Also retain the per-request latency decomposition
+    #: (server/network/client components, Fig. 3).
+    keep_components: bool = False
+    #: Arrival-process factory; defaults to Poisson at ``rate_rps``.
+    arrival: Optional[ArrivalProcess] = None
+
+    def __post_init__(self) -> None:
+        if self.rate_rps <= 0:
+            raise ValueError("rate_rps must be positive")
+        if self.connections < 1:
+            raise ValueError("connections must be >= 1")
+
+    def make_arrival(self) -> ArrivalProcess:
+        return self.arrival if self.arrival is not None else PoissonArrivals(self.rate_rps)
+
+
+@dataclass
+class InstanceReport:
+    """What one instance reports at the end of a run.
+
+    Per the paper's aggregation rule, downstream code extracts metrics
+    (e.g. p99) from each report *individually* and then combines the
+    metrics — never the distributions (Section III-B).
+    """
+
+    name: str
+    histogram: AdaptiveHistogram
+    raw_samples: List[float]
+    requests_sent: int
+    responses_recorded: int
+    client_utilization: float
+    ground_truth_samples: np.ndarray
+    #: (server, network, client) latency components per measured
+    #: request, when keep_components was set; else empty arrays.
+    components: Dict[str, np.ndarray]
+
+    def quantile(self, q: float) -> float:
+        return self.histogram.quantile(q)
+
+    def quantiles(self, qs: Sequence[float]) -> List[float]:
+        return self.histogram.quantiles(qs)
+
+    def mean(self) -> float:
+        return self.histogram.mean()
+
+
+class TreadmillInstance:
+    """One Treadmill process on one client machine."""
+
+    def __init__(
+        self,
+        bench: TestBench,
+        name: str,
+        config: Optional[TreadmillConfig] = None,
+        rack: Optional[str] = None,
+        client_spec: Optional[ClientSpec] = None,
+        link_config=None,
+        request_observer=None,
+    ):
+        self.bench = bench
+        self.name = name
+        #: Optional callback invoked with every completed Request
+        #: (e.g. repro.core.trace.RequestTrace.observe).
+        self.request_observer = request_observer
+        self.config = config or TreadmillConfig()
+        self.client = bench.add_client(
+            name,
+            rack=rack,
+            client_spec=client_spec or TREADMILL_CLIENT_SPEC,
+            link_config=link_config,
+        )
+        self.client.response_handler = self._on_response
+        self._rng = bench.rng.stream(f"{name}/requests")
+        self.connections = bench.open_connections(self.config.connections)
+        self.controller = OpenLoopController(
+            bench.sim,
+            self.config.make_arrival(),
+            self._send,
+            self.connections,
+            bench.rng.stream(f"{name}/arrivals"),
+        )
+        self.phases = PhaseManager(
+            warmup_samples=self.config.warmup_samples,
+            measurement_samples=self.config.measurement_samples,
+            histogram=AdaptiveHistogram(
+                num_bins=self.config.histogram_bins,
+                calibration_size=self.config.calibration_samples,
+            ),
+            keep_raw=self.config.keep_raw,
+        )
+        self._req_counter = 0
+        self._workload = bench.config.workload
+        self._components = {"server": [], "network": [], "client": []}
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self.controller.start()
+
+    def stop(self) -> None:
+        self.controller.stop()
+
+    @property
+    def done(self) -> bool:
+        return self.phases.done
+
+    # ------------------------------------------------------------------
+    # request path
+    # ------------------------------------------------------------------
+    def _send(self, conn_id: int) -> None:
+        request = self._workload.sample_request(self._rng, self._req_counter, conn_id)
+        self._req_counter += 1
+        self.client.issue(request)
+
+    def _on_response(self, request: Request) -> None:
+        # Inline execution: accounting happens in the completion
+        # callback itself, immediately (no extra queueing stage).
+        self.controller.on_response(request.conn_id)
+        was_warmup = self.phases.seen < self.phases.warmup_samples
+        self.phases.record(request.user_latency_us)
+        if self.config.keep_components and not was_warmup:
+            self._components["server"].append(request.server_latency_us)
+            self._components["network"].append(request.network_latency_us)
+            self._components["client"].append(request.client_latency_us)
+        if self.request_observer is not None:
+            self.request_observer(request)
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def report(self) -> InstanceReport:
+        capture = self.client.capture
+        return InstanceReport(
+            name=self.name,
+            histogram=self.phases.histogram,
+            raw_samples=list(self.phases.raw_samples),
+            requests_sent=self.controller.sent,
+            responses_recorded=self.phases.collected,
+            client_utilization=self.client.utilization(),
+            ground_truth_samples=(
+                capture.samples() if capture is not None else np.empty(0)
+            ),
+            components={
+                key: np.asarray(vals, dtype=float)
+                for key, vals in self._components.items()
+            },
+        )

@@ -1,0 +1,17 @@
+"""One module per paper artifact (tables and figures); see DESIGN.md's
+per-experiment index for the mapping.
+
+Use :func:`repro.experiments.runner.run_experiment` (or the ``repro``
+CLI) to regenerate any artifact's rows/series.
+"""
+
+from .common import HIGH_LOAD, LOW_LOAD, SCALES, Scale, attribution_report, get_scale
+
+__all__ = [
+    "HIGH_LOAD",
+    "LOW_LOAD",
+    "SCALES",
+    "Scale",
+    "attribution_report",
+    "get_scale",
+]

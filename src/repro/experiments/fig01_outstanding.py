@@ -1,0 +1,123 @@
+"""Figure 1: outstanding requests — open loop vs closed loop.
+
+The paper's Fig. 1 plots the CDF of the number of outstanding requests
+at 80% utilization for an open-loop controller and for closed-loop
+controllers with 4, 8, and 12 connections.  The open-loop distribution
+has a long upper tail (the server's true queueing behaviour); the
+closed-loop distributions are *structurally truncated* at the
+connection count, which is why closed-loop testers underestimate tail
+latency.
+
+Reproduction: one bench per controller, identical workload and target
+rate; the :class:`~repro.core.controllers.OutstandingTracker` records
+the time-weighted in-flight distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..core.bench import BenchConfig, TestBench
+from ..core.controllers import ClosedLoopController
+from ..core.treadmill import TreadmillConfig, TreadmillInstance
+from ..loadtesters.base import BaselineLoadTester
+from ..sim.machine import ClientSpec
+from .common import format_table, get_scale, make_workload
+
+__all__ = ["OutstandingResult", "run", "render"]
+
+UTILIZATION = 0.8
+CLOSED_LOOP_CONNECTIONS = (4, 8, 12)
+
+
+@dataclass
+class OutstandingResult:
+    """CDFs of the in-flight count per controller."""
+
+    #: label -> (levels, cdf) arrays.
+    cdfs: Dict[str, Tuple[np.ndarray, np.ndarray]]
+    utilization: float
+
+    def quantile(self, label: str, q: float) -> int:
+        levels, cdf = self.cdfs[label]
+        idx = int(np.searchsorted(cdf, q, side="left"))
+        return int(levels[min(idx, len(levels) - 1)])
+
+
+class _ClosedLoopProbe(BaselineLoadTester):
+    """Minimal closed-loop tester used only to drive the tracker."""
+
+    tool = "closed-loop-probe"
+
+    def __init__(self, bench, total_rate_rps, measurement_samples, connections):
+        super().__init__(bench, total_rate_rps, measurement_samples, warmup_samples=100)
+        client = self._add_client("closed0", ClientSpec(tx_cpu_us=0.6, rx_cpu_us=0.6))
+        conns = bench.open_connections(connections)
+        client.controller = ClosedLoopController(
+            bench.sim,
+            self._make_send(client),
+            conns,
+            bench.rng.stream("closed/think"),
+            target_rate_rps=total_rate_rps,
+        )
+
+
+def run(scale: str = "default", workload: str = "memcached", seed: int = 5) -> OutstandingResult:
+    sc = get_scale(scale)
+    samples = sc.comparison_samples
+    cdfs: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+
+    # Open loop: one Treadmill instance carrying the full rate (the
+    # outstanding count of interest is the server-wide one, so a single
+    # instance keeps the tracker global).
+    bench = TestBench(BenchConfig(workload=make_workload(workload), seed=seed))
+    rate = bench.server.arrival_rate_for_utilization(UTILIZATION) * 1e6
+    inst = TreadmillInstance(
+        bench,
+        "open0",
+        TreadmillConfig(
+            rate_rps=rate,
+            connections=32,
+            warmup_samples=sc.warmup,
+            measurement_samples=samples,
+        ),
+    )
+    inst.start()
+    bench.run_to_completion([inst])
+    inst.controller.tracker.finalize()
+    cdfs["Open-Loop"] = inst.controller.tracker.cdf()
+
+    for n_conn in CLOSED_LOOP_CONNECTIONS:
+        bench = TestBench(BenchConfig(workload=make_workload(workload), seed=seed + n_conn))
+        rate = bench.server.arrival_rate_for_utilization(UTILIZATION) * 1e6
+        probe = _ClosedLoopProbe(bench, rate, samples, n_conn)
+        probe.start()
+        bench.run_to_completion([probe])
+        tracker = probe.clients[0].controller.tracker
+        tracker.finalize()
+        cdfs[f"Closed-Loop w/{n_conn} Connections"] = tracker.cdf()
+
+    return OutstandingResult(cdfs=cdfs, utilization=UTILIZATION)
+
+
+def render(result: OutstandingResult) -> str:
+    rows: List[List[object]] = []
+    for label in result.cdfs:
+        levels, _ = result.cdfs[label]
+        rows.append(
+            [
+                label,
+                result.quantile(label, 0.5),
+                result.quantile(label, 0.9),
+                result.quantile(label, 0.99),
+                int(levels.max()),
+            ]
+        )
+    return format_table(
+        ["controller", "p50 outstanding", "p90", "p99", "max"],
+        rows,
+        title=f"Figure 1 — outstanding requests at {result.utilization:.0%} utilization",
+    )

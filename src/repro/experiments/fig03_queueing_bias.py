@@ -1,0 +1,155 @@
+"""Figure 3: client-side queueing bias — single- vs multi-client setups.
+
+The paper sweeps server utilization from 70% to 95% and decomposes the
+measured end-to-end latency into server-side, client-side, and network
+components.  In the *single-client* setup the client machine and its
+access link run at the same utilization as the server, so the client
+and network components grow with load and contaminate the measurement.
+In the *multi-client* setup the same offered load is split across
+enough machines that the client and network components stay flat.
+
+Reproduction: the single client gets a CloudSuite-class CPU footprint
+and an access link deliberately provisioned so that its utilization
+tracks the server's (the paper's "the network and the client have the
+same utilization as the server"); the multi-client setup uses eight
+Treadmill-class clients on default links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from ..core.bench import BenchConfig, TestBench
+from ..core.treadmill import TreadmillConfig, TreadmillInstance
+from ..sim.machine import ClientSpec
+from ..sim.network import LinkConfig
+from .common import format_table, get_scale, make_workload
+
+__all__ = ["QueueingBiasResult", "run", "render"]
+
+SWEEP = (0.70, 0.75, 0.80, 0.85, 0.90, 0.95)
+MULTI_CLIENTS = 8
+
+
+@dataclass
+class QueueingBiasResult:
+    utilizations: List[float]
+    #: setup -> component -> mean latency per sweep point (us).
+    components: Dict[str, Dict[str, List[float]]]
+
+    def component_growth(self, setup: str, component: str) -> float:
+        """Last-over-first ratio of a component across the sweep."""
+        series = self.components[setup][component]
+        return series[-1] / series[0] if series[0] > 0 else float("inf")
+
+
+def _measure(
+    workload: str,
+    utilization: float,
+    n_clients: int,
+    seed: int,
+    samples_total: int,
+    warmup: int,
+    spec_for_rate=None,
+    link_for_rate=None,
+) -> Dict[str, float]:
+    bench = TestBench(BenchConfig(workload=make_workload(workload), seed=seed))
+    rate = bench.server.arrival_rate_for_utilization(utilization) * 1e6
+    client_spec = spec_for_rate(rate) if spec_for_rate is not None else None
+    link_config = link_for_rate(rate) if link_for_rate is not None else None
+    instances = []
+    for i in range(n_clients):
+        instances.append(
+            TreadmillInstance(
+                bench,
+                f"client{i}",
+                TreadmillConfig(
+                    rate_rps=rate / n_clients,
+                    connections=8,
+                    warmup_samples=warmup,
+                    measurement_samples=max(200, samples_total // n_clients),
+                    keep_components=True,
+                ),
+                client_spec=client_spec,
+                link_config=link_config,
+            )
+        )
+    for inst in instances:
+        inst.start()
+    bench.run_to_completion(instances)
+    comp = {"server": [], "network": [], "client": []}
+    for inst in instances:
+        report = inst.report()
+        for key in comp:
+            comp[key].append(report.components[key])
+    return {key: float(np.mean(np.concatenate(vals))) for key, vals in comp.items()}
+
+
+def run(scale: str = "default", workload: str = "memcached", seed: int = 8) -> QueueingBiasResult:
+    sc = get_scale(scale)
+    samples = max(2000, sc.comparison_samples // 3)
+    results: Dict[str, Dict[str, List[float]]] = {
+        "single-client": {"server": [], "network": [], "client": []},
+        "multi-client": {"server": [], "network": [], "client": []},
+    }
+    for util in SWEEP:
+        # Single client: CPU and link provisioned so that the client
+        # machine and its access link run at ~the server's utilization
+        # at this offered load — the paper's single-client setup, where
+        # "the network and the client have the same utilization as the
+        # server".
+        def spec_for_rate(rate_rps: float, util=util) -> ClientSpec:
+            per_req_us = util * 1e6 / rate_rps
+            return ClientSpec(tx_cpu_us=per_req_us / 2, rx_cpu_us=per_req_us / 2)
+
+        def link_for_rate(rate_rps: float, util=util) -> LinkConfig:
+            mean_packet = 220.0  # request + response average, bytes
+            needed = rate_rps / 1e6 * mean_packet / util
+            return LinkConfig(bandwidth_bpus=needed, propagation_us=3.0)
+
+        single = _measure(
+            workload,
+            util,
+            1,
+            seed,
+            samples,
+            sc.warmup,
+            spec_for_rate=spec_for_rate,
+            link_for_rate=link_for_rate,
+        )
+        multi = _measure(workload, util, MULTI_CLIENTS, seed + 1, samples, sc.warmup)
+        for key in single:
+            results["single-client"][key].append(single[key])
+            results["multi-client"][key].append(multi[key])
+    return QueueingBiasResult(utilizations=list(SWEEP), components=results)
+
+
+def render(result: QueueingBiasResult) -> str:
+    blocks = []
+    for setup, comps in result.components.items():
+        rows = []
+        for i, util in enumerate(result.utilizations):
+            rows.append(
+                [
+                    f"{util:.0%}",
+                    round(comps["server"][i], 1),
+                    round(comps["client"][i], 1),
+                    round(comps["network"][i], 1),
+                ]
+            )
+        blocks.append(
+            format_table(
+                ["utilization", "server (us)", "client (us)", "network (us)"],
+                rows,
+                title=f"Figure 3 — {setup} setup (mean latency components)",
+            )
+        )
+    growth = (
+        f"\nclient-component growth 70%->95%: "
+        f"single={result.component_growth('single-client', 'client'):.1f}x, "
+        f"multi={result.component_growth('multi-client', 'client'):.2f}x"
+    )
+    return "\n\n".join(blocks) + growth

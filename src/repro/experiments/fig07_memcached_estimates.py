@@ -1,0 +1,20 @@
+"""Figure 7: estimated memcached latency for all 16 configurations at
+low and high utilization, at the 50th/90th/95th/99th percentiles.
+
+Shape targets: the spread across configurations widens with both load
+and quantile (Findings 1-2); NUMA-interleave configurations dominate
+the worst cases at high load (Finding 6)."""
+
+from __future__ import annotations
+
+from .estimates import EstimatesResult, render_estimates, run_estimates
+
+__all__ = ["run", "render"]
+
+
+def run(scale: str = "default", seed: int = 11) -> EstimatesResult:
+    return run_estimates("memcached", scale=scale, seed=seed)
+
+
+def render(result: EstimatesResult) -> str:
+    return render_estimates(result, "Figure 7")

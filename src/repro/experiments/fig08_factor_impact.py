@@ -1,0 +1,21 @@
+"""Figure 8: average latency impact of each factor for memcached,
+assuming the other factors are equally likely low or high.
+
+Shape targets (Findings 6-7): NUMA interleave increases latency most
+at high load; DVFS=performance helps most at low load (ondemand's
+frequency-transition overhead, Finding 3); the dominant factor changes
+with the load level."""
+
+from __future__ import annotations
+
+from .estimates import EstimatesResult, render_impacts, run_estimates
+
+__all__ = ["run", "render"]
+
+
+def run(scale: str = "default", seed: int = 11) -> EstimatesResult:
+    return run_estimates("memcached", scale=scale, seed=seed)
+
+
+def render(result: EstimatesResult) -> str:
+    return render_impacts(result, "Figure 8")

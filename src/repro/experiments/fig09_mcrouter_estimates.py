@@ -1,0 +1,20 @@
+"""Figure 9: estimated mcrouter latency for all 16 configurations.
+
+Shape targets: absolute latencies sit well below memcached's (the
+router's backend wait is off-CPU), and the configuration spread is
+narrower — mcrouter touches less connection-buffer memory, so the
+NUMA factor matters less than for memcached."""
+
+from __future__ import annotations
+
+from .estimates import EstimatesResult, render_estimates, run_estimates
+
+__all__ = ["run", "render"]
+
+
+def run(scale: str = "default", seed: int = 11) -> EstimatesResult:
+    return run_estimates("mcrouter", scale=scale, seed=seed)
+
+
+def render(result: EstimatesResult) -> str:
+    return render_estimates(result, "Figure 9")

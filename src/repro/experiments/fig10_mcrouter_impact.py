@@ -1,0 +1,19 @@
+"""Figure 10: average per-factor impact for mcrouter.
+
+Shape target (Finding 8): Turbo Boost helps mcrouter significantly at
+low load (its deserialization work is frequency-bound and thermal
+headroom is plentiful) and much less at high load."""
+
+from __future__ import annotations
+
+from .estimates import EstimatesResult, render_impacts, run_estimates
+
+__all__ = ["run", "render"]
+
+
+def run(scale: str = "default", seed: int = 11) -> EstimatesResult:
+    return run_estimates("mcrouter", scale=scale, seed=seed)
+
+
+def render(result: EstimatesResult) -> str:
+    return render_impacts(result, "Figure 10")

@@ -1,0 +1,45 @@
+"""Tables I and II: the load-tester feature matrix and the hardware
+specification of the (simulated) system under test."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..loadtesters.features import FEATURES, render_feature_table
+from ..sim.machine import HardwareSpec
+from .common import format_table
+
+__all__ = ["FeatureTablesResult", "run", "render"]
+
+
+@dataclass
+class FeatureTablesResult:
+    features: Dict[str, Dict[str, bool]]
+    hardware: Dict[str, str]
+
+    @property
+    def treadmill_complete(self) -> bool:
+        """Treadmill handles every surveyed pitfall (Table I's last column)."""
+        return all(cols["Treadmill"] for cols in self.features.values())
+
+
+def run(scale: str = "default") -> FeatureTablesResult:
+    return FeatureTablesResult(
+        features={row: dict(cols) for row, cols in FEATURES.items()},
+        hardware=HardwareSpec().describe(),
+    )
+
+
+def render(result: FeatureTablesResult) -> str:
+    spec_table = format_table(
+        ["specification", "value"],
+        [[k, v] for k, v in result.hardware.items()],
+        title="Table II — system under test (simulated)",
+    )
+    return (
+        "Table I — load tester features\n"
+        + render_feature_table()
+        + "\n\n"
+        + spec_table
+    )

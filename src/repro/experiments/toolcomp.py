@@ -1,0 +1,137 @@
+"""Shared machinery for the load-tester comparison (Figs. 5-6).
+
+Runs one tool against a fresh server at a given utilization and
+returns both the tool's own reported distribution and the tcpdump
+ground truth captured at the client NICs during *that tool's* run —
+the paper's point in Fig. 6 is precisely that the ground truth itself
+depends on the tool's control loop.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..core.aggregation import aggregate_quantile
+from ..core.bench import BenchConfig, TestBench
+from ..core.treadmill import TreadmillConfig, TreadmillInstance
+from ..loadtesters.cloudsuite import CloudSuiteTester
+from ..loadtesters.mutilate import MutilateTester
+from .common import get_scale, make_workload
+
+__all__ = ["ToolRun", "run_tool"]
+
+TREADMILL_INSTANCES = 8
+
+
+@dataclass
+class ToolRun:
+    """One tool's measurement of one server configuration."""
+
+    tool: str
+    utilization: float
+    #: The distribution the tool itself would report.
+    reported: np.ndarray
+    #: NIC-level samples captured during this same run.
+    ground_truth: np.ndarray
+    client_utilizations: Dict[str, float]
+    #: Treadmill's statistically sound p99 (per-instance, then mean);
+    #: for baselines this equals the pooled estimate the tool reports.
+    sound_p99: float
+
+    def reported_quantile(self, q: float) -> float:
+        return float(np.quantile(self.reported, q))
+
+    def ground_truth_quantile(self, q: float) -> float:
+        return float(np.quantile(self.ground_truth, q))
+
+    def offset_at(self, q: float) -> float:
+        """Gap between the tool's estimate and NIC ground truth."""
+        return self.reported_quantile(q) - self.ground_truth_quantile(q)
+
+
+def run_tool(
+    tool: str,
+    utilization: float,
+    scale: str = "default",
+    workload: str = "memcached",
+    seed: int = 10,
+) -> Optional[ToolRun]:
+    """Run ``tool`` ("cloudsuite" | "mutilate" | "treadmill") once.
+
+    Returns ``None`` for CloudSuite above its single client's capacity
+    — the regime where the paper reports it "is not efficient enough to
+    saturate the server" (Fig. 6 omits it).
+    """
+    sc = get_scale(scale)
+    # Deterministic per-tool run index (never the builtin hash(): string
+    # hashing is salted per process and would break reproducibility).
+    bench = TestBench(
+        BenchConfig(workload=make_workload(workload), seed=seed),
+        run_index=zlib.crc32(tool.encode()) % 97,
+    )
+    rate = bench.server.arrival_rate_for_utilization(utilization) * 1e6
+
+    if tool == "treadmill":
+        instances = []
+        for i in range(TREADMILL_INSTANCES):
+            instances.append(
+                TreadmillInstance(
+                    bench,
+                    f"tm{i}",
+                    TreadmillConfig(
+                        rate_rps=rate / TREADMILL_INSTANCES,
+                        connections=8,
+                        warmup_samples=sc.warmup,
+                        measurement_samples=sc.comparison_samples // TREADMILL_INSTANCES,
+                        keep_raw=True,
+                    ),
+                )
+            )
+        for inst in instances:
+            inst.start()
+        bench.run_to_completion(instances)
+        reports = [inst.report() for inst in instances]
+        samples_by_client = {
+            r.name: np.asarray(r.raw_samples, dtype=float) for r in reports
+        }
+        return ToolRun(
+            tool=tool,
+            utilization=utilization,
+            reported=np.concatenate(list(samples_by_client.values())),
+            ground_truth=np.concatenate(
+                [r.ground_truth_samples for r in reports]
+            ),
+            client_utilizations={
+                name: client.utilization() for name, client in bench.clients.items()
+            },
+            sound_p99=aggregate_quantile(samples_by_client, 0.99, combine="mean"),
+        )
+
+    if tool == "cloudsuite":
+        tester = CloudSuiteTester(
+            bench, rate, measurement_samples=sc.comparison_samples, warmup_samples=sc.warmup
+        )
+        if tester.saturated:
+            return None
+    elif tool == "mutilate":
+        tester = MutilateTester(
+            bench, rate, measurement_samples=sc.comparison_samples, warmup_samples=sc.warmup
+        )
+    else:
+        raise ValueError(f"unknown tool {tool!r}")
+
+    tester.start()
+    bench.run_to_completion([tester])
+    report = tester.report()
+    return ToolRun(
+        tool=tool,
+        utilization=utilization,
+        reported=report.reported_samples,
+        ground_truth=report.ground_truth_samples,
+        client_utilizations=report.client_utilizations,
+        sound_p99=report.quantile(0.99),
+    )

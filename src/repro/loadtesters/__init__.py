@@ -1,0 +1,32 @@
+"""Baseline (pitfall) load testers the paper surveys and compares
+against: CloudSuite, Mutilate, YCSB, and Faban — each modelled with the
+control loop, client footprint, and aggregation behaviour of the real
+tool, flaws included."""
+
+from .base import BaselineClient, BaselineLoadTester, BaselineReport
+from .cloudsuite import CLOUDSUITE_CLIENT_SPEC, CloudSuiteTester
+from .faban import FABAN_DRIVER_SPEC, FabanTester
+from .features import FEATURES, TOOLS, feature_matrix, render_feature_table
+from .mutilate import MUTILATE_AGENT_SPEC, MutilateTester
+from .wrk2 import WRK2_CLIENT_SPEC, Wrk2Tester
+from .ycsb import YCSB_CLIENT_SPEC, YcsbTester
+
+__all__ = [
+    "BaselineClient",
+    "BaselineLoadTester",
+    "BaselineReport",
+    "CLOUDSUITE_CLIENT_SPEC",
+    "CloudSuiteTester",
+    "FABAN_DRIVER_SPEC",
+    "FabanTester",
+    "FEATURES",
+    "TOOLS",
+    "feature_matrix",
+    "render_feature_table",
+    "MUTILATE_AGENT_SPEC",
+    "MutilateTester",
+    "YCSB_CLIENT_SPEC",
+    "YcsbTester",
+    "WRK2_CLIENT_SPEC",
+    "Wrk2Tester",
+]

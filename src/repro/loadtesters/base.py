@@ -1,0 +1,172 @@
+"""Shared machinery for the baseline (pitfall) load testers.
+
+Each baseline models one of the tools the paper surveys — CloudSuite,
+Mutilate, YCSB, Faban — with the control loop, client footprint, and
+aggregation behaviour *that tool actually has*, flaws included.  They
+expose the same ``start / stop / done / report`` surface as
+:class:`~repro.core.treadmill.TreadmillInstance` so experiments can put
+them on the same :class:`~repro.core.bench.TestBench` and compare
+against ground truth, exactly like the paper's Figs. 5-6.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.bench import TestBench
+from ..sim.machine import ClientMachine, ClientSpec
+from ..workloads.base import Request
+
+__all__ = ["BaselineReport", "BaselineClient", "BaselineLoadTester"]
+
+
+@dataclass
+class BaselineReport:
+    """What a baseline tool reports after a run.
+
+    ``reported_samples`` are the latencies *as the tool would report
+    them* (pooled across its clients, quantized by its histogram, etc.
+    — tool-specific bias included).  ``samples_by_client`` and
+    ``ground_truth_samples`` are kept for analysis.
+    """
+
+    tool: str
+    reported_samples: np.ndarray
+    samples_by_client: Dict[str, np.ndarray]
+    ground_truth_samples: np.ndarray
+    client_utilizations: Dict[str, float]
+    requests_sent: int
+
+    def quantile(self, q: float) -> float:
+        """The tool's own estimate of a latency quantile."""
+        return float(np.quantile(self.reported_samples, q))
+
+    def ground_truth_quantile(self, q: float) -> float:
+        return float(np.quantile(self.ground_truth_samples, q))
+
+
+class BaselineClient:
+    """One client process of a baseline tool: machine + sample sink."""
+
+    def __init__(self, tester: "BaselineLoadTester", machine: ClientMachine):
+        self.tester = tester
+        self.machine = machine
+        machine.response_handler = self._on_response
+        self.samples: List[float] = []
+        self.controller = None  # installed by the tester subclass
+        self._warmup_left = tester.warmup_samples
+
+    def _on_response(self, request: Request) -> None:
+        if self.controller is not None:
+            self.controller.on_response(request.conn_id)
+        if self._warmup_left > 0:
+            self._warmup_left -= 1
+            return
+        self.samples.append(request.user_latency_us)
+        self.tester._on_sample()
+
+
+class BaselineLoadTester(abc.ABC):
+    """Base class: owns clients, counts samples, assembles the report."""
+
+    #: Tool name (subclasses override).
+    tool = "baseline"
+
+    def __init__(
+        self,
+        bench: TestBench,
+        total_rate_rps: float,
+        measurement_samples: int,
+        warmup_samples: int = 200,
+    ):
+        if total_rate_rps <= 0:
+            raise ValueError("total_rate_rps must be positive")
+        if measurement_samples < 1:
+            raise ValueError("measurement_samples must be >= 1")
+        self.bench = bench
+        self.total_rate_rps = total_rate_rps
+        self.measurement_samples = measurement_samples
+        self.warmup_samples = warmup_samples
+        self.clients: List[BaselineClient] = []
+        self._collected = 0
+        self._req_counter = 0
+        self._workload = bench.config.workload
+        self._rng = bench.rng.stream(f"{self.tool}/requests")
+
+    # ------------------------------------------------------------------
+    # plumbing shared by subclasses
+    # ------------------------------------------------------------------
+    def _add_client(
+        self, name: str, spec: ClientSpec, rack: Optional[str] = None
+    ) -> BaselineClient:
+        machine = self.bench.add_client(name, rack=rack, client_spec=spec)
+        client = BaselineClient(self, machine)
+        self.clients.append(client)
+        return client
+
+    def _make_send(self, client: BaselineClient):
+        def send(conn_id: int) -> None:
+            request = self._workload.sample_request(
+                self._rng, self._req_counter, conn_id
+            )
+            self._req_counter += 1
+            client.machine.issue(request)
+
+        return send
+
+    def _on_sample(self) -> None:
+        self._collected += 1
+
+    # ------------------------------------------------------------------
+    # the Treadmill-compatible lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        for client in self.clients:
+            client.controller.start()
+
+    def stop(self) -> None:
+        for client in self.clients:
+            client.controller.stop()
+
+    @property
+    def done(self) -> bool:
+        return self._collected >= self.measurement_samples
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def _pooled_samples(self) -> np.ndarray:
+        """Default tool behaviour: pool all clients' samples (the
+        aggregation pitfall; subclasses may quantize further)."""
+        parts = [np.asarray(c.samples, dtype=float) for c in self.clients]
+        return np.concatenate(parts) if parts else np.empty(0)
+
+    def _reported_samples(self) -> np.ndarray:
+        """Hook: what the tool's own output would contain."""
+        return self._pooled_samples()
+
+    def report(self) -> BaselineReport:
+        samples_by_client = {
+            c.machine.name: np.asarray(c.samples, dtype=float) for c in self.clients
+        }
+        gt_parts = [
+            c.machine.capture.samples()
+            for c in self.clients
+            if c.machine.capture is not None
+        ]
+        return BaselineReport(
+            tool=self.tool,
+            reported_samples=self._reported_samples(),
+            samples_by_client=samples_by_client,
+            ground_truth_samples=(
+                np.concatenate(gt_parts) if gt_parts else np.empty(0)
+            ),
+            client_utilizations={
+                c.machine.name: c.machine.utilization() for c in self.clients
+            },
+            requests_sent=sum(c.controller.sent for c in self.clients),
+        )

@@ -1,0 +1,68 @@
+"""Faban (the Sun/Oracle workload-creation framework), as surveyed.
+
+Faban's driver framework is an explicitly **closed** workload model:
+each simulated user executes operations in a think-time loop (its
+documentation is written in terms of "users" and negative-exponential
+think times).  The paper's Table I accordingly marks it closed-loop
+and non-robust to hysteresis, but — being a framework designed for
+multi-machine rigs — it does scale out its drivers, so client-side
+queueing is not its weakness.
+
+Model: several driver clients, each a closed loop of "users" with
+exponential think times sized so the *offered* rate matches the
+target when the server is fast (``users / (think + latency) ~ rate``),
+saturating closed-loop style when it is not.
+"""
+
+from __future__ import annotations
+
+from ..core.bench import TestBench
+from ..core.controllers import ClosedLoopController
+from ..sim.machine import ClientSpec
+from .base import BaselineLoadTester
+
+__all__ = ["FabanTester", "FABAN_DRIVER_SPEC"]
+
+#: Java driver agents; heavier than mutilate, lighter than one big JVM.
+FABAN_DRIVER_SPEC = ClientSpec(tx_cpu_us=2.0, rx_cpu_us=2.0)
+
+
+class FabanTester(BaselineLoadTester):
+    """Multi-driver closed-loop tester with think-time users."""
+
+    tool = "faban"
+
+    def __init__(
+        self,
+        bench: TestBench,
+        total_rate_rps: float,
+        measurement_samples: int = 10_000,
+        warmup_samples: int = 200,
+        drivers: int = 4,
+        users_per_driver: int = 32,
+        expected_latency_us: float = 150.0,
+        client_spec: ClientSpec = FABAN_DRIVER_SPEC,
+    ):
+        super().__init__(bench, total_rate_rps, measurement_samples, warmup_samples)
+        if drivers < 1 or users_per_driver < 1:
+            raise ValueError("drivers and users_per_driver must be >= 1")
+        self.drivers = drivers
+        self.users_per_driver = users_per_driver
+        total_users = drivers * users_per_driver
+        # users / (think + latency) = rate  =>  think sizing.
+        cycle_us = total_users * 1e6 / total_rate_rps
+        think_us = max(0.0, cycle_us - expected_latency_us)
+        for i in range(drivers):
+            client = self._add_client(f"faban-driver{i}", client_spec)
+            conns = bench.open_connections(users_per_driver)
+            client.controller = ClosedLoopController(
+                bench.sim,
+                self._make_send(client),
+                conns,
+                bench.rng.stream(f"faban/driver{i}/think"),
+                think_time_us=think_us,
+            )
+
+    @property
+    def max_outstanding(self) -> int:
+        return self.drivers * self.users_per_driver

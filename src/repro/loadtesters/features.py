@@ -1,0 +1,90 @@
+"""Table I: the load-tester feature matrix.
+
+The paper summarizes its survey in a five-row matrix: which tools
+handle query inter-arrival generation, statistical aggregation,
+client-side queueing bias, performance hysteresis, and generality
+correctly.  The assignments below follow the paper's text:
+
+* inter-arrival: "many load testers are implemented as closed-loop
+  controller[s] ... including Faban, YCSB and Mutilate" — so only
+  CloudSuite (whose ground-truth distribution matched Treadmill's in
+  Fig. 5, i.e. it offered open-loop load) and Treadmill pass;
+* statistical aggregation: static histograms and pooled-distribution
+  merging bias every tool except Mutilate (which keeps raw samples on
+  its agents) and Treadmill (adaptive histogram, per-instance metric
+  aggregation);
+* client-side queueing: "YCSB and CloudSuite suffer from such bias due
+  to their single client configuration" — the multi-machine tools
+  (Faban, Mutilate, Treadmill) pass;
+* performance hysteresis: "none of the existing load testers is robust
+  enough to handle this scenario" — only Treadmill's repeated-run
+  procedure passes;
+* generality: the workload-framework tools (YCSB bindings, Faban
+  drivers, Treadmill plug-ins) pass; CloudSuite's loader and Mutilate
+  are memcached-specific.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+__all__ = ["FEATURES", "TOOLS", "feature_matrix", "render_feature_table"]
+
+TOOLS: List[str] = ["YCSB", "Faban", "CloudSuite", "Mutilate", "Treadmill"]
+
+FEATURES: Dict[str, Dict[str, bool]] = {
+    "Query Interarrival Generation": {
+        "YCSB": False,
+        "Faban": False,
+        "CloudSuite": True,
+        "Mutilate": False,
+        "Treadmill": True,
+    },
+    "Statistical Aggregation": {
+        "YCSB": False,
+        "Faban": False,
+        "CloudSuite": False,
+        "Mutilate": True,
+        "Treadmill": True,
+    },
+    "Client-side Queueing Bias": {
+        "YCSB": False,
+        "Faban": True,
+        "CloudSuite": False,
+        "Mutilate": True,
+        "Treadmill": True,
+    },
+    "Performance Hysteresis": {
+        "YCSB": False,
+        "Faban": False,
+        "CloudSuite": False,
+        "Mutilate": False,
+        "Treadmill": True,
+    },
+    "Generality": {
+        "YCSB": True,
+        "Faban": True,
+        "CloudSuite": False,
+        "Mutilate": False,
+        "Treadmill": True,
+    },
+}
+
+
+def feature_matrix() -> Dict[str, Dict[str, bool]]:
+    """A defensive copy of the Table I matrix."""
+    return {row: dict(cols) for row, cols in FEATURES.items()}
+
+
+def render_feature_table() -> str:
+    """Render Table I as aligned text (checkmark = handled correctly)."""
+    name_width = max(len(row) for row in FEATURES)
+    col_width = max(len(t) for t in TOOLS) + 2
+    header = " " * name_width + "".join(t.rjust(col_width) for t in TOOLS)
+    lines = [header]
+    for row, cols in FEATURES.items():
+        cells = "".join(
+            ("yes" if cols[t] else "-").rjust(col_width) for t in TOOLS
+        )
+        lines.append(row.ljust(name_width) + cells)
+    return "\n".join(lines)

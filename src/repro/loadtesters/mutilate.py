@@ -1,0 +1,72 @@
+"""Mutilate (Leverich & Kozyrakis), as surveyed by the paper.
+
+What the paper observed:
+
+* **Closed-loop control** (Section II-A, Table I): each connection
+  only issues its next request after the previous response arrives, so
+  the number of outstanding requests is structurally capped and the
+  measured tail *under*-estimates the open-loop ground truth by more
+  than 2x at 80% utilization (Fig. 6).
+* **Master + 8 agents**: client-side queueing is largely avoided (the
+  paper runs it as instructed with 8 agent machines), so the bias is
+  the controller, not client saturation.
+* Its own user-level measurement still sits above its own tcpdump
+  curve and "fails to capture the shape of the ground truth
+  distribution" at 10% load (Fig. 5) — per-request client overhead
+  plus cross-thread handoff jitter.
+
+Model: N agent clients, each with a closed-loop controller over C
+connections paced toward the target rate, a modest per-request CPU
+cost, and pooled (master-side) sample aggregation.
+"""
+
+from __future__ import annotations
+
+from ..core.bench import TestBench
+from ..core.controllers import ClosedLoopController
+from ..sim.machine import ClientSpec
+from .base import BaselineLoadTester
+
+__all__ = ["MutilateTester", "MUTILATE_AGENT_SPEC"]
+
+#: Efficient C++ agents, but response handling crosses a thread
+#: boundary before timestamps are taken.
+MUTILATE_AGENT_SPEC = ClientSpec(tx_cpu_us=1.0, rx_cpu_us=2.2)
+
+
+class MutilateTester(BaselineLoadTester):
+    """Multi-agent closed-loop tester (the controller pitfall)."""
+
+    tool = "mutilate"
+
+    def __init__(
+        self,
+        bench: TestBench,
+        total_rate_rps: float,
+        measurement_samples: int = 10_000,
+        warmup_samples: int = 200,
+        agents: int = 8,
+        connections_per_agent: int = 4,
+        client_spec: ClientSpec = MUTILATE_AGENT_SPEC,
+    ):
+        super().__init__(bench, total_rate_rps, measurement_samples, warmup_samples)
+        if agents < 1 or connections_per_agent < 1:
+            raise ValueError("agents and connections_per_agent must be >= 1")
+        self.agents = agents
+        self.connections_per_agent = connections_per_agent
+        rate_per_agent = total_rate_rps / agents
+        for i in range(agents):
+            client = self._add_client(f"mutilate-agent{i}", client_spec)
+            conns = bench.open_connections(connections_per_agent)
+            client.controller = ClosedLoopController(
+                bench.sim,
+                self._make_send(client),
+                conns,
+                bench.rng.stream(f"mutilate/agent{i}/think"),
+                target_rate_rps=rate_per_agent,
+            )
+
+    @property
+    def max_outstanding(self) -> int:
+        """The structural in-flight cap the closed loop imposes."""
+        return self.agents * self.connections_per_agent

@@ -1,0 +1,79 @@
+"""A wrk2-style constant-throughput tester (post-paper comparison).
+
+wrk2 (Gil Tene's fork of wrk) postdates the tools the paper surveys
+and fixes their most famous flaw — *coordinated omission*: it keeps a
+constant-throughput schedule of **intended** send times and measures
+latency from the intended time, so a stalled connection cannot hide
+queueing delay by simply not sending.
+
+Included here as an instructive near-miss baseline:
+
+* **open-loop intended schedule** — like Treadmill, wrk2 gets the
+  queueing model right in expectation;
+* **deterministic pacing** — unlike Treadmill, its schedule is a
+  metronome (constant gaps), not a Poisson process.  Production
+  arrivals are Poisson-like (the paper cites Google's measurements),
+  and constant gaps offer the server a *less variable* arrival stream,
+  so wrk2 mildly underestimates the tail that exponential arrivals
+  would produce.  The `test_ablation_deterministic_arrivals_undershoot`
+  benchmark quantifies this.
+
+The connection-level mechanics reuse the open-loop controller with a
+:class:`~repro.core.arrival.DeterministicArrivals` process; latency is
+measured from the *intended* send time (``t_user_send`` is stamped at
+issue time in our client model, which is exactly the coordinated-
+omission-free convention).
+"""
+
+from __future__ import annotations
+
+from ..core.arrival import DeterministicArrivals
+from ..core.bench import TestBench
+from ..core.controllers import OpenLoopController
+from ..sim.machine import ClientSpec
+from .base import BaselineLoadTester
+
+__all__ = ["Wrk2Tester", "WRK2_CLIENT_SPEC"]
+
+#: Lean C event loop; comparable to Treadmill's footprint.
+WRK2_CLIENT_SPEC = ClientSpec(tx_cpu_us=0.8, rx_cpu_us=0.8)
+
+
+class Wrk2Tester(BaselineLoadTester):
+    """Constant-throughput open-loop tester (coordinated-omission-free,
+    but metronome-paced)."""
+
+    tool = "wrk2"
+
+    def __init__(
+        self,
+        bench: TestBench,
+        total_rate_rps: float,
+        measurement_samples: int = 10_000,
+        warmup_samples: int = 200,
+        clients: int = 4,
+        connections_per_client: int = 8,
+        client_spec: ClientSpec = WRK2_CLIENT_SPEC,
+    ):
+        super().__init__(bench, total_rate_rps, measurement_samples, warmup_samples)
+        if clients < 1 or connections_per_client < 1:
+            raise ValueError("clients and connections_per_client must be >= 1")
+        self.clients_count = clients
+        rate_per_client = total_rate_rps / clients
+        for i in range(clients):
+            client = self._add_client(f"wrk2-{i}", client_spec)
+            conns = bench.open_connections(connections_per_client)
+            client.controller = OpenLoopController(
+                bench.sim,
+                DeterministicArrivals(rate_per_client),
+                self._make_send(client),
+                conns,
+                bench.rng.stream(f"wrk2/{i}/arrivals"),
+            )
+
+    @property
+    def coordinated_omission_free(self) -> bool:
+        """Latency is measured from the intended send time: a slow
+        response delays nothing in the schedule and hides nothing in
+        the measurement."""
+        return True

@@ -1,0 +1,66 @@
+"""Discrete-event datacenter substrate.
+
+Virtual-time replacements for everything the paper ran on real
+hardware: the event kernel, CPU/NUMA/NIC/kernel-path models, the rack
+network, and NIC-level packet capture.  See DESIGN.md section 2 for the
+substitution rationale.
+"""
+
+from .engine import Event, Process, SimulationError, Simulator
+from .rng import RngRegistry, ScopedRng, derive_seed
+from .cpu import Core, CpuComplex, CpuConfig, Job, Socket
+from .memory import NumaConfig, NumaMemory, POLICY_INTERLEAVE, POLICY_SAME_NODE
+from .nic import AFFINITY_ALL_NODES, AFFINITY_SAME_NODE, Nic, NicConfig
+from .kernel import KernelConfig
+from .network import Link, LinkConfig, NetworkPath, Rack, Spine, SpineConfig, Topology
+from .machine import (
+    ClientMachine,
+    ClientSpec,
+    HardwareSpec,
+    ServerConnection,
+    ServerMachine,
+)
+from .tcpdump import PacketCapture
+from .telemetry import CoreSample, MachineTelemetry
+from .backends import BackendPool, BackendPoolConfig
+
+__all__ = [
+    "Event",
+    "Process",
+    "SimulationError",
+    "Simulator",
+    "RngRegistry",
+    "ScopedRng",
+    "derive_seed",
+    "Core",
+    "CpuComplex",
+    "CpuConfig",
+    "Job",
+    "Socket",
+    "NumaConfig",
+    "NumaMemory",
+    "POLICY_INTERLEAVE",
+    "POLICY_SAME_NODE",
+    "AFFINITY_ALL_NODES",
+    "AFFINITY_SAME_NODE",
+    "Nic",
+    "NicConfig",
+    "KernelConfig",
+    "Link",
+    "LinkConfig",
+    "NetworkPath",
+    "Rack",
+    "Spine",
+    "SpineConfig",
+    "Topology",
+    "ClientMachine",
+    "ClientSpec",
+    "HardwareSpec",
+    "ServerConnection",
+    "ServerMachine",
+    "PacketCapture",
+    "CoreSample",
+    "MachineTelemetry",
+    "BackendPool",
+    "BackendPoolConfig",
+]

@@ -1,0 +1,100 @@
+"""A load-dependent backend pool for proxy workloads.
+
+The default :class:`~repro.workloads.mcrouter.McrouterWorkload` samples
+its backend round-trip from a fixed distribution — fine for the paper's
+single-box attribution study, where the backend pool is large and
+lightly loaded.  For experiments where the backends themselves carry
+meaningful load, :class:`BackendPool` replaces that fixed distribution
+with a simulated pool of FIFO cache servers: each routed request picks
+a backend, queues behind that backend's in-flight work, and pays an
+exponential service time plus the pool round-trip.  Backend waits then
+*grow with offered load*, as they do in a real mcrouter deployment.
+
+Usage::
+
+    pool = BackendPool(bench.sim, BackendPoolConfig(servers=8),
+                       bench.rng.stream("backends"))
+    workload = McrouterWorkload(backend_pool=pool)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from .engine import Simulator
+
+__all__ = ["BackendPoolConfig", "BackendPool"]
+
+
+@dataclass
+class BackendPoolConfig:
+    """Sizing of the simulated cache pool behind the router."""
+
+    servers: int = 8
+    #: Mean exponential service time of one backend request.
+    service_mean_us: float = 6.0
+    #: Fixed network round-trip between router and pool.
+    rtt_us: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.servers < 1:
+            raise ValueError("servers must be >= 1")
+        if self.service_mean_us <= 0:
+            raise ValueError("service_mean_us must be positive")
+        if self.rtt_us < 0:
+            raise ValueError("rtt_us must be non-negative")
+
+
+class BackendPool:
+    """FIFO backend servers with load-dependent waiting.
+
+    Each backend is modelled as a single FIFO server (the same
+    transmitter-free-at technique the network links use), so the wait
+    returned by :meth:`sample_wait_us` includes real queueing behind
+    previously routed requests.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: BackendPoolConfig,
+        rng: np.random.Generator,
+    ):
+        self.sim = sim
+        self.config = config
+        self._rng = rng
+        self._free_at: List[float] = [0.0] * config.servers
+        self.requests_routed = 0
+        self.total_queue_us = 0.0
+
+    def sample_wait_us(self) -> float:
+        """Route one request: returns rtt + queueing + service time.
+
+        The chosen backend's transmitter is advanced, so concurrent
+        requests to the same backend queue behind each other.
+        """
+        now = self.sim.now
+        backend = int(self._rng.integers(0, self.config.servers))
+        start = max(now, self._free_at[backend])
+        queue_us = start - now
+        service_us = float(self._rng.exponential(self.config.service_mean_us))
+        self._free_at[backend] = start + service_us
+        self.requests_routed += 1
+        self.total_queue_us += queue_us
+        return self.config.rtt_us + queue_us + service_us
+
+    def mean_queue_us(self) -> float:
+        """Average queueing delay across all routed requests so far."""
+        if self.requests_routed == 0:
+            return 0.0
+        return self.total_queue_us / self.requests_routed
+
+    def utilization(self) -> float:
+        """Approximate pool utilization: busy time over elapsed time."""
+        if self.sim.now <= 0:
+            return 0.0
+        busy = sum(min(f, self.sim.now) for f in self._free_at)
+        return min(1.0, busy / (self.sim.now * self.config.servers))

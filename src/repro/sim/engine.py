@@ -1,0 +1,208 @@
+"""Discrete-event simulation kernel.
+
+This module provides the virtual-time substrate for the whole
+reproduction.  The paper drives real hardware with wall-clock
+microsecond timing; we instead schedule every send, interrupt, context
+switch, and completion as an event on a virtual clock measured in
+microseconds.  Virtual time makes the load generator *perfectly*
+precise, which is exactly the property the paper's open-loop controller
+needs (Section II-A) and the property that is impossible to get from
+pure Python against a wall clock.
+
+The kernel is deliberately minimal and callback-oriented for speed:
+a binary heap of ``(time, seq, Event)`` entries, a monotone sequence
+number for deterministic FIFO tie-breaking, and O(1) cancellation via
+tombstones.  A generator-based process API (:meth:`Simulator.spawn`) is
+layered on top for the few places where sequential control flow is more
+readable than callback chains.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+__all__ = ["Event", "Process", "Simulator", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (time travel, running a stopped sim)."""
+
+
+class Event:
+    """A scheduled callback.
+
+    Instances are returned by :meth:`Simulator.schedule` /
+    :meth:`Simulator.at` and can be cancelled.  Cancellation is O(1):
+    the heap entry stays behind as a tombstone and is skipped when
+    popped.
+    """
+
+    __slots__ = ("time", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, fn: Callable[..., Any], args: Tuple[Any, ...]):
+        self.time = time
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing.  Idempotent."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        name = getattr(self.fn, "__qualname__", repr(self.fn))
+        return f"<Event t={self.time:.3f} fn={name} {state}>"
+
+
+class Process:
+    """A generator-driven sequential activity.
+
+    The generator yields either a float delay (in simulated
+    microseconds) or ``None`` (yield control and resume immediately at
+    the same timestamp).  The process ends when the generator returns.
+    """
+
+    __slots__ = ("sim", "gen", "alive", "_event")
+
+    def __init__(self, sim: "Simulator", gen: Generator[Optional[float], None, None]):
+        self.sim = sim
+        self.gen = gen
+        self.alive = True
+        self._event: Optional[Event] = None
+        self._step()
+
+    def _step(self) -> None:
+        if not self.alive:
+            return
+        try:
+            delay = next(self.gen)
+        except StopIteration:
+            self.alive = False
+            self._event = None
+            return
+        if delay is None:
+            delay = 0.0
+        if delay < 0:
+            raise SimulationError(f"process yielded negative delay {delay!r}")
+        self._event = self.sim.schedule(delay, self._step)
+
+    def kill(self) -> None:
+        """Terminate the process; any pending resume event is cancelled."""
+        self.alive = False
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+        self.gen.close()
+
+
+class Simulator:
+    """Virtual-time event loop.
+
+    Time is a float in **microseconds** — the natural unit of the
+    paper's latency measurements.  Determinism guarantee: two events at
+    the same timestamp fire in the order they were scheduled.
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: List[Tuple[float, int, Event]] = []
+        self._seq = itertools.count()
+        self._stopped = False
+        self._events_processed = 0
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` microseconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
+        return self.at(self.now + delay, fn, *args)
+
+    def at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at absolute virtual ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time!r} before now={self.now!r}"
+            )
+        event = Event(time, fn, args)
+        heapq.heappush(self._heap, (time, next(self._seq), event))
+        return event
+
+    def spawn(self, gen: Generator[Optional[float], None, None]) -> Process:
+        """Start a generator-based process (see :class:`Process`)."""
+        return Process(self, gen)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for _, _, e in self._heap if not e.cancelled)
+
+    @property
+    def events_processed(self) -> int:
+        """Total events executed since construction."""
+        return self._events_processed
+
+    def peek(self) -> Optional[float]:
+        """Timestamp of the next live event, or ``None`` if drained."""
+        while self._heap and self._heap[0][2].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0][0] if self._heap else None
+
+    def step(self) -> bool:
+        """Execute the single next event.  Returns False when drained."""
+        while self._heap:
+            time, _, event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = time
+            self._events_processed += 1
+            event.fn(*event.args)
+            return True
+        return False
+
+    def run(self, max_events: Optional[int] = None) -> None:
+        """Run until the event heap drains (or ``max_events`` executed)."""
+        self._stopped = False
+        executed = 0
+        while not self._stopped:
+            if max_events is not None and executed >= max_events:
+                return
+            if not self.step():
+                return
+            executed += 1
+
+    def run_until(self, time: float) -> None:
+        """Run all events with timestamp <= ``time`` and advance the clock.
+
+        The clock lands exactly on ``time`` even if no event fires
+        there, so back-to-back ``run_until`` calls observe a monotone
+        clock.
+        """
+        if time < self.now:
+            raise SimulationError(
+                f"run_until({time!r}) is before now={self.now!r}"
+            )
+        self._stopped = False
+        while not self._stopped:
+            nxt = self.peek()
+            if nxt is None or nxt > time:
+                break
+            self.step()
+        if not self._stopped:
+            self.now = max(self.now, time)
+
+    def stop(self) -> None:
+        """Stop the currently executing :meth:`run` / :meth:`run_until`."""
+        self._stopped = True
+
+    def drain(self, events: Iterable[Event]) -> None:
+        """Cancel a batch of events (convenience for teardown)."""
+        for event in events:
+            event.cancel()

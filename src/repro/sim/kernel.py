@@ -1,0 +1,53 @@
+"""Kernel-path cost model.
+
+The paper repeatedly observes a *constant ~30 us gap* between the
+latency tcpdump measures at the NIC and the latency the load tester
+measures in user space (Figs. 5-6): "Certain amount of time is spent in
+kernel space to handle the network interrupts before the packets reach
+the user code."  This module models that fixed kernel path on both the
+client and the server: interrupt handling, protocol processing, and the
+syscall boundary.
+
+Costs here are *fixed* (frequency-insensitive in our model) and are the
+reason a correctly built load tester still reports slightly higher
+latency than NIC-level ground truth — the reproduction target is that
+the gap stays constant across utilizations, not that it vanishes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["KernelConfig"]
+
+
+@dataclass
+class KernelConfig:
+    """Fixed kernel-path costs in microseconds (Linux 3.10 era).
+
+    The client-side RX path (softirq + TCP/IP + wakeup + epoll return)
+    dominates and is calibrated to ~30 us total round-trip overhead to
+    match the constant tcpdump-to-load-tester offset in Figs. 5-6.
+    """
+
+    #: Client TX: syscall + TCP/IP encapsulation before the NIC.
+    client_tx_us: float = 6.0
+    #: Client RX: interrupt + protocol processing + user wakeup.  The
+    #: bulk of the paper's 30 us gap lives here.
+    client_rx_us: float = 24.0
+    #: Server RX protocol processing beyond the IRQ handler itself
+    #: (the IRQ handler cost is modelled per-core in repro.sim.nic).
+    server_rx_us: float = 0.8
+    #: Server TX: response encapsulation and doorbell.
+    server_tx_us: float = 0.8
+
+    def __post_init__(self) -> None:
+        for name in ("client_tx_us", "client_rx_us", "server_rx_us", "server_tx_us"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    @property
+    def client_round_trip_us(self) -> float:
+        """The expected constant offset between user-level and NIC-level
+        latency on the client (the ~30 us of Figs. 5-6)."""
+        return self.client_tx_us + self.client_rx_us

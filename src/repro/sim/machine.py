@@ -1,0 +1,400 @@
+"""Machine assembly: server and client hosts.
+
+:class:`ServerMachine` wires the CPU complex, NUMA memory, NIC, and
+kernel-path models into the request pipeline the paper's system under
+test executes::
+
+    NIC arrival -> RX interrupt on the RSS-selected core
+                -> worker-thread service on the connection's core
+                   (frequency-, NUMA-, and wake-cost-aware)
+                -> [optional async backend phase, for mcrouter]
+                -> response TX
+
+:class:`ClientMachine` models a load-tester host as a single
+generator-thread core with per-request CPU costs plus the fixed kernel
+path of :mod:`repro.sim.kernel`.  This is where the paper's
+*client-side queueing bias* (Section II-C) physically lives: an
+inefficient or over-driven client queues its own sends and receive
+callbacks, polluting the user-level measurement while tcpdump at the
+NIC stays clean.
+
+**Performance hysteresis** (Section II-D, Fig. 4) also lives here: each
+:meth:`ServerMachine.boot` samples hidden state — the thread-to-core
+mapping, the connection-to-thread assignment offset, per-connection
+buffer placements, and a global placement-quality multiplier — so each
+boot converges to its own latency level no matter how many samples a
+single run collects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..workloads.base import Request, Workload
+from .cpu import Core, CpuComplex, CpuConfig, Job
+from .engine import Simulator
+from .kernel import KernelConfig
+from .memory import BufferPlacement, NumaConfig, NumaMemory
+from .nic import Nic, NicConfig
+from .rng import ScopedRng
+
+__all__ = [
+    "HardwareSpec",
+    "ServerConnection",
+    "ServerMachine",
+    "ClientSpec",
+    "ClientMachine",
+]
+
+
+@dataclass
+class HardwareSpec:
+    """Full hardware description of one server (the paper's Table II).
+
+    The defaults model the paper's dual-socket Xeon E5-2660 v2 with a
+    16-queue 10 GbE NIC, scaled to a small core count for simulation
+    speed (per-core utilization, not machine size, drives the queueing
+    behaviour under study).
+    """
+
+    cpu: CpuConfig = field(default_factory=CpuConfig)
+    numa: NumaConfig = field(default_factory=NumaConfig)
+    nic: NicConfig = field(default_factory=NicConfig)
+    kernel: KernelConfig = field(default_factory=KernelConfig)
+    #: Std-dev of the per-boot lognormal placement-quality multiplier
+    #: applied to all compute work (hysteresis, Fig. 4).
+    boot_quality_sigma: float = 0.005
+
+    def describe(self) -> Dict[str, str]:
+        """Rows of a Table II-style hardware summary."""
+        return {
+            "Processor": (
+                f"{self.cpu.sockets}-socket simulated Xeon-class, "
+                f"{self.cpu.cores_per_socket} cores/socket @ "
+                f"{self.cpu.base_freq_ghz:.1f} GHz (turbo +{self.cpu.turbo_bonus_ghz:.1f})"
+            ),
+            "DRAM": f"{self.cpu.sockets}-node NUMA, policy={self.numa.policy}",
+            "Ethernet": f"10GbE model, {self.nic.num_queues} RSS queues, affinity={self.nic.affinity}",
+            "Kernel": f"fixed-path model, client RTT overhead {self.kernel.client_round_trip_us:.0f} us",
+        }
+
+
+@dataclass
+class ServerConnection:
+    """Server-side state of one client connection (fixed at accept)."""
+
+    conn_id: int
+    worker_core: Core
+    irq_core: Core
+    placement: BufferPlacement
+
+
+class ServerMachine:
+    """The system under test: cores, NUMA memory, NIC, and kernel path
+    assembled into the request-service pipeline described in the module
+    docstring, with per-boot hidden placement state."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        spec: HardwareSpec,
+        workload: Workload,
+        rng: ScopedRng,
+        name: str = "server",
+    ):
+        self.sim = sim
+        self.spec = spec
+        self.workload = workload
+        self.rng = rng
+        self.name = name
+        self.cpu = CpuComplex(sim, spec.cpu)
+        self.nic = Nic(spec.nic, self.cpu)
+        self.memory = NumaMemory(spec.numa, spec.cpu.sockets, rng.stream("numa"))
+        self._service_rng = rng.stream("service")
+        self._conns: Dict[int, ServerConnection] = {}
+        self.requests_served = 0
+        # Boot state; populated by boot().
+        self.boot_quality = 1.0
+        self._thread_core_order: List[Core] = list(self.cpu.cores)
+        self._accept_counter = 0
+        self.booted = False
+
+    # ------------------------------------------------------------------
+    # boot-time hidden state (hysteresis)
+    # ------------------------------------------------------------------
+    def boot(self) -> None:
+        """(Re)start the server, sampling fresh hidden placement state.
+
+        Each boot:
+
+        * shuffles the worker-thread-to-core mapping (the OS places
+          threads differently every start),
+        * restarts the connection-accept round-robin from a random
+          offset, and
+        * draws a lognormal placement-quality multiplier applied to all
+          compute work (memory layout / TLB / cache-conflict luck).
+
+        Together these make independent runs converge to *different*
+        latency levels — the paper's performance hysteresis.
+        """
+        boot_rng = self.rng.stream("boot")
+        order = list(self.cpu.cores)
+        boot_rng.shuffle(order)
+        self._thread_core_order = order
+        self._accept_counter = int(boot_rng.integers(0, len(order)))
+        sigma = self.spec.boot_quality_sigma
+        self.boot_quality = float(np.exp(boot_rng.normal(0.0, sigma))) if sigma > 0 else 1.0
+        self._conns.clear()
+        self.requests_served = 0
+        self.booted = True
+
+    def accept(self, conn_id: int) -> ServerConnection:
+        """Accept a connection: pin it to a worker and place its buffer."""
+        if not self.booted:
+            raise RuntimeError("ServerMachine.boot() must be called before accept()")
+        if conn_id in self._conns:
+            raise ValueError(f"connection {conn_id} already accepted")
+        worker = self._thread_core_order[self._accept_counter % len(self._thread_core_order)]
+        self._accept_counter += 1
+        conn = ServerConnection(
+            conn_id=conn_id,
+            worker_core=worker,
+            irq_core=self.nic.irq_core(conn_id),
+            placement=self.memory.place_buffer(),
+        )
+        self._conns[conn_id] = conn
+        return conn
+
+    def connection(self, conn_id: int) -> ServerConnection:
+        return self._conns[conn_id]
+
+    # ------------------------------------------------------------------
+    # request pipeline
+    # ------------------------------------------------------------------
+    def receive(self, request: Request, respond: Callable[[Request], None]) -> None:
+        """Handle a request arriving at the server NIC.
+
+        ``respond`` is invoked once the response has left the server
+        NIC (with ``t_server_nic_out`` stamped); the caller owns the
+        return network path.
+        """
+        conn = self._conns.get(request.conn_id)
+        if conn is None:
+            raise KeyError(f"request on unknown connection {request.conn_id}")
+        request.t_server_nic_in = self.sim.now
+        irq_cost = self.nic.irq_cost_us(conn.irq_core) + self.spec.kernel.server_rx_us
+        irq_job = Job(
+            work_us=0.0,
+            fixed_us=irq_cost,
+            on_done=lambda _d, req=request, c=conn, cb=respond: self._dispatch_worker(
+                req, c, cb
+            ),
+        )
+        conn.irq_core.irq_us += irq_cost
+        conn.irq_core.submit(irq_job)
+
+    def _dispatch_worker(
+        self, request: Request, conn: ServerConnection, respond: Callable[[Request], None]
+    ) -> None:
+        profile = self.workload.profile(request, self._service_rng)
+        wake = self.nic.wake_cost_us(conn.irq_core, conn.worker_core)
+        mem_cost = None
+        if profile.mem_accesses > 0:
+            mem_cost = lambda core, p=conn.placement, n=profile.mem_accesses: (
+                self.memory.access_cost_us(p, core, n)
+            )
+        if request.t_service_start != request.t_service_start:  # still NaN
+            request.t_service_start = self.sim.now
+        job = Job(
+            work_us=profile.work_us * self.boot_quality,
+            fixed_us=profile.fixed_us + wake,
+            mem_cost=mem_cost,
+            on_done=lambda _d: self._phase_done(request, conn, profile, respond),
+        )
+        conn.worker_core.submit(job)
+
+    def _phase_done(self, request, conn, profile, respond) -> None:
+        if profile.backend_wait_us > 0 or profile.post_work_us > 0:
+            # Proxy workload: wait off-core for the backend, then run
+            # the response-assembly phase on the same worker core.
+            self.sim.schedule(
+                profile.backend_wait_us,
+                self._backend_returned,
+                request,
+                conn,
+                profile,
+                respond,
+            )
+        else:
+            self._complete(request, respond)
+
+    def _backend_returned(self, request, conn, profile, respond) -> None:
+        job = Job(
+            work_us=profile.post_work_us * self.boot_quality,
+            fixed_us=0.0,
+            on_done=lambda _d: self._complete(request, respond),
+        )
+        conn.worker_core.submit(job)
+
+    def _complete(self, request: Request, respond: Callable[[Request], None]) -> None:
+        request.t_service_end = self.sim.now
+        # Response TX: fixed kernel cost, pipelined (does not occupy a
+        # worker core in this model).
+        self.sim.schedule(
+            self.spec.kernel.server_tx_us, self._send_response, request, respond
+        )
+
+    def _send_response(self, request: Request, respond: Callable[[Request], None]) -> None:
+        request.t_server_nic_out = self.sim.now
+        self.requests_served += 1
+        respond(request)
+
+    # ------------------------------------------------------------------
+    # sizing helpers
+    # ------------------------------------------------------------------
+    def estimated_service_us(self) -> float:
+        """Rough mean per-request on-core time (base frequency).
+
+        Includes worker compute, average memory cost (assuming the
+        policy's typical remote fraction at mid utilization), the IRQ
+        handler, and kernel RX — i.e. everything that occupies cores.
+        Used to translate a target utilization into an arrival rate.
+        """
+        mean_core = self.workload.mean_service_us()
+        irq = self.spec.nic.irq_rx_us + self.spec.kernel.server_rx_us
+        wake = 0.5 * (self.spec.nic.wake_same_socket_us + self.spec.nic.wake_cross_socket_us)
+        return mean_core + irq + wake
+
+    def arrival_rate_for_utilization(self, utilization: float) -> float:
+        """Requests per microsecond that load the machine to roughly
+        ``utilization`` (of all cores)."""
+        if not 0.0 < utilization < 1.0:
+            raise ValueError("utilization must be in (0, 1)")
+        service = self.estimated_service_us()
+        return utilization * self.spec.cpu.total_cores / service
+
+    def measured_utilization(self) -> float:
+        """Busy fraction of all cores since the simulation started."""
+        if self.sim.now <= 0:
+            return 0.0
+        total = self.cpu.total_busy_us()
+        return min(1.0, total / (self.sim.now * self.spec.cpu.total_cores))
+
+
+@dataclass
+class ClientSpec:
+    """A load-tester host.
+
+    ``tx_cpu_us`` / ``rx_cpu_us`` are the *user-space* per-request CPU
+    costs of the load tester software on its generator thread; they
+    determine the client's capacity and hence how quickly it starts
+    queueing (CloudSuite's single inefficient client vs Treadmill's
+    lock-free design).  The kernel path costs come from
+    :class:`~repro.sim.kernel.KernelConfig` and are pipelined latency,
+    not generator-thread time.
+    """
+
+    tx_cpu_us: float = 1.2
+    rx_cpu_us: float = 1.2
+    kernel: KernelConfig = field(default_factory=KernelConfig)
+
+    def __post_init__(self) -> None:
+        if self.tx_cpu_us < 0 or self.rx_cpu_us < 0:
+            raise ValueError("client CPU costs must be non-negative")
+
+    @property
+    def capacity_rps(self) -> float:
+        """Sustainable requests/second of the generator thread."""
+        per_req = self.tx_cpu_us + self.rx_cpu_us
+        return 1e6 / per_req if per_req > 0 else float("inf")
+
+
+class ClientMachine:
+    """A load-tester host: one generator-thread core + kernel path.
+
+    The load tester calls :meth:`issue`; the machine stamps the user,
+    NIC, and kernel timestamps and invokes :attr:`response_handler` in
+    user space when the reply has traversed the whole path back.  The
+    harness wires ``send_packet`` (put a request on the wire toward the
+    server) and the load tester installs ``response_handler``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        spec: ClientSpec,
+        name: str,
+        send_packet: Callable[[Request], None],
+        capture=None,
+    ):
+        self.sim = sim
+        self.spec = spec
+        self.name = name
+        #: Puts a request packet on the wire (wired by the harness).
+        self._send_packet = send_packet
+        #: User-space callback for completed responses (set by the
+        #: load tester before issuing).
+        self.response_handler: Optional[Callable[[Request], None]] = None
+        self.capture = capture
+        # Single-server queue for the generator thread.
+        cpu_cfg = CpuConfig(sockets=1, cores_per_socket=1, governor="performance")
+        self._cpu = CpuComplex(sim, cpu_cfg)
+        self._core = self._cpu.cores[0]
+        self.requests_issued = 0
+        self.responses_received = 0
+
+    @property
+    def core(self) -> Core:
+        return self._core
+
+    def issue(self, request: Request) -> None:
+        """Send ``request`` now (user-space intent time = now)."""
+        request.t_user_send = self.sim.now
+        request.client_name = self.name
+        self.requests_issued += 1
+        job = Job(
+            work_us=0.0,
+            fixed_us=self.spec.tx_cpu_us,
+            on_done=lambda _d: self._after_tx_cpu(request),
+        )
+        self._core.submit(job)
+
+    def _after_tx_cpu(self, request: Request) -> None:
+        # Kernel TX path (pipelined), then the wire.
+        self.sim.schedule(self.spec.kernel.client_tx_us, self._to_wire, request)
+
+    def _to_wire(self, request: Request) -> None:
+        request.t_nic_send = self.sim.now
+        if self.capture is not None:
+            self.capture.record_tx(request)
+        self._send_packet(request)
+
+    def deliver(self, request: Request) -> None:
+        """Response packet arrived at this client's NIC."""
+        request.t_nic_recv = self.sim.now
+        if self.capture is not None:
+            self.capture.record_rx(request)
+        self.sim.schedule(self.spec.kernel.client_rx_us, self._rx_user, request)
+
+    def _rx_user(self, request: Request) -> None:
+        job = Job(
+            work_us=0.0,
+            fixed_us=self.spec.rx_cpu_us,
+            on_done=lambda _d: self._complete(request),
+        )
+        self._core.submit(job)
+
+    def _complete(self, request: Request) -> None:
+        request.t_user_recv = self.sim.now
+        self.responses_received += 1
+        if self.response_handler is not None:
+            self.response_handler(request)
+
+    def utilization(self) -> float:
+        """Busy fraction of the generator thread since sim start."""
+        if self.sim.now <= 0:
+            return 0.0
+        return min(1.0, self._core.busy_us / self.sim.now)

@@ -1,0 +1,169 @@
+"""NUMA memory model.
+
+The paper's ``numa`` factor (Table III) switches the kernel's memory
+allocation policy between ``same-node`` (allocate on one node until it
+is full) and ``interleave`` (round-robin pages across nodes).  Its
+Finding 6 explains the observed tail-latency cost of ``interleave``:
+most server threads end up with their connection buffers on the remote
+node, and the remote-access overhead is *magnified at high load* by
+memory-controller/interconnect queueing.
+
+We model exactly that mechanism:
+
+* At connection setup the policy assigns each connection's buffer a
+  home node (:meth:`NumaMemory.place_buffer`).  Under ``same-node`` the
+  buffer lands on the preferred node (node 0, where the paper's
+  memcached slabs start), so threads on socket 0 access locally and
+  threads on socket 1 pay full remote cost.  Under ``interleave`` the
+  buffer's pages are spread, so *every* thread pays remote cost on a
+  majority of accesses (the paper observed "majority of the server
+  threads have their connection buffers allocated on the remote
+  memory node").
+
+* Per-request memory cost (:meth:`NumaMemory.access_cost_us`) is the
+  number of buffer accesses times a local or remote latency, with the
+  remote latency inflated by a contention factor proportional to the
+  socket's current utilization — the load magnification of Finding 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .cpu import Core
+
+__all__ = ["NumaConfig", "NumaMemory", "POLICY_SAME_NODE", "POLICY_INTERLEAVE"]
+
+POLICY_SAME_NODE = "same-node"
+POLICY_INTERLEAVE = "interleave"
+
+
+@dataclass
+class NumaConfig:
+    """NUMA latency and policy parameters.
+
+    Latencies are per *buffer access* — a bundle of cache misses plus
+    the dependent pointer chases a memcached request makes against a
+    connection buffer — not a single DRAM access, hence microsecond
+    rather than nanosecond scale.
+    """
+
+    policy: str = POLICY_SAME_NODE
+    local_access_us: float = 0.08
+    remote_access_us: float = 0.16
+    #: Fraction of a connection's accesses that hit remote pages under
+    #: interleave.  >0.5 captures the paper's "majority remote"
+    #: observation (slab metadata and the buffer pages both stripe).
+    interleave_remote_fraction: float = 0.9
+    #: Interconnect-contention stalls: each *remote access* has
+    #: probability ``stall_prob_k * util`` of colliding with a QPI /
+    #: memory-controller burst, so a request's stall probability is
+    #: ``stall_prob_k * util * remote_fraction * accesses`` (capped at
+    #: 1) and a stalled request waits an exponential extra delay.
+    #: This is the load-magnified *tail* cost of remote buffers
+    #: (Finding 6): it barely moves the median (the paper's numa p50
+    #: effect is ~2 us) while inflating p95/p99 heavily (+24/+56 us in
+    #: Table IV) -- and it scales with the workload's memory footprint,
+    #: which is why mcrouter's numa effect (Fig. 10) is smaller than
+    #: memcached's (Fig. 8).
+    stall_prob_k: float = 0.005
+    stall_mean_us: float = 20.0
+    #: Node where same-node allocation starts (memcached slabs grow
+    #: from node 0 in the paper's configuration).
+    preferred_node: int = 0
+
+    def __post_init__(self) -> None:
+        if self.policy not in (POLICY_SAME_NODE, POLICY_INTERLEAVE):
+            raise ValueError(f"unknown NUMA policy {self.policy!r}")
+        if not 0.0 <= self.interleave_remote_fraction <= 1.0:
+            raise ValueError("interleave_remote_fraction must be in [0, 1]")
+        if not 0.0 <= self.stall_prob_k <= 1.0:
+            raise ValueError("stall_prob_k must be in [0, 1]")
+        if self.stall_mean_us < 0:
+            raise ValueError("stall_mean_us must be non-negative")
+        if self.local_access_us < 0 or self.remote_access_us < self.local_access_us:
+            raise ValueError(
+                "need 0 <= local_access_us <= remote_access_us "
+                f"(got {self.local_access_us}, {self.remote_access_us})"
+            )
+
+
+@dataclass
+class BufferPlacement:
+    """Where one connection's buffer lives.
+
+    ``home_node`` is meaningful for single-node placements;
+    ``interleaved`` placements stripe across all nodes and use
+    ``remote_fraction`` against any accessing socket.
+    """
+
+    home_node: int
+    interleaved: bool
+    #: For interleaved buffers: fraction of accesses that are remote
+    #: to the accessing socket (includes per-boot jitter).
+    remote_fraction: float = 0.0
+
+
+class NumaMemory:
+    """Per-machine NUMA state: placement policy + access-cost model."""
+
+    def __init__(self, config: NumaConfig, nodes: int, rng: np.random.Generator):
+        if nodes < 1:
+            raise ValueError("need at least one NUMA node")
+        self.config = config
+        self.nodes = nodes
+        self._rng = rng
+
+    def place_buffer(self) -> BufferPlacement:
+        """Pick the home placement for a new connection buffer.
+
+        Called once per connection at server boot / accept time; the
+        per-boot randomness here is one of the sources of the paper's
+        performance hysteresis (Fig. 4).
+        """
+        cfg = self.config
+        if self.nodes == 1:
+            return BufferPlacement(home_node=0, interleaved=False)
+        if cfg.policy == POLICY_SAME_NODE:
+            return BufferPlacement(home_node=cfg.preferred_node, interleaved=False)
+        # Interleave: pages stripe across nodes.  The effective remote
+        # fraction jitters per connection (slab reuse, page alignment),
+        # one more per-boot state contributing to hysteresis.
+        jitter = self._rng.uniform(-0.05, 0.05)
+        frac = min(1.0, max(0.0, cfg.interleave_remote_fraction + jitter))
+        return BufferPlacement(home_node=-1, interleaved=True, remote_fraction=frac)
+
+    def remote_fraction(self, placement: BufferPlacement, socket_index: int) -> float:
+        """Fraction of accesses remote to a thread on ``socket_index``."""
+        if self.nodes == 1:
+            return 0.0
+        if placement.interleaved:
+            return placement.remote_fraction
+        return 0.0 if placement.home_node == socket_index else 1.0
+
+    def access_cost_us(
+        self, placement: BufferPlacement, core: Core, accesses: float
+    ) -> float:
+        """Memory time for ``accesses`` buffer accesses from ``core``.
+
+        The cost has two parts: a deterministic per-access latency
+        (local or remote) and, for remote-heavy requests under load, a
+        probabilistic interconnect-contention stall — the mechanism
+        behind Finding 6's "high queueing delay magnifies the overhead
+        of accessing the remote memory node".
+        """
+        cfg = self.config
+        frac_remote = self.remote_fraction(placement, core.socket.index)
+        cost = accesses * (
+            (1.0 - frac_remote) * cfg.local_access_us
+            + frac_remote * cfg.remote_access_us
+        )
+        if frac_remote <= 0.0 or cfg.stall_prob_k <= 0.0:
+            return cost
+        util = core.socket.utilization(core.sim.now)
+        stall_prob = min(1.0, cfg.stall_prob_k * util * frac_remote * accesses)
+        if stall_prob > 0.0 and self._rng.random() < stall_prob:
+            cost += float(self._rng.exponential(cfg.stall_mean_us))
+        return cost

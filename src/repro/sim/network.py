@@ -1,0 +1,217 @@
+"""Network model: links, racks, and cross-rack paths.
+
+Two of the paper's pitfalls live in the network:
+
+* **Client-side queueing bias** (Section II-C, Fig. 3): in a
+  single-client setup the client's access link and NIC run at the same
+  utilization as the server, so network queueing delay grows with load
+  and pollutes the measurement.  We model each host's access link as a
+  FIFO queue with finite bandwidth, so driving one client hard makes
+  its link queue exactly as the paper shows.
+
+* **Cross-rack aggregation bias** (Section II-B, Fig. 2): a client on
+  a different rack traverses the spine, adding propagation delay plus
+  bursty queueing from background traffic; its samples dominate the
+  high quantiles of a naively merged distribution.  The spine model
+  adds a configurable base hop cost plus a heavy-ish burst component.
+
+Links are simulated as single-server FIFO queues: transmission time is
+``bytes / bandwidth`` and packets depart in order; propagation delay is
+added after transmission completes (it does not occupy the link).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from .engine import Simulator
+
+__all__ = ["LinkConfig", "Link", "SpineConfig", "Spine", "NetworkPath", "Rack", "Topology"]
+
+
+@dataclass
+class LinkConfig:
+    """One directed link (a host's NIC uplink or downlink)."""
+
+    #: Bandwidth in bytes per microsecond (10 GbE = 1250 B/us).
+    bandwidth_bpus: float = 1250.0
+    #: One-way propagation + switching latency inside the rack.
+    propagation_us: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bpus <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.propagation_us < 0:
+            raise ValueError("propagation must be non-negative")
+
+
+class Link:
+    """A directed FIFO link with finite bandwidth.
+
+    ``send`` enqueues a packet; ``on_delivered`` fires after the packet
+    has been transmitted (queueing + transmission) and propagated.
+    """
+
+    __slots__ = ("sim", "config", "_free_at", "busy_us", "packets", "bytes_sent")
+
+    def __init__(self, sim: Simulator, config: LinkConfig):
+        self.sim = sim
+        self.config = config
+        self._free_at = 0.0
+        self.busy_us = 0.0
+        self.packets = 0
+        self.bytes_sent = 0
+
+    def send(self, size_bytes: int, on_delivered: Callable[[], None]) -> float:
+        """Transmit a packet; returns the queueing delay experienced.
+
+        FIFO ordering is maintained by tracking when the transmitter
+        frees up; no per-packet event is needed while the link is
+        backlogged, which keeps the simulation cheap.
+        """
+        if size_bytes <= 0:
+            raise ValueError("packet size must be positive")
+        now = self.sim.now
+        start = max(now, self._free_at)
+        tx_us = size_bytes / self.config.bandwidth_bpus
+        self._free_at = start + tx_us
+        self.busy_us += tx_us
+        self.packets += 1
+        self.bytes_sent += size_bytes
+        delivered_at = self._free_at + self.config.propagation_us
+        self.sim.schedule(delivered_at - now, on_delivered)
+        return start - now
+
+    def utilization(self) -> float:
+        """Fraction of elapsed simulated time the transmitter was busy."""
+        if self.sim.now <= 0:
+            return 0.0
+        return min(1.0, self.busy_us / self.sim.now)
+
+
+@dataclass
+class SpineConfig:
+    """Cross-rack hop: aggregation/spine switches plus longer cables."""
+
+    #: Extra one-way propagation for leaving the rack.
+    propagation_us: float = 18.0
+    #: Mean of the exponential queueing component from background
+    #: datacenter traffic sharing the spine.
+    background_mean_us: float = 6.0
+    #: Probability that a packet hits a background burst, and the mean
+    #: extra delay when it does.  This is what pushes a cross-rack
+    #: client's samples into the tail (Fig. 2).
+    burst_probability: float = 0.02
+    burst_mean_us: float = 250.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.burst_probability <= 1.0:
+            raise ValueError("burst_probability must be in [0, 1]")
+        for name in ("propagation_us", "background_mean_us", "burst_mean_us"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+
+class Spine:
+    """The shared inter-rack fabric; adds stochastic per-packet delay."""
+
+    def __init__(self, sim: Simulator, config: SpineConfig, rng: np.random.Generator):
+        self.sim = sim
+        self.config = config
+        self._rng = rng
+
+    def traverse(self, on_delivered: Callable[[], None]) -> None:
+        cfg = self.config
+        delay = cfg.propagation_us
+        if cfg.background_mean_us > 0:
+            delay += float(self._rng.exponential(cfg.background_mean_us))
+        if cfg.burst_probability > 0 and self._rng.random() < cfg.burst_probability:
+            delay += float(self._rng.exponential(cfg.burst_mean_us))
+        self.sim.schedule(delay, on_delivered)
+
+
+class NetworkPath:
+    """A unidirectional path: source uplink [-> spine] -> dest downlink."""
+
+    def __init__(self, uplink: Link, downlink: Link, spine: Optional[Spine] = None):
+        self.uplink = uplink
+        self.downlink = downlink
+        self.spine = spine
+
+    def send(self, size_bytes: int, on_delivered: Callable[[], None]) -> None:
+        if self.spine is None:
+            self.uplink.send(
+                size_bytes,
+                lambda: self.downlink.send(size_bytes, on_delivered),
+            )
+        else:
+            self.uplink.send(
+                size_bytes,
+                lambda: self.spine.traverse(
+                    lambda: self.downlink.send(size_bytes, on_delivered)
+                ),
+            )
+
+
+@dataclass
+class Rack:
+    """A rack groups hosts; same-rack traffic stays under the ToR."""
+
+    name: str
+    hosts: List[str] = field(default_factory=list)
+
+
+class Topology:
+    """Racks of hosts with per-host access links.
+
+    Every host owns one uplink and one downlink :class:`Link`; all of
+    its flows share them, which is precisely how a saturated client's
+    own NIC biases its measurements (Fig. 3).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rng: np.random.Generator,
+        spine_config: Optional[SpineConfig] = None,
+    ):
+        self.sim = sim
+        self.spine = Spine(sim, spine_config or SpineConfig(), rng)
+        self._racks: dict = {}
+        self._host_rack: dict = {}
+        self._uplinks: dict = {}
+        self._downlinks: dict = {}
+
+    def add_host(
+        self, name: str, rack: str, link_config: Optional[LinkConfig] = None
+    ) -> None:
+        if name in self._host_rack:
+            raise ValueError(f"duplicate host {name!r}")
+        cfg = link_config or LinkConfig()
+        self._racks.setdefault(rack, Rack(rack)).hosts.append(name)
+        self._host_rack[name] = rack
+        self._uplinks[name] = Link(self.sim, cfg)
+        self._downlinks[name] = Link(self.sim, cfg)
+
+    def rack_of(self, host: str) -> str:
+        return self._host_rack[host]
+
+    def uplink(self, host: str) -> Link:
+        return self._uplinks[host]
+
+    def downlink(self, host: str) -> Link:
+        return self._downlinks[host]
+
+    def same_rack(self, a: str, b: str) -> bool:
+        return self._host_rack[a] == self._host_rack[b]
+
+    def path(self, src: str, dst: str) -> NetworkPath:
+        """Build the directed path ``src -> dst``."""
+        if src not in self._host_rack or dst not in self._host_rack:
+            missing = src if src not in self._host_rack else dst
+            raise KeyError(f"unknown host {missing!r}")
+        spine = None if self.same_rack(src, dst) else self.spine
+        return NetworkPath(self._uplinks[src], self._downlinks[dst], spine)

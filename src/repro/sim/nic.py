@@ -1,0 +1,109 @@
+"""NIC model: receive-side scaling (RSS) and interrupt-queue affinity.
+
+The paper's ``nic`` factor (Table III) is the affinity of the NIC's
+16 interrupt queues (the hardware exposes a 4-bit RSS hash): either all
+queues are mapped to cores on the NIC's own socket (``same-node``) or
+spread evenly across both sockets (``all-nodes``).
+
+Mechanisms implemented, matching the paper's observations:
+
+* **RSS hashing** — a connection hashes to one of ``num_queues``
+  interrupt queues; the queue's affinity decides which core runs the
+  RX interrupt handler for every packet of that connection.
+* **Same-node concentration** — under ``same-node`` all IRQ work lands
+  on the NIC socket's cores, adding asymmetric load there.
+* **Remote DMA cost** (why ``all-nodes`` *hurts* at high load, the
+  +29 us main effect in Table IV) — the NIC DMA-writes packets into the
+  memory of its home socket; an IRQ handler running on the *other*
+  socket pays a cross-socket penalty on every packet.
+* **Core warming** (Finding 4: ``all-nodes`` helps at low load when the
+  governor is ``ondemand``) — spreading IRQs over all cores shortens
+  every core's idle gaps, so fewer requests land on down-clocked cores.
+  This emerges from the interaction with :mod:`repro.sim.cpu`'s
+  down-clock model rather than being coded explicitly.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import List
+
+from .cpu import Core, CpuComplex
+
+__all__ = ["NicConfig", "Nic", "AFFINITY_SAME_NODE", "AFFINITY_ALL_NODES"]
+
+AFFINITY_SAME_NODE = "same-node"
+AFFINITY_ALL_NODES = "all-nodes"
+
+
+@dataclass
+class NicConfig:
+    """NIC parameters (Table II: Mellanox ConnectX-3, 4-bit RSS hash)."""
+
+    affinity: str = AFFINITY_SAME_NODE
+    #: Number of hardware interrupt queues (2^4 for the paper's NIC).
+    num_queues: int = 16
+    #: Socket the NIC's PCIe lanes attach to; DMA lands in this
+    #: socket's memory.
+    home_socket: int = 0
+    #: CPU time of the RX interrupt handler per request packet.
+    irq_rx_us: float = 0.7
+    #: Extra cost when the handler runs on a core whose socket is not
+    #: the NIC's home socket (remote DMA-buffer reads, QPI hop).
+    remote_dma_penalty_us: float = 0.4
+    #: Cost of waking/dispatching to a worker on a different core than
+    #: the IRQ core, and an additional cross-socket component.
+    wake_same_socket_us: float = 0.3
+    wake_cross_socket_us: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.affinity not in (AFFINITY_SAME_NODE, AFFINITY_ALL_NODES):
+            raise ValueError(f"unknown NIC affinity {self.affinity!r}")
+        if self.num_queues < 1:
+            raise ValueError("num_queues must be >= 1")
+
+
+class Nic:
+    """One NIC: maps connections to IRQ queues, IRQ queues to cores."""
+
+    def __init__(self, config: NicConfig, cpu: CpuComplex):
+        self.config = config
+        self.cpu = cpu
+        self.queue_to_core: List[Core] = self._build_affinity_map()
+
+    def _build_affinity_map(self) -> List[Core]:
+        cfg = self.config
+        if cfg.affinity == AFFINITY_SAME_NODE:
+            candidates = self.cpu.cores_on_socket(cfg.home_socket)
+        else:
+            candidates = list(self.cpu.cores)
+        return [candidates[q % len(candidates)] for q in range(cfg.num_queues)]
+
+    def rss_queue(self, connection_id: int) -> int:
+        """Hash a connection onto an interrupt queue (RSS).
+
+        Real RSS hashes the 4-tuple; a CRC of the connection id gives
+        the same static, uniform mapping.
+        """
+        h = zlib.crc32(connection_id.to_bytes(8, "little", signed=False))
+        return h % self.config.num_queues
+
+    def irq_core(self, connection_id: int) -> Core:
+        """Core that handles RX interrupts for this connection."""
+        return self.queue_to_core[self.rss_queue(connection_id)]
+
+    def irq_cost_us(self, irq_core: Core) -> float:
+        """CPU time of one RX interrupt on ``irq_core``."""
+        cost = self.config.irq_rx_us
+        if irq_core.socket.index != self.config.home_socket:
+            cost += self.config.remote_dma_penalty_us
+        return cost
+
+    def wake_cost_us(self, irq_core: Core, worker_core: Core) -> float:
+        """Cost of handing the request from IRQ context to the worker."""
+        if irq_core is worker_core:
+            return 0.0
+        if irq_core.socket is worker_core.socket:
+            return self.config.wake_same_socket_us
+        return self.config.wake_cross_socket_us

@@ -1,0 +1,82 @@
+"""Ground-truth packet capture (the paper's tcpdump methodology).
+
+The paper validates every load tester against a tcpdump process pinned
+to an idle core on each load-test machine: tcpdump timestamps request
+and response packets *at the NIC*, so its latency excludes both
+client-side queueing and the client kernel path, and is therefore a
+clean view of server + network latency.  Matching request to response
+by sequence id gives the ground-truth distribution of Figs. 5-6.
+
+:class:`PacketCapture` reproduces that: the client machine notifies it
+at the NIC TX and RX points, it matches by request id, and exposes the
+resulting latency samples.  Because the capture rides the NIC
+timestamps it sees the *controller-induced* ground truth — under a
+closed-loop tester the captured distribution itself changes, exactly
+as the paper observes in Fig. 6.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..workloads.base import Request
+
+__all__ = ["PacketCapture"]
+
+
+class PacketCapture:
+    """NIC-level request/response latency capture for one host."""
+
+    def __init__(self, host: str = ""):
+        self.host = host
+        self._tx_times: Dict[int, float] = {}
+        self.latencies_us: List[float] = []
+        self.unmatched_rx = 0
+        self.enabled = True
+
+    def record_tx(self, request: Request) -> None:
+        """A request packet left the NIC."""
+        if not self.enabled:
+            return
+        self._tx_times[request.req_id] = request.t_nic_send
+
+    def record_rx(self, request: Request) -> None:
+        """A response packet arrived at the NIC; match by sequence id."""
+        if not self.enabled:
+            return
+        tx = self._tx_times.pop(request.req_id, None)
+        if tx is None:
+            self.unmatched_rx += 1
+            return
+        self.latencies_us.append(request.t_nic_recv - tx)
+
+    @property
+    def in_flight(self) -> int:
+        """Requests sent but not yet answered (open connections)."""
+        return len(self._tx_times)
+
+    def samples(self) -> np.ndarray:
+        """All matched latencies as an array (microseconds)."""
+        return np.asarray(self.latencies_us, dtype=float)
+
+    def reset(self) -> None:
+        """Drop all state (e.g. at the end of a warm-up phase)."""
+        self._tx_times.clear()
+        self.latencies_us.clear()
+        self.unmatched_rx = 0
+
+    @staticmethod
+    def merge(captures: List["PacketCapture"]) -> np.ndarray:
+        """Pool samples from several hosts' captures into one array.
+
+        Note: pooling NIC-level samples is safe for *ground truth*
+        because tcpdump has no client-side bias to propagate; pooling
+        user-level samples across clients is exactly the aggregation
+        pitfall of Fig. 2 and is deliberately not offered by the
+        Treadmill aggregation code.
+        """
+        if not captures:
+            return np.empty(0, dtype=float)
+        return np.concatenate([c.samples() for c in captures])

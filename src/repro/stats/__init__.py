@@ -1,0 +1,71 @@
+"""Statistics substrate: adaptive histograms, quantile estimation,
+convergence rules, factorial designs, quantile regression, and the
+paper's pseudo-R-squared / bootstrap inference."""
+
+from .histogram import AdaptiveHistogram
+from .quantile import (
+    bootstrap_quantile_ci,
+    order_statistic_ci,
+    quantile,
+    quantile_density,
+    quantile_stderr,
+    quantiles,
+)
+from .convergence import MeanConvergence, RunningQuantileTracker
+from .design import Factor, FactorialDesign, interaction_names, model_matrix
+from .quantreg import QuantRegResult, fit_quantile_regression, pinball_loss, predict
+from .queueing import (
+    erlang_c,
+    mg1_mean_wait,
+    mm1_mean_sojourn,
+    mm1_outstanding_mean,
+    mm1_outstanding_variance,
+    mm1_sojourn_quantile,
+    mm1_utilization,
+    mmc_mean_wait,
+)
+from .summary import LatencySummary, summarize
+from .inference import (
+    ExperimentSample,
+    expand_design,
+    run_quantile_design,
+    fit_with_inference,
+    pseudo_r2,
+    screen_factor,
+)
+
+__all__ = [
+    "AdaptiveHistogram",
+    "bootstrap_quantile_ci",
+    "order_statistic_ci",
+    "quantile",
+    "quantile_density",
+    "quantile_stderr",
+    "quantiles",
+    "MeanConvergence",
+    "RunningQuantileTracker",
+    "Factor",
+    "FactorialDesign",
+    "interaction_names",
+    "model_matrix",
+    "QuantRegResult",
+    "fit_quantile_regression",
+    "pinball_loss",
+    "predict",
+    "erlang_c",
+    "mg1_mean_wait",
+    "mm1_mean_sojourn",
+    "mm1_outstanding_mean",
+    "mm1_outstanding_variance",
+    "mm1_sojourn_quantile",
+    "mm1_utilization",
+    "mmc_mean_wait",
+    "LatencySummary",
+    "summarize",
+    "ExperimentSample",
+    "expand_design",
+    "run_quantile_design",
+    "fit_with_inference",
+    "pseudo_r2",
+    "screen_factor",
+]

@@ -1,0 +1,309 @@
+"""Adaptive latency histogram.
+
+Section II-B of the paper identifies *static histogram binning* as a
+load-tester pitfall: fixed bucket bounds break when the server is
+highly utilized, because latency keeps climbing before steady state and
+escapes the histogram's range.  Treadmill instead (Section III-A):
+
+1. runs a **calibration** phase that buffers raw samples and derives
+   the bin range from observed data,
+2. then aggregates into fixed-width bins to bound memory, and
+3. **re-bins** (doubling the covered range, merging adjacent bins)
+   whenever enough samples land above the current upper bound.
+
+:class:`AdaptiveHistogram` implements exactly that.  Samples above the
+current range are kept *raw* until they trigger a re-bin, so no sample
+is ever dropped or clamped — quantile queries remain accurate at the
+tail, which is the whole point of the exercise.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["AdaptiveHistogram"]
+
+
+class AdaptiveHistogram:
+    """Bounded-memory latency aggregation with adaptive range.
+
+    Parameters
+    ----------
+    num_bins:
+        Number of equal-width bins after calibration.
+    calibration_size:
+        Raw samples buffered before the bin range is derived.
+    overflow_rebin_fraction:
+        Re-bin when raw overflow samples exceed this fraction of the
+        total count (the paper: "re-binned when sufficient amount of
+        values exceed the histogram limits").
+    range_margin:
+        Headroom multiplier applied to the calibrated maximum so the
+        steady-state distribution fits without immediate re-binning.
+    """
+
+    def __init__(
+        self,
+        num_bins: int = 512,
+        calibration_size: int = 1000,
+        overflow_rebin_fraction: float = 0.01,
+        range_margin: float = 2.0,
+    ):
+        if num_bins < 2:
+            raise ValueError("num_bins must be >= 2")
+        if calibration_size < 2:
+            raise ValueError("calibration_size must be >= 2")
+        if not 0.0 < overflow_rebin_fraction <= 1.0:
+            raise ValueError("overflow_rebin_fraction must be in (0, 1]")
+        if range_margin < 1.0:
+            raise ValueError("range_margin must be >= 1.0")
+        self.num_bins = num_bins
+        self.calibration_size = calibration_size
+        self.overflow_rebin_fraction = overflow_rebin_fraction
+        self.range_margin = range_margin
+
+        self._calibrating = True
+        self._raw: List[float] = []
+        self._counts: Optional[np.ndarray] = None
+        self._lo = 0.0
+        self._hi = 0.0
+        self._width = 0.0
+        self._overflow: List[float] = []
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self.rebin_events = 0
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+    @property
+    def calibrating(self) -> bool:
+        """True while still buffering raw samples for range calibration."""
+        return self._calibrating
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def bounds(self) -> Tuple[float, float]:
+        """Current (lower, upper) bin range; (0, 0) during calibration."""
+        return (self._lo, self._hi)
+
+    def add(self, value: float) -> None:
+        """Record one latency sample (microseconds)."""
+        if value != value or value < 0:
+            raise ValueError(f"latency sample must be finite and >= 0, got {value!r}")
+        self._count += 1
+        self._sum += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        if self._calibrating:
+            self._raw.append(value)
+            if len(self._raw) >= self.calibration_size:
+                self._finish_calibration()
+            return
+        if value >= self._hi:
+            self._overflow.append(value)
+            if len(self._overflow) > self.overflow_rebin_fraction * self._count:
+                self._rebin(value)
+            return
+        idx = int((value - self._lo) / self._width)
+        if idx < 0:
+            idx = 0  # below calibrated lower bound: clamp into first bin
+        self._counts[idx] += 1
+
+    def extend(self, values: Iterable[float]) -> None:
+        for v in values:
+            self.add(v)
+
+    def _finish_calibration(self) -> None:
+        """Derive the bin range from buffered samples and bin them."""
+        raw = self._raw
+        lo = min(raw)
+        hi = max(raw) * self.range_margin
+        if hi <= lo:
+            hi = lo + 1.0
+        self._lo = lo
+        self._hi = hi
+        self._width = (hi - lo) / self.num_bins
+        self._counts = np.zeros(self.num_bins, dtype=np.int64)
+        for v in raw:
+            idx = min(int((v - lo) / self._width), self.num_bins - 1)
+            self._counts[idx] += 1
+        self._raw = []
+        self._calibrating = False
+
+    def _rebin(self, trigger_value: float) -> None:
+        """Double the range (possibly repeatedly) and fold in overflow.
+
+        Adjacent bins merge pairwise each doubling, so the bin count
+        stays constant and memory stays bounded.
+        """
+        needed = max(trigger_value, max(self._overflow)) * 1.01
+        while self._hi < needed:
+            half = self._counts.reshape(self.num_bins // 2, 2).sum(axis=1)
+            merged = np.zeros(self.num_bins, dtype=np.int64)
+            merged[: self.num_bins // 2] = half
+            self._counts = merged
+            self._hi = self._lo + 2.0 * (self._hi - self._lo)
+            self._width = (self._hi - self._lo) / self.num_bins
+        overflow, self._overflow = self._overflow, []
+        for v in overflow:
+            idx = min(int((v - self._lo) / self._width), self.num_bins - 1)
+            self._counts[idx] += 1
+        self.rebin_events += 1
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def mean(self) -> float:
+        """Exact mean of all ingested samples."""
+        if self._count == 0:
+            raise ValueError("histogram is empty")
+        return self._sum / self._count
+
+    def min(self) -> float:
+        if self._count == 0:
+            raise ValueError("histogram is empty")
+        return self._min
+
+    def max(self) -> float:
+        if self._count == 0:
+            raise ValueError("histogram is empty")
+        return self._max
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile with within-bin interpolation.
+
+        During calibration the raw buffer is used (exact); afterwards
+        the estimate is accurate to one bin width plus any overflow
+        samples, which are still raw and therefore exact.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if self._count == 0:
+            raise ValueError("cannot take a quantile of an empty histogram")
+        if self._calibrating:
+            return float(np.quantile(np.asarray(self._raw), q))
+        target = q * self._count
+        # Walk binned mass first, then the (sorted) raw overflow.
+        cum = 0.0
+        counts = self._counts
+        for idx in range(self.num_bins):
+            c = counts[idx]
+            if c and cum + c >= target:
+                frac = (target - cum) / c
+                return self._lo + (idx + frac) * self._width
+            cum += c
+        overflow = sorted(self._overflow)
+        if overflow:
+            pos = min(int(target - cum), len(overflow) - 1)
+            return overflow[max(0, pos)]
+        return self._max
+
+    def quantiles(self, qs: Sequence[float]) -> List[float]:
+        return [self.quantile(q) for q in qs]
+
+    def cdf_points(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(latency, cumulative probability) points for plotting CDFs.
+
+        Forces calibration to finish if still buffering.
+        """
+        if self._count == 0:
+            raise ValueError("histogram is empty")
+        if self._calibrating:
+            xs = np.sort(np.asarray(self._raw, dtype=float))
+            ps = np.arange(1, len(xs) + 1) / len(xs)
+            return xs, ps
+        edges = self._lo + self._width * np.arange(1, self.num_bins + 1)
+        cum = np.cumsum(self._counts).astype(float)
+        if self._overflow:
+            overflow = np.sort(np.asarray(self._overflow, dtype=float))
+            edges = np.concatenate([edges, overflow])
+            cum = np.concatenate(
+                [cum, cum[-1] + np.arange(1, len(overflow) + 1)]
+            )
+        return edges, cum / self._count
+
+    def state(self) -> dict:
+        """JSON-serializable snapshot (persist runs across processes).
+
+        Round-trips exactly through :meth:`from_state`: counts, bounds,
+        overflow samples, calibration buffer, and exact moment
+        accumulators are all preserved.
+        """
+        return {
+            "num_bins": self.num_bins,
+            "calibration_size": self.calibration_size,
+            "overflow_rebin_fraction": self.overflow_rebin_fraction,
+            "range_margin": self.range_margin,
+            "calibrating": self._calibrating,
+            "raw": list(self._raw),
+            "counts": None if self._counts is None else self._counts.tolist(),
+            "lo": self._lo,
+            "hi": self._hi,
+            "overflow": list(self._overflow),
+            "count": self._count,
+            "sum": self._sum,
+            "min": self._min if self._count else None,
+            "max": self._max if self._count else None,
+            "rebin_events": self.rebin_events,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "AdaptiveHistogram":
+        """Rebuild a histogram from :meth:`state` output."""
+        hist = cls(
+            num_bins=state["num_bins"],
+            calibration_size=state["calibration_size"],
+            overflow_rebin_fraction=state["overflow_rebin_fraction"],
+            range_margin=state["range_margin"],
+        )
+        hist._calibrating = state["calibrating"]
+        hist._raw = list(state["raw"])
+        if state["counts"] is not None:
+            hist._counts = np.asarray(state["counts"], dtype=np.int64)
+        hist._lo = state["lo"]
+        hist._hi = state["hi"]
+        hist._width = (
+            (hist._hi - hist._lo) / hist.num_bins if not hist._calibrating else 0.0
+        )
+        hist._overflow = list(state["overflow"])
+        hist._count = state["count"]
+        hist._sum = state["sum"]
+        hist._min = state["min"] if state["min"] is not None else math.inf
+        hist._max = state["max"] if state["max"] is not None else -math.inf
+        hist.rebin_events = state["rebin_events"]
+        return hist
+
+    def merge(self, other: "AdaptiveHistogram") -> "AdaptiveHistogram":
+        """Pool two histograms into a new one (for ground-truth use).
+
+        Implemented by re-ingesting the other's mass at bin midpoints;
+        per-client *metric* aggregation (the statistically sound path)
+        lives in :mod:`repro.core.aggregation` instead.
+        """
+        merged = AdaptiveHistogram(
+            num_bins=self.num_bins,
+            calibration_size=self.calibration_size,
+            overflow_rebin_fraction=self.overflow_rebin_fraction,
+            range_margin=self.range_margin,
+        )
+        for hist in (self, other):
+            if hist._calibrating:
+                merged.extend(hist._raw)
+                continue
+            mids = hist._lo + hist._width * (np.arange(hist.num_bins) + 0.5)
+            for mid, c in zip(mids, hist._counts):
+                for _ in range(int(c)):
+                    merged.add(float(mid))
+            merged.extend(hist._overflow)
+        return merged

@@ -1,0 +1,116 @@
+"""Closed-form queueing theory used to validate the simulator.
+
+The paper leans on queueing results twice: Finding 1 cites the M/M/1
+variance of the number of outstanding requests (``rho / (1 - rho)^2``),
+and the whole open-loop argument is that the offered process must
+exercise the server's true queueing behaviour.  This module provides
+the classical formulas so tests can check the discrete-event substrate
+against theory on configurations where theory is exact:
+
+* M/M/1: sojourn-time distribution is exponential with rate
+  ``mu - lambda``, so every quantile is closed-form.
+* M/G/1: Pollaczek-Khinchine mean waiting time.
+* M/M/c (Erlang-C): waiting probability and mean wait, for multi-core
+  sanity checks.
+
+All times are in the same unit as the service time supplied.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "mm1_utilization",
+    "mm1_mean_sojourn",
+    "mm1_sojourn_quantile",
+    "mm1_outstanding_mean",
+    "mm1_outstanding_variance",
+    "mg1_mean_wait",
+    "erlang_c",
+    "mmc_mean_wait",
+]
+
+
+def _check_stability(rho: float) -> None:
+    if not 0.0 <= rho < 1.0:
+        raise ValueError(f"utilization must be in [0, 1) for a stable queue, got {rho}")
+
+
+def mm1_utilization(arrival_rate: float, service_time: float) -> float:
+    """rho = lambda * E[S]."""
+    if arrival_rate < 0 or service_time <= 0:
+        raise ValueError("need arrival_rate >= 0 and service_time > 0")
+    return arrival_rate * service_time
+
+
+def mm1_mean_sojourn(arrival_rate: float, service_time: float) -> float:
+    """E[T] = E[S] / (1 - rho)."""
+    rho = mm1_utilization(arrival_rate, service_time)
+    _check_stability(rho)
+    return service_time / (1.0 - rho)
+
+
+def mm1_sojourn_quantile(arrival_rate: float, service_time: float, q: float) -> float:
+    """The q-quantile of the M/M/1 sojourn time.
+
+    Sojourn is exponential with mean ``E[S]/(1-rho)``, so
+    ``T_q = -ln(1-q) * E[T]`` — e.g. p99 is ``ln(100) ~ 4.6`` times the
+    mean, the heavy-tail rule of thumb behind the paper's Finding 1.
+    """
+    if not 0.0 <= q < 1.0:
+        raise ValueError("q must be in [0, 1)")
+    return -math.log(1.0 - q) * mm1_mean_sojourn(arrival_rate, service_time)
+
+
+def mm1_outstanding_mean(rho: float) -> float:
+    """E[N] = rho / (1 - rho)."""
+    _check_stability(rho)
+    return rho / (1.0 - rho)
+
+
+def mm1_outstanding_variance(rho: float) -> float:
+    """Var[N] = rho / (1 - rho)^2 — the formula Finding 1 cites."""
+    _check_stability(rho)
+    return rho / (1.0 - rho) ** 2
+
+
+def mg1_mean_wait(arrival_rate: float, service_time: float, service_cv2: float) -> float:
+    """Pollaczek-Khinchine: E[W] = rho (1 + cv^2) E[S] / (2 (1 - rho)).
+
+    ``service_cv2`` is the squared coefficient of variation of the
+    service time (1 for exponential, 0 for deterministic).
+    """
+    if service_cv2 < 0:
+        raise ValueError("service_cv2 must be non-negative")
+    rho = mm1_utilization(arrival_rate, service_time)
+    _check_stability(rho)
+    return rho * (1.0 + service_cv2) * service_time / (2.0 * (1.0 - rho))
+
+
+def erlang_c(servers: int, offered_load: float) -> float:
+    """Erlang-C probability that an arrival must wait (M/M/c).
+
+    ``offered_load`` is ``lambda * E[S]`` in erlangs; stability requires
+    ``offered_load < servers``.
+    """
+    if servers < 1:
+        raise ValueError("servers must be >= 1")
+    if not 0.0 <= offered_load < servers:
+        raise ValueError("need 0 <= offered_load < servers for stability")
+    if offered_load == 0.0:
+        return 0.0
+    # Sum via the standard numerically stable recurrence.
+    inv_b = 1.0  # Erlang-B inverse for k = 0
+    for k in range(1, servers + 1):
+        inv_b = 1.0 + inv_b * k / offered_load
+    erlang_b = 1.0 / inv_b
+    rho = offered_load / servers
+    return erlang_b / (1.0 - rho + rho * erlang_b)
+
+
+def mmc_mean_wait(servers: int, arrival_rate: float, service_time: float) -> float:
+    """Mean waiting time in M/M/c: ``C(c, a) * E[S] / (c - a)``."""
+    offered = arrival_rate * service_time
+    pw = erlang_c(servers, offered)
+    return pw * service_time / (servers - offered)

@@ -1,0 +1,92 @@
+"""Descriptive summaries of latency samples, with honest uncertainty.
+
+A compact building block used by reports and notebooks: one call turns
+a raw latency array into the numbers a systems paper reports — moments,
+coefficient of variation, a quantile ladder with distribution-free
+confidence intervals, and the tail ratio (p99/p50) that signals how
+queueing-dominated the distribution is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from .quantile import order_statistic_ci
+
+__all__ = ["LatencySummary", "summarize"]
+
+DEFAULT_QUANTILES = (0.5, 0.9, 0.95, 0.99, 0.999)
+
+
+@dataclass
+class LatencySummary:
+    """Descriptive statistics of one latency sample."""
+
+    n: int
+    mean_us: float
+    std_us: float
+    cv: float
+    min_us: float
+    max_us: float
+    quantiles_us: Dict[float, float]
+    #: Distribution-free CIs per quantile (lower, upper).
+    quantile_cis: Dict[float, Tuple[float, float]]
+
+    @property
+    def tail_ratio(self) -> float:
+        """p99 over p50 — >4-5 signals queueing-dominated latency."""
+        p50 = self.quantiles_us.get(0.5)
+        p99 = self.quantiles_us.get(0.99)
+        if p50 is None or p99 is None or p50 == 0:
+            return float("nan")
+        return p99 / p50
+
+    def render(self) -> str:
+        lines = [
+            f"n={self.n}  mean={self.mean_us:.1f} us  sd={self.std_us:.1f}  "
+            f"cv={self.cv:.2f}  range=[{self.min_us:.1f}, {self.max_us:.1f}]"
+        ]
+        for q in sorted(self.quantiles_us):
+            lo, hi = self.quantile_cis[q]
+            lines.append(
+                f"  p{100 * q:g}: {self.quantiles_us[q]:9.1f} us  "
+                f"(95% CI {lo:.1f}..{hi:.1f})"
+            )
+        ratio = self.tail_ratio
+        if ratio == ratio:  # not NaN
+            lines.append(f"  tail ratio p99/p50: {ratio:.2f}")
+        return "\n".join(lines)
+
+
+def summarize(
+    samples: Sequence[float],
+    quantiles: Sequence[float] = DEFAULT_QUANTILES,
+    confidence: float = 0.95,
+) -> LatencySummary:
+    """Summarize a latency sample (microseconds)."""
+    arr = np.asarray(samples, dtype=float)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValueError("samples must be a non-empty 1-D array")
+    if not quantiles:
+        raise ValueError("need at least one quantile")
+    qs = sorted(set(float(q) for q in quantiles))
+    for q in qs:
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"quantile {q} outside (0, 1)")
+    mean = float(arr.mean())
+    std = float(arr.std(ddof=1)) if arr.size > 1 else 0.0
+    return LatencySummary(
+        n=int(arr.size),
+        mean_us=mean,
+        std_us=std,
+        cv=std / mean if mean > 0 else float("nan"),
+        min_us=float(arr.min()),
+        max_us=float(arr.max()),
+        quantiles_us={q: float(np.quantile(arr, q)) for q in qs},
+        quantile_cis={
+            q: order_statistic_ci(arr, q, confidence=confidence) for q in qs
+        },
+    )

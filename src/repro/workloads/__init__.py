@@ -1,0 +1,36 @@
+"""Services under test: memcached and mcrouter models plus the
+JSON-configurable request-characteristic generators."""
+
+from .base import Request, Workload, WorkProfile
+from .generators import (
+    Constant,
+    Discrete,
+    Distribution,
+    Exponential,
+    GeneralizedPareto,
+    Lognormal,
+    OperationMix,
+    Uniform,
+    distribution_from_spec,
+)
+from .memcached import MemcachedWorkload
+from .mcrouter import McrouterWorkload
+from .searchleaf import SearchLeafWorkload
+
+__all__ = [
+    "Request",
+    "Workload",
+    "WorkProfile",
+    "Constant",
+    "Discrete",
+    "Distribution",
+    "Exponential",
+    "GeneralizedPareto",
+    "Lognormal",
+    "OperationMix",
+    "Uniform",
+    "distribution_from_spec",
+    "MemcachedWorkload",
+    "McrouterWorkload",
+    "SearchLeafWorkload",
+]

@@ -1,0 +1,190 @@
+"""Workload abstractions: requests, work profiles, service models.
+
+A *workload* describes the service under test (memcached, mcrouter,
+...) as two pure functions:
+
+* :meth:`Workload.sample_request` — draw the next request a client
+  would send (operation mix, key/value sizes, wire sizes), and
+* :meth:`Workload.profile` — the server-side cost of one request,
+  expressed as a :class:`WorkProfile` of frequency-scalable compute,
+  fixed overhead, buffer memory accesses, and (for proxy workloads
+  like mcrouter) an asynchronous backend wait between two compute
+  phases.
+
+The split keeps load testers workload-agnostic — the paper's
+"generality" design goal, where integrating a new service into
+Treadmill takes under 200 lines.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+import numpy as np
+
+__all__ = ["Request", "WorkProfile", "Workload"]
+
+
+class Request:
+    """One request/response pair with its full timestamp trail.
+
+    Timestamps (all virtual microseconds, ``nan`` until stamped):
+
+    ==================  =====================================================
+    ``t_user_send``     load tester intended/issued the request (user space)
+    ``t_nic_send``      request left the client NIC (tcpdump TX point)
+    ``t_server_nic_in`` request arrived at the server NIC
+    ``t_service_start`` worker thread began servicing
+    ``t_service_end``   worker thread finished servicing
+    ``t_server_nic_out`` response left the server NIC
+    ``t_nic_recv``      response arrived at the client NIC (tcpdump RX point)
+    ``t_user_recv``     load tester's user-space callback ran
+    ==================  =====================================================
+
+    The latency decompositions of the paper's figures are all derived
+    properties of this trail.
+    """
+
+    __slots__ = (
+        "req_id",
+        "conn_id",
+        "client_name",
+        "op",
+        "key_size",
+        "value_size",
+        "request_bytes",
+        "response_bytes",
+        "t_user_send",
+        "t_nic_send",
+        "t_server_nic_in",
+        "t_service_start",
+        "t_service_end",
+        "t_server_nic_out",
+        "t_nic_recv",
+        "t_user_recv",
+    )
+
+    def __init__(
+        self,
+        req_id: int,
+        conn_id: int,
+        op: str,
+        key_size: int = 0,
+        value_size: int = 0,
+        request_bytes: int = 64,
+        response_bytes: int = 64,
+        client_name: str = "",
+    ):
+        self.req_id = req_id
+        self.conn_id = conn_id
+        self.client_name = client_name
+        self.op = op
+        self.key_size = key_size
+        self.value_size = value_size
+        self.request_bytes = request_bytes
+        self.response_bytes = response_bytes
+        nan = float("nan")
+        self.t_user_send = nan
+        self.t_nic_send = nan
+        self.t_server_nic_in = nan
+        self.t_service_start = nan
+        self.t_service_end = nan
+        self.t_server_nic_out = nan
+        self.t_nic_recv = nan
+        self.t_user_recv = nan
+
+    # -- derived latencies (Figs. 3, 5, 6) ------------------------------
+    @property
+    def user_latency_us(self) -> float:
+        """End-to-end latency as the load tester observes it."""
+        return self.t_user_recv - self.t_user_send
+
+    @property
+    def nic_latency_us(self) -> float:
+        """Ground-truth latency as tcpdump observes it at the client NIC."""
+        return self.t_nic_recv - self.t_nic_send
+
+    @property
+    def server_latency_us(self) -> float:
+        """Time between the request reaching and leaving the server NIC."""
+        return self.t_server_nic_out - self.t_server_nic_in
+
+    @property
+    def network_latency_us(self) -> float:
+        """Both directions of wire/switch time."""
+        return (self.t_server_nic_in - self.t_nic_send) + (
+            self.t_nic_recv - self.t_server_nic_out
+        )
+
+    @property
+    def client_latency_us(self) -> float:
+        """Client-side time: kernel path plus any client queueing."""
+        return (self.t_nic_send - self.t_user_send) + (
+            self.t_user_recv - self.t_nic_recv
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Request {self.req_id} conn={self.conn_id} op={self.op} "
+            f"user_latency={self.user_latency_us:.1f}us>"
+        )
+
+
+@dataclass
+class WorkProfile:
+    """Server-side cost of one request.
+
+    ``work_us`` scales inversely with core frequency; ``fixed_us`` does
+    not; ``mem_accesses`` is priced by the NUMA model at dispatch time.
+    Proxy workloads set ``backend_wait_us`` (an off-core asynchronous
+    wait) and ``post_work_us`` (the second on-core phase that assembles
+    the response when the backend answers).
+    """
+
+    work_us: float
+    fixed_us: float = 0.0
+    mem_accesses: float = 0.0
+    backend_wait_us: float = 0.0
+    post_work_us: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("work_us", "fixed_us", "mem_accesses", "backend_wait_us", "post_work_us"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    @property
+    def total_on_core_us(self) -> float:
+        """On-core time at base frequency, excluding memory accesses."""
+        return self.work_us + self.fixed_us + self.post_work_us
+
+
+class Workload(abc.ABC):
+    """Service model interface.  Implementations must be stateless with
+    respect to individual requests (all randomness flows through the
+    supplied generator) so that experiments are reproducible."""
+
+    #: Human-readable workload name (used in reports and stream names).
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def sample_request(
+        self, rng: np.random.Generator, req_id: int, conn_id: int
+    ) -> Request:
+        """Draw the next request a client sends on ``conn_id``."""
+
+    @abc.abstractmethod
+    def profile(self, request: Request, rng: np.random.Generator) -> WorkProfile:
+        """Server-side cost of ``request``."""
+
+    @abc.abstractmethod
+    def mean_service_us(self) -> float:
+        """Approximate mean on-core service time at base frequency.
+
+        Used only to translate a target utilization into an arrival
+        rate; the actual utilization is whatever the simulation
+        produces.
+        """
+
+    def describe(self) -> dict:
+        """Summary of the workload configuration for reports."""
+        return {"name": self.name}

@@ -1,0 +1,235 @@
+"""Configurable request-characteristic generators.
+
+The paper stresses that workload characteristics (GET/SET ratio,
+request-size distribution) strongly affect system performance, and that
+Treadmill therefore accepts a JSON configuration describing them
+(Section III-A, "Configurable workload").  This module provides the
+distribution vocabulary that configuration speaks: small, composable
+samplers constructed either directly or from a JSON-style dict via
+:func:`distribution_from_spec`.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Distribution",
+    "Constant",
+    "Uniform",
+    "Exponential",
+    "Lognormal",
+    "Discrete",
+    "GeneralizedPareto",
+    "distribution_from_spec",
+    "OperationMix",
+]
+
+
+class Distribution(abc.ABC):
+    """A sampler of non-negative values."""
+
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw one value."""
+
+    @abc.abstractmethod
+    def mean(self) -> float:
+        """Analytic mean (used for utilization sizing)."""
+
+    @abc.abstractmethod
+    def spec(self) -> Dict:
+        """JSON-serializable description round-trippable through
+        :func:`distribution_from_spec`."""
+
+
+class Constant(Distribution):
+    """Always the same value."""
+
+    def __init__(self, value: float):
+        if value < 0:
+            raise ValueError("value must be non-negative")
+        self.value = float(value)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self.value
+
+    def mean(self) -> float:
+        return self.value
+
+    def spec(self) -> Dict:
+        return {"type": "constant", "value": self.value}
+
+
+class Uniform(Distribution):
+    """Uniform on [low, high]."""
+
+    def __init__(self, low: float, high: float):
+        if not 0 <= low <= high:
+            raise ValueError(f"need 0 <= low <= high, got [{low}, {high}]")
+        self.low = float(low)
+        self.high = float(high)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self.low, self.high))
+
+    def mean(self) -> float:
+        return (self.low + self.high) / 2.0
+
+    def spec(self) -> Dict:
+        return {"type": "uniform", "low": self.low, "high": self.high}
+
+
+class Exponential(Distribution):
+    """Exponential with the given mean."""
+
+    def __init__(self, mean: float):
+        if mean <= 0:
+            raise ValueError("mean must be positive")
+        self._mean = float(mean)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(self._mean))
+
+    def mean(self) -> float:
+        return self._mean
+
+    def spec(self) -> Dict:
+        return {"type": "exponential", "mean": self._mean}
+
+
+class Lognormal(Distribution):
+    """Lognormal parameterized by its (linear-space) mean and sigma.
+
+    Value sizes in production key-value stores are heavy-tailed; the
+    paper's workload-analysis citation (Atikoglu et al.) fits them
+    lognormally, so this is the default value-size family.
+    """
+
+    def __init__(self, mean: float, sigma: float):
+        if mean <= 0 or sigma < 0:
+            raise ValueError("need mean > 0 and sigma >= 0")
+        self._mean = float(mean)
+        self.sigma = float(sigma)
+        # E[lognormal(mu, sigma)] = exp(mu + sigma^2/2)
+        self._mu = math.log(self._mean) - 0.5 * self.sigma**2
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.lognormal(self._mu, self.sigma))
+
+    def mean(self) -> float:
+        return self._mean
+
+    def spec(self) -> Dict:
+        return {"type": "lognormal", "mean": self._mean, "sigma": self.sigma}
+
+
+class GeneralizedPareto(Distribution):
+    """Pareto-tailed sizes for stress configurations.
+
+    ``scale * (U^(-1/alpha) - 1)`` with ``alpha > 1`` so the mean
+    exists.
+    """
+
+    def __init__(self, scale: float, alpha: float):
+        if scale <= 0 or alpha <= 1:
+            raise ValueError("need scale > 0 and alpha > 1 (finite mean)")
+        self.scale = float(scale)
+        self.alpha = float(alpha)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        u = rng.random()
+        return self.scale * (u ** (-1.0 / self.alpha) - 1.0)
+
+    def mean(self) -> float:
+        return self.scale / (self.alpha - 1.0)
+
+    def spec(self) -> Dict:
+        return {"type": "pareto", "scale": self.scale, "alpha": self.alpha}
+
+
+class Discrete(Distribution):
+    """Weighted choice over a fixed set of values."""
+
+    def __init__(self, values: Sequence[float], weights: Sequence[float]):
+        if len(values) != len(weights) or not values:
+            raise ValueError("values and weights must be equal-length and non-empty")
+        if any(w < 0 for w in weights) or sum(weights) <= 0:
+            raise ValueError("weights must be non-negative with positive sum")
+        self.values = [float(v) for v in values]
+        total = float(sum(weights))
+        self.weights = [float(w) / total for w in weights]
+        self._cum = np.cumsum(self.weights)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        u = rng.random()
+        idx = int(np.searchsorted(self._cum, u, side="right"))
+        return self.values[min(idx, len(self.values) - 1)]
+
+    def mean(self) -> float:
+        return float(sum(v * w for v, w in zip(self.values, self.weights)))
+
+    def spec(self) -> Dict:
+        return {"type": "discrete", "values": self.values, "weights": self.weights}
+
+
+_SPEC_BUILDERS = {
+    "constant": lambda s: Constant(s["value"]),
+    "uniform": lambda s: Uniform(s["low"], s["high"]),
+    "exponential": lambda s: Exponential(s["mean"]),
+    "lognormal": lambda s: Lognormal(s["mean"], s["sigma"]),
+    "pareto": lambda s: GeneralizedPareto(s["scale"], s["alpha"]),
+    "discrete": lambda s: Discrete(s["values"], s["weights"]),
+}
+
+
+def distribution_from_spec(spec: Dict) -> Distribution:
+    """Build a :class:`Distribution` from a JSON-style dict.
+
+    Example::
+
+        distribution_from_spec({"type": "lognormal", "mean": 120, "sigma": 1.2})
+    """
+    if not isinstance(spec, dict) or "type" not in spec:
+        raise ValueError(f"distribution spec must be a dict with a 'type': {spec!r}")
+    kind = spec["type"]
+    builder = _SPEC_BUILDERS.get(kind)
+    if builder is None:
+        known = ", ".join(sorted(_SPEC_BUILDERS))
+        raise ValueError(f"unknown distribution type {kind!r} (known: {known})")
+    try:
+        return builder(spec)
+    except KeyError as exc:
+        raise ValueError(f"distribution spec {spec!r} missing field {exc}") from None
+
+
+class OperationMix:
+    """A weighted mix of operation names (e.g. GET 90% / SET 10%)."""
+
+    def __init__(self, weights: Dict[str, float]):
+        if not weights:
+            raise ValueError("operation mix must not be empty")
+        if any(w < 0 for w in weights.values()) or sum(weights.values()) <= 0:
+            raise ValueError("weights must be non-negative with positive sum")
+        total = float(sum(weights.values()))
+        self.ops: List[str] = sorted(weights)
+        self.probs: List[float] = [weights[op] / total for op in self.ops]
+        self._cum = np.cumsum(self.probs)
+
+    def sample(self, rng: np.random.Generator) -> str:
+        u = rng.random()
+        idx = int(np.searchsorted(self._cum, u, side="right"))
+        return self.ops[min(idx, len(self.ops) - 1)]
+
+    def probability(self, op: str) -> float:
+        try:
+            return self.probs[self.ops.index(op)]
+        except ValueError:
+            return 0.0
+
+    def spec(self) -> Dict[str, float]:
+        return {op: p for op, p in zip(self.ops, self.probs)}

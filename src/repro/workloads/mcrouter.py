@@ -1,0 +1,149 @@
+"""Mcrouter service model.
+
+The paper's second workload: Facebook's memcached protocol router.
+Per its description (and Finding 8), mcrouter's cost structure differs
+from memcached's in ways that matter to the attribution results:
+
+* A large fraction of its work is **deserializing the request from
+  network packets** — pure CPU, so strongly frequency-sensitive.
+  This is why Turbo Boost helps mcrouter disproportionately at low
+  load (thermal headroom available) in Fig. 10.
+* After routing, the request is **forwarded to a backend** memcached
+  pool; the router thread waits asynchronously and then runs a second,
+  shorter on-core phase assembling the response.
+* It touches less connection-buffer memory per request than memcached
+  (it proxies rather than stores), so the ``numa`` factor has a
+  smaller effect — compare Fig. 10 against Fig. 8.
+
+Absolute latencies are lower than memcached's in the paper's Fig. 9
+(y-axis to ~200 us vs ~600 us); the backend wait is off-core, so the
+router reaches the same *CPU* utilization at a lower end-to-end
+latency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from .base import Request, Workload, WorkProfile
+from .generators import Distribution, Exponential, Lognormal, OperationMix, Uniform
+
+__all__ = ["McrouterWorkload"]
+
+_PROTOCOL_OVERHEAD_BYTES = 48
+
+
+class McrouterWorkload(Workload):
+    """Protocol-router model: deserialize -> route -> backend -> reply.
+
+    Parameters
+    ----------
+    deserialize_us_per_kb:
+        Frequency-scalable parse cost per KiB of request payload; the
+        dominant, turbo-sensitive term.
+    route_work_us:
+        Frequency-scalable routing/hashing floor per request.
+    backend_wait:
+        Distribution of the off-core backend round-trip.
+    reply_work_us:
+        Second on-core phase (response assembly) at base frequency.
+    """
+
+    name = "mcrouter"
+
+    def __init__(
+        self,
+        get_fraction: float = 0.9,
+        key_size: Optional[Distribution] = None,
+        value_size: Optional[Distribution] = None,
+        deserialize_us_per_kb: float = 11.0,
+        route_work_us: float = 3.2,
+        reply_work_us: float = 1.2,
+        backend_wait: Optional[Distribution] = None,
+        mem_accesses_base: float = 3.0,
+        fixed_us: float = 0.8,
+        service_noise_sigma: float = 0.6,
+        backend_pool=None,
+    ):
+        if not 0.0 <= get_fraction <= 1.0:
+            raise ValueError("get_fraction must be in [0, 1]")
+        self.mix = OperationMix({"get": get_fraction, "set": 1.0 - get_fraction})
+        self.key_size = key_size or Uniform(16, 40)
+        self.value_size = value_size or Lognormal(mean=160.0, sigma=1.0)
+        self.deserialize_us_per_kb = deserialize_us_per_kb
+        self.route_work_us = route_work_us
+        self.reply_work_us = reply_work_us
+        self.backend_wait = backend_wait or Exponential(mean=7.0)
+        #: Optional repro.sim.backends.BackendPool; when set, backend
+        #: waits come from simulated FIFO cache servers (load-
+        #: dependent) instead of the fixed distribution above.
+        self.backend_pool = backend_pool
+        self.mem_accesses_base = mem_accesses_base
+        self.fixed_us = fixed_us
+        self.service_noise_sigma = service_noise_sigma
+        self._noise_mu = -0.5 * service_noise_sigma**2
+
+    def sample_request(
+        self, rng: np.random.Generator, req_id: int, conn_id: int
+    ) -> Request:
+        op = self.mix.sample(rng)
+        key = max(1, int(round(self.key_size.sample(rng))))
+        value = max(1, int(round(self.value_size.sample(rng))))
+        if op == "get":
+            request_bytes = _PROTOCOL_OVERHEAD_BYTES + key
+            response_bytes = _PROTOCOL_OVERHEAD_BYTES + value
+        else:
+            request_bytes = _PROTOCOL_OVERHEAD_BYTES + key + value
+            response_bytes = _PROTOCOL_OVERHEAD_BYTES
+        return Request(
+            req_id=req_id,
+            conn_id=conn_id,
+            op=op,
+            key_size=key,
+            value_size=value,
+            request_bytes=request_bytes,
+            response_bytes=response_bytes,
+        )
+
+    def profile(self, request: Request, rng: np.random.Generator) -> WorkProfile:
+        kb = request.request_bytes / 1024.0
+        work = self.route_work_us + self.deserialize_us_per_kb * kb
+        reply = self.reply_work_us
+        if self.service_noise_sigma > 0:
+            noise = float(rng.lognormal(self._noise_mu, self.service_noise_sigma))
+            work *= noise
+            reply *= noise
+        if self.backend_pool is not None:
+            wait_us = self.backend_pool.sample_wait_us()
+        else:
+            wait_us = float(self.backend_wait.sample(rng))
+        return WorkProfile(
+            work_us=work,
+            fixed_us=self.fixed_us,
+            mem_accesses=self.mem_accesses_base,
+            backend_wait_us=wait_us,
+            post_work_us=reply,
+        )
+
+    def mean_service_us(self) -> float:
+        get_p = self.mix.probability("get")
+        mean_req_bytes = _PROTOCOL_OVERHEAD_BYTES + self.key_size.mean() + (
+            1.0 - get_p
+        ) * self.value_size.mean()
+        kb = mean_req_bytes / 1024.0
+        work = self.route_work_us + self.deserialize_us_per_kb * kb + self.reply_work_us
+        approx_mem = self.mem_accesses_base * 0.2
+        # The backend wait is off-core and deliberately excluded: this
+        # method sizes CPU utilization, not end-to-end latency.
+        return work + self.fixed_us + approx_mem
+
+    def describe(self) -> Dict:
+        return {
+            "name": self.name,
+            "mix": self.mix.spec(),
+            "deserialize_us_per_kb": self.deserialize_us_per_kb,
+            "backend_wait": self.backend_wait.spec(),
+            "mean_service_us": round(self.mean_service_us(), 2),
+        }

@@ -1,0 +1,154 @@
+"""Memcached service model.
+
+The paper's primary workload: an in-memory key-value cache with
+microsecond service times, dominated by hash-table lookup, slab/buffer
+memory accesses, and protocol handling.  The model below prices one
+request as
+
+* a frequency-scalable compute component (protocol parse + hash walk +
+  per-byte copy cost),
+* a set of connection-buffer memory accesses (priced by the NUMA model
+  at dispatch time — this is where the ``numa`` factor bites), and
+* a small fixed component (syscalls, locking).
+
+Default sizes follow the production characterization the paper cites
+(Atikoglu et al., SIGMETRICS'12): short keys, lognormal values, a
+GET-dominated mix.  Parameters are calibrated so that at ~70%
+utilization the simulated p50/p99 land in the paper's Table IV range
+(intercept 65 us / 355 us) — see EXPERIMENTS.md for measured values.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from .base import Request, Workload, WorkProfile
+from .generators import Distribution, Lognormal, OperationMix, Uniform
+
+__all__ = ["MemcachedWorkload"]
+
+#: Wire overhead of the memcached binary protocol per message.
+_PROTOCOL_OVERHEAD_BYTES = 48
+
+
+class MemcachedWorkload(Workload):
+    """GET/SET key-value service model.
+
+    Parameters
+    ----------
+    get_fraction:
+        Probability a request is a GET (paper-cited production mixes
+        are GET-heavy; default 0.9).
+    key_size / value_size:
+        Size distributions in bytes.
+    base_work_us:
+        Frequency-scalable compute floor per request (parse, hash,
+        dispatch) before per-byte costs.
+    work_per_kb_us:
+        Additional compute per KiB of value moved.
+    mem_accesses_base / mem_accesses_per_kb:
+        Connection-buffer memory accesses priced by the NUMA model.
+    set_work_factor:
+        SETs do more work than GETs (allocation, LRU update).
+    service_noise_sigma:
+        Lognormal multiplicative noise on compute work (cache/branch
+        luck), giving the within-run service-time variance an M/G/1
+        needs.
+    """
+
+    name = "memcached"
+
+    def __init__(
+        self,
+        get_fraction: float = 0.9,
+        key_size: Optional[Distribution] = None,
+        value_size: Optional[Distribution] = None,
+        base_work_us: float = 5.0,
+        work_per_kb_us: float = 3.0,
+        mem_accesses_base: float = 10.0,
+        mem_accesses_per_kb: float = 8.0,
+        set_work_factor: float = 1.25,
+        fixed_us: float = 0.6,
+        service_noise_sigma: float = 0.8,
+    ):
+        if not 0.0 <= get_fraction <= 1.0:
+            raise ValueError("get_fraction must be in [0, 1]")
+        if service_noise_sigma < 0:
+            raise ValueError("service_noise_sigma must be non-negative")
+        self.mix = OperationMix({"get": get_fraction, "set": 1.0 - get_fraction})
+        self.key_size = key_size or Uniform(16, 40)
+        self.value_size = value_size or Lognormal(mean=160.0, sigma=1.0)
+        self.base_work_us = base_work_us
+        self.work_per_kb_us = work_per_kb_us
+        self.mem_accesses_base = mem_accesses_base
+        self.mem_accesses_per_kb = mem_accesses_per_kb
+        self.set_work_factor = set_work_factor
+        self.fixed_us = fixed_us
+        self.service_noise_sigma = service_noise_sigma
+        # Lognormal(mu, sigma) has mean exp(mu + s^2/2); offset mu so the
+        # noise multiplier has mean exactly 1 and does not shift the
+        # calibrated utilization.
+        self._noise_mu = -0.5 * service_noise_sigma**2
+
+    # ------------------------------------------------------------------
+    # client side
+    # ------------------------------------------------------------------
+    def sample_request(
+        self, rng: np.random.Generator, req_id: int, conn_id: int
+    ) -> Request:
+        op = self.mix.sample(rng)
+        key = int(round(self.key_size.sample(rng)))
+        value = int(round(self.value_size.sample(rng)))
+        key = max(1, key)
+        value = max(1, value)
+        if op == "get":
+            request_bytes = _PROTOCOL_OVERHEAD_BYTES + key
+            response_bytes = _PROTOCOL_OVERHEAD_BYTES + value
+        else:  # set carries the value out, gets a small ack back
+            request_bytes = _PROTOCOL_OVERHEAD_BYTES + key + value
+            response_bytes = _PROTOCOL_OVERHEAD_BYTES
+        return Request(
+            req_id=req_id,
+            conn_id=conn_id,
+            op=op,
+            key_size=key,
+            value_size=value,
+            request_bytes=request_bytes,
+            response_bytes=response_bytes,
+        )
+
+    # ------------------------------------------------------------------
+    # server side
+    # ------------------------------------------------------------------
+    def profile(self, request: Request, rng: np.random.Generator) -> WorkProfile:
+        kb = request.value_size / 1024.0
+        work = self.base_work_us + self.work_per_kb_us * kb
+        if request.op == "set":
+            work *= self.set_work_factor
+        if self.service_noise_sigma > 0:
+            work *= float(rng.lognormal(self._noise_mu, self.service_noise_sigma))
+        accesses = self.mem_accesses_base + self.mem_accesses_per_kb * kb
+        return WorkProfile(work_us=work, fixed_us=self.fixed_us, mem_accesses=accesses)
+
+    def mean_service_us(self) -> float:
+        mean_kb = self.value_size.mean() / 1024.0
+        get_p = self.mix.probability("get")
+        work = self.base_work_us + self.work_per_kb_us * mean_kb
+        work *= get_p + (1.0 - get_p) * self.set_work_factor
+        # Memory accesses priced at a typical mid-load mixed-locality
+        # cost; this only seeds the utilization->rate conversion.
+        accesses = self.mem_accesses_base + self.mem_accesses_per_kb * mean_kb
+        approx_mem = accesses * 0.12 + 0.5
+        return work + self.fixed_us + approx_mem
+
+    def describe(self) -> Dict:
+        return {
+            "name": self.name,
+            "mix": self.mix.spec(),
+            "key_size": self.key_size.spec(),
+            "value_size": self.value_size.spec(),
+            "base_work_us": self.base_work_us,
+            "mean_service_us": round(self.mean_service_us(), 2),
+        }

@@ -1,0 +1,113 @@
+"""Unit tests for cross-client aggregation (sound path and pitfall)."""
+
+import numpy as np
+import pytest
+
+from repro.core.aggregation import (
+    aggregate_quantile,
+    client_share_by_latency,
+    per_instance_quantiles,
+    pooled_quantile,
+)
+
+
+def balanced_clients(seed=0):
+    rng = np.random.default_rng(seed)
+    return {f"c{i}": rng.exponential(50.0, size=2000) for i in range(4)}
+
+
+def with_outlier(seed=0):
+    samples = balanced_clients(seed)
+    rng = np.random.default_rng(seed + 1)
+    samples["outlier"] = rng.exponential(50.0, size=2000) + rng.exponential(
+        400.0, size=2000
+    )
+    return samples
+
+
+class TestPerInstance:
+    def test_per_instance_quantiles(self):
+        samples = balanced_clients()
+        metrics = per_instance_quantiles(samples, 0.99)
+        for name, arr in samples.items():
+            assert metrics[name] == pytest.approx(np.quantile(arr, 0.99))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            per_instance_quantiles({}, 0.5)
+        with pytest.raises(ValueError):
+            per_instance_quantiles({"c": []}, 0.5)
+
+
+class TestAggregateQuantile:
+    def test_mean_combiner(self):
+        samples = balanced_clients()
+        expected = np.mean(
+            [np.quantile(a, 0.99) for a in samples.values()]
+        )
+        assert aggregate_quantile(samples, 0.99, "mean") == pytest.approx(expected)
+
+    def test_median_combiner_robust_to_outlier(self):
+        samples = with_outlier()
+        med = aggregate_quantile(samples, 0.99, "median")
+        outlier_p99 = np.quantile(samples["outlier"], 0.99)
+        assert med < outlier_p99 / 2
+
+    def test_unknown_combiner_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_quantile(balanced_clients(), 0.5, "harmonic")
+
+    def test_max_min_combiners(self):
+        samples = balanced_clients()
+        assert aggregate_quantile(samples, 0.5, "max") >= aggregate_quantile(
+            samples, 0.5, "min"
+        )
+
+
+class TestPooledQuantileBias:
+    def test_pooled_tracks_outlier_client(self):
+        """The Fig. 2 bias: the pooled p99 is far above the robust
+        per-instance aggregate when one client is skewed."""
+        samples = with_outlier()
+        pooled = pooled_quantile(samples, 0.99)
+        sound = aggregate_quantile(samples, 0.99, "median")
+        assert pooled > 1.5 * sound
+
+    def test_pooled_equals_sound_for_identical_clients(self):
+        rng = np.random.default_rng(5)
+        base = rng.exponential(50.0, size=40_000)
+        samples = {f"c{i}": base.copy() for i in range(4)}
+        pooled = pooled_quantile(samples, 0.99)
+        sound = aggregate_quantile(samples, 0.99, "mean")
+        assert pooled == pytest.approx(sound, rel=0.02)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            pooled_quantile({}, 0.5)
+
+
+class TestClientShare:
+    def test_shares_sum_to_one_in_occupied_bins(self):
+        samples = with_outlier()
+        shares = client_share_by_latency(samples, num_bins=30)
+        names = [k for k in shares if k != "edges"]
+        totals = np.sum([shares[n] for n in names], axis=0)
+        occupied = totals > 0
+        assert np.allclose(totals[occupied], 1.0)
+
+    def test_outlier_owns_the_tail(self):
+        samples = with_outlier()
+        shares = client_share_by_latency(samples, num_bins=30)
+        # The topmost occupied bins should be dominated by the outlier.
+        names = [k for k in shares if k != "edges"]
+        totals = np.sum([shares[n] for n in names], axis=0)
+        top = np.where(totals > 0)[0][-3:]
+        assert shares["outlier"][top].mean() > 0.9
+
+    def test_bad_bins_rejected(self):
+        with pytest.raises(ValueError):
+            client_share_by_latency(balanced_clients(), num_bins=1)
+
+    def test_edges_ascending(self):
+        shares = client_share_by_latency(balanced_clients(), num_bins=20)
+        assert (np.diff(shares["edges"]) > 0).all()

@@ -1,0 +1,104 @@
+"""Unit tests for inter-arrival processes."""
+
+import numpy as np
+import pytest
+
+from repro.core.arrival import (
+    BurstyArrivals,
+    DeterministicArrivals,
+    LognormalArrivals,
+    PoissonArrivals,
+    arrival_from_spec,
+)
+
+
+RNG = np.random.default_rng(0)
+
+
+def gaps(process, n=20_000, seed=1):
+    rng = np.random.default_rng(seed)
+    return np.array([process.next_gap_us(rng) for _ in range(n)])
+
+
+class TestPoisson:
+    def test_mean_gap_matches_rate(self):
+        p = PoissonArrivals(rate_rps=100_000)
+        assert p.mean_gap_us == pytest.approx(10.0)
+        assert gaps(p).mean() == pytest.approx(10.0, rel=0.05)
+
+    def test_exponential_shape(self):
+        """CV of exponential gaps is 1."""
+        g = gaps(PoissonArrivals(50_000))
+        assert g.std() / g.mean() == pytest.approx(1.0, rel=0.05)
+
+    def test_zero_rate_rejected(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(0.0)
+
+
+class TestDeterministic:
+    def test_constant_gaps(self):
+        p = DeterministicArrivals(10_000)
+        g = gaps(p, n=100)
+        assert np.allclose(g, 100.0)
+
+
+class TestLognormal:
+    def test_mean_and_cv(self):
+        p = LognormalArrivals(10_000, cv=2.0)
+        g = gaps(p, n=100_000)
+        assert g.mean() == pytest.approx(100.0, rel=0.05)
+        assert g.std() / g.mean() == pytest.approx(2.0, rel=0.1)
+
+    def test_bad_cv_rejected(self):
+        with pytest.raises(ValueError):
+            LognormalArrivals(1000, cv=0.0)
+
+
+class TestBursty:
+    def test_average_rate_preserved(self):
+        p = BurstyArrivals(10_000, burst_factor=5.0, burst_fraction=0.1)
+        g = gaps(p, n=200_000)
+        assert g.mean() == pytest.approx(100.0, rel=0.15)
+
+    def test_burstier_than_poisson(self):
+        bursty = gaps(
+            BurstyArrivals(10_000, burst_factor=10.0, burst_fraction=0.1), n=100_000
+        )
+        poisson = gaps(PoissonArrivals(10_000), n=100_000)
+        assert bursty.std() / bursty.mean() > poisson.std() / poisson.mean()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BurstyArrivals(1000, burst_factor=1.0)
+        with pytest.raises(ValueError):
+            BurstyArrivals(1000, burst_fraction=0.0)
+
+
+class TestSpecs:
+    @pytest.mark.parametrize(
+        "process",
+        [
+            PoissonArrivals(1000),
+            DeterministicArrivals(1000),
+            LognormalArrivals(1000, cv=1.5),
+            BurstyArrivals(1000, burst_factor=3.0),
+        ],
+        ids=lambda p: type(p).__name__,
+    )
+    def test_round_trip(self, process):
+        rebuilt = arrival_from_spec(process.spec())
+        assert type(rebuilt) is type(process)
+        assert rebuilt.rate_rps == process.rate_rps
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError):
+            arrival_from_spec({"type": "weibull", "rate_rps": 1})
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(ValueError):
+            arrival_from_spec({"type": "poisson"})
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ValueError):
+            arrival_from_spec("poisson")

@@ -1,0 +1,109 @@
+"""Tests for the load-dependent backend pool."""
+
+import numpy as np
+import pytest
+
+from repro.core.bench import BenchConfig, TestBench
+from repro.core.treadmill import TreadmillConfig, TreadmillInstance
+from repro.sim.backends import BackendPool, BackendPoolConfig
+from repro.sim.engine import Simulator
+from repro.workloads.mcrouter import McrouterWorkload
+
+
+class TestPoolMechanics:
+    def make(self, servers=2, service=10.0, rtt=5.0, seed=0):
+        sim = Simulator()
+        pool = BackendPool(
+            sim,
+            BackendPoolConfig(servers=servers, service_mean_us=service, rtt_us=rtt),
+            np.random.default_rng(seed),
+        )
+        return sim, pool
+
+    def test_wait_includes_rtt_floor(self):
+        sim, pool = self.make(rtt=5.0)
+        assert pool.sample_wait_us() >= 5.0
+
+    def test_idle_pool_has_no_queueing(self):
+        sim, pool = self.make()
+        pool.sample_wait_us()
+        sim.run_until(100_000.0)  # backends fully drain
+        pool.sample_wait_us()
+        assert pool.mean_queue_us() == 0.0
+
+    def test_burst_queues_behind_in_flight_work(self):
+        """Many simultaneous requests to a small pool must queue."""
+        sim, pool = self.make(servers=1, service=10.0)
+        waits = [pool.sample_wait_us() for _ in range(20)]
+        # Later requests wait behind earlier service times.
+        assert waits[-1] > waits[0]
+        assert pool.mean_queue_us() > 0.0
+
+    def test_bigger_pool_less_queueing(self):
+        def total_wait(servers):
+            sim, pool = self.make(servers=servers, seed=3)
+            return sum(pool.sample_wait_us() for _ in range(50))
+
+        assert total_wait(16) < total_wait(1)
+
+    def test_utilization_bounded(self):
+        sim, pool = self.make()
+        for _ in range(10):
+            pool.sample_wait_us()
+        sim.run_until(10.0)
+        assert 0.0 <= pool.utilization() <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BackendPoolConfig(servers=0)
+        with pytest.raises(ValueError):
+            BackendPoolConfig(service_mean_us=0.0)
+        with pytest.raises(ValueError):
+            BackendPoolConfig(rtt_us=-1.0)
+
+
+class TestMcrouterIntegration:
+    def run_router(self, utilization, pool_servers, seed=6, samples=2000):
+        bench_probe = TestBench(
+            BenchConfig(workload=McrouterWorkload(), seed=seed)
+        )
+        rate = bench_probe.server.arrival_rate_for_utilization(utilization) * 1e6
+
+        bench = TestBench(BenchConfig(workload=McrouterWorkload(), seed=seed))
+        pool = BackendPool(
+            bench.sim,
+            BackendPoolConfig(servers=pool_servers),
+            bench.rng.stream("backends"),
+        )
+        bench.config.workload.backend_pool = pool
+        inst = TreadmillInstance(
+            bench,
+            "tm0",
+            TreadmillConfig(
+                rate_rps=rate,
+                connections=8,
+                warmup_samples=200,
+                measurement_samples=samples,
+                keep_raw=True,
+            ),
+        )
+        inst.start()
+        bench.run_to_completion([inst])
+        return pool, inst.report()
+
+    def test_pool_routes_all_requests(self):
+        pool, report = self.run_router(0.3, pool_servers=8)
+        assert pool.requests_routed >= report.responses_recorded
+
+    def test_backend_queueing_grows_with_router_load(self):
+        """The point of the pool: backend waits are load-dependent."""
+        pool_light, _ = self.run_router(0.15, pool_servers=2)
+        pool_heavy, _ = self.run_router(0.6, pool_servers=2)
+        assert pool_heavy.mean_queue_us() > pool_light.mean_queue_us()
+
+    def test_small_pool_inflates_router_tail(self):
+        _, small = self.run_router(0.5, pool_servers=1, seed=7)
+        _, big = self.run_router(0.5, pool_servers=32, seed=7)
+        p99_small = float(np.quantile(small.raw_samples, 0.99))
+        p99_big = float(np.quantile(big.raw_samples, 0.99))
+        assert p99_small > p99_big

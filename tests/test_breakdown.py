@@ -1,0 +1,96 @@
+"""Tests for the per-quantile latency breakdown."""
+
+import numpy as np
+import pytest
+
+from repro.core.breakdown import breakdown_at_quantile
+from repro.core.bench import BenchConfig, TestBench
+from repro.core.treadmill import TreadmillConfig, TreadmillInstance
+from repro.workloads.memcached import MemcachedWorkload
+
+
+def synthetic_components(n=20_000, seed=0):
+    rng = np.random.default_rng(seed)
+    return {
+        "server": rng.exponential(50.0, size=n),
+        "network": np.full(n, 12.0),
+        "client": np.full(n, 31.0),
+    }
+
+
+class TestBreakdown:
+    def test_total_matches_quantile_of_sum(self):
+        comps = synthetic_components()
+        bd = breakdown_at_quantile(comps, 0.99)
+        total = np.sum(list(comps.values()), axis=0)
+        assert bd.total_us == pytest.approx(np.quantile(total, 0.99))
+
+    def test_tail_attributed_to_variable_component(self):
+        """With constant network/client, the p99 overage must be
+        attributed to the server."""
+        bd = breakdown_at_quantile(synthetic_components(), 0.99)
+        assert bd.dominant() == "server"
+        assert bd.components_us["network"] == pytest.approx(12.0)
+        assert bd.components_us["client"] == pytest.approx(31.0)
+
+    def test_shares_sum_to_one(self):
+        bd = breakdown_at_quantile(synthetic_components(), 0.95)
+        assert sum(bd.share(c) for c in bd.components_us) == pytest.approx(1.0)
+
+    def test_component_means_sum_to_conditioned_total(self):
+        comps = synthetic_components()
+        bd = breakdown_at_quantile(comps, 0.9, window=0.01)
+        summed = sum(bd.components_us.values())
+        assert summed == pytest.approx(bd.total_us, rel=0.05)
+
+    def test_median_vs_tail_attribution_differ(self):
+        """At the median the fixed client path dominates; at the tail
+        the server queueing does — the paper's whole point about
+        needing per-quantile attribution."""
+        comps = synthetic_components()
+        mid = breakdown_at_quantile(comps, 0.5)
+        tail = breakdown_at_quantile(comps, 0.99)
+        assert tail.share("server") > mid.share("server")
+
+    def test_validation(self):
+        comps = synthetic_components(n=100)
+        with pytest.raises(ValueError):
+            breakdown_at_quantile({}, 0.5)
+        with pytest.raises(ValueError):
+            breakdown_at_quantile(comps, 1.5)
+        with pytest.raises(ValueError):
+            breakdown_at_quantile(comps, 0.99, window=0.5)
+        with pytest.raises(ValueError):
+            breakdown_at_quantile({"a": [1.0], "b": [1.0, 2.0]}, 0.5)
+
+    def test_degenerate_distribution(self):
+        comps = {"a": np.full(50, 10.0), "b": np.full(50, 5.0)}
+        bd = breakdown_at_quantile(comps, 0.9, window=0.05)
+        assert bd.components_us["a"] == pytest.approx(10.0)
+
+
+class TestEndToEnd:
+    def test_breakdown_from_real_measurement(self):
+        bench = TestBench(BenchConfig(workload=MemcachedWorkload(), seed=9))
+        rate = bench.server.arrival_rate_for_utilization(0.75) * 1e6
+        inst = TreadmillInstance(
+            bench,
+            "tm0",
+            TreadmillConfig(
+                rate_rps=rate,
+                connections=16,
+                warmup_samples=200,
+                measurement_samples=3000,
+                keep_components=True,
+            ),
+        )
+        inst.start()
+        bench.run_to_completion([inst])
+        comps = inst.report().components
+        mid = breakdown_at_quantile(comps, 0.5)
+        tail = breakdown_at_quantile(comps, 0.99)
+        # At high utilization the server owns the tail.
+        assert tail.dominant() == "server"
+        assert tail.share("server") > mid.share("server")
+        # The client path is the ~30 us kernel constant at both points.
+        assert mid.components_us["client"] == pytest.approx(31.0, abs=5.0)

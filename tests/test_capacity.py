@@ -1,0 +1,84 @@
+"""Tests for the SLO capacity planner."""
+
+import pytest
+
+from repro.core.capacity import find_max_load
+from repro.workloads.memcached import MemcachedWorkload
+
+
+@pytest.fixture(scope="module")
+def search():
+    return find_max_load(
+        MemcachedWorkload(),
+        slo_us=160.0,
+        quantile=0.99,
+        tolerance=0.06,
+        runs_per_probe=2,
+        samples_per_instance=1000,
+        seed=3,
+    )
+
+
+class TestSearch:
+    def test_finds_a_feasible_operating_point(self, search):
+        assert search.feasible
+        assert 0.05 <= search.max_utilization < 0.92
+
+    def test_operating_point_meets_slo(self, search):
+        assert search.achieved_us <= search.slo_us
+        assert 0.0 <= search.headroom_pct() <= 100.0
+
+    def test_probes_monotone_in_load(self, search):
+        """Within the bisection trace, higher utilization probes show
+        higher (or comparable) tails — the monotonicity the search
+        relies on, checked loosely against run noise."""
+        probes = sorted(search.probes, key=lambda p: p.utilization)
+        assert probes[-1].metric_us > probes[0].metric_us
+
+    def test_bisection_brackets_the_boundary(self, search):
+        """The best feasible point must sit below some infeasible probe."""
+        infeasible = [p for p in search.probes if not p.meets_slo]
+        assert infeasible
+        assert all(p.utilization > search.max_utilization for p in infeasible)
+
+    def test_probe_count_bounded_by_bisection(self, search):
+        # lo + hi + at most ceil(log2((hi-lo)/tol)) midpoints.
+        assert len(search.probes) <= 2 + 5
+
+
+class TestEdges:
+    def test_infeasible_slo(self):
+        result = find_max_load(
+            MemcachedWorkload(),
+            slo_us=10.0,  # below the kernel path alone
+            tolerance=0.2,
+            runs_per_probe=1,
+            samples_per_instance=400,
+            seed=4,
+        )
+        assert not result.feasible
+        assert result.max_utilization == 0.0
+
+    def test_trivially_feasible_slo(self):
+        result = find_max_load(
+            MemcachedWorkload(),
+            slo_us=100_000.0,
+            tolerance=0.2,
+            runs_per_probe=1,
+            samples_per_instance=400,
+            seed=5,
+        )
+        assert result.feasible
+        assert result.max_utilization == pytest.approx(0.92)
+        assert len(result.probes) == 2  # lo + hi, no bisection needed
+
+    def test_validation(self):
+        wl = MemcachedWorkload()
+        with pytest.raises(ValueError):
+            find_max_load(wl, slo_us=0.0)
+        with pytest.raises(ValueError):
+            find_max_load(wl, slo_us=100.0, quantile=1.5)
+        with pytest.raises(ValueError):
+            find_max_load(wl, slo_us=100.0, lo=0.9, hi=0.5)
+        with pytest.raises(ValueError):
+            find_max_load(wl, slo_us=100.0, tolerance=0.0)

@@ -1,0 +1,58 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_requires_known_artifact(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig99"])
+
+    def test_run_scale_choices(self):
+        args = build_parser().parse_args(["run", "fig1", "--scale", "quick"])
+        assert args.artifact == "fig1"
+        assert args.scale == "quick"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig1", "--scale", "enormous"])
+
+
+class TestCommands:
+    def test_list_prints_all_artifacts(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for artifact in ("fig1", "fig12", "tab1", "tab4"):
+            assert artifact in out
+
+    def test_hardware_prints_table2(self, capsys):
+        assert main(["hardware"]) == 0
+        out = capsys.readouterr().out
+        assert "Processor" in out
+        assert "NUMA" in out
+
+    def test_run_tab1(self, capsys):
+        assert main(["run", "tab1", "--scale", "quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Treadmill" in out
+        assert "regenerated at scale=quick" in out
+
+    def test_run_fig1_quick(self, capsys):
+        assert main(["run", "fig1", "--scale", "quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Open-Loop" in out
+
+
+class TestOutFile:
+    def test_run_writes_report_file(self, capsys, tmp_path):
+        from repro.cli import main
+
+        out = tmp_path / "tab1.txt"
+        assert main(["run", "tab1", "--scale", "quick", "--out", str(out)]) == 0
+        text = out.read_text()
+        assert "Treadmill" in text
+        assert "Table I" in text

@@ -1,0 +1,121 @@
+"""Unit tests for JSON workload/tester configuration."""
+
+import json
+
+import pytest
+
+from repro.core.config import (
+    load_json,
+    treadmill_config_from_json,
+    workload_from_json,
+)
+from repro.workloads.generators import Lognormal, Uniform
+from repro.workloads.mcrouter import McrouterWorkload
+from repro.workloads.memcached import MemcachedWorkload
+
+
+class TestLoadJson:
+    def test_accepts_dict(self):
+        assert load_json({"a": 1}) == {"a": 1}
+
+    def test_accepts_json_string(self):
+        assert load_json('{"a": 1}') == {"a": 1}
+
+    def test_accepts_file(self, tmp_path):
+        path = tmp_path / "wl.json"
+        path.write_text(json.dumps({"workload": "memcached"}))
+        assert load_json(path) == {"workload": "memcached"}
+
+    def test_missing_file_clear_error(self):
+        with pytest.raises(FileNotFoundError):
+            load_json("does/not/exist.json")
+
+
+class TestWorkloadFromJson:
+    def test_memcached_defaults(self):
+        wl = workload_from_json({"workload": "memcached"})
+        assert isinstance(wl, MemcachedWorkload)
+
+    def test_memcached_with_overrides(self):
+        wl = workload_from_json(
+            {
+                "workload": "memcached",
+                "get_fraction": 0.95,
+                "key_size": {"type": "uniform", "low": 10, "high": 20},
+                "value_size": {"type": "lognormal", "mean": 320, "sigma": 1.2},
+                "base_work_us": 4.0,
+            }
+        )
+        assert wl.mix.probability("get") == pytest.approx(0.95)
+        assert isinstance(wl.key_size, Uniform)
+        assert isinstance(wl.value_size, Lognormal)
+        assert wl.value_size.mean() == pytest.approx(320.0)
+        assert wl.base_work_us == 4.0
+
+    def test_mcrouter_with_backend_wait(self):
+        wl = workload_from_json(
+            {
+                "workload": "mcrouter",
+                "backend_wait": {"type": "exponential", "mean": 15.0},
+            }
+        )
+        assert isinstance(wl, McrouterWorkload)
+        assert wl.backend_wait.mean() == pytest.approx(15.0)
+
+    def test_missing_workload_key_rejected(self):
+        with pytest.raises(ValueError):
+            workload_from_json({"get_fraction": 0.5})
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError):
+            workload_from_json({"workload": "redis"})
+
+    def test_unknown_field_rejected_with_listing(self):
+        with pytest.raises(ValueError) as exc:
+            workload_from_json({"workload": "memcached", "sharding": 4})
+        assert "sharding" in str(exc.value)
+
+    def test_from_json_string(self):
+        wl = workload_from_json('{"workload": "memcached", "get_fraction": 0.8}')
+        assert wl.mix.probability("get") == pytest.approx(0.8)
+
+
+class TestTreadmillConfigFromJson:
+    def test_basic_fields(self):
+        cfg = treadmill_config_from_json(
+            {"rate_rps": 50_000, "connections": 16, "measurement_samples": 2000}
+        )
+        assert cfg.rate_rps == 50_000
+        assert cfg.connections == 16
+
+    def test_arrival_spec(self):
+        cfg = treadmill_config_from_json(
+            {"rate_rps": 1000, "arrival": {"type": "lognormal", "rate_rps": 1000, "cv": 2.0}}
+        )
+        assert cfg.make_arrival().spec()["type"] == "lognormal"
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError):
+            treadmill_config_from_json({"rate_rps": 1000, "threads": 4})
+
+
+class TestSearchleafFromJson:
+    def test_searchleaf_with_terms_distribution(self):
+        from repro.workloads.searchleaf import SearchLeafWorkload
+
+        wl = workload_from_json(
+            {
+                "workload": "searchleaf",
+                "terms": {"type": "uniform", "low": 2, "high": 10},
+                "scan_us_per_term": 3.0,
+                "expensive_query_fraction": 0.05,
+            }
+        )
+        assert isinstance(wl, SearchLeafWorkload)
+        assert wl.scan_us_per_term == 3.0
+        assert wl.expensive_query_fraction == 0.05
+        assert wl.terms.mean() == pytest.approx(6.0)
+
+    def test_searchleaf_unknown_key_rejected(self):
+        with pytest.raises(ValueError):
+            workload_from_json({"workload": "searchleaf", "shards": 4})

@@ -1,0 +1,229 @@
+"""Unit tests for open/closed-loop controllers and the tracker."""
+
+import numpy as np
+import pytest
+
+from repro.core.arrival import DeterministicArrivals, PoissonArrivals
+from repro.core.controllers import (
+    ClosedLoopController,
+    OpenLoopController,
+    OutstandingTracker,
+)
+from repro.sim.engine import Simulator
+
+
+class FakeServer:
+    """Responds to sends after a fixed delay."""
+
+    def __init__(self, sim, controller_ref, latency_us=50.0):
+        self.sim = sim
+        self.latency_us = latency_us
+        self.controller_ref = controller_ref
+
+    def send(self, conn_id):
+        self.sim.schedule(
+            self.latency_us, lambda: self.controller_ref[0].on_response(conn_id)
+        )
+
+
+class TestOutstandingTracker:
+    def test_time_weighted_distribution(self):
+        sim = Simulator()
+        t = OutstandingTracker(sim)
+        t.increment()  # count 1 from t=0
+        sim.run_until(10.0)
+        t.increment()  # count 2 from t=10
+        sim.run_until(30.0)
+        t.decrement()  # count 1 from t=30
+        sim.run_until(40.0)
+        t.finalize()
+        levels, probs = t.distribution()
+        dist = dict(zip(levels.tolist(), probs.tolist()))
+        assert dist[1] == pytest.approx(20 / 40)
+        assert dist[2] == pytest.approx(20 / 40)
+
+    def test_negative_count_rejected(self):
+        sim = Simulator()
+        t = OutstandingTracker(sim)
+        with pytest.raises(ValueError):
+            t.decrement()
+
+    def test_cdf_monotone_and_ends_at_one(self):
+        sim = Simulator()
+        t = OutstandingTracker(sim)
+        for _ in range(3):
+            t.increment()
+            sim.run_until(sim.now + 5.0)
+        t.finalize()
+        levels, cdf = t.cdf()
+        assert (np.diff(cdf) >= 0).all()
+        assert cdf[-1] == pytest.approx(1.0)
+
+    def test_mean_and_quantile(self):
+        sim = Simulator()
+        t = OutstandingTracker(sim)
+        t.increment()
+        sim.run_until(100.0)
+        t.finalize()
+        assert t.mean() == pytest.approx(1.0)
+        assert t.quantile(0.5) == 1
+
+
+class TestOpenLoop:
+    def build(self, rate=100_000, latency=50.0, arrival=None):
+        sim = Simulator()
+        ref = []
+        server = FakeServer(sim, ref, latency_us=latency)
+        ctrl = OpenLoopController(
+            sim,
+            arrival or PoissonArrivals(rate),
+            server.send,
+            connections=list(range(4)),
+            rng=np.random.default_rng(0),
+        )
+        ref.append(ctrl)
+        return sim, ctrl
+
+    def test_sends_at_configured_rate(self):
+        sim, ctrl = self.build(rate=100_000)
+        ctrl.start()
+        sim.run_until(100_000.0)  # 0.1 s
+        expected = 100_000 * 0.1
+        assert ctrl.sent == pytest.approx(expected, rel=0.1)
+        ctrl.stop()
+        sim.run()
+
+    def test_send_schedule_independent_of_latency(self):
+        """The open-loop property: server slowness must not slow sends."""
+        sent = {}
+        for latency in (10.0, 10_000.0):
+            sim, ctrl = self.build(rate=50_000, latency=latency)
+            ctrl.start()
+            sim.run_until(50_000.0)
+            sent[latency] = ctrl.sent
+            ctrl.stop()
+            sim.run()
+        assert sent[10.0] == sent[10_000.0]
+
+    def test_outstanding_unbounded_when_server_slow(self):
+        sim, ctrl = self.build(rate=100_000, latency=5_000.0)
+        ctrl.start()
+        sim.run_until(20_000.0)
+        # 0.1/us * 5000us = ~500 outstanding on average.
+        assert ctrl.tracker.count > 100
+        ctrl.stop()
+        sim.run()
+
+    def test_stop_halts_sending(self):
+        sim, ctrl = self.build()
+        ctrl.start()
+        sim.run_until(1_000.0)
+        ctrl.stop()
+        sent = ctrl.sent
+        sim.run()
+        assert ctrl.sent == sent
+        assert ctrl.completed == sent
+
+    def test_double_start_rejected(self):
+        sim, ctrl = self.build()
+        ctrl.start()
+        with pytest.raises(RuntimeError):
+            ctrl.start()
+
+    def test_empty_connections_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            OpenLoopController(
+                sim, PoissonArrivals(1000), lambda c: None, [], np.random.default_rng(0)
+            )
+
+    def test_deterministic_arrival_precise_spacing(self):
+        sim, ctrl = self.build(rate=10_000, arrival=DeterministicArrivals(10_000))
+        ctrl.start()
+        sim.run_until(10_000.0)
+        assert ctrl.sent == pytest.approx(100, abs=2)
+        ctrl.stop()
+        sim.run()
+
+
+class TestClosedLoop:
+    def build(self, connections=4, latency=50.0, target_rate=None, think=0.0):
+        sim = Simulator()
+        ref = []
+        server = FakeServer(sim, ref, latency_us=latency)
+        ctrl = ClosedLoopController(
+            sim,
+            server.send,
+            connections=list(range(connections)),
+            rng=np.random.default_rng(0),
+            think_time_us=think,
+            target_rate_rps=target_rate,
+        )
+        ref.append(ctrl)
+        return sim, ctrl
+
+    def test_outstanding_capped_at_connection_count(self):
+        """Fig. 1's structural truncation."""
+        sim, ctrl = self.build(connections=4, latency=10_000.0)
+        ctrl.start()
+        sim.run_until(100_000.0)
+        ctrl.tracker.finalize()
+        levels, _ = ctrl.tracker.distribution()
+        assert levels.max() <= 4
+        ctrl.stop()
+        sim.run()
+
+    def test_throughput_limited_by_connections_and_latency(self):
+        """Closed-loop max rate = N / latency, whatever the target."""
+        sim, ctrl = self.build(connections=4, latency=100.0, target_rate=1e9)
+        ctrl.start()
+        sim.run_until(100_000.0)
+        # 4 connections / 100us = 40k/s max -> 4000 in 0.1s.
+        assert ctrl.sent <= 4200
+        ctrl.stop()
+        sim.run()
+
+    def test_pacing_approximates_target_rate_when_feasible(self):
+        sim, ctrl = self.build(connections=16, latency=50.0, target_rate=20_000)
+        ctrl.start()
+        sim.run_until(1_000_000.0)
+        achieved = ctrl.completed / 1.0  # per second
+        assert achieved == pytest.approx(20_000, rel=0.15)
+        ctrl.stop()
+        sim.run()
+
+    def test_think_time_reduces_rate(self):
+        rates = {}
+        for think in (0.0, 200.0):
+            sim, ctrl = self.build(connections=4, latency=50.0, think=think)
+            ctrl.start()
+            sim.run_until(100_000.0)
+            rates[think] = ctrl.sent
+            ctrl.stop()
+            sim.run()
+        assert rates[200.0] < rates[0.0]
+
+    def test_stop_cancels_pending_thinks(self):
+        sim, ctrl = self.build(connections=2, latency=10.0, think=1_000.0)
+        ctrl.start()
+        sim.run_until(5_000.0)
+        ctrl.stop()
+        sim.run()
+        assert ctrl.tracker.count == 0
+
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            ClosedLoopController(sim, lambda c: None, [], np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            ClosedLoopController(
+                sim, lambda c: None, [0], np.random.default_rng(0), think_time_us=-1
+            )
+        with pytest.raises(ValueError):
+            ClosedLoopController(
+                sim, lambda c: None, [0], np.random.default_rng(0), target_rate_rps=0
+            )
+
+    def test_max_outstanding_property(self):
+        sim, ctrl = self.build(connections=7)
+        assert ctrl.max_outstanding == 7

@@ -1,0 +1,296 @@
+"""Unit tests for the CPU model: cores, governors, turbo, thermal."""
+
+import pytest
+
+from repro.sim.cpu import (
+    GOVERNOR_ONDEMAND,
+    GOVERNOR_PERFORMANCE,
+    Core,
+    CpuComplex,
+    CpuConfig,
+    Job,
+    Socket,
+)
+from repro.sim.engine import Simulator
+
+
+def make_cpu(**kwargs):
+    sim = Simulator()
+    cfg = CpuConfig(**kwargs)
+    return sim, CpuComplex(sim, cfg)
+
+
+class TestCpuConfig:
+    def test_defaults_valid(self):
+        cfg = CpuConfig()
+        assert cfg.total_cores == cfg.sockets * cfg.cores_per_socket
+
+    def test_unknown_governor_rejected(self):
+        with pytest.raises(ValueError):
+            CpuConfig(governor="powersave")
+
+    def test_min_above_base_rejected(self):
+        with pytest.raises(ValueError):
+            CpuConfig(base_freq_ghz=2.0, min_freq_ghz=3.0)
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(ValueError):
+            CpuConfig(cores_per_socket=0)
+
+
+class TestJob:
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            Job(work_us=-1.0)
+        with pytest.raises(ValueError):
+            Job(work_us=1.0, fixed_us=-0.5)
+
+
+class TestCoreQueueing:
+    def test_single_job_runs_for_service_time(self):
+        sim, cpu = make_cpu(governor=GOVERNOR_PERFORMANCE)
+        core = cpu.cores[0]
+        done = []
+        core.submit(Job(work_us=10.0, on_done=lambda d: done.append(sim.now)))
+        sim.run()
+        assert done == [pytest.approx(10.0)]
+
+    def test_fifo_service_order(self):
+        sim, cpu = make_cpu(governor=GOVERNOR_PERFORMANCE)
+        core = cpu.cores[0]
+        done = []
+        for i in range(3):
+            core.submit(Job(work_us=5.0, on_done=lambda d, i=i: done.append((i, sim.now))))
+        sim.run()
+        assert done == [
+            (0, pytest.approx(5.0)),
+            (1, pytest.approx(10.0)),
+            (2, pytest.approx(15.0)),
+        ]
+
+    def test_queue_depth_counts_running_job(self):
+        sim, cpu = make_cpu(governor=GOVERNOR_PERFORMANCE)
+        core = cpu.cores[0]
+        core.submit(Job(work_us=5.0))
+        core.submit(Job(work_us=5.0))
+        assert core.queue_depth == 2
+
+    def test_fixed_us_not_frequency_scaled(self):
+        sim, cpu = make_cpu(governor=GOVERNOR_ONDEMAND, ondemand_ramp_stall_us=0.0)
+        core = cpu.cores[0]
+        sim.run_until(10_000.0)  # long idle: fully down-clocked
+        done = []
+        core.submit(Job(work_us=0.0, fixed_us=8.0, on_done=lambda d: done.append(d)))
+        sim.run()
+        assert done == [pytest.approx(8.0)]
+
+    def test_busy_accounting(self):
+        sim, cpu = make_cpu(governor=GOVERNOR_PERFORMANCE)
+        core = cpu.cores[0]
+        core.submit(Job(work_us=4.0))
+        core.submit(Job(work_us=6.0))
+        sim.run()
+        assert core.busy_us == pytest.approx(10.0)
+        assert core.jobs_done == 2
+        assert core.socket.busy_us_acc == pytest.approx(10.0)
+
+    def test_mem_cost_added_to_service(self):
+        sim, cpu = make_cpu(governor=GOVERNOR_PERFORMANCE)
+        core = cpu.cores[0]
+        done = []
+        core.submit(
+            Job(work_us=5.0, mem_cost=lambda c: 2.5, on_done=lambda d: done.append(d))
+        )
+        sim.run()
+        assert done == [pytest.approx(7.5)]
+
+
+class TestOndemandGovernor:
+    def test_no_downclock_when_performance(self):
+        sim, cpu = make_cpu(governor=GOVERNOR_PERFORMANCE)
+        core = cpu.cores[0]
+        sim.run_until(100_000.0)
+        assert core.downclock_fraction(sim.now) == 0.0
+
+    def test_downclock_grows_with_idle_gap(self):
+        sim, cpu = make_cpu(governor=GOVERNOR_ONDEMAND, ondemand_idle_tau_us=100.0)
+        core = cpu.cores[0]
+        sim.run_until(50.0)
+        early = core.downclock_fraction(sim.now)
+        sim.run_until(1_000.0)
+        late = core.downclock_fraction(sim.now)
+        assert 0.0 < early < late <= 1.0
+
+    def test_busy_core_not_downclocked(self):
+        sim, cpu = make_cpu(governor=GOVERNOR_ONDEMAND)
+        core = cpu.cores[0]
+        core.submit(Job(work_us=100.0))
+        sim.run(max_events=0)
+        assert core.busy
+        assert core.downclock_fraction(sim.now) == 0.0
+
+    def test_idle_job_slower_than_warm_job(self):
+        """The Finding-3 mechanism: a request after a long idle gap
+        runs slower (low frequency + ramp stall) than one arriving
+        back-to-back."""
+        sim, cpu = make_cpu(governor=GOVERNOR_ONDEMAND)
+        core = cpu.cores[0]
+        durations = []
+        sim.run_until(5_000.0)  # deep idle
+        core.submit(Job(work_us=10.0, on_done=durations.append))
+        core.submit(Job(work_us=10.0, on_done=durations.append))  # warm
+        sim.run()
+        cold, warm = durations
+        assert cold > warm
+        assert warm == pytest.approx(10.0, rel=0.01)
+
+    def test_performance_governor_constant_service(self):
+        sim, cpu = make_cpu(governor=GOVERNOR_PERFORMANCE)
+        core = cpu.cores[0]
+        durations = []
+        sim.run_until(5_000.0)
+        core.submit(Job(work_us=10.0, on_done=durations.append))
+        core.submit(Job(work_us=10.0, on_done=durations.append))
+        sim.run()
+        assert durations[0] == pytest.approx(durations[1])
+
+
+class TestTurbo:
+    def test_turbo_off_frequency_at_base(self):
+        sim, cpu = make_cpu(governor=GOVERNOR_PERFORMANCE, turbo_enabled=False)
+        core = cpu.cores[0]
+        assert core.effective_freq_ghz(0.0) == pytest.approx(cpu.config.base_freq_ghz)
+
+    def test_turbo_on_cold_socket_boosts(self):
+        sim, cpu = make_cpu(governor=GOVERNOR_PERFORMANCE, turbo_enabled=True)
+        core = cpu.cores[0]
+        f = core.effective_freq_ghz(0.0)
+        assert f == pytest.approx(
+            cpu.config.base_freq_ghz + cpu.config.turbo_bonus_ghz
+        )
+
+    def test_headroom_erodes_under_load(self):
+        """Finding 8's mechanism: sustained utilization burns the
+        thermal headroom turbo needs."""
+        sim, cpu = make_cpu(
+            governor=GOVERNOR_PERFORMANCE, turbo_enabled=True, thermal_tau_us=100.0
+        )
+        socket = cpu.sockets[0]
+        cold = socket.thermal_headroom(0.0)
+        # Saturate every core on the socket for a long stretch.
+        t = 0.0
+        while t < 2_000.0:
+            for core in socket.cores:
+                core.submit(Job(work_us=50.0))
+            t += 50.0
+        sim.run()
+        hot = socket.thermal_headroom(sim.now)
+        assert hot < cold
+
+    def test_performance_governor_burns_more_headroom(self):
+        """The positive turbo:dvfs interaction of Table IV."""
+        results = {}
+        for governor in (GOVERNOR_ONDEMAND, GOVERNOR_PERFORMANCE):
+            sim, cpu = make_cpu(
+                governor=governor, turbo_enabled=True, thermal_tau_us=100.0
+            )
+            socket = cpu.sockets[0]
+            t = 0.0
+            while t < 2_000.0:
+                for core in socket.cores:
+                    core.submit(Job(work_us=30.0))
+                t += 60.0  # ~50% duty cycle
+            sim.run()
+            results[governor] = socket.thermal_headroom(sim.now)
+        assert results[GOVERNOR_PERFORMANCE] < results[GOVERNOR_ONDEMAND]
+
+
+class TestSocketUtilization:
+    def test_idle_socket_reports_zero(self):
+        sim, cpu = make_cpu()
+        sim.run_until(1_000.0)
+        assert cpu.sockets[0].utilization(sim.now) == pytest.approx(0.0, abs=1e-9)
+
+    def test_fully_busy_socket_tends_to_one(self):
+        sim, cpu = make_cpu(governor=GOVERNOR_PERFORMANCE, thermal_tau_us=50.0)
+        socket = cpu.sockets[0]
+        for _ in range(100):
+            for core in socket.cores:
+                core.submit(Job(work_us=20.0))
+        sim.run()
+        assert socket.utilization(sim.now) > 0.9
+
+    def test_machine_utilization_averages_sockets(self):
+        sim, cpu = make_cpu(governor=GOVERNOR_PERFORMANCE, thermal_tau_us=50.0)
+        # Load only socket 0.
+        for _ in range(100):
+            for core in cpu.sockets[0].cores:
+                core.submit(Job(work_us=20.0))
+        sim.run()
+        overall = cpu.utilization()
+        s0 = cpu.sockets[0].utilization(sim.now)
+        s1 = cpu.sockets[1].utilization(sim.now)
+        assert overall == pytest.approx((s0 + s1) / 2)
+        assert s1 < 0.05 < s0
+
+
+class TestComplexLayout:
+    def test_core_indices_and_socket_membership(self):
+        sim, cpu = make_cpu()
+        assert len(cpu.cores) == cpu.config.total_cores
+        for i, core in enumerate(cpu.cores):
+            assert core.index == i
+        per_socket = cpu.config.cores_per_socket
+        for s, socket in enumerate(cpu.sockets):
+            for core in socket.cores:
+                assert core.socket is socket
+        assert cpu.cores_on_socket(0) == cpu.sockets[0].cores
+
+
+class TestPStateLadder:
+    def test_none_keeps_smooth_model(self):
+        sim, cpu = make_cpu(governor=GOVERNOR_ONDEMAND)
+        core = cpu.cores[0]
+        sim.run_until(77.0)
+        down = core.downclock_fraction(sim.now)
+        expected = cpu.config.base_freq_ghz - (
+            cpu.config.base_freq_ghz - cpu.config.min_freq_ghz
+        ) * down
+        assert core.effective_freq_ghz(sim.now) == pytest.approx(expected)
+
+    def test_ladder_quantizes_to_rungs(self):
+        sim, cpu = make_cpu(governor=GOVERNOR_ONDEMAND, pstate_steps=3)
+        core = cpu.cores[0]
+        cfg = cpu.config
+        rungs = {
+            cfg.base_freq_ghz,
+            (cfg.base_freq_ghz + cfg.min_freq_ghz) / 2,
+            cfg.min_freq_ghz,
+        }
+        observed = set()
+        for t in (1.0, 50.0, 120.0, 400.0, 2000.0):
+            sim.run_until(t)
+            freq = core.effective_freq_ghz(sim.now)
+            observed.add(round(freq, 6))
+        assert observed <= {round(r, 6) for r in rungs}
+        assert len(observed) >= 2  # the decay crosses at least one rung
+
+    def test_deep_idle_lands_on_min_rung(self):
+        sim, cpu = make_cpu(governor=GOVERNOR_ONDEMAND, pstate_steps=5)
+        sim.run_until(1_000_000.0)
+        core = cpu.cores[0]
+        assert core.effective_freq_ghz(sim.now) == pytest.approx(
+            cpu.config.min_freq_ghz
+        )
+
+    def test_invalid_steps_rejected(self):
+        with pytest.raises(ValueError):
+            CpuConfig(pstate_steps=1)
+
+    def test_performance_governor_unaffected(self):
+        sim, cpu = make_cpu(governor=GOVERNOR_PERFORMANCE, pstate_steps=4)
+        sim.run_until(10_000.0)
+        core = cpu.cores[0]
+        assert core.effective_freq_ghz(sim.now) == pytest.approx(
+            cpu.config.base_freq_ghz
+        )

@@ -1,0 +1,173 @@
+"""Unit and property tests for the factorial design machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.design import (
+    Factor,
+    FactorialDesign,
+    interaction_names,
+    model_matrix,
+)
+
+
+FACTORS = [
+    Factor("numa", "same-node", "interleave"),
+    Factor("turbo", "off", "on"),
+    Factor("dvfs", "ondemand", "performance"),
+    Factor("nic", "same-node", "all-nodes"),
+]
+
+
+class TestFactor:
+    def test_label_and_code_round_trip(self):
+        f = FACTORS[0]
+        assert f.label(0) == "same-node"
+        assert f.label(1) == "interleave"
+        assert f.code("same-node") == 0
+        assert f.code("interleave") == 1
+
+    def test_invalid_code_rejected(self):
+        with pytest.raises(ValueError):
+            FACTORS[0].label(2)
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            FACTORS[0].code("mystery")
+
+    def test_identical_levels_rejected(self):
+        with pytest.raises(ValueError):
+            Factor("x", "a", "a")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Factor("", "a", "b")
+
+
+class TestFactorialDesign:
+    def test_enumerates_all_configs(self):
+        d = FactorialDesign(FACTORS)
+        configs = d.configs()
+        assert len(configs) == 16
+        assert len(set(configs)) == 16
+        assert all(len(c) == 4 for c in configs)
+
+    def test_config_dict_translates_levels(self):
+        d = FactorialDesign(FACTORS)
+        levels = d.config_dict((1, 0, 1, 0))
+        assert levels == {
+            "numa": "interleave",
+            "turbo": "off",
+            "dvfs": "performance",
+            "nic": "same-node",
+        }
+
+    def test_config_label_matches_paper_format(self):
+        d = FactorialDesign(FACTORS)
+        assert (
+            d.config_label((0, 1, 0, 1))
+            == "numa-low,turbo-high,dvfs-low,nic-high"
+        )
+
+    def test_wrong_length_config_rejected(self):
+        d = FactorialDesign(FACTORS)
+        with pytest.raises(ValueError):
+            d.config_dict((0, 1))
+
+    def test_duplicate_factor_names_rejected(self):
+        with pytest.raises(ValueError):
+            FactorialDesign([Factor("a", "x", "y"), Factor("a", "p", "q")])
+
+    def test_empty_design_rejected(self):
+        with pytest.raises(ValueError):
+            FactorialDesign([])
+
+    def test_schedule_balanced(self):
+        d = FactorialDesign(FACTORS)
+        sched = d.schedule(3, np.random.default_rng(0))
+        assert len(sched) == 48
+        for cfg in d.configs():
+            assert sched.count(cfg) == 3
+
+    def test_schedule_randomized(self):
+        d = FactorialDesign(FACTORS)
+        a = d.schedule(2, np.random.default_rng(1))
+        b = d.schedule(2, np.random.default_rng(2))
+        assert a != b
+
+    def test_schedule_zero_reps_rejected(self):
+        d = FactorialDesign(FACTORS)
+        with pytest.raises(ValueError):
+            d.schedule(0, np.random.default_rng(0))
+
+
+class TestInteractionNames:
+    def test_full_order_count(self):
+        names = interaction_names(["a", "b", "c", "d"])
+        assert len(names) == 15  # 2^4 - 1
+
+    def test_paper_term_order(self):
+        names = interaction_names(["numa", "turbo", "dvfs", "nic"])
+        assert names[0] == "numa"
+        assert "numa:turbo" in names
+        assert names[-1] == "numa:turbo:dvfs:nic"
+        # Main effects come before any interaction.
+        assert names.index("nic") < names.index("numa:turbo")
+
+    def test_max_order_truncates(self):
+        names = interaction_names(["a", "b", "c"], max_order=2)
+        assert "a:b:c" not in names
+        assert "a:b" in names
+
+    def test_bad_max_order_rejected(self):
+        with pytest.raises(ValueError):
+            interaction_names(["a"], max_order=2)
+
+
+class TestModelMatrix:
+    def test_intercept_column_of_ones(self):
+        X, cols = model_matrix([(0, 0), (1, 1)], ["a", "b"])
+        assert cols[0] == "(Intercept)"
+        assert np.array_equal(X[:, 0], [1.0, 1.0])
+
+    def test_saturated_matrix_full_rank(self):
+        d = FactorialDesign(FACTORS)
+        X, cols = model_matrix(d.configs(), d.names)
+        assert X.shape == (16, 16)
+        assert np.linalg.matrix_rank(X) == 16
+
+    def test_interaction_columns_are_products(self):
+        runs = [(0, 0), (0, 1), (1, 0), (1, 1)]
+        X, cols = model_matrix(runs, ["a", "b"])
+        ia = cols.index("a")
+        ib = cols.index("b")
+        iab = cols.index("a:b")
+        assert np.allclose(X[:, iab], X[:, ia] * X[:, ib])
+
+    def test_non_binary_levels_rejected(self):
+        with pytest.raises(ValueError):
+            model_matrix([(0, 2)], ["a", "b"])
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValueError):
+            model_matrix([(0, 1, 1)], ["a", "b"])
+
+    @given(st.integers(min_value=1, max_value=5), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_every_interaction_column_is_member_product(self, k, seed):
+        """Property: each column equals the elementwise product of its
+        member factors' columns (Equation 1's structure)."""
+        rng = np.random.default_rng(seed)
+        names = [f"f{i}" for i in range(k)]
+        runs = rng.integers(0, 2, size=(12, k))
+        X, cols = model_matrix(runs, names)
+        for j, col_name in enumerate(cols):
+            if col_name == "(Intercept)":
+                continue
+            members = col_name.split(":")
+            expected = np.ones(12)
+            for m in members:
+                expected *= runs[:, names.index(m)]
+            assert np.allclose(X[:, j], expected)

@@ -1,0 +1,248 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim.engine import Simulator, SimulationError
+
+
+class TestScheduling:
+    def test_schedule_runs_callback_at_right_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [5.0]
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        seen = []
+        for t in (30.0, 10.0, 20.0):
+            sim.at(t, seen.append, t)
+        sim.run()
+        assert seen == [10.0, 20.0, 30.0]
+
+    def test_same_timestamp_fifo_order(self):
+        sim = Simulator()
+        seen = []
+        for i in range(10):
+            sim.at(7.0, seen.append, i)
+        sim.run()
+        assert seen == list(range(10))
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_scheduling_into_the_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(10.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.at(5.0, lambda: None)
+
+    def test_zero_delay_runs_at_current_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(3.0, lambda: sim.schedule(0.0, lambda: seen.append(sim.now)))
+        sim.run()
+        assert seen == [3.0]
+
+    def test_events_scheduled_during_execution_run(self):
+        sim = Simulator()
+        seen = []
+
+        def chain(depth):
+            seen.append(depth)
+            if depth < 5:
+                sim.schedule(1.0, chain, depth + 1)
+
+        sim.schedule(1.0, chain, 0)
+        sim.run()
+        assert seen == [0, 1, 2, 3, 4, 5]
+        assert sim.now == 6.0
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        seen = []
+        ev = sim.schedule(5.0, seen.append, 1)
+        ev.cancel()
+        sim.run()
+        assert seen == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        ev = sim.schedule(5.0, lambda: None)
+        ev.cancel()
+        ev.cancel()
+        sim.run()
+
+    def test_pending_excludes_cancelled(self):
+        sim = Simulator()
+        ev1 = sim.schedule(5.0, lambda: None)
+        sim.schedule(6.0, lambda: None)
+        ev1.cancel()
+        assert sim.pending == 1
+
+    def test_drain_cancels_batch(self):
+        sim = Simulator()
+        seen = []
+        events = [sim.schedule(float(i + 1), seen.append, i) for i in range(5)]
+        sim.drain(events[:3])
+        sim.run()
+        assert seen == [3, 4]
+
+
+class TestRunControl:
+    def test_run_until_advances_clock_exactly(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run_until(12.5)
+        assert sim.now == 12.5
+
+    def test_run_until_does_not_run_later_events(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.0, seen.append, "early")
+        sim.schedule(20.0, seen.append, "late")
+        sim.run_until(10.0)
+        assert seen == ["early"]
+        sim.run()
+        assert seen == ["early", "late"]
+
+    def test_run_until_backwards_rejected(self):
+        sim = Simulator()
+        sim.run_until(10.0)
+        with pytest.raises(SimulationError):
+            sim.run_until(5.0)
+
+    def test_run_until_boundary_event_included(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(10.0, seen.append, 1)
+        sim.run_until(10.0)
+        assert seen == [1]
+
+    def test_stop_halts_run(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, seen.append, 1)
+        sim.schedule(2.0, sim.stop)
+        sim.schedule(3.0, seen.append, 3)
+        sim.run()
+        assert seen == [1]
+        sim.run()
+        assert seen == [1, 3]
+
+    def test_max_events_limit(self):
+        sim = Simulator()
+        seen = []
+        for i in range(10):
+            sim.schedule(float(i + 1), seen.append, i)
+        sim.run(max_events=4)
+        assert seen == [0, 1, 2, 3]
+
+    def test_step_returns_false_when_drained(self):
+        sim = Simulator()
+        assert sim.step() is False
+
+    def test_peek_skips_cancelled(self):
+        sim = Simulator()
+        ev = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        ev.cancel()
+        assert sim.peek() == 2.0
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(7):
+            sim.schedule(float(i + 1), lambda: None)
+        sim.run()
+        assert sim.events_processed == 7
+
+
+class TestProcesses:
+    def test_process_advances_with_yields(self):
+        sim = Simulator()
+        seen = []
+
+        def proc():
+            seen.append(sim.now)
+            yield 10.0
+            seen.append(sim.now)
+            yield 5.0
+            seen.append(sim.now)
+
+        sim.spawn(proc())
+        sim.run()
+        assert seen == [0.0, 10.0, 15.0]
+
+    def test_process_yield_none_resumes_same_time(self):
+        sim = Simulator()
+        seen = []
+
+        def proc():
+            yield 5.0
+            seen.append(sim.now)
+            yield None
+            seen.append(sim.now)
+
+        sim.spawn(proc())
+        sim.run()
+        assert seen == [5.0, 5.0]
+
+    def test_process_kill_stops_it(self):
+        sim = Simulator()
+        seen = []
+
+        def proc():
+            while True:
+                yield 1.0
+                seen.append(sim.now)
+
+        p = sim.spawn(proc())
+        sim.run(max_events=3)
+        p.kill()
+        sim.run()
+        assert len(seen) == 3
+        assert not p.alive
+
+    def test_process_negative_yield_rejected(self):
+        sim = Simulator()
+
+        def proc():
+            yield -1.0
+
+        with pytest.raises(SimulationError):
+            sim.spawn(proc())
+
+    def test_process_completion_marks_dead(self):
+        sim = Simulator()
+
+        def proc():
+            yield 1.0
+
+        p = sim.spawn(proc())
+        sim.run()
+        assert not p.alive
+
+
+class TestDeterminism:
+    def test_identical_schedules_produce_identical_traces(self):
+        def build_and_run():
+            sim = Simulator()
+            trace = []
+
+            def tick(i):
+                trace.append((sim.now, i))
+                if i < 50:
+                    sim.schedule(1.5, tick, i + 1)
+
+            for j in range(5):
+                sim.schedule(float(j), tick, 0)
+            sim.run()
+            return trace
+
+        assert build_and_run() == build_and_run()

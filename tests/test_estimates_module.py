@@ -1,0 +1,51 @@
+"""Tests for the shared Figs. 7-10 estimates module surface."""
+
+import pytest
+
+from repro.experiments.estimates import (
+    EstimatesResult,
+    render_estimates,
+    render_impacts,
+    run_estimates,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_estimates("memcached", scale="quick", seed=17)
+
+
+class TestEstimatesResult:
+    def test_reports_for_both_loads(self, result):
+        assert set(result.reports) == {"low", "high"}
+
+    def test_config_label_round_trip(self, result):
+        label = result.config_label((1, 0, 1, 0))
+        assert label == "numa-high,turbo-low,dvfs-high,nic-low"
+
+    def test_best_config_in_design(self, result):
+        best = result.best_config("high")
+        assert len(best) == 4
+        assert all(c in (0, 1) for c in best)
+
+    def test_factor_impacts_have_all_factors(self, result):
+        impacts = result.factor_impacts("high", 0.99)
+        assert set(impacts) == {"numa", "turbo", "dvfs", "nic"}
+
+    def test_impacts_consistent_with_estimates(self, result):
+        """The average impact equals the mean difference over the
+        estimate table — the Figs. 7->8 derivation."""
+        import numpy as np
+
+        est = result.config_estimates("high", 0.95)
+        manual = np.mean([v for c, v in est.items() if c[1] == 1]) - np.mean(
+            [v for c, v in est.items() if c[1] == 0]
+        )
+        assert result.factor_impacts("high", 0.95)["turbo"] == pytest.approx(manual)
+
+    def test_renders_are_complete(self, result):
+        est_text = render_estimates(result, "Figure 7")
+        imp_text = render_impacts(result, "Figure 8")
+        assert est_text.count("numa-") == 16
+        assert all(f in imp_text for f in ("numa", "turbo", "dvfs", "nic"))
+        assert "p99 high" in est_text and "p99 high" in imp_text

@@ -1,0 +1,161 @@
+"""Integration tests: every paper artifact regenerates at quick scale
+and shows the paper's qualitative shape."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    fig01_outstanding,
+    fig02_client_bias,
+    fig03_queueing_bias,
+    fig04_hysteresis,
+    fig05_low_util,
+    fig06_high_util,
+    tab01_features,
+)
+from repro.experiments.common import get_scale
+from repro.experiments.runner import EXPERIMENTS, experiment_ids, run_experiment
+
+
+class TestRegistry:
+    def test_all_artifacts_registered(self):
+        ids = experiment_ids()
+        assert len(ids) == 15
+        for fig in range(1, 13):
+            assert f"fig{fig}" in ids
+        assert "tab1" in ids and "tab4" in ids
+        assert "findings" in ids
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            get_scale("gigantic")
+
+
+class TestTab1:
+    def test_treadmill_column_complete(self):
+        result = tab01_features.run()
+        assert result.treadmill_complete
+
+    def test_render_mentions_both_tables(self):
+        text = tab01_features.render(tab01_features.run())
+        assert "Table I" in text and "Table II" in text
+
+
+class TestFig1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig01_outstanding.run(scale="quick")
+
+    def test_closed_loop_truncated_at_connection_count(self, result):
+        for n in (4, 8, 12):
+            levels, _ = result.cdfs[f"Closed-Loop w/{n} Connections"]
+            assert levels.max() <= n
+
+    def test_open_loop_tail_exceeds_every_cap(self, result):
+        levels, _ = result.cdfs["Open-Loop"]
+        assert levels.max() > 12
+
+    def test_open_loop_p99_exceeds_closed(self, result):
+        open_p99 = result.quantile("Open-Loop", 0.99)
+        closed_p99 = result.quantile("Closed-Loop w/12 Connections", 0.99)
+        assert open_p99 > closed_p99
+
+    def test_render(self, result):
+        assert "Open-Loop" in fig01_outstanding.render(result)
+
+
+class TestFig2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig02_client_bias.run(scale="quick")
+
+    def test_cross_rack_client_dominates_tail(self, result):
+        assert result.tail_share(result.outlier) > 0.8
+
+    def test_outlier_p99_far_above_others(self, result):
+        outlier = result.per_client_p99[result.outlier]
+        others = [
+            v for k, v in result.per_client_p99.items() if k != result.outlier
+        ]
+        assert outlier > 1.5 * max(others)
+
+    def test_pooled_biased_above_sound_aggregate(self, result):
+        assert result.pooled_p99 > 1.2 * result.aggregated_p99
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig03_queueing_bias.run(scale="quick")
+
+    def test_single_client_component_grows_with_load(self, result):
+        assert result.component_growth("single-client", "client") > 1.1
+
+    def test_multi_client_component_flat(self, result):
+        assert result.component_growth("multi-client", "client") < 1.05
+
+    def test_multi_network_flat(self, result):
+        assert result.component_growth("multi-client", "network") < 1.05
+
+    def test_server_component_grows_in_both(self, result):
+        assert result.component_growth("multi-client", "server") > 1.5
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig04_hysteresis.run(scale="quick")
+
+    def test_runs_converge_to_different_values(self, result):
+        assert result.max_deviation_pct > 3.0
+
+    def test_within_run_trajectories_recorded(self, result):
+        for t in result.trajectories:
+            assert len(t.trajectory) >= 10
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig05_low_util.run(scale="quick")
+
+    def test_cloudsuite_overestimates_tail(self, result):
+        cs = result.runs["cloudsuite"]
+        assert cs is not None
+        assert cs.reported_quantile(0.99) > 2 * cs.ground_truth_quantile(0.99)
+
+    def test_cloudsuite_client_heavily_utilized(self, result):
+        cs = result.runs["cloudsuite"]
+        assert max(cs.client_utilizations.values()) > 0.6
+
+    def test_treadmill_tracks_ground_truth_with_kernel_offset(self, result):
+        tm = result.runs["treadmill"]
+        for q in (0.5, 0.9, 0.99):
+            offset = tm.offset_at(q)
+            assert 20.0 < offset < 50.0
+
+    def test_treadmill_clients_lightly_utilized(self, result):
+        tm = result.runs["treadmill"]
+        assert max(tm.client_utilizations.values()) < 0.1
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig06_high_util.run(scale="quick")
+
+    def test_cloudsuite_cannot_run(self, result):
+        assert result.cloudsuite_saturated
+
+    def test_mutilate_underestimates_true_tail(self, result):
+        assert result.mutilate_underestimation() > 1.2
+
+    def test_treadmill_offset_constant_across_loads(self, result):
+        low = fig05_low_util.run(scale="quick")
+        high_offset = result.treadmill_offset()
+        low_offset = low.treadmill_offset_constant()
+        assert abs(high_offset - low_offset) < 10.0

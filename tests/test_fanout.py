@@ -1,0 +1,83 @@
+"""Tests for the cluster fan-out tail analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.fanout import (
+    fanout_degradation,
+    fanout_latency_quantile,
+    required_leaf_quantile,
+    simulate_fanout,
+)
+
+
+RNG = np.random.default_rng(0)
+SAMPLES = RNG.exponential(100.0, size=50_000)
+
+
+class TestFanoutQuantile:
+    def test_fanout_one_is_plain_quantile(self):
+        assert fanout_latency_quantile(SAMPLES, 1, 0.99) == pytest.approx(
+            np.quantile(SAMPLES, 0.99)
+        )
+
+    def test_monotone_in_fanout(self):
+        values = [fanout_latency_quantile(SAMPLES, n, 0.99) for n in (1, 4, 16, 64)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_matches_exponential_theory(self):
+        """For exp(mean) leaves, max-of-n q-quantile is
+        ``-mean * ln(1 - q^(1/n))``."""
+        mean = 100.0
+        for n in (2, 10, 50):
+            expected = -mean * np.log(1.0 - 0.99 ** (1.0 / n))
+            got = fanout_latency_quantile(SAMPLES, n, 0.99)
+            assert got == pytest.approx(expected, rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fanout_latency_quantile([], 2, 0.5)
+        with pytest.raises(ValueError):
+            fanout_latency_quantile(SAMPLES, 0, 0.5)
+        with pytest.raises(ValueError):
+            fanout_latency_quantile(SAMPLES, 2, 1.0)
+
+
+class TestDegradation:
+    def test_ratios_normalized_to_single_server(self):
+        table = fanout_degradation(SAMPLES, [1, 10, 100])
+        assert table[1][1] == pytest.approx(1.0)
+        assert table[10][1] > 1.0
+        assert table[100][1] > table[10][1]
+
+    def test_the_tail_at_scale_story(self):
+        """At 100-way fan-out the cluster p99 is governed by the leaf
+        p99.99 — a materially slower quantile."""
+        cluster = fanout_degradation(SAMPLES, [100])[100][0]
+        leaf_p9999 = np.quantile(SAMPLES, required_leaf_quantile(100))
+        assert cluster == pytest.approx(leaf_p9999, rel=1e-9)
+        assert cluster > 1.5 * np.quantile(SAMPLES, 0.99)
+
+
+class TestRequiredLeafQuantile:
+    def test_known_values(self):
+        assert required_leaf_quantile(1) == pytest.approx(0.99)
+        assert required_leaf_quantile(100) == pytest.approx(0.99 ** 0.01)
+        assert required_leaf_quantile(100) > 0.9998
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            required_leaf_quantile(0)
+        with pytest.raises(ValueError):
+            required_leaf_quantile(10, cluster_q=1.5)
+
+
+class TestMonteCarloAgreement:
+    def test_simulation_matches_analytic_composition(self):
+        sim = simulate_fanout(SAMPLES, fanout=16, n_requests=20_000, rng=RNG)
+        analytic = fanout_latency_quantile(SAMPLES, 16, 0.9)
+        assert np.quantile(sim, 0.9) == pytest.approx(analytic, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_fanout(SAMPLES, 4, 0)

@@ -1,0 +1,37 @@
+"""Tests for the programmatic findings report."""
+
+import pytest
+
+from repro.experiments import findings
+
+
+@pytest.fixture(scope="module")
+def result():
+    # Shares the cached quick-scale sweeps with the other experiment
+    # test modules when run in one session.
+    return findings.run(scale="quick", seed=17)
+
+
+class TestFindings:
+    def test_all_eight_checked(self, result):
+        assert [c.number for c in result.checks] == list(range(1, 9))
+
+    def test_each_check_has_evidence(self, result):
+        for check in result.checks:
+            assert check.claim
+            assert len(check.measured) > 10
+
+    def test_majority_hold_even_at_quick_scale(self, result):
+        assert result.holding >= 6
+
+    def test_robust_findings_hold(self, result):
+        """Findings 1, 2, 5, and 6 rest on strong signals and must hold
+        at any scale."""
+        by_number = {c.number: c for c in result.checks}
+        for n in (1, 2, 5, 6):
+            assert by_number[n].holds, by_number[n].measured
+
+    def test_render_table(self, result):
+        text = findings.render(result)
+        assert "Finding 1" in text and "Finding 8" in text
+        assert "/8 findings hold" in text

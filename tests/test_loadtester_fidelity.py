@@ -1,0 +1,119 @@
+"""Fidelity tests: each baseline tool exhibits exactly the Table I
+flaws attributed to it, and none it shouldn't have.
+
+These complement test_loadtesters.py (mechanics) by checking the
+*diagnosis*: the feature matrix's claims are true of our models.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.bench import BenchConfig, TestBench
+from repro.loadtesters import (
+    FEATURES,
+    CloudSuiteTester,
+    FabanTester,
+    MutilateTester,
+    YcsbTester,
+)
+from repro.workloads.memcached import MemcachedWorkload
+
+
+def make_bench(seed=0):
+    return TestBench(BenchConfig(workload=MemcachedWorkload(), seed=seed))
+
+
+def run(tester, bench):
+    tester.start()
+    bench.run_to_completion([tester])
+    return tester.report()
+
+
+class TestInterarrivalRow:
+    """Closed-loop tools cap outstanding requests; open-loop ones don't."""
+
+    def max_outstanding_of(self, tester_cls, **kwargs):
+        bench = make_bench(seed=44)
+        rate = bench.server.arrival_rate_for_utilization(0.85) * 1e6
+        tester = tester_cls(bench, rate, measurement_samples=2000, **kwargs)
+        run(tester, bench)
+        peaks = []
+        for client in tester.clients:
+            levels, _ = client.controller.tracker.distribution()
+            peaks.append(int(levels.max()))
+        return sum(peaks), tester
+
+    def test_mutilate_structurally_capped(self):
+        total_peak, tester = self.max_outstanding_of(MutilateTester)
+        assert total_peak <= tester.max_outstanding
+        assert not FEATURES["Query Interarrival Generation"]["Mutilate"]
+
+    def test_ycsb_structurally_capped(self):
+        total_peak, tester = self.max_outstanding_of(YcsbTester, threads=16)
+        assert total_peak <= 16
+        assert not FEATURES["Query Interarrival Generation"]["YCSB"]
+
+    def test_faban_structurally_capped(self):
+        total_peak, tester = self.max_outstanding_of(FabanTester)
+        assert total_peak <= tester.max_outstanding
+        assert not FEATURES["Query Interarrival Generation"]["Faban"]
+
+    def test_cloudsuite_not_capped(self):
+        """CloudSuite's flaw is the client, not the controller: its
+        open-loop in-flight count can exceed its connection count."""
+        bench = make_bench(seed=44)
+        # Drive it near (but under) its capacity so queueing builds.
+        rate = CloudSuiteTester(
+            make_bench(), 1000, measurement_samples=10
+        ).clients[0].machine.spec.capacity_rps * 0.9
+        tester = CloudSuiteTester(bench, rate, measurement_samples=2000, connections=8)
+        run(tester, bench)
+        levels, _ = tester.clients[0].controller.tracker.distribution()
+        assert levels.max() > 8
+        assert FEATURES["Query Interarrival Generation"]["CloudSuite"]
+
+
+class TestClientQueueingRow:
+    """Single-client tools saturate their machine; multi-client don't."""
+
+    def test_cloudsuite_single_client(self):
+        bench = make_bench()
+        tester = CloudSuiteTester(bench, 1000, measurement_samples=10)
+        assert len(tester.clients) == 1
+        assert not FEATURES["Client-side Queueing Bias"]["CloudSuite"]
+
+    def test_ycsb_single_client(self):
+        bench = make_bench()
+        tester = YcsbTester(bench, 1000, measurement_samples=10)
+        assert len(tester.clients) == 1
+        assert not FEATURES["Client-side Queueing Bias"]["YCSB"]
+
+    def test_mutilate_and_faban_multi_client(self):
+        for cls, kwargs in ((MutilateTester, {}), (FabanTester, {})):
+            bench = make_bench()
+            tester = cls(bench, 10_000, measurement_samples=10, **kwargs)
+            assert len(tester.clients) >= 4
+            assert FEATURES["Client-side Queueing Bias"][tester.tool.capitalize()
+                if tester.tool != "mutilate" else "Mutilate"]
+
+
+class TestAggregationRow:
+    def test_ycsb_quantizes_away_the_microseconds(self):
+        bench = make_bench(seed=45)
+        rate = bench.server.arrival_rate_for_utilization(0.3) * 1e6
+        tester = YcsbTester(bench, rate, measurement_samples=1000)
+        report = run(tester, bench)
+        raw = np.concatenate(list(report.samples_by_client.values()))
+        # True sub-millisecond latencies; reported values cannot
+        # distinguish anything below 1 ms.
+        assert np.quantile(raw, 0.5) < 500.0
+        assert np.unique(report.reported_samples).size < np.unique(raw).size / 10
+
+    def test_mutilate_preserves_raw_samples(self):
+        bench = make_bench(seed=45)
+        rate = bench.server.arrival_rate_for_utilization(0.3) * 1e6
+        tester = MutilateTester(bench, rate, measurement_samples=1000)
+        report = run(tester, bench)
+        raw = np.concatenate(list(report.samples_by_client.values()))
+        assert np.array_equal(np.sort(report.reported_samples), np.sort(raw))
+        assert FEATURES["Statistical Aggregation"]["Mutilate"]

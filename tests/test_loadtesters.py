@@ -1,0 +1,194 @@
+"""Tests for the pitfall baseline load testers."""
+
+import numpy as np
+import pytest
+
+from repro.core.bench import BenchConfig, TestBench
+from repro.loadtesters import (
+    FEATURES,
+    TOOLS,
+    CloudSuiteTester,
+    FabanTester,
+    MutilateTester,
+    YcsbTester,
+    feature_matrix,
+    render_feature_table,
+)
+from repro.workloads.memcached import MemcachedWorkload
+
+
+def make_bench(seed=0):
+    return TestBench(BenchConfig(workload=MemcachedWorkload(), seed=seed))
+
+
+def run_tester(tester, bench):
+    tester.start()
+    bench.run_to_completion([tester])
+    return tester.report()
+
+
+class TestFeatureMatrix:
+    def test_all_tools_in_every_row(self):
+        for row, cols in FEATURES.items():
+            assert set(cols) == set(TOOLS)
+
+    def test_treadmill_handles_everything(self):
+        assert all(cols["Treadmill"] for cols in FEATURES.values())
+
+    def test_only_treadmill_handles_hysteresis(self):
+        row = FEATURES["Performance Hysteresis"]
+        assert [t for t in TOOLS if row[t]] == ["Treadmill"]
+
+    def test_closed_loop_tools_fail_interarrival(self):
+        row = FEATURES["Query Interarrival Generation"]
+        for tool in ("YCSB", "Faban", "Mutilate"):
+            assert not row[tool]
+
+    def test_single_client_tools_fail_queueing(self):
+        row = FEATURES["Client-side Queueing Bias"]
+        assert not row["YCSB"] and not row["CloudSuite"]
+
+    def test_matrix_copy_is_defensive(self):
+        m = feature_matrix()
+        m["Generality"]["YCSB"] = False
+        assert FEATURES["Generality"]["YCSB"] is True
+
+    def test_render_contains_all_tools(self):
+        text = render_feature_table()
+        for tool in TOOLS:
+            assert tool in text
+
+
+class TestCloudSuite:
+    def test_saturation_detection(self):
+        bench = make_bench()
+        capacity = CloudSuiteTester(
+            make_bench(), 1_000, measurement_samples=10
+        ).clients[0].machine.spec.capacity_rps
+        t = CloudSuiteTester(bench, capacity * 2, measurement_samples=10)
+        assert t.saturated
+
+    def test_overestimates_tail_near_capacity(self):
+        """The Fig. 5 behaviour: heavy client-side queueing bias."""
+        bench = make_bench()
+        capacity = CLOUD_CAP = t_cap(bench)
+        tester = CloudSuiteTester(
+            bench, capacity * 0.85, measurement_samples=1500, warmup_samples=100
+        )
+        report = run_tester(tester, bench)
+        reported = report.quantile(0.99)
+        truth = report.ground_truth_quantile(0.99)
+        assert reported > truth + 80.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CloudSuiteTester(make_bench(), -1.0)
+        with pytest.raises(ValueError):
+            CloudSuiteTester(make_bench(), 100.0, measurement_samples=0)
+
+
+def t_cap(bench):
+    from repro.loadtesters.cloudsuite import CLOUDSUITE_CLIENT_SPEC
+
+    return CLOUDSUITE_CLIENT_SPEC.capacity_rps
+
+
+class TestMutilate:
+    def test_outstanding_capped(self):
+        bench = make_bench()
+        tester = MutilateTester(
+            bench, 200_000, measurement_samples=1000, agents=4, connections_per_agent=3
+        )
+        run_tester(tester, bench)
+        for client in tester.clients:
+            levels, _ = client.controller.tracker.distribution()
+            assert levels.max() <= 3
+
+    def test_underestimates_open_loop_tail_at_high_load(self):
+        """The Fig. 6 behaviour, at the NIC level (no kernel offset)."""
+        bench = make_bench(seed=3)
+        rate = bench.server.arrival_rate_for_utilization(0.8) * 1e6
+        tester = MutilateTester(bench, rate, measurement_samples=2500, warmup_samples=200)
+        closed_report = run_tester(tester, bench)
+
+        from repro.core.treadmill import TreadmillConfig, TreadmillInstance
+
+        bench2 = make_bench(seed=3)
+        rate2 = bench2.server.arrival_rate_for_utilization(0.8) * 1e6
+        insts = [
+            TreadmillInstance(
+                bench2,
+                f"tm{i}",
+                TreadmillConfig(
+                    rate_rps=rate2 / 8,
+                    connections=8,
+                    warmup_samples=200,
+                    measurement_samples=350,
+                ),
+            )
+            for i in range(8)
+        ]
+        for inst in insts:
+            inst.start()
+        bench2.run_to_completion(insts)
+        open_truth = np.quantile(
+            np.concatenate([i.report().ground_truth_samples for i in insts]), 0.99
+        )
+        closed_truth = closed_report.ground_truth_quantile(0.99)
+        assert closed_truth < 0.8 * open_truth
+
+    def test_reports_pooled_samples(self):
+        bench = make_bench()
+        tester = MutilateTester(bench, 100_000, measurement_samples=800)
+        report = run_tester(tester, bench)
+        total = sum(len(s) for s in report.samples_by_client.values())
+        assert len(report.reported_samples) == total
+
+    def test_max_outstanding_property(self):
+        t = MutilateTester(make_bench(), 1000, agents=3, connections_per_agent=5)
+        assert t.max_outstanding == 15
+
+
+class TestYcsb:
+    def test_reported_samples_quantized_to_buckets(self):
+        bench = make_bench()
+        tester = YcsbTester(bench, 50_000, measurement_samples=500)
+        report = run_tester(tester, bench)
+        remainders = np.mod(report.reported_samples, tester.bucket_us)
+        assert np.allclose(remainders, tester.bucket_us / 2)
+
+    def test_quantization_destroys_microsecond_resolution(self):
+        """Static 1 ms buckets cannot distinguish 60 us from 600 us."""
+        bench = make_bench()
+        tester = YcsbTester(bench, 50_000, measurement_samples=500)
+        report = run_tester(tester, bench)
+        assert float(np.quantile(report.reported_samples, 0.5)) == pytest.approx(500.0)
+
+    def test_thread_pool_is_closed_loop(self):
+        bench = make_bench()
+        tester = YcsbTester(bench, 50_000, measurement_samples=300, threads=16)
+        run_tester(tester, bench)
+        levels, _ = tester.clients[0].controller.tracker.distribution()
+        assert levels.max() <= 16
+
+
+class TestFaban:
+    def test_drivers_spread_load(self):
+        bench = make_bench()
+        tester = FabanTester(bench, 80_000, measurement_samples=800, drivers=4)
+        report = run_tester(tester, bench)
+        assert len(report.samples_by_client) == 4
+        counts = [len(s) for s in report.samples_by_client.values()]
+        assert max(counts) < 2.5 * min(counts)
+
+    def test_approximates_target_rate(self):
+        bench = make_bench()
+        tester = FabanTester(bench, 80_000, measurement_samples=1500)
+        run_tester(tester, bench)
+        elapsed_s = bench.sim.now / 1e6
+        achieved = tester.report().requests_sent / elapsed_s
+        assert achieved == pytest.approx(80_000, rel=0.3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FabanTester(make_bench(), 1000, drivers=0)

@@ -1,0 +1,240 @@
+"""Unit tests for server and client machine assembly."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.kernel import KernelConfig
+from repro.sim.machine import ClientMachine, ClientSpec, HardwareSpec, ServerMachine
+from repro.sim.rng import RngRegistry
+from repro.workloads.base import Request
+from repro.workloads.memcached import MemcachedWorkload
+
+
+def make_server(seed=0, spec=None, workload=None):
+    sim = Simulator()
+    reg = RngRegistry(seed)
+    server = ServerMachine(
+        sim,
+        spec or HardwareSpec(),
+        workload or MemcachedWorkload(service_noise_sigma=0.0),
+        reg.child("server"),
+    )
+    return sim, server
+
+
+def simple_request(req_id=0, conn_id=0):
+    return Request(req_id=req_id, conn_id=conn_id, op="get", value_size=100)
+
+
+class TestHardwareSpec:
+    def test_describe_has_table2_rows(self):
+        rows = HardwareSpec().describe()
+        assert set(rows) == {"Processor", "DRAM", "Ethernet", "Kernel"}
+
+
+class TestServerLifecycle:
+    def test_accept_before_boot_rejected(self):
+        _, server = make_server()
+        with pytest.raises(RuntimeError):
+            server.accept(0)
+
+    def test_duplicate_connection_rejected(self):
+        _, server = make_server()
+        server.boot()
+        server.accept(0)
+        with pytest.raises(ValueError):
+            server.accept(0)
+
+    def test_unknown_connection_rejected(self):
+        sim, server = make_server()
+        server.boot()
+        with pytest.raises(KeyError):
+            server.receive(simple_request(conn_id=99), lambda r: None)
+
+    def test_boot_assigns_workers_round_robin(self):
+        _, server = make_server()
+        server.boot()
+        conns = [server.accept(i) for i in range(server.spec.cpu.total_cores)]
+        cores = {c.worker_core.index for c in conns}
+        assert len(cores) == server.spec.cpu.total_cores
+
+    def test_reboot_clears_connections(self):
+        _, server = make_server()
+        server.boot()
+        server.accept(0)
+        server.boot()
+        server.accept(0)  # no duplicate error: state was cleared
+
+
+class TestBootHysteresis:
+    def test_boot_quality_varies_across_boots(self):
+        qualities = set()
+        for seed in range(6):
+            _, server = make_server(seed=seed)
+            server.boot()
+            qualities.add(round(server.boot_quality, 6))
+        assert len(qualities) > 1
+
+    def test_boot_quality_near_one(self):
+        _, server = make_server(seed=1)
+        server.boot()
+        assert 0.9 < server.boot_quality < 1.1
+
+    def test_zero_sigma_gives_exactly_one(self):
+        spec = HardwareSpec(boot_quality_sigma=0.0)
+        _, server = make_server(spec=spec)
+        server.boot()
+        assert server.boot_quality == 1.0
+
+    def test_thread_mapping_shuffled_per_seed(self):
+        orders = set()
+        for seed in range(6):
+            _, server = make_server(seed=seed)
+            server.boot()
+            conns = [server.accept(i) for i in range(4)]
+            orders.add(tuple(c.worker_core.index for c in conns))
+        assert len(orders) > 1
+
+
+class TestRequestPipeline:
+    def run_request(self, seed=0):
+        sim, server = make_server(seed=seed)
+        server.boot()
+        server.accept(0)
+        done = []
+        req = simple_request()
+        sim.schedule(1.0, server.receive, req, lambda r: done.append(r))
+        sim.run()
+        return req, done
+
+    def test_response_callback_fires(self):
+        req, done = self.run_request()
+        assert done == [req]
+
+    def test_timestamps_monotone(self):
+        req, _ = self.run_request()
+        assert (
+            req.t_server_nic_in
+            <= req.t_service_start
+            <= req.t_service_end
+            <= req.t_server_nic_out
+        )
+
+    def test_server_latency_positive(self):
+        req, _ = self.run_request()
+        assert req.server_latency_us > 0
+
+    def test_requests_served_counter(self):
+        sim, server = make_server()
+        server.boot()
+        server.accept(0)
+        for i in range(5):
+            sim.schedule(
+                i * 100.0, server.receive, simple_request(req_id=i), lambda r: None
+            )
+        sim.run()
+        assert server.requests_served == 5
+
+    def test_mcrouter_two_phase_pipeline(self):
+        from repro.workloads.mcrouter import McrouterWorkload
+
+        sim, server = make_server(workload=McrouterWorkload(service_noise_sigma=0.0))
+        server.boot()
+        server.accept(0)
+        req = simple_request()
+        done = []
+        sim.schedule(0.0, server.receive, req, lambda r: done.append(r))
+        sim.run()
+        assert done
+        # Two-phase service spans the backend wait.
+        assert req.t_service_end - req.t_service_start > 0
+
+
+class TestUtilizationSizing:
+    def test_rate_positive_and_monotone_in_target(self):
+        _, server = make_server()
+        low = server.arrival_rate_for_utilization(0.1)
+        high = server.arrival_rate_for_utilization(0.8)
+        assert 0 < low < high
+
+    def test_invalid_utilization_rejected(self):
+        _, server = make_server()
+        for bad in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ValueError):
+                server.arrival_rate_for_utilization(bad)
+
+    def test_measured_utilization_zero_before_any_work(self):
+        sim, server = make_server()
+        assert server.measured_utilization() == 0.0
+
+
+class TestClientMachine:
+    def make_client(self, spec=None):
+        sim = Simulator()
+        wire = []
+        client = ClientMachine(
+            sim,
+            spec or ClientSpec(),
+            "c0",
+            send_packet=wire.append,
+        )
+        return sim, client, wire
+
+    def test_issue_stamps_user_send_time(self):
+        sim, client, wire = self.make_client()
+        req = simple_request()
+        sim.schedule(3.0, client.issue, req)
+        sim.run()
+        assert req.t_user_send == pytest.approx(3.0)
+
+    def test_tx_path_applies_cpu_then_kernel(self):
+        spec = ClientSpec(tx_cpu_us=2.0, rx_cpu_us=2.0)
+        sim, client, wire = self.make_client(spec)
+        req = simple_request()
+        client.issue(req)
+        sim.run()
+        expected = spec.tx_cpu_us + spec.kernel.client_tx_us
+        assert req.t_nic_send == pytest.approx(expected)
+        assert wire == [req]
+
+    def test_rx_path_kernel_then_cpu(self):
+        spec = ClientSpec(tx_cpu_us=1.0, rx_cpu_us=2.0)
+        sim, client, _ = self.make_client(spec)
+        req = simple_request()
+        got = []
+        client.response_handler = got.append
+        client.deliver(req)
+        sim.run()
+        assert got == [req]
+        assert req.t_user_recv - req.t_nic_recv == pytest.approx(
+            spec.kernel.client_rx_us + spec.rx_cpu_us
+        )
+
+    def test_client_queueing_inflates_latency(self):
+        """The CloudSuite mechanism: a backlogged generator thread
+        delays both sends and receive callbacks."""
+        spec = ClientSpec(tx_cpu_us=10.0, rx_cpu_us=10.0)
+        sim, client, wire = self.make_client(spec)
+        reqs = [simple_request(req_id=i) for i in range(10)]
+        for r in reqs:
+            client.issue(r)  # all at t=0: queue on the client core
+        sim.run()
+        # The last request's NIC timestamp reflects 10 queued tx costs.
+        assert reqs[-1].t_nic_send >= 10 * spec.tx_cpu_us
+
+    def test_capacity_rps(self):
+        spec = ClientSpec(tx_cpu_us=4.0, rx_cpu_us=6.0)
+        assert spec.capacity_rps == pytest.approx(1e6 / 10.0)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            ClientSpec(tx_cpu_us=-1.0)
+
+    def test_kernel_round_trip_constant(self):
+        k = KernelConfig()
+        assert k.client_round_trip_us == pytest.approx(
+            k.client_tx_us + k.client_rx_us
+        )

@@ -1,0 +1,163 @@
+"""Unit tests for the NUMA memory model."""
+
+import numpy as np
+import pytest
+
+from repro.sim.cpu import CpuComplex, CpuConfig, Job
+from repro.sim.engine import Simulator
+from repro.sim.memory import (
+    NumaConfig,
+    NumaMemory,
+    POLICY_INTERLEAVE,
+    POLICY_SAME_NODE,
+)
+
+
+def make_memory(policy=POLICY_SAME_NODE, nodes=2, seed=0, **kwargs):
+    cfg = NumaConfig(policy=policy, **kwargs)
+    return NumaMemory(cfg, nodes, np.random.default_rng(seed))
+
+
+def busy_core(utilization_target=0.0):
+    """A core on a socket with a controllable smoothed utilization."""
+    sim = Simulator()
+    cpu = CpuComplex(sim, CpuConfig(governor="performance", thermal_tau_us=50.0))
+    core = cpu.cores[0]
+    if utilization_target > 0:
+        # Drive the whole socket busy for a while, then let the
+        # estimator observe it.
+        for _ in range(200):
+            for c in cpu.sockets[0].cores:
+                c.submit(Job(work_us=20.0))
+        sim.run()
+    return sim, core
+
+
+class TestNumaConfig:
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ValueError):
+            NumaConfig(policy="random")
+
+    def test_remote_below_local_rejected(self):
+        with pytest.raises(ValueError):
+            NumaConfig(local_access_us=0.2, remote_access_us=0.1)
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            NumaConfig(interleave_remote_fraction=1.5)
+
+    def test_bad_stall_prob_rejected(self):
+        with pytest.raises(ValueError):
+            NumaConfig(stall_prob_k=2.0)
+
+
+class TestPlacement:
+    def test_same_node_places_on_preferred_node(self):
+        mem = make_memory(POLICY_SAME_NODE)
+        for _ in range(20):
+            p = mem.place_buffer()
+            assert not p.interleaved
+            assert p.home_node == mem.config.preferred_node
+
+    def test_interleave_marks_interleaved_with_jittered_fraction(self):
+        mem = make_memory(POLICY_INTERLEAVE)
+        fracs = [mem.place_buffer().remote_fraction for _ in range(50)]
+        base = mem.config.interleave_remote_fraction
+        assert all(abs(f - base) <= 0.05 + 1e-9 for f in fracs)
+        assert len(set(fracs)) > 1  # per-boot jitter exists
+
+    def test_single_node_machine_all_local(self):
+        mem = make_memory(POLICY_INTERLEAVE, nodes=1)
+        p = mem.place_buffer()
+        assert mem.remote_fraction(p, 0) == 0.0
+
+
+class TestRemoteFraction:
+    def test_same_node_local_socket_fully_local(self):
+        mem = make_memory(POLICY_SAME_NODE)
+        p = mem.place_buffer()
+        assert mem.remote_fraction(p, 0) == 0.0
+
+    def test_same_node_other_socket_fully_remote(self):
+        mem = make_memory(POLICY_SAME_NODE)
+        p = mem.place_buffer()
+        assert mem.remote_fraction(p, 1) == 1.0
+
+    def test_interleave_majority_remote_for_everyone(self):
+        """Finding 6: under interleave the majority of accesses are
+        remote regardless of the accessing socket."""
+        mem = make_memory(POLICY_INTERLEAVE)
+        p = mem.place_buffer()
+        assert mem.remote_fraction(p, 0) > 0.5
+        assert mem.remote_fraction(p, 1) > 0.5
+
+
+class TestAccessCost:
+    def test_local_cost_linear_in_accesses(self):
+        mem = make_memory(POLICY_SAME_NODE, stall_prob_k=0.0)
+        _, core = busy_core()
+        p = mem.place_buffer()
+        c10 = mem.access_cost_us(p, core, 10)
+        c20 = mem.access_cost_us(p, core, 20)
+        assert c20 == pytest.approx(2 * c10)
+        assert c10 == pytest.approx(10 * mem.config.local_access_us)
+
+    def test_remote_base_cost_exceeds_local(self):
+        mem = make_memory(POLICY_SAME_NODE, stall_prob_k=0.0)
+        _, core = busy_core()  # core 0 is on socket 0
+        local = mem.access_cost_us(mem.place_buffer(), core, 10)
+        # A buffer placed same-node is remote for socket-1 cores.
+        remote_core = core.socket.cores[0]
+        # Fake a socket-1 view by moving the placement's home node.
+        p = mem.place_buffer()
+        p.home_node = 1
+        remote = mem.access_cost_us(p, core, 10)
+        assert remote > local
+
+    def test_no_stalls_on_idle_socket(self):
+        """Stall probability scales with utilization: an idle socket
+        never stalls, so the cost is deterministic."""
+        mem = make_memory(POLICY_INTERLEAVE)
+        _, core = busy_core(0.0)
+        p = mem.place_buffer()
+        costs = {mem.access_cost_us(p, core, 10) for _ in range(200)}
+        assert len(costs) == 1
+
+    def test_stalls_appear_under_load(self):
+        """Finding 6: load magnifies the remote penalty (stall events)."""
+        mem = make_memory(POLICY_INTERLEAVE, stall_prob_k=0.5, stall_mean_us=50.0)
+        _, core = busy_core(0.9)
+        p = mem.place_buffer()
+        costs = [mem.access_cost_us(p, core, 10) for _ in range(500)]
+        base = min(costs)
+        stalled = [c for c in costs if c > base + 1.0]
+        assert stalled, "expected some contention stalls at high utilization"
+        assert np.mean(costs) > base
+
+    def test_fully_local_never_stalls(self):
+        mem = make_memory(POLICY_SAME_NODE, stall_prob_k=0.5, stall_mean_us=50.0)
+        _, core = busy_core(0.9)
+        p = mem.place_buffer()  # home node 0 == core's socket -> local
+        costs = {mem.access_cost_us(p, core, 10) for _ in range(200)}
+        assert len(costs) == 1
+
+    def test_interleave_mean_cost_exceeds_same_node_average(self):
+        """The net numa effect: averaged over sockets, interleave costs
+        more than same-node (majority-remote vs half-remote)."""
+        rng_seed = 3
+        mem_same = make_memory(POLICY_SAME_NODE, seed=rng_seed, stall_prob_k=0.0)
+        mem_il = make_memory(POLICY_INTERLEAVE, seed=rng_seed, stall_prob_k=0.0)
+        _, core = busy_core()
+        same_costs = []
+        for socket_idx in (0, 1):
+            p = mem_same.place_buffer()
+            frac = mem_same.remote_fraction(p, socket_idx)
+            same_costs.append(
+                10 * ((1 - frac) * 0.08 + frac * mem_same.config.remote_access_us)
+            )
+        il = mem_il.place_buffer()
+        il_cost = 10 * (
+            (1 - il.remote_fraction) * 0.08
+            + il.remote_fraction * mem_il.config.remote_access_us
+        )
+        assert il_cost > np.mean(same_costs)

@@ -1,0 +1,182 @@
+"""Unit tests for links, spine, and topology."""
+
+import numpy as np
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.network import (
+    Link,
+    LinkConfig,
+    Spine,
+    SpineConfig,
+    Topology,
+)
+
+
+class TestLinkConfig:
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            LinkConfig(bandwidth_bpus=0.0)
+
+    def test_negative_propagation_rejected(self):
+        with pytest.raises(ValueError):
+            LinkConfig(propagation_us=-1.0)
+
+
+class TestLink:
+    def test_delivery_time_is_tx_plus_propagation(self):
+        sim = Simulator()
+        link = Link(sim, LinkConfig(bandwidth_bpus=100.0, propagation_us=5.0))
+        seen = []
+        link.send(200, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [pytest.approx(2.0 + 5.0)]
+
+    def test_fifo_backlog_queues(self):
+        sim = Simulator()
+        link = Link(sim, LinkConfig(bandwidth_bpus=100.0, propagation_us=0.0))
+        seen = []
+        link.send(100, lambda: seen.append(("a", sim.now)))
+        delay = link.send(100, lambda: seen.append(("b", sim.now)))
+        assert delay == pytest.approx(1.0)  # queued behind the first
+        sim.run()
+        assert seen == [("a", pytest.approx(1.0)), ("b", pytest.approx(2.0))]
+
+    def test_idle_link_no_queueing_delay(self):
+        sim = Simulator()
+        link = Link(sim, LinkConfig())
+        assert link.send(100, lambda: None) == 0.0
+
+    def test_zero_size_rejected(self):
+        sim = Simulator()
+        link = Link(sim, LinkConfig())
+        with pytest.raises(ValueError):
+            link.send(0, lambda: None)
+
+    def test_utilization_tracks_busy_fraction(self):
+        sim = Simulator()
+        link = Link(sim, LinkConfig(bandwidth_bpus=100.0, propagation_us=0.0))
+        link.send(500, lambda: None)  # 5 us of tx
+        sim.run()
+        sim.run_until(10.0)
+        assert link.utilization() == pytest.approx(0.5)
+
+    def test_counters(self):
+        sim = Simulator()
+        link = Link(sim, LinkConfig())
+        link.send(100, lambda: None)
+        link.send(150, lambda: None)
+        assert link.packets == 2
+        assert link.bytes_sent == 250
+
+
+class TestSpine:
+    def test_adds_at_least_propagation(self):
+        sim = Simulator()
+        spine = Spine(
+            sim,
+            SpineConfig(propagation_us=18.0, background_mean_us=0.0, burst_probability=0.0),
+            np.random.default_rng(0),
+        )
+        seen = []
+        spine.traverse(lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [pytest.approx(18.0)]
+
+    def test_background_traffic_randomizes_delay(self):
+        sim = Simulator()
+        spine = Spine(
+            sim,
+            SpineConfig(propagation_us=10.0, background_mean_us=5.0, burst_probability=0.0),
+            np.random.default_rng(1),
+        )
+        times = []
+        for _ in range(50):
+            spine.traverse(lambda: times.append(sim.now))
+            sim.run()
+        gaps = np.diff([0.0] + times)
+        assert all(g >= 10.0 for g in gaps)
+        assert np.std(gaps) > 0.0
+
+    def test_bursts_create_heavy_tail(self):
+        """The Fig. 2 mechanism: cross-rack packets occasionally hit a
+        large burst delay."""
+        sim = Simulator()
+        cfg = SpineConfig(
+            propagation_us=0.0,
+            background_mean_us=0.0,
+            burst_probability=0.1,
+            burst_mean_us=200.0,
+        )
+        spine = Spine(sim, cfg, np.random.default_rng(2))
+        delays = []
+        prev = 0.0
+        for _ in range(500):
+            spine.traverse(lambda: None)
+            sim.run()
+            delays.append(sim.now - prev)
+            prev = sim.now
+        assert max(delays) > 100.0
+        assert np.median(delays) == pytest.approx(0.0, abs=1e-9)
+
+    def test_invalid_burst_probability_rejected(self):
+        with pytest.raises(ValueError):
+            SpineConfig(burst_probability=1.5)
+
+
+class TestTopology:
+    def make(self):
+        sim = Simulator()
+        topo = Topology(sim, np.random.default_rng(0))
+        topo.add_host("server", "rack0")
+        topo.add_host("clientA", "rack0")
+        topo.add_host("clientB", "rack1")
+        return sim, topo
+
+    def test_duplicate_host_rejected(self):
+        sim, topo = self.make()
+        with pytest.raises(ValueError):
+            topo.add_host("server", "rack2")
+
+    def test_rack_membership(self):
+        _, topo = self.make()
+        assert topo.same_rack("server", "clientA")
+        assert not topo.same_rack("server", "clientB")
+        assert topo.rack_of("clientB") == "rack1"
+
+    def test_same_rack_path_skips_spine(self):
+        _, topo = self.make()
+        assert topo.path("clientA", "server").spine is None
+
+    def test_cross_rack_path_uses_spine(self):
+        _, topo = self.make()
+        assert topo.path("clientB", "server").spine is not None
+
+    def test_unknown_host_rejected(self):
+        _, topo = self.make()
+        with pytest.raises(KeyError):
+            topo.path("ghost", "server")
+
+    def test_cross_rack_delivery_slower(self):
+        sim, topo = self.make()
+        times = {}
+
+        def send(src, key):
+            start = sim.now
+            topo.path(src, "server").send(
+                100, lambda: times.__setitem__(key, sim.now - start)
+            )
+            sim.run()
+
+        send("clientA", "same")
+        send("clientB", "cross")
+        assert times["cross"] > times["same"]
+
+    def test_links_shared_per_host(self):
+        """All flows from one host share its uplink (the Fig. 3
+        client-side bias mechanism)."""
+        _, topo = self.make()
+        p1 = topo.path("clientA", "server")
+        p2 = topo.path("clientA", "server")
+        assert p1.uplink is p2.uplink
+        assert p1.uplink is topo.uplink("clientA")

@@ -1,0 +1,132 @@
+"""Property tests for network links and controllers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.arrival import PoissonArrivals
+from repro.core.controllers import ClosedLoopController, OpenLoopController
+from repro.sim.engine import Simulator
+from repro.sim.network import Link, LinkConfig
+
+
+class TestLinkProperties:
+    @given(
+        st.lists(st.integers(min_value=1, max_value=5000), min_size=1, max_size=100),
+        st.floats(min_value=1.0, max_value=2000.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_fifo_delivery_order_and_conservation(self, sizes, bandwidth):
+        sim = Simulator()
+        link = Link(sim, LinkConfig(bandwidth_bpus=bandwidth, propagation_us=3.0))
+        delivered = []
+        for i, size in enumerate(sizes):
+            link.send(size, lambda i=i: delivered.append(i))
+        sim.run()
+        assert delivered == list(range(len(sizes)))
+        assert link.packets == len(sizes)
+        assert link.bytes_sent == sum(sizes)
+
+    @given(
+        st.lists(st.integers(min_value=1, max_value=5000), min_size=2, max_size=50)
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_total_busy_time_is_sum_of_transmissions(self, sizes):
+        sim = Simulator()
+        bw = 100.0
+        link = Link(sim, LinkConfig(bandwidth_bpus=bw, propagation_us=0.0))
+        for size in sizes:
+            link.send(size, lambda: None)
+        sim.run()
+        assert link.busy_us == pytest.approx(sum(sizes) / bw)
+        # Back-to-back sends drain exactly at the sum of tx times.
+        assert sim.now == pytest.approx(sum(sizes) / bw)
+
+
+class _EchoServer:
+    """Responds after an exponential delay (for controller properties)."""
+
+    def __init__(self, sim, rng, mean_latency=80.0):
+        self.sim = sim
+        self.rng = rng
+        self.mean = mean_latency
+        self.controller = None
+
+    def send(self, conn_id):
+        delay = float(self.rng.exponential(self.mean))
+        self.sim.schedule(delay, lambda: self.controller.on_response(conn_id))
+
+
+class TestControllerProperties:
+    @given(
+        st.integers(min_value=1, max_value=16),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_closed_loop_never_exceeds_connection_cap(self, n_conns, seed):
+        sim = Simulator()
+        rng = np.random.default_rng(seed)
+        server = _EchoServer(sim, rng)
+        ctrl = ClosedLoopController(
+            sim,
+            server.send,
+            connections=list(range(n_conns)),
+            rng=np.random.default_rng(seed + 1),
+        )
+        server.controller = ctrl
+        ctrl.start()
+        sim.run_until(20_000.0)
+        ctrl.tracker.finalize()
+        levels, _ = ctrl.tracker.distribution()
+        assert levels.max() <= n_conns
+        ctrl.stop()
+        sim.run()
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_open_loop_sends_match_poisson_count(self, seed):
+        """Over a fixed horizon the open-loop controller sends a
+        Poisson-distributed count with the configured mean, regardless
+        of server behaviour."""
+        sim = Simulator()
+        rng = np.random.default_rng(seed)
+        server = _EchoServer(sim, rng, mean_latency=10_000.0)  # very slow
+        rate = 0.01  # per us -> expect ~1000 sends in 100 ms
+        ctrl = OpenLoopController(
+            sim,
+            PoissonArrivals(rate * 1e6),
+            server.send,
+            connections=[0, 1, 2, 3],
+            rng=np.random.default_rng(seed + 1),
+        )
+        server.controller = ctrl
+        ctrl.start()
+        sim.run_until(100_000.0)
+        sent = ctrl.sent
+        ctrl.stop()
+        sim.run()
+        # Poisson(1000): 6-sigma band.
+        assert 800 <= sent <= 1200
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_tracker_conservation(self, seed):
+        """Sends minus completions equals the tracker's final count."""
+        sim = Simulator()
+        rng = np.random.default_rng(seed)
+        server = _EchoServer(sim, rng, mean_latency=200.0)
+        ctrl = OpenLoopController(
+            sim,
+            PoissonArrivals(20_000),
+            server.send,
+            connections=[0, 1],
+            rng=np.random.default_rng(seed + 1),
+        )
+        server.controller = ctrl
+        ctrl.start()
+        sim.run_until(50_000.0)
+        assert ctrl.tracker.count == ctrl.sent - ctrl.completed
+        ctrl.stop()
+        sim.run()
+        assert ctrl.tracker.count == 0

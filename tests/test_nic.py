@@ -1,0 +1,98 @@
+"""Unit tests for the NIC / RSS model."""
+
+import pytest
+
+from repro.sim.cpu import CpuComplex, CpuConfig
+from repro.sim.engine import Simulator
+from repro.sim.nic import (
+    AFFINITY_ALL_NODES,
+    AFFINITY_SAME_NODE,
+    Nic,
+    NicConfig,
+)
+
+
+def make_nic(affinity=AFFINITY_SAME_NODE, **kwargs):
+    sim = Simulator()
+    cpu = CpuComplex(sim, CpuConfig())
+    return Nic(NicConfig(affinity=affinity, **kwargs), cpu), cpu
+
+
+class TestConfig:
+    def test_bad_affinity_rejected(self):
+        with pytest.raises(ValueError):
+            NicConfig(affinity="spread")
+
+    def test_zero_queues_rejected(self):
+        with pytest.raises(ValueError):
+            NicConfig(num_queues=0)
+
+
+class TestAffinityMap:
+    def test_same_node_maps_all_queues_to_home_socket(self):
+        nic, cpu = make_nic(AFFINITY_SAME_NODE)
+        for core in nic.queue_to_core:
+            assert core.socket.index == nic.config.home_socket
+
+    def test_all_nodes_covers_both_sockets(self):
+        nic, cpu = make_nic(AFFINITY_ALL_NODES)
+        sockets = {core.socket.index for core in nic.queue_to_core}
+        assert sockets == {0, 1}
+
+    def test_all_nodes_spreads_evenly(self):
+        nic, cpu = make_nic(AFFINITY_ALL_NODES, num_queues=16)
+        counts = {}
+        for core in nic.queue_to_core:
+            counts[core.index] = counts.get(core.index, 0) + 1
+        assert max(counts.values()) - min(counts.values()) <= 1
+
+    def test_queue_count_matches_config(self):
+        nic, _ = make_nic(num_queues=8)
+        assert len(nic.queue_to_core) == 8
+
+
+class TestRss:
+    def test_rss_deterministic_per_connection(self):
+        nic, _ = make_nic()
+        assert nic.rss_queue(42) == nic.rss_queue(42)
+        assert nic.irq_core(42) is nic.irq_core(42)
+
+    def test_rss_in_range(self):
+        nic, _ = make_nic(num_queues=16)
+        for conn in range(200):
+            assert 0 <= nic.rss_queue(conn) < 16
+
+    def test_rss_roughly_uniform(self):
+        nic, _ = make_nic(num_queues=16)
+        counts = [0] * 16
+        for conn in range(3200):
+            counts[nic.rss_queue(conn)] += 1
+        assert min(counts) > 100  # expectation 200 each
+
+
+class TestCosts:
+    def test_home_socket_irq_cost_is_base(self):
+        nic, cpu = make_nic(AFFINITY_SAME_NODE)
+        core = cpu.cores_on_socket(0)[0]
+        assert nic.irq_cost_us(core) == pytest.approx(nic.config.irq_rx_us)
+
+    def test_remote_socket_irq_pays_dma_penalty(self):
+        """The mechanism behind nic=all-nodes hurting at high load."""
+        nic, cpu = make_nic(AFFINITY_ALL_NODES)
+        remote_core = cpu.cores_on_socket(1)[0]
+        assert nic.irq_cost_us(remote_core) == pytest.approx(
+            nic.config.irq_rx_us + nic.config.remote_dma_penalty_us
+        )
+
+    def test_wake_cost_zero_same_core(self):
+        nic, cpu = make_nic()
+        core = cpu.cores[0]
+        assert nic.wake_cost_us(core, core) == 0.0
+
+    def test_wake_cost_ordering(self):
+        nic, cpu = make_nic()
+        same_socket = nic.wake_cost_us(cpu.cores[0], cpu.cores[1])
+        cross_socket = nic.wake_cost_us(
+            cpu.cores_on_socket(0)[0], cpu.cores_on_socket(1)[0]
+        )
+        assert 0.0 < same_socket < cross_socket

@@ -1,0 +1,91 @@
+"""Unit tests for the warm-up/calibration/measurement phase machine."""
+
+import pytest
+
+from repro.core.phases import PhaseManager
+from repro.stats.histogram import AdaptiveHistogram
+
+
+class TestPhaseTransitions:
+    def test_starts_in_warmup(self):
+        pm = PhaseManager(warmup_samples=5, measurement_samples=10)
+        assert pm.phase == "warm-up"
+
+    def test_warmup_samples_discarded(self):
+        pm = PhaseManager(warmup_samples=5, measurement_samples=10)
+        for _ in range(5):
+            pm.record(100.0)
+        assert pm.collected == 0
+
+    def test_calibration_follows_warmup(self):
+        pm = PhaseManager(
+            warmup_samples=2,
+            measurement_samples=100,
+            histogram=AdaptiveHistogram(calibration_size=10),
+        )
+        for _ in range(5):
+            pm.record(50.0)
+        assert pm.phase == "calibration"
+        assert pm.collected == 3
+
+    def test_measurement_after_calibration(self):
+        pm = PhaseManager(
+            warmup_samples=2,
+            measurement_samples=100,
+            histogram=AdaptiveHistogram(calibration_size=5),
+        )
+        for _ in range(10):
+            pm.record(50.0)
+        assert pm.phase == "measurement"
+
+    def test_done_at_measurement_target(self):
+        pm = PhaseManager(
+            warmup_samples=2,
+            measurement_samples=20,
+            histogram=AdaptiveHistogram(calibration_size=5),
+        )
+        for i in range(22):
+            assert not pm.done
+            pm.record(float(i + 1))
+        assert pm.done
+
+    def test_zero_warmup_allowed(self):
+        pm = PhaseManager(warmup_samples=0, measurement_samples=5)
+        pm.record(1.0)
+        assert pm.collected == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PhaseManager(warmup_samples=-1)
+        with pytest.raises(ValueError):
+            PhaseManager(measurement_samples=0)
+
+
+class TestRawRetention:
+    def test_keep_raw_stores_post_warmup_samples(self):
+        pm = PhaseManager(warmup_samples=3, measurement_samples=10, keep_raw=True)
+        for i in range(8):
+            pm.record(float(i))
+        assert pm.raw_samples == [3.0, 4.0, 5.0, 6.0, 7.0]
+
+    def test_raw_disabled_by_default(self):
+        pm = PhaseManager(warmup_samples=0, measurement_samples=10)
+        pm.record(1.0)
+        assert pm.raw_samples == []
+
+    def test_histogram_matches_raw(self):
+        pm = PhaseManager(
+            warmup_samples=0,
+            measurement_samples=1000,
+            histogram=AdaptiveHistogram(calibration_size=50),
+            keep_raw=True,
+        )
+        import numpy as np
+
+        data = np.random.default_rng(0).exponential(100.0, size=500)
+        for v in data:
+            pm.record(float(v))
+        assert pm.histogram.count == len(pm.raw_samples) == 500
+        assert pm.histogram.quantile(0.9) == pytest.approx(
+            float(np.quantile(data, 0.9)), rel=0.05
+        )

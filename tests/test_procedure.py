@@ -1,0 +1,117 @@
+"""Integration tests for the multi-instance multi-run procedure."""
+
+import numpy as np
+import pytest
+
+from repro.core.procedure import MeasurementProcedure, ProcedureConfig
+from repro.workloads.memcached import MemcachedWorkload
+
+
+def quick_config(**overrides):
+    defaults = dict(
+        workload=MemcachedWorkload(),
+        target_utilization=0.5,
+        num_instances=2,
+        connections_per_instance=8,
+        warmup_samples=100,
+        measurement_samples_per_instance=600,
+        min_runs=2,
+        max_runs=3,
+        keep_raw=True,
+        seed=1,
+    )
+    defaults.update(overrides)
+    return ProcedureConfig(**defaults)
+
+
+class TestConfigValidation:
+    def test_requires_exactly_one_load_spec(self):
+        with pytest.raises(ValueError):
+            ProcedureConfig(workload=MemcachedWorkload())
+        with pytest.raises(ValueError):
+            ProcedureConfig(
+                workload=MemcachedWorkload(),
+                total_rate_rps=1000,
+                target_utilization=0.5,
+            )
+
+    def test_primary_quantile_must_be_tracked(self):
+        with pytest.raises(ValueError):
+            ProcedureConfig(
+                workload=MemcachedWorkload(),
+                target_utilization=0.5,
+                quantiles=(0.5,),
+                primary_quantile=0.99,
+            )
+
+    def test_zero_instances_rejected(self):
+        with pytest.raises(ValueError):
+            ProcedureConfig(
+                workload=MemcachedWorkload(), target_utilization=0.5, num_instances=0
+            )
+
+
+class TestRunOnce:
+    def test_metrics_present_and_ordered(self):
+        proc = MeasurementProcedure(quick_config())
+        result = proc.run_once(0)
+        assert result.metrics[0.5] <= result.metrics[0.95] <= result.metrics[0.99]
+
+    def test_utilization_near_target(self):
+        proc = MeasurementProcedure(quick_config(target_utilization=0.5))
+        result = proc.run_once(0)
+        assert result.server_utilization == pytest.approx(0.5, abs=0.12)
+
+    def test_clients_lightly_utilized(self):
+        proc = MeasurementProcedure(quick_config())
+        result = proc.run_once(0)
+        assert all(u < 0.3 for u in result.client_utilizations.values())
+
+    def test_absolute_rate_mode(self):
+        proc = MeasurementProcedure(
+            quick_config(target_utilization=None, total_rate_rps=100_000)
+        )
+        result = proc.run_once(0)
+        assert result.metrics[0.5] > 0
+
+    def test_raw_and_ground_truth_available(self):
+        proc = MeasurementProcedure(quick_config())
+        result = proc.run_once(0)
+        assert result.raw_samples().size >= 1200
+        assert result.ground_truth().size >= 1200
+
+    def test_independent_runs_differ(self):
+        proc = MeasurementProcedure(quick_config())
+        a = proc.run_once(0)
+        b = proc.run_once(1)
+        assert a.metrics[0.99] != b.metrics[0.99]
+
+    def test_same_run_index_reproducible(self):
+        proc = MeasurementProcedure(quick_config())
+        a = proc.run_once(0)
+        b = proc.run_once(0)
+        assert a.metrics[0.99] == b.metrics[0.99]
+
+
+class TestRepeatUntilConverged:
+    def test_respects_min_and_max_runs(self):
+        proc = MeasurementProcedure(quick_config(min_runs=2, max_runs=3))
+        result = proc.run()
+        assert 2 <= len(result.runs) <= 3
+
+    def test_estimates_are_across_run_means(self):
+        proc = MeasurementProcedure(quick_config())
+        result = proc.run()
+        per_run = result.per_run(0.99)
+        assert result.estimates[0.99] == pytest.approx(np.mean(per_run))
+
+    def test_dispersion_reported(self):
+        proc = MeasurementProcedure(quick_config())
+        result = proc.run()
+        assert result.dispersion[0.99] >= 0.0
+
+    def test_histogram_only_mode_works(self):
+        """Without keep_raw, metrics come from the adaptive histogram."""
+        proc = MeasurementProcedure(quick_config(keep_raw=False))
+        result = proc.run_once(0)
+        assert result.metrics[0.99] > result.metrics[0.5] > 0

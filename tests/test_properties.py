@@ -1,0 +1,155 @@
+"""Deeper hypothesis property tests across the core data structures."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Simulator
+from repro.stats.design import model_matrix
+from repro.stats.histogram import AdaptiveHistogram
+from repro.stats.quantreg import fit_quantile_regression, pinball_loss
+
+
+class TestEngineProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_events_always_fire_in_sorted_order(self, times):
+        sim = Simulator()
+        fired = []
+        for t in times:
+            sim.at(t, fired.append, t)
+        sim.run()
+        assert fired == sorted(times)
+        assert sim.events_processed == len(times)
+
+    @given(
+        st.lists(st.floats(min_value=0.01, max_value=100.0), min_size=1, max_size=50),
+        st.integers(min_value=0, max_value=49),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_cancellation_removes_exactly_one_event(self, delays, cancel_idx):
+        sim = Simulator()
+        fired = []
+        events = [
+            sim.schedule(d, fired.append, i) for i, d in enumerate(delays)
+        ]
+        victim = cancel_idx % len(events)
+        events[victim].cancel()
+        sim.run()
+        assert victim not in fired
+        assert len(fired) == len(delays) - 1
+
+
+class TestHistogramProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=2000,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_count_and_mean_always_exact(self, data):
+        h = AdaptiveHistogram(num_bins=32, calibration_size=8)
+        h.extend(data)
+        assert h.count == len(data)
+        assert h.mean() == pytest.approx(np.mean(data), rel=1e-9, abs=1e-9)
+        assert h.min() == min(data)
+        assert h.max() == max(data)
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.1, max_value=1e5), min_size=200, max_size=2000
+        ),
+        st.floats(min_value=0.05, max_value=0.99),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_binned_quantile_tracks_exact_quantile(self, data, q):
+        h = AdaptiveHistogram(num_bins=512, calibration_size=64)
+        h.extend(data)
+        exact = float(np.quantile(data, q))
+        spread = max(data) - min(data)
+        # The estimate is within a few bin widths of the exact value.
+        tolerance = max(4 * spread / 512, 4 * h.bounds[1] / 512, 1e-6)
+        assert abs(h.quantile(q) - exact) <= tolerance + 0.05 * exact
+
+
+class TestQuantRegProperties:
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_saturated_and_lp_agree_on_random_factorials(self, seed):
+        rng = np.random.default_rng(seed)
+        rows = []
+        ys = []
+        for a in (0, 1):
+            for b in (0, 1):
+                n = int(rng.integers(20, 60))
+                rows.extend([(a, b)] * n)
+                ys.extend(
+                    (
+                        50.0
+                        + 30.0 * a
+                        - 10.0 * b
+                        + rng.exponential(5.0, size=n)
+                    ).tolist()
+                )
+        X, cols = model_matrix(rows, ["a", "b"])
+        y = np.array(ys)
+        sat = fit_quantile_regression(X, y, 0.5, method="saturated")
+        lp = fit_quantile_regression(X, y, 0.5, method="lp")
+        # Both minimize the same piecewise-linear loss; optima may
+        # differ within flat regions, so compare losses, not coefs.
+        assert sat.loss == pytest.approx(lp.loss, rel=0.01, abs=0.05)
+
+    @given(
+        st.floats(min_value=0.05, max_value=0.95),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_pinball_minimized_at_empirical_quantile(self, tau, seed):
+        rng = np.random.default_rng(seed)
+        y = rng.exponential(10.0, size=400)
+        q = float(np.quantile(y, tau))
+        at_quantile = pinball_loss(y, np.full_like(y, q), tau)
+        for delta in (-2.0, 2.0):
+            assert at_quantile <= pinball_loss(
+                y, np.full_like(y, q + delta), tau
+            ) + 1e-9
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_prediction_interpolates_cell_quantiles(self, seed):
+        """For a saturated design, predictions equal the per-cell
+        empirical quantiles."""
+        rng = np.random.default_rng(seed)
+        rows, ys = [], []
+        cells = {}
+        for a in (0, 1):
+            samples = 40.0 + 20.0 * a + rng.normal(0, 3.0, size=50)
+            rows.extend([(a,)] * 50)
+            ys.extend(samples.tolist())
+            cells[a] = np.quantile(samples, 0.5)
+        X, _ = model_matrix(rows, ["a"])
+        fit = fit_quantile_regression(X, np.array(ys), 0.5, method="saturated")
+        for a in (0, 1):
+            Xa, _ = model_matrix([(a,)], ["a"])
+            assert fit.predict(Xa)[0] == pytest.approx(cells[a], abs=0.7)
+
+
+class TestModelMatrixProperties:
+    @given(st.integers(min_value=1, max_value=5))
+    @settings(max_examples=10, deadline=None)
+    def test_full_factorial_matrix_always_invertible(self, k):
+        import itertools
+
+        runs = list(itertools.product((0, 1), repeat=k))
+        X, cols = model_matrix(runs, [f"f{i}" for i in range(k)])
+        assert X.shape == (2**k, 2**k)
+        assert np.linalg.matrix_rank(X) == 2**k

@@ -1,0 +1,117 @@
+"""Unit tests for quantile estimation and confidence intervals."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.quantile import (
+    bootstrap_quantile_ci,
+    order_statistic_ci,
+    quantile,
+    quantile_density,
+    quantile_stderr,
+    quantiles,
+)
+
+
+RNG = np.random.default_rng(0)
+
+
+class TestPointEstimates:
+    def test_matches_numpy(self):
+        data = RNG.exponential(10.0, size=1000)
+        assert quantile(data, 0.95) == pytest.approx(np.quantile(data, 0.95))
+
+    def test_vectorized(self):
+        data = RNG.normal(100.0, 10.0, size=500)
+        qs = quantiles(data, [0.1, 0.5, 0.9])
+        assert np.allclose(qs, np.quantile(data, [0.1, 0.5, 0.9]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            quantile([], 0.5)
+        with pytest.raises(ValueError):
+            quantiles([], [0.5])
+
+    def test_bad_q_rejected(self):
+        with pytest.raises(ValueError):
+            quantile([1.0], 1.5)
+
+
+class TestOrderStatisticCI:
+    def test_brackets_point_estimate(self):
+        data = RNG.exponential(10.0, size=2000)
+        lo, hi = order_statistic_ci(data, 0.95)
+        point = np.quantile(data, 0.95)
+        assert lo <= point <= hi
+
+    def test_narrows_with_sample_size(self):
+        small = RNG.exponential(10.0, size=200)
+        large = RNG.exponential(10.0, size=20_000)
+        lo_s, hi_s = order_statistic_ci(small, 0.9)
+        lo_l, hi_l = order_statistic_ci(large, 0.9)
+        assert (hi_l - lo_l) < (hi_s - lo_s)
+
+    def test_coverage_approximately_nominal(self):
+        """Distribution-free CI should cover the true quantile ~95% of
+        the time (checked loosely over repeated draws)."""
+        true_q = -np.log(1 - 0.9) * 10.0  # exponential(10) p90
+        rng = np.random.default_rng(42)
+        hits = 0
+        trials = 200
+        for _ in range(trials):
+            data = rng.exponential(10.0, size=500)
+            lo, hi = order_statistic_ci(data, 0.9, confidence=0.95)
+            hits += lo <= true_q <= hi
+        assert hits / trials > 0.85
+
+    def test_bad_confidence_rejected(self):
+        with pytest.raises(ValueError):
+            order_statistic_ci([1.0, 2.0], 0.5, confidence=1.0)
+
+
+class TestBootstrapCI:
+    def test_brackets_point_estimate(self):
+        data = RNG.lognormal(3.0, 1.0, size=1000)
+        lo, hi = bootstrap_quantile_ci(data, 0.95, n_boot=300)
+        assert lo <= np.quantile(data, 0.95) <= hi
+
+    def test_reproducible_with_rng(self):
+        data = RNG.exponential(5.0, size=300)
+        a = bootstrap_quantile_ci(data, 0.9, rng=np.random.default_rng(1))
+        b = bootstrap_quantile_ci(data, 0.9, rng=np.random.default_rng(1))
+        assert a == b
+
+
+class TestDensityAndStderr:
+    def test_density_positive(self):
+        data = RNG.normal(0.0, 1.0, size=2000)
+        assert quantile_density(data, 0.5) > 0
+
+    def test_density_matches_normal_at_median(self):
+        data = np.random.default_rng(7).normal(0.0, 1.0, size=50_000)
+        dens = quantile_density(data, 0.5)
+        assert dens == pytest.approx(1 / np.sqrt(2 * np.pi), rel=0.1)
+
+    def test_degenerate_data_infinite_density(self):
+        assert quantile_density([5.0] * 10, 0.5) == np.inf
+        assert quantile_stderr([5.0] * 10, 0.5) == 0.0
+
+    def test_stderr_grows_with_quantile(self):
+        """Finding 2: variance of a quantile estimate is inversely
+        proportional to the density, so tail quantiles are noisier."""
+        data = RNG.exponential(10.0, size=5000)
+        assert quantile_stderr(data, 0.99) > quantile_stderr(data, 0.5)
+
+    def test_stderr_shrinks_with_n(self):
+        small = RNG.exponential(10.0, size=500)
+        large = RNG.exponential(10.0, size=50_000)
+        assert quantile_stderr(large, 0.9) < quantile_stderr(small, 0.9)
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_ci_always_ordered(self, seed):
+        data = np.random.default_rng(seed).exponential(10.0, size=300)
+        lo, hi = order_statistic_ci(data, 0.95)
+        assert lo <= hi

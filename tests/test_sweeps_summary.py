@@ -1,0 +1,115 @@
+"""Tests for the utilization sweep and latency summaries."""
+
+import numpy as np
+import pytest
+
+from repro.core.sweeps import sweep_utilization
+from repro.stats.summary import summarize
+from repro.workloads.memcached import MemcachedWorkload
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return sweep_utilization(
+        MemcachedWorkload(),
+        utilizations=(0.3, 0.6, 0.85),
+        quantiles=(0.5, 0.99),
+        samples_per_instance=1000,
+        runs_per_point=2,
+        seed=21,
+    )
+
+
+class TestSweep:
+    def test_one_point_per_utilization(self, sweep):
+        assert [p.target_utilization for p in sweep.points] == [0.3, 0.6, 0.85]
+
+    def test_measured_utilization_tracks_target(self, sweep):
+        """Measured utilization follows the target, biased upward at
+        low load: the default ondemand governor's ramp stalls consume
+        real CPU, and the rate calibration deliberately does not hide
+        that (the same effect exists on real hardware).  The bias
+        shrinks as load rises and idle gaps vanish."""
+        biases = []
+        for p in sweep.points:
+            bias = p.measured_utilization - p.target_utilization
+            assert -0.05 <= bias <= 0.2
+            biases.append(bias)
+        assert biases[0] > biases[-1]  # governor overhead fades with load
+        assert sweep.points[-1].measured_utilization == pytest.approx(
+            sweep.points[-1].target_utilization, abs=0.07
+        )
+
+    def test_tail_series_monotone_in_load(self, sweep):
+        p99 = sweep.series(0.99)
+        assert p99[0] < p99[1] < p99[2]
+
+    def test_clients_stay_healthy(self, sweep):
+        for p in sweep.points:
+            assert p.max_client_utilization < 0.5
+
+    def test_knee_detection(self, sweep):
+        knee = sweep.knee_utilization(q=0.99, factor=1.5)
+        # The curve roughly doubles by 85%, so a 1.5x knee exists.
+        assert knee in (0.6, 0.85)
+        # An absurd factor finds no knee.
+        assert sweep.knee_utilization(q=0.99, factor=50.0) is None
+
+    def test_knee_factor_validation(self, sweep):
+        with pytest.raises(ValueError):
+            sweep.knee_utilization(factor=1.0)
+
+    def test_render_contains_all_points(self, sweep):
+        text = sweep.render()
+        assert "30%" in text and "85%" in text
+        assert "p99" in text
+
+    def test_input_validation(self):
+        wl = MemcachedWorkload()
+        with pytest.raises(ValueError):
+            sweep_utilization(wl, utilizations=())
+        with pytest.raises(ValueError):
+            sweep_utilization(wl, utilizations=(1.5,))
+
+
+class TestSummary:
+    def test_basic_statistics(self):
+        rng = np.random.default_rng(0)
+        data = rng.exponential(100.0, size=20_000)
+        s = summarize(data)
+        assert s.n == 20_000
+        assert s.mean_us == pytest.approx(100.0, rel=0.05)
+        assert s.cv == pytest.approx(1.0, rel=0.05)
+        assert s.min_us <= s.quantiles_us[0.5] <= s.max_us
+
+    def test_quantile_ladder_with_cis(self):
+        rng = np.random.default_rng(1)
+        data = rng.lognormal(4.0, 1.0, size=5000)
+        s = summarize(data, quantiles=(0.5, 0.99))
+        for q in (0.5, 0.99):
+            lo, hi = s.quantile_cis[q]
+            assert lo <= s.quantiles_us[q] <= hi
+
+    def test_tail_ratio_for_exponential(self):
+        """Exponential: p99/p50 = ln(100)/ln(2) ~ 6.64."""
+        rng = np.random.default_rng(2)
+        s = summarize(rng.exponential(50.0, size=100_000))
+        assert s.tail_ratio == pytest.approx(np.log(100) / np.log(2), rel=0.05)
+
+    def test_render(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0, 5.0] * 20, quantiles=(0.5, 0.99))
+        text = s.render()
+        assert "p50" in text and "p99" in text and "CI" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            summarize([])
+        with pytest.raises(ValueError):
+            summarize([1.0], quantiles=())
+        with pytest.raises(ValueError):
+            summarize([1.0, 2.0], quantiles=(1.5,))
+
+    def test_degenerate_sample(self):
+        s = summarize([5.0] * 100)
+        assert s.std_us == 0.0
+        assert s.tail_ratio == pytest.approx(1.0)

@@ -1,0 +1,85 @@
+"""Unit tests for the packet-capture (tcpdump) model."""
+
+import numpy as np
+
+from repro.sim.tcpdump import PacketCapture
+from repro.workloads.base import Request
+
+
+def stamped_request(req_id, t_send, t_recv):
+    req = Request(req_id=req_id, conn_id=0, op="get")
+    req.t_nic_send = t_send
+    req.t_nic_recv = t_recv
+    return req
+
+
+class TestPacketCapture:
+    def test_matches_request_to_response(self):
+        cap = PacketCapture("c0")
+        req = stamped_request(1, 10.0, 75.0)
+        cap.record_tx(req)
+        cap.record_rx(req)
+        assert cap.latencies_us == [65.0]
+
+    def test_multiple_interleaved_requests(self):
+        cap = PacketCapture()
+        reqs = [stamped_request(i, float(i), float(i) + 50.0 + i) for i in range(5)]
+        for r in reqs:
+            cap.record_tx(r)
+        for r in reversed(reqs):  # out-of-order responses
+            cap.record_rx(r)
+        assert sorted(cap.latencies_us) == [50.0, 51.0, 52.0, 53.0, 54.0]
+
+    def test_unmatched_rx_counted_not_recorded(self):
+        cap = PacketCapture()
+        cap.record_rx(stamped_request(9, 0.0, 10.0))
+        assert cap.latencies_us == []
+        assert cap.unmatched_rx == 1
+
+    def test_in_flight_tracks_outstanding(self):
+        cap = PacketCapture()
+        a, b = stamped_request(1, 0.0, 5.0), stamped_request(2, 1.0, 6.0)
+        cap.record_tx(a)
+        cap.record_tx(b)
+        assert cap.in_flight == 2
+        cap.record_rx(a)
+        assert cap.in_flight == 1
+
+    def test_disabled_capture_records_nothing(self):
+        cap = PacketCapture()
+        cap.enabled = False
+        req = stamped_request(1, 0.0, 9.0)
+        cap.record_tx(req)
+        cap.record_rx(req)
+        assert cap.latencies_us == []
+
+    def test_reset_clears_state(self):
+        cap = PacketCapture()
+        req = stamped_request(1, 0.0, 9.0)
+        cap.record_tx(req)
+        cap.record_rx(req)
+        cap.reset()
+        assert cap.latencies_us == []
+        assert cap.in_flight == 0
+
+    def test_samples_array(self):
+        cap = PacketCapture()
+        for i in range(3):
+            r = stamped_request(i, 0.0, float(i + 1))
+            cap.record_tx(r)
+            cap.record_rx(r)
+        assert np.array_equal(cap.samples(), [1.0, 2.0, 3.0])
+
+    def test_merge_pools_across_hosts(self):
+        caps = []
+        for h in range(3):
+            cap = PacketCapture(f"h{h}")
+            r = stamped_request(h, 0.0, 10.0 * (h + 1))
+            cap.record_tx(r)
+            cap.record_rx(r)
+            caps.append(cap)
+        merged = PacketCapture.merge(caps)
+        assert sorted(merged.tolist()) == [10.0, 20.0, 30.0]
+
+    def test_merge_empty_list(self):
+        assert PacketCapture.merge([]).size == 0

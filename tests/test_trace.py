@@ -1,0 +1,103 @@
+"""Tests for per-request trace capture and CSV export."""
+
+import csv
+import io
+
+import numpy as np
+import pytest
+
+from repro.core.bench import BenchConfig, TestBench
+from repro.core.trace import RequestTrace, TRACE_FIELDS
+from repro.core.treadmill import TreadmillConfig, TreadmillInstance
+from repro.workloads.base import Request
+from repro.workloads.memcached import MemcachedWorkload
+
+
+def traced_run(limit=100_000, samples=800, seed=12):
+    trace = RequestTrace(limit=limit)
+    bench = TestBench(BenchConfig(workload=MemcachedWorkload(), seed=seed))
+    rate = bench.server.arrival_rate_for_utilization(0.5) * 1e6
+    inst = TreadmillInstance(
+        bench,
+        "tm0",
+        TreadmillConfig(
+            rate_rps=rate, connections=8, warmup_samples=0, measurement_samples=samples
+        ),
+        request_observer=trace.observe,
+    )
+    inst.start()
+    bench.run_to_completion([inst])
+    return trace
+
+
+class TestCapture:
+    def test_records_every_completed_request(self):
+        trace = traced_run(samples=500)
+        assert len(trace) >= 500
+        assert trace.dropped == 0
+
+    def test_limit_bounds_memory(self):
+        trace = traced_run(limit=100, samples=500)
+        assert len(trace) == 100
+        assert trace.dropped > 0
+
+    def test_latencies_positive(self):
+        trace = traced_run(samples=300)
+        lats = trace.latencies()
+        assert (lats > 0).all()
+
+    def test_slowest_sorted_descending(self):
+        trace = traced_run(samples=500)
+        worst = trace.slowest(10)
+        lats = [r.user_latency_us for r in worst]
+        assert lats == sorted(lats, reverse=True)
+        assert lats[0] == trace.latencies().max()
+
+    def test_interarrival_cv_near_one_for_poisson(self):
+        """Treadmill promises exponential gaps; the trace verifies it."""
+        trace = traced_run(samples=3000)
+        assert trace.interarrival_cv() == pytest.approx(1.0, abs=0.15)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RequestTrace(limit=0)
+        with pytest.raises(ValueError):
+            RequestTrace().slowest(0)
+        with pytest.raises(ValueError):
+            RequestTrace().interarrival_cv()
+
+
+class TestExport:
+    def test_csv_round_trip(self, tmp_path):
+        trace = traced_run(samples=200)
+        path = tmp_path / "trace.csv"
+        rows_written = trace.write_csv(path)
+        with open(path) as f:
+            rows = list(csv.DictReader(f))
+        assert len(rows) == rows_written == len(trace)
+        first = rows[0]
+        assert set(first) == set(TRACE_FIELDS)
+        # Timestamps are monotone along the pipeline.
+        assert float(first["t_user_send"]) <= float(first["t_nic_send"])
+        assert float(first["t_nic_send"]) <= float(first["t_server_nic_in"])
+        assert float(first["t_nic_recv"]) <= float(first["t_user_recv"])
+
+    def test_csv_string_header(self):
+        trace = RequestTrace()
+        text = trace.to_csv_string()
+        reader = csv.reader(io.StringIO(text))
+        assert next(reader) == TRACE_FIELDS
+
+    def test_latency_columns_consistent(self, tmp_path):
+        trace = traced_run(samples=100)
+        path = tmp_path / "t.csv"
+        trace.write_csv(path)
+        with open(path) as f:
+            for row in csv.DictReader(f):
+                total = float(row["user_latency_us"])
+                parts = (
+                    float(row["server_latency_us"])
+                    + float(row["network_latency_us"])
+                    + float(row["client_latency_us"])
+                )
+                assert parts == pytest.approx(total, rel=1e-6)

@@ -1,0 +1,116 @@
+"""Unit/integration tests for the Treadmill instance."""
+
+import numpy as np
+import pytest
+
+from repro.core.bench import BenchConfig, TestBench
+from repro.core.treadmill import TreadmillConfig, TreadmillInstance
+from repro.workloads.memcached import MemcachedWorkload
+
+
+def run_instance(config=None, seed=0, **bench_kwargs):
+    bench = TestBench(
+        BenchConfig(workload=MemcachedWorkload(), seed=seed), **bench_kwargs
+    )
+    inst = TreadmillInstance(
+        bench,
+        "tm0",
+        config
+        or TreadmillConfig(
+            rate_rps=30_000, connections=4, warmup_samples=50, measurement_samples=500
+        ),
+    )
+    inst.start()
+    bench.run_to_completion([inst])
+    return bench, inst
+
+
+class TestConfigValidation:
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ValueError):
+            TreadmillConfig(rate_rps=0)
+
+    def test_bad_connections_rejected(self):
+        with pytest.raises(ValueError):
+            TreadmillConfig(connections=0)
+
+
+class TestEndToEnd:
+    def test_collects_configured_samples(self):
+        _, inst = run_instance()
+        assert inst.done
+        report = inst.report()
+        assert report.responses_recorded >= 500
+
+    def test_client_stays_lightly_utilized(self):
+        """The design requirement: Treadmill clients must stay far from
+        saturation so measurements are unbiased."""
+        _, inst = run_instance()
+        assert inst.report().client_utilization < 0.2
+
+    def test_report_quantiles_ordered(self):
+        _, inst = run_instance()
+        report = inst.report()
+        p50, p95, p99 = report.quantiles([0.5, 0.95, 0.99])
+        assert p50 <= p95 <= p99
+
+    def test_keep_raw_collects_samples(self):
+        cfg = TreadmillConfig(
+            rate_rps=30_000,
+            connections=4,
+            warmup_samples=20,
+            measurement_samples=300,
+            keep_raw=True,
+        )
+        _, inst = run_instance(cfg)
+        report = inst.report()
+        assert len(report.raw_samples) >= 300
+        assert report.histogram.count == len(report.raw_samples)
+
+    def test_keep_components_partition_latency(self):
+        cfg = TreadmillConfig(
+            rate_rps=30_000,
+            connections=4,
+            warmup_samples=20,
+            measurement_samples=300,
+            keep_raw=True,
+            keep_components=True,
+        )
+        _, inst = run_instance(cfg)
+        report = inst.report()
+        total = (
+            report.components["server"]
+            + report.components["network"]
+            + report.components["client"]
+        )
+        n = min(len(total), len(report.raw_samples))
+        assert np.allclose(total[:n], np.asarray(report.raw_samples)[:n], rtol=1e-6)
+
+    def test_ground_truth_lower_than_user_latency(self):
+        """tcpdump excludes the client kernel path, so NIC-level p50
+        should sit ~30 us below the user-level p50."""
+        cfg = TreadmillConfig(
+            rate_rps=30_000, connections=4, warmup_samples=0, measurement_samples=800
+        )
+        _, inst = run_instance(cfg)
+        report = inst.report()
+        gt_p50 = float(np.quantile(report.ground_truth_samples, 0.5))
+        user_p50 = report.quantile(0.5)
+        offset = user_p50 - gt_p50
+        assert 20.0 < offset < 45.0
+
+    def test_open_loop_rate_respected(self):
+        bench, inst = run_instance()
+        elapsed_s = bench.sim.now / 1e6
+        achieved = inst.controller.sent / elapsed_s
+        assert achieved == pytest.approx(30_000, rel=0.15)
+
+    def test_reproducible_runs(self):
+        _, a = run_instance(seed=5)
+        _, b = run_instance(seed=5)
+        assert a.report().quantile(0.99) == b.report().quantile(0.99)
+
+    def test_different_seeds_differ(self):
+        _, a = run_instance(seed=5)
+        _, b = run_instance(seed=6)
+        assert a.report().quantile(0.99) != b.report().quantile(0.99)

@@ -1,0 +1,214 @@
+"""Unit and property tests for workload models and generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.base import Request, WorkProfile
+from repro.workloads.generators import (
+    Constant,
+    Discrete,
+    Exponential,
+    GeneralizedPareto,
+    Lognormal,
+    OperationMix,
+    Uniform,
+    distribution_from_spec,
+)
+from repro.workloads.mcrouter import McrouterWorkload
+from repro.workloads.memcached import MemcachedWorkload
+
+
+RNG = np.random.default_rng(0)
+
+
+class TestRequest:
+    def test_latency_properties(self):
+        req = Request(req_id=0, conn_id=0, op="get")
+        req.t_user_send = 0.0
+        req.t_nic_send = 7.0
+        req.t_server_nic_in = 17.0
+        req.t_server_nic_out = 40.0
+        req.t_nic_recv = 50.0
+        req.t_user_recv = 80.0
+        assert req.user_latency_us == 80.0
+        assert req.nic_latency_us == 43.0
+        assert req.server_latency_us == 23.0
+        assert req.network_latency_us == 20.0
+        assert req.client_latency_us == pytest.approx(37.0)
+        # Components partition the end-to-end latency exactly.
+        assert req.user_latency_us == pytest.approx(
+            req.server_latency_us + req.network_latency_us + req.client_latency_us
+        )
+
+
+class TestWorkProfile:
+    def test_negative_field_rejected(self):
+        with pytest.raises(ValueError):
+            WorkProfile(work_us=-1.0)
+
+    def test_total_on_core(self):
+        p = WorkProfile(work_us=5.0, fixed_us=1.0, post_work_us=2.0)
+        assert p.total_on_core_us == 8.0
+
+
+class TestDistributions:
+    @pytest.mark.parametrize(
+        "dist",
+        [
+            Constant(5.0),
+            Uniform(1.0, 9.0),
+            Exponential(4.0),
+            Lognormal(mean=100.0, sigma=1.0),
+            GeneralizedPareto(scale=10.0, alpha=2.5),
+            Discrete([1.0, 10.0], [0.5, 0.5]),
+        ],
+        ids=lambda d: type(d).__name__,
+    )
+    def test_empirical_mean_matches_analytic(self, dist):
+        samples = np.array([dist.sample(RNG) for _ in range(20_000)])
+        assert samples.mean() == pytest.approx(dist.mean(), rel=0.12)
+        assert (samples >= 0).all()
+
+    @pytest.mark.parametrize(
+        "dist",
+        [
+            Constant(5.0),
+            Uniform(1.0, 9.0),
+            Exponential(4.0),
+            Lognormal(mean=100.0, sigma=1.0),
+            GeneralizedPareto(scale=10.0, alpha=2.5),
+            Discrete([1.0, 10.0], [0.3, 0.7]),
+        ],
+        ids=lambda d: type(d).__name__,
+    )
+    def test_spec_round_trip(self, dist):
+        rebuilt = distribution_from_spec(dist.spec())
+        assert type(rebuilt) is type(dist)
+        assert rebuilt.mean() == pytest.approx(dist.mean())
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ValueError):
+            distribution_from_spec({"type": "gamma"})
+        with pytest.raises(ValueError):
+            distribution_from_spec({"mean": 5})
+        with pytest.raises(ValueError):
+            distribution_from_spec({"type": "exponential"})  # missing mean
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Uniform(5.0, 1.0)
+        with pytest.raises(ValueError):
+            Exponential(0.0)
+        with pytest.raises(ValueError):
+            GeneralizedPareto(scale=1.0, alpha=1.0)
+        with pytest.raises(ValueError):
+            Discrete([], [])
+        with pytest.raises(ValueError):
+            Discrete([1.0], [-1.0])
+
+    @given(st.floats(min_value=0.1, max_value=1e4))
+    @settings(max_examples=30, deadline=None)
+    def test_lognormal_mean_parameterization(self, mean):
+        """Lognormal is parameterized by its *linear* mean."""
+        dist = Lognormal(mean=mean, sigma=0.7)
+        assert dist.mean() == pytest.approx(mean)
+
+
+class TestOperationMix:
+    def test_probabilities_normalized(self):
+        mix = OperationMix({"get": 9.0, "set": 1.0})
+        assert mix.probability("get") == pytest.approx(0.9)
+        assert mix.probability("set") == pytest.approx(0.1)
+        assert mix.probability("delete") == 0.0
+
+    def test_sampling_matches_weights(self):
+        mix = OperationMix({"get": 0.8, "set": 0.2})
+        ops = [mix.sample(RNG) for _ in range(5000)]
+        assert ops.count("get") / len(ops) == pytest.approx(0.8, abs=0.03)
+
+    def test_empty_mix_rejected(self):
+        with pytest.raises(ValueError):
+            OperationMix({})
+
+
+class TestMemcachedWorkload:
+    def test_request_sizes_reflect_op(self):
+        wl = MemcachedWorkload(get_fraction=0.5)
+        rng = np.random.default_rng(1)
+        for i in range(100):
+            req = wl.sample_request(rng, i, 0)
+            if req.op == "get":
+                assert req.response_bytes > req.request_bytes - req.key_size
+            else:
+                assert req.request_bytes >= req.value_size
+
+    def test_profile_scales_with_value_size(self):
+        wl = MemcachedWorkload(service_noise_sigma=0.0)
+        rng = np.random.default_rng(1)
+        small = Request(0, 0, "get", value_size=64)
+        large = Request(1, 0, "get", value_size=64 * 1024)
+        assert wl.profile(large, rng).work_us > wl.profile(small, rng).work_us
+        assert wl.profile(large, rng).mem_accesses > wl.profile(small, rng).mem_accesses
+
+    def test_set_costs_more_than_get(self):
+        wl = MemcachedWorkload(service_noise_sigma=0.0)
+        rng = np.random.default_rng(1)
+        get = Request(0, 0, "get", value_size=100)
+        set_ = Request(1, 0, "set", value_size=100)
+        assert wl.profile(set_, rng).work_us > wl.profile(get, rng).work_us
+
+    def test_noise_multiplier_mean_preserving(self):
+        noisy = MemcachedWorkload(service_noise_sigma=0.8)
+        clean = MemcachedWorkload(service_noise_sigma=0.0)
+        rng = np.random.default_rng(2)
+        req = Request(0, 0, "get", value_size=100)
+        mean_noisy = np.mean([noisy.profile(req, rng).work_us for _ in range(20_000)])
+        assert mean_noisy == pytest.approx(clean.profile(req, rng).work_us, rel=0.05)
+
+    def test_mean_service_positive_and_sane(self):
+        wl = MemcachedWorkload()
+        assert 5.0 < wl.mean_service_us() < 30.0
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            MemcachedWorkload(get_fraction=1.5)
+
+    def test_describe_round_trippable_fields(self):
+        desc = MemcachedWorkload().describe()
+        assert desc["name"] == "memcached"
+        assert "value_size" in desc
+
+
+class TestMcrouterWorkload:
+    def test_profile_has_backend_phase(self):
+        wl = McrouterWorkload(service_noise_sigma=0.0)
+        rng = np.random.default_rng(3)
+        req = wl.sample_request(rng, 0, 0)
+        prof = wl.profile(req, rng)
+        assert prof.backend_wait_us > 0
+        assert prof.post_work_us > 0
+
+    def test_deserialize_cost_scales_with_request_bytes(self):
+        wl = McrouterWorkload(service_noise_sigma=0.0)
+        rng = np.random.default_rng(3)
+        small = Request(0, 0, "get", request_bytes=64)
+        large = Request(1, 0, "get", request_bytes=4096)
+        assert wl.profile(large, rng).work_us > wl.profile(small, rng).work_us
+
+    def test_mean_service_excludes_backend_wait(self):
+        """mean_service_us sizes CPU, so the off-core wait must not
+        inflate it."""
+        wl = McrouterWorkload()
+        assert wl.mean_service_us() < 15.0
+
+    def test_memory_footprint_lighter_than_memcached(self):
+        """Mcrouter proxies rather than stores: it touches far less
+        connection-buffer memory per request (why the numa factor
+        matters less in Fig. 10 than Fig. 8)."""
+        mcr = McrouterWorkload(service_noise_sigma=0.0)
+        mc = MemcachedWorkload(service_noise_sigma=0.0)
+        rng = np.random.default_rng(4)
+        req = Request(0, 0, "get", value_size=160, request_bytes=100)
+        assert mcr.profile(req, rng).mem_accesses < mc.profile(req, rng).mem_accesses

@@ -1,0 +1,96 @@
+"""Tests for the wrk2-style constant-throughput baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core.bench import BenchConfig, TestBench
+from repro.core.treadmill import TreadmillConfig, TreadmillInstance
+from repro.loadtesters.wrk2 import Wrk2Tester
+from repro.workloads.memcached import MemcachedWorkload
+
+
+def run_wrk2(utilization=0.7, seed=7, samples=4000):
+    bench = TestBench(BenchConfig(workload=MemcachedWorkload(), seed=seed))
+    rate = bench.server.arrival_rate_for_utilization(utilization) * 1e6
+    tester = Wrk2Tester(bench, rate, measurement_samples=samples, warmup_samples=200)
+    tester.start()
+    bench.run_to_completion([tester])
+    return bench, tester.report()
+
+
+def run_treadmill(utilization=0.7, seed=7, samples=4000):
+    bench = TestBench(BenchConfig(workload=MemcachedWorkload(), seed=seed))
+    rate = bench.server.arrival_rate_for_utilization(utilization) * 1e6
+    insts = [
+        TreadmillInstance(
+            bench,
+            f"tm{i}",
+            TreadmillConfig(
+                rate_rps=rate / 4,
+                connections=8,
+                warmup_samples=200,
+                measurement_samples=samples // 4,
+                keep_raw=True,
+            ),
+        )
+        for i in range(4)
+    ]
+    for inst in insts:
+        inst.start()
+    bench.run_to_completion(insts)
+    return bench, [i.report() for i in insts]
+
+
+class TestWrk2:
+    def test_sustains_target_rate_at_high_load(self):
+        """Unlike closed-loop tools, wrk2's open-loop schedule delivers
+        the offered rate regardless of server latency."""
+        bench, report = run_wrk2(utilization=0.8)
+        elapsed_s = bench.sim.now / 1e6
+        achieved = report.requests_sent / elapsed_s
+        target = bench.server.arrival_rate_for_utilization(0.8) * 1e6
+        # The fresh bench above recomputes the same target rate.
+        assert achieved == pytest.approx(target, rel=0.1)
+
+    def test_outstanding_not_capped(self):
+        bench = TestBench(BenchConfig(workload=MemcachedWorkload(), seed=8))
+        rate = bench.server.arrival_rate_for_utilization(0.85) * 1e6
+        tester = Wrk2Tester(bench, rate, measurement_samples=3000, warmup_samples=100)
+        tester.start()
+        bench.run_to_completion([tester])
+        caps = []
+        for client in tester.clients:
+            levels, _ = client.controller.tracker.distribution()
+            caps.append(levels.max())
+        # Open loop: in-flight counts can exceed the connection count.
+        assert max(caps) > 8
+
+    def test_clients_lightly_utilized(self):
+        _, report = run_wrk2()
+        assert max(report.client_utilizations.values()) < 0.25
+
+    def test_mild_tail_underestimate_vs_poisson(self):
+        """The remaining flaw: metronome pacing offers a less variable
+        arrival stream than production's Poisson, so the NIC-level tail
+        sits below Treadmill's.  The effect is a few percent, so the
+        comparison pools two independent runs per tool to beat run
+        noise (single-seed comparisons can flip)."""
+        wrk2_samples, tm_samples = [], []
+        for seed in (10, 11):
+            _, wrk2_report = run_wrk2(seed=seed, samples=6000)
+            _, tm_reports = run_treadmill(seed=seed, samples=6000)
+            wrk2_samples.append(wrk2_report.ground_truth_samples)
+            tm_samples.extend(r.ground_truth_samples for r in tm_reports)
+        wrk2_p99 = float(np.quantile(np.concatenate(wrk2_samples), 0.99))
+        tm_p99 = float(np.quantile(np.concatenate(tm_samples), 0.99))
+        assert wrk2_p99 < tm_p99
+
+    def test_coordinated_omission_free_flag(self):
+        bench = TestBench(BenchConfig(workload=MemcachedWorkload(), seed=1))
+        tester = Wrk2Tester(bench, 10_000, measurement_samples=10)
+        assert tester.coordinated_omission_free
+
+    def test_validation(self):
+        bench = TestBench(BenchConfig(workload=MemcachedWorkload(), seed=1))
+        with pytest.raises(ValueError):
+            Wrk2Tester(bench, 10_000, clients=0)
