@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Benchmark the execution layer: serial vs parallel factorial sweep.
+
+Runs a small fig12/tab04-style randomized 2^4 factorial (the paper's
+Table IV shape) twice through :class:`repro.core.attribution.
+AttributionStudy` — once on a :class:`~repro.exec.SerialExecutor`,
+once on a :class:`~repro.exec.ParallelExecutor` — asserts that the
+per-run metrics are bit-identical, and writes ``BENCH_exec.json`` so
+the perf trajectory is tracked across PRs.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_exec.py [--jobs 4]
+        [--replications 2] [--samples 800] [--out BENCH_exec.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import __version__  # noqa: E402
+from repro.core.attribution import AttributionConfig, AttributionStudy  # noqa: E402
+from repro.exec import ParallelExecutor, SerialExecutor, Telemetry  # noqa: E402
+from repro.workloads.memcached import MemcachedWorkload  # noqa: E402
+
+
+def build_study(executor, args) -> AttributionStudy:
+    return AttributionStudy(
+        AttributionConfig(
+            workload=MemcachedWorkload(),
+            target_utilization=0.7,
+            replications=args.replications,
+            num_instances=2,
+            measurement_samples_per_instance=args.samples,
+            warmup_samples=150,
+            seed=7,
+        ),
+        executor=executor,
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=4)
+    parser.add_argument("--replications", type=int, default=2)
+    parser.add_argument("--samples", type=int, default=800)
+    parser.add_argument("--out", default="BENCH_exec.json")
+    args = parser.parse_args()
+
+    n_experiments = 16 * args.replications
+
+    print(
+        f"[bench_exec] factorial: 2^4 configs x {args.replications} reps "
+        f"= {n_experiments} experiments, {args.samples} samples/instance"
+    )
+
+    serial_telemetry = Telemetry()
+    t0 = time.perf_counter()
+    with SerialExecutor() as ex:
+        serial = build_study(ex, args).run_experiments(progress=serial_telemetry)
+    serial_s = time.perf_counter() - t0
+    print(f"[bench_exec] serial:    {serial_s:.1f}s "
+          f"({serial_telemetry.summary()['events_per_second']} events/s)")
+
+    parallel_telemetry = Telemetry()
+    t0 = time.perf_counter()
+    with ParallelExecutor(max_workers=args.jobs) as ex:
+        parallel = build_study(ex, args).run_experiments(progress=parallel_telemetry)
+    parallel_s = time.perf_counter() - t0
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    print(f"[bench_exec] --jobs {args.jobs}: {parallel_s:.1f}s "
+          f"(speedup {speedup:.2f}x)")
+
+    identical = all(
+        a.coded == b.coded and (a.samples == b.samples).all()
+        for a, b in zip(serial, parallel)
+    )
+    print(f"[bench_exec] serial/parallel outputs identical: {identical}")
+
+    payload = {
+        "bench": "exec_factorial",
+        "library_version": __version__,
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "experiments": n_experiments,
+        "samples_per_instance": args.samples,
+        "jobs": args.jobs,
+        "serial_s": round(serial_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "speedup": round(speedup, 3),
+        "outputs_identical": identical,
+        "serial_events_per_s": serial_telemetry.summary()["events_per_second"],
+        "parallel_wall_s_sum": parallel_telemetry.summary()["wall_s"],
+    }
+    with open(args.out, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"[bench_exec] wrote {args.out}")
+
+    if not identical:
+        print("[bench_exec] FAIL: outputs differ between executors")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -46,12 +46,28 @@ from .core import (
     apply_factors,
     workload_from_json,
 )
+from .exec import (
+    ParallelExecutor,
+    ResultCache,
+    RunSpec,
+    SerialExecutor,
+    execute_specs,
+    execution,
+    run_spec,
+)
 from .sim import HardwareSpec
 from .workloads import McrouterWorkload, MemcachedWorkload
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "RunSpec",
+    "run_spec",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "ResultCache",
+    "execute_specs",
+    "execution",
     "AttributionConfig",
     "AttributionReport",
     "AttributionStudy",

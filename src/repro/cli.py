@@ -4,12 +4,23 @@ Usage::
 
     repro list                     # artifact ids and titles
     repro run fig7 --scale default # regenerate one artifact
+    repro run tab4 --jobs 4        # factorial sweep on 4 cores
+    repro run fig12 --cache-dir ~/.cache/repro   # reuse shared runs
     repro all --scale quick        # regenerate everything
     repro hardware                 # show the simulated Table II spec
 
 Scales: ``quick`` (seconds, smoke), ``default`` (tens of seconds, what
 the benchmark suite uses), ``paper`` (the paper's replication counts;
 expect a long run).
+
+Execution flags (both ``run`` and ``all``):
+
+* ``--jobs N`` — run independent experiments on ``N`` worker
+  processes through :class:`repro.exec.ParallelExecutor`; ``--jobs 1``
+  (the default) is byte-identical to the serial path for equal seeds.
+* ``--cache-dir PATH`` — content-addressed result cache; identical
+  experiment specs are simulated once per machine, ever.
+* ``--no-cache`` — ignore any configured cache directory.
 """
 
 from __future__ import annotations
@@ -19,6 +30,7 @@ import sys
 import time
 from typing import List, Optional
 
+from .exec.executors import execution
 from .experiments.common import SCALES
 from .experiments.runner import EXPERIMENTS, experiment_ids, run_experiment
 from .sim.machine import HardwareSpec
@@ -39,6 +51,26 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list the paper artifacts this tool regenerates")
 
+    def add_exec_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            metavar="N",
+            help="worker processes for independent experiments (default: 1, serial)",
+        )
+        p.add_argument(
+            "--cache-dir",
+            default=None,
+            metavar="PATH",
+            help="content-addressed result cache directory (default: no cache)",
+        )
+        p.add_argument(
+            "--no-cache",
+            action="store_true",
+            help="disable the result cache even if --cache-dir is given",
+        )
+
     run_p = sub.add_parser("run", help="regenerate one artifact")
     run_p.add_argument("artifact", choices=experiment_ids())
     run_p.add_argument(
@@ -47,11 +79,13 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument(
         "--out", default=None, help="also write the rendered report to this file"
     )
+    add_exec_flags(run_p)
 
     all_p = sub.add_parser("all", help="regenerate every artifact in order")
     all_p.add_argument(
         "--scale", choices=sorted(SCALES), default="default", help="experiment size"
     )
+    add_exec_flags(all_p)
 
     sub.add_parser("hardware", help="print the simulated hardware spec (Table II)")
     return parser
@@ -84,6 +118,12 @@ def _cmd_all(scale: str) -> int:
     return 0
 
 
+def _effective_cache_dir(args: argparse.Namespace) -> Optional[str]:
+    if getattr(args, "no_cache", False):
+        return None
+    return getattr(args, "cache_dir", None)
+
+
 def _cmd_hardware() -> int:
     for key, value in HardwareSpec().describe().items():
         print(f"{key:>10}: {value}")
@@ -95,9 +135,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
-        return _cmd_run(args.artifact, args.scale, args.out)
+        with execution(jobs=args.jobs, cache_dir=_effective_cache_dir(args)):
+            return _cmd_run(args.artifact, args.scale, args.out)
     if args.command == "all":
-        return _cmd_all(args.scale)
+        with execution(jobs=args.jobs, cache_dir=_effective_cache_dir(args)):
+            return _cmd_all(args.scale)
     if args.command == "hardware":
         return _cmd_hardware()
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

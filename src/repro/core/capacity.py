@@ -22,8 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-import numpy as np
-
+from ..exec.executors import _ExecutorBase, default_executor
 from ..sim.machine import HardwareSpec
 from ..workloads.base import Workload
 from .procedure import MeasurementProcedure, ProcedureConfig
@@ -72,6 +71,7 @@ def _measure(
     samples_per_instance: int,
     instances: int,
     seed: int,
+    executor: Optional[_ExecutorBase] = None,
 ) -> float:
     proc = MeasurementProcedure(
         ProcedureConfig(
@@ -86,10 +86,10 @@ def _measure(
             min_runs=max(2, runs),
             max_runs=max(2, runs),
             seed=seed,
-        )
+        ),
+        executor=executor,
     )
-    values = [proc.run_once(i).metrics[quantile] for i in range(runs)]
-    return float(np.mean(values))
+    return proc.run().estimates[quantile]
 
 
 def find_max_load(
@@ -104,13 +104,18 @@ def find_max_load(
     samples_per_instance: int = 1500,
     instances: int = 2,
     seed: int = 0,
+    executor: Optional[_ExecutorBase] = None,
 ) -> CapacityResult:
     """Bisect for the highest utilization whose ``quantile`` latency
     meets ``slo_us``.
 
     Parameters mirror the measurement procedure; ``tolerance`` is the
     utilization resolution at which the search stops.  Each probe
-    averages ``runs_per_probe`` independent runs (hysteresis defense).
+    averages ``runs_per_probe`` independent runs (hysteresis defense,
+    clamped to >= 2) submitted through :mod:`repro.exec` — the search
+    itself is sequential (each probe depends on the last), but the
+    runs within a probe parallelize, and the result cache makes
+    repeated searches over overlapping probe points nearly free.
     """
     if slo_us <= 0:
         raise ValueError("slo_us must be positive")
@@ -122,6 +127,8 @@ def find_max_load(
         raise ValueError("tolerance must be positive")
     hardware = hardware or HardwareSpec()
     probes: List[CapacityProbe] = []
+    owned = executor is None
+    executor = executor if not owned else default_executor()
 
     def probe(util: float) -> CapacityProbe:
         metric = _measure(
@@ -133,6 +140,7 @@ def find_max_load(
             samples_per_instance,
             instances,
             seed + int(util * 1000),
+            executor=executor,
         )
         result = CapacityProbe(
             utilization=util, metric_us=metric, meets_slo=metric <= slo_us
@@ -140,40 +148,44 @@ def find_max_load(
         probes.append(result)
         return result
 
-    low_probe = probe(lo)
-    if not low_probe.meets_slo:
-        # Even the lightest load violates the SLO: infeasible.
-        return CapacityResult(
-            slo_us=slo_us,
-            quantile=quantile,
-            max_utilization=0.0,
-            achieved_us=low_probe.metric_us,
-            probes=probes,
-        )
-    high_probe = probe(hi)
-    if high_probe.meets_slo:
-        return CapacityResult(
-            slo_us=slo_us,
-            quantile=quantile,
-            max_utilization=hi,
-            achieved_us=high_probe.metric_us,
-            probes=probes,
-        )
+    try:
+        low_probe = probe(lo)
+        if not low_probe.meets_slo:
+            # Even the lightest load violates the SLO: infeasible.
+            return CapacityResult(
+                slo_us=slo_us,
+                quantile=quantile,
+                max_utilization=0.0,
+                achieved_us=low_probe.metric_us,
+                probes=probes,
+            )
+        high_probe = probe(hi)
+        if high_probe.meets_slo:
+            return CapacityResult(
+                slo_us=slo_us,
+                quantile=quantile,
+                max_utilization=hi,
+                achieved_us=high_probe.metric_us,
+                probes=probes,
+            )
 
-    best = low_probe
-    left, right = lo, hi
-    while right - left > tolerance:
-        mid = (left + right) / 2.0
-        mid_probe = probe(mid)
-        if mid_probe.meets_slo:
-            best = mid_probe
-            left = mid
-        else:
-            right = mid
-    return CapacityResult(
-        slo_us=slo_us,
-        quantile=quantile,
-        max_utilization=best.utilization,
-        achieved_us=best.metric_us,
-        probes=probes,
-    )
+        best = low_probe
+        left, right = lo, hi
+        while right - left > tolerance:
+            mid = (left + right) / 2.0
+            mid_probe = probe(mid)
+            if mid_probe.meets_slo:
+                best = mid_probe
+                left = mid
+            else:
+                right = mid
+        return CapacityResult(
+            slo_us=slo_us,
+            quantile=quantile,
+            max_utilization=best.utilization,
+            achieved_us=best.metric_us,
+            probes=probes,
+        )
+    finally:
+        if owned:
+            executor.close()

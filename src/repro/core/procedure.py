@@ -13,8 +13,13 @@ demand:
    defense against performance hysteresis, since no amount of extra
    samples within one run helps.
 
-:class:`MeasurementProcedure` runs that loop and reports the final
-estimates with their across-run dispersion.
+:class:`MeasurementProcedure` expresses that loop on top of the
+unified execution layer (:mod:`repro.exec`): each independent run is a
+:class:`~repro.exec.spec.RunSpec`, the first ``min_runs`` are
+submitted as one batch (they are needed unconditionally, so a parallel
+executor overlaps them), and convergence is then probed incrementally.
+Results are bit-identical to serial execution regardless of the
+executor, because every run is a pure function of its spec.
 """
 
 from __future__ import annotations
@@ -24,12 +29,12 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..exec.executors import _ExecutorBase, default_executor
+from ..exec.progress import ProgressHook
+from ..exec.spec import RunResult, RunSpec, metric_samples, run_spec
 from ..sim.machine import HardwareSpec
 from ..stats.convergence import MeanConvergence
 from ..workloads.base import Workload
-from .aggregation import aggregate_quantile
-from .bench import BenchConfig, TestBench
-from .treadmill import InstanceReport, TreadmillConfig, TreadmillInstance
 
 __all__ = ["ProcedureConfig", "RunResult", "ProcedureResult", "MeasurementProcedure"]
 
@@ -71,28 +76,6 @@ class ProcedureConfig:
 
 
 @dataclass
-class RunResult:
-    """One independent experiment (one server boot)."""
-
-    run_index: int
-    reports: List[InstanceReport]
-    #: Sound per-run estimates: per-instance quantiles combined.
-    metrics: Dict[float, float]
-    server_utilization: float
-    client_utilizations: Dict[str, float]
-
-    def ground_truth(self) -> np.ndarray:
-        """Pooled NIC-level samples across instances (tcpdump view)."""
-        parts = [r.ground_truth_samples for r in self.reports]
-        return np.concatenate(parts) if parts else np.empty(0)
-
-    def raw_samples(self) -> np.ndarray:
-        """Pooled raw user-level samples (only if keep_raw was set)."""
-        parts = [np.asarray(r.raw_samples) for r in self.reports]
-        return np.concatenate(parts) if parts else np.empty(0)
-
-
-@dataclass
 class ProcedureResult:
     """Outcome of the repeat-until-converged procedure."""
 
@@ -106,79 +89,105 @@ class ProcedureResult:
     def per_run(self, q: float) -> List[float]:
         return [r.metrics[q] for r in self.runs]
 
+    def mean_server_utilization(self) -> float:
+        return float(np.mean([r.server_utilization for r in self.runs]))
 
-class MeasurementProcedure:
-    """Runs the full multi-instance, multi-run procedure."""
-
-    def __init__(self, config: ProcedureConfig):
-        self.config = config
-
-    # ------------------------------------------------------------------
-    def _build_bench(self, run_index: int) -> TestBench:
-        cfg = self.config
-        return TestBench(
-            BenchConfig(workload=cfg.workload, hardware=cfg.hardware, seed=cfg.seed),
-            run_index=run_index,
+    def max_client_utilization(self) -> float:
+        return max(
+            max(r.client_utilizations.values()) for r in self.runs
         )
 
-    def _total_rate(self, bench: TestBench) -> float:
+
+class MeasurementProcedure:
+    """Runs the full multi-instance, multi-run procedure.
+
+    ``executor`` (any :mod:`repro.exec` executor) controls how the
+    independent runs are scheduled; when omitted, the process-wide
+    execution defaults (CLI ``--jobs`` / ``--cache-dir``) apply.
+    """
+
+    def __init__(
+        self,
+        config: ProcedureConfig,
+        executor: Optional[_ExecutorBase] = None,
+    ):
+        self.config = config
+        self.executor = executor
+
+    # ------------------------------------------------------------------
+    def spec_for(self, run_index: int) -> RunSpec:
+        """The :class:`RunSpec` describing independent run ``run_index``."""
         cfg = self.config
-        if cfg.total_rate_rps is not None:
-            return cfg.total_rate_rps
-        per_us = bench.server.arrival_rate_for_utilization(cfg.target_utilization)
-        return per_us * 1e6
+        load = (
+            f"{cfg.total_rate_rps:.0f}rps"
+            if cfg.total_rate_rps is not None
+            else f"util={cfg.target_utilization:.2f}"
+        )
+        return RunSpec(
+            workload=cfg.workload,
+            hardware=cfg.hardware,
+            total_rate_rps=cfg.total_rate_rps,
+            target_utilization=cfg.target_utilization,
+            num_instances=cfg.num_instances,
+            connections_per_instance=cfg.connections_per_instance,
+            warmup_samples=cfg.warmup_samples,
+            measurement_samples_per_instance=cfg.measurement_samples_per_instance,
+            quantiles=tuple(cfg.quantiles),
+            combine=cfg.combine,
+            keep_raw=cfg.keep_raw,
+            seed=cfg.seed,
+            run_index=run_index,
+            tag=f"{cfg.workload.name} {load} run={run_index}",
+        )
 
     def run_once(self, run_index: int) -> RunResult:
         """One independent experiment: boot, load, measure, report."""
-        cfg = self.config
-        bench = self._build_bench(run_index)
-        rate_per_instance = self._total_rate(bench) / cfg.num_instances
-        instances = []
-        for i in range(cfg.num_instances):
-            tm_cfg = TreadmillConfig(
-                rate_rps=rate_per_instance,
-                connections=cfg.connections_per_instance,
-                warmup_samples=cfg.warmup_samples,
-                measurement_samples=cfg.measurement_samples_per_instance,
-                keep_raw=cfg.keep_raw,
-            )
-            instances.append(TreadmillInstance(bench, f"client{i}", tm_cfg))
-        for inst in instances:
-            inst.start()
-        bench.run_to_completion(instances)
+        return run_spec(self.spec_for(run_index))
 
-        reports = [inst.report() for inst in instances]
-        samples_by_client = {
-            r.name: _histogram_samples(r) for r in reports
-        }
-        metrics = {
-            q: aggregate_quantile(samples_by_client, q, combine=cfg.combine)
-            for q in cfg.quantiles
-        }
-        return RunResult(
-            run_index=run_index,
-            reports=reports,
-            metrics=metrics,
-            server_utilization=bench.server.measured_utilization(),
-            client_utilizations={
-                name: client.utilization() for name, client in bench.clients.items()
-            },
-        )
+    def run_batch(
+        self,
+        run_indices: Sequence[int],
+        progress: Optional[ProgressHook] = None,
+    ) -> List[RunResult]:
+        """Execute a fixed set of independent runs through the
+        execution layer (ordered by ``run_indices``)."""
+        specs = [self.spec_for(i) for i in run_indices]
+        if self.executor is not None:
+            return self.executor.run(specs, progress=progress)
+        with default_executor() as ex:
+            return ex.run(specs, progress=progress)
 
-    def run(self) -> ProcedureResult:
+    def run(self, progress: Optional[ProgressHook] = None) -> ProcedureResult:
         """Repeat independent runs until the primary metric's mean
-        converges (or max_runs is hit)."""
+        converges (or ``max_runs`` is hit).
+
+        The unconditional first ``min_runs`` are submitted as one batch
+        (parallelizable); further runs are probed one at a time, since
+        each depends on the convergence state after the last.
+        """
         cfg = self.config
         rule = MeanConvergence(
             rel_tol=cfg.convergence_rel_tol,
             min_runs=cfg.min_runs,
             max_runs=cfg.max_runs,
         )
-        runs: List[RunResult] = []
-        while not rule.converged():
-            result = self.run_once(len(runs))
-            runs.append(result)
-            rule.add(result.metrics[cfg.primary_quantile])
+        owned = self.executor is None
+        executor = self.executor if not owned else default_executor()
+        try:
+            runs: List[RunResult] = executor.run(
+                [self.spec_for(i) for i in range(cfg.min_runs)], progress=progress
+            )
+            for result in runs:
+                rule.add(result.metrics[cfg.primary_quantile])
+            while not rule.should_stop():
+                result = executor.run(
+                    [self.spec_for(len(runs))], progress=progress
+                )[0]
+                runs.append(result)
+                rule.add(result.metrics[cfg.primary_quantile])
+        finally:
+            if owned:
+                executor.close()
         estimates = {
             q: float(np.mean([r.metrics[q] for r in runs])) for q in cfg.quantiles
         }
@@ -186,22 +195,14 @@ class MeasurementProcedure:
             q: float(np.std([r.metrics[q] for r in runs], ddof=1)) if len(runs) > 1 else 0.0
             for q in cfg.quantiles
         }
-        half = rule.half_width()
-        mean = rule.mean()
-        converged = mean != 0 and half / abs(mean) <= cfg.convergence_rel_tol
         return ProcedureResult(
-            runs=runs, estimates=estimates, dispersion=dispersion, converged=converged
+            runs=runs,
+            estimates=estimates,
+            dispersion=dispersion,
+            converged=rule.is_converged(),
         )
 
 
-def _histogram_samples(report: InstanceReport) -> np.ndarray:
-    """Per-instance latency view for metric extraction.
-
-    Raw samples when kept (exact); otherwise the histogram is queried
-    directly through a dense quantile grid, which preserves metric
-    extraction accuracy to within a bin width.
-    """
-    if report.raw_samples:
-        return np.asarray(report.raw_samples, dtype=float)
-    qs = np.linspace(0.0005, 0.9995, 2000)
-    return np.asarray(report.histogram.quantiles(qs))
+def _histogram_samples(report) -> np.ndarray:
+    """Backwards-compatible alias of :func:`repro.exec.spec.metric_samples`."""
+    return metric_samples(report)

@@ -18,8 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
-
+from ..exec.executors import _ExecutorBase, default_executor
+from ..exec.progress import ProgressHook
 from ..sim.machine import HardwareSpec
 from ..workloads.base import Workload
 from .procedure import MeasurementProcedure, ProcedureConfig
@@ -88,12 +88,19 @@ def sweep_utilization(
     samples_per_instance: int = 1500,
     runs_per_point: int = 2,
     seed: int = 0,
+    executor: Optional[_ExecutorBase] = None,
+    progress: Optional[ProgressHook] = None,
 ) -> SweepResult:
     """Measure the latency-vs-load curve over ``utilizations``.
 
     Each point uses ``runs_per_point`` independent runs (hysteresis
-    defense) through the standard procedure; the sweep preserves the
-    order given (ascending is conventional but not required).
+    defense; clamped to >= 2 so dispersion is always defined) through
+    the standard :class:`MeasurementProcedure` — the sweep holds no
+    aggregation logic of its own, so its numbers can never drift from
+    the procedure's.  The sweep preserves the order given (ascending
+    is conventional but not required).  ``executor`` schedules each
+    point's runs through :mod:`repro.exec`; when omitted the
+    process-wide defaults apply.
     """
     if not utilizations:
         raise ValueError("need at least one utilization point")
@@ -101,46 +108,39 @@ def sweep_utilization(
         if not 0.0 < u < 1.0:
             raise ValueError(f"utilization {u} outside (0, 1)")
     hardware = hardware or HardwareSpec()
+    runs_per_point = max(2, runs_per_point)
+    owned = executor is None
+    executor = executor if not owned else default_executor()
     points: List[SweepPoint] = []
-    for idx, util in enumerate(utilizations):
-        proc = MeasurementProcedure(
-            ProcedureConfig(
-                workload=workload,
-                hardware=hardware,
-                target_utilization=util,
-                num_instances=num_instances,
-                measurement_samples_per_instance=samples_per_instance,
-                quantiles=tuple(quantiles),
-                primary_quantile=max(quantiles),
-                keep_raw=True,
-                min_runs=max(2, runs_per_point),
-                max_runs=max(2, runs_per_point),
-                seed=seed + idx,
-            )
-        )
-        runs = [proc.run_once(i) for i in range(runs_per_point)]
-        estimates = {
-            q: float(np.mean([r.metrics[q] for r in runs])) for q in quantiles
-        }
-        dispersion = {
-            q: (
-                float(np.std([r.metrics[q] for r in runs], ddof=1))
-                if runs_per_point > 1
-                else 0.0
-            )
-            for q in quantiles
-        }
-        points.append(
-            SweepPoint(
-                target_utilization=util,
-                measured_utilization=float(
-                    np.mean([r.server_utilization for r in runs])
+    try:
+        for idx, util in enumerate(utilizations):
+            proc = MeasurementProcedure(
+                ProcedureConfig(
+                    workload=workload,
+                    hardware=hardware,
+                    target_utilization=util,
+                    num_instances=num_instances,
+                    measurement_samples_per_instance=samples_per_instance,
+                    quantiles=tuple(quantiles),
+                    primary_quantile=max(quantiles),
+                    keep_raw=True,
+                    min_runs=runs_per_point,
+                    max_runs=runs_per_point,
+                    seed=seed + idx,
                 ),
-                estimates_us=estimates,
-                dispersion_us=dispersion,
-                max_client_utilization=max(
-                    max(r.client_utilizations.values()) for r in runs
-                ),
+                executor=executor,
             )
-        )
+            result = proc.run(progress=progress)
+            points.append(
+                SweepPoint(
+                    target_utilization=util,
+                    measured_utilization=result.mean_server_utilization(),
+                    estimates_us={q: result.estimates[q] for q in quantiles},
+                    dispersion_us={q: result.dispersion[q] for q in quantiles},
+                    max_client_utilization=result.max_client_utilization(),
+                )
+            )
+    finally:
+        if owned:
+            executor.close()
     return SweepResult(quantiles=tuple(quantiles), points=points)

@@ -1,0 +1,59 @@
+"""repro.exec — the unified experiment-execution layer.
+
+Everything the library runs is one shape of work: an independent
+experiment described by a :class:`~repro.exec.spec.RunSpec`, executed
+by :func:`~repro.exec.spec.run_spec`, scheduled through an executor
+(:mod:`~repro.exec.executors`), optionally memoized by a
+content-addressed cache (:mod:`~repro.exec.cache`), and observed
+through progress hooks (:mod:`~repro.exec.progress`)::
+
+    spec -> schedule -> (serial | parallel) workers -> cached artifacts
+                                                    -> progress telemetry
+
+All four experiment drivers (``core.procedure``, ``core.attribution``,
+``core.sweeps``, ``core.capacity``) and the CLI submit work exclusively
+through this package.
+"""
+
+from .cache import CACHE_SCHEMA, ResultCache, cache_version
+from .executors import (
+    ExecError,
+    ExecTimeout,
+    ParallelExecutor,
+    SerialExecutor,
+    default_executor,
+    execute_specs,
+    execution,
+    get_execution_defaults,
+    make_executor,
+    set_execution_defaults,
+)
+from .progress import ProgressHook, RunEvent, StderrProgress, Telemetry, chain
+from .spec import SPEC_SCHEMA, RunResult, RunSpec, metric_samples, run_spec, spec_digest
+
+__all__ = [
+    "SPEC_SCHEMA",
+    "CACHE_SCHEMA",
+    "RunSpec",
+    "RunResult",
+    "run_spec",
+    "spec_digest",
+    "metric_samples",
+    "ResultCache",
+    "cache_version",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "ExecError",
+    "ExecTimeout",
+    "make_executor",
+    "default_executor",
+    "execute_specs",
+    "execution",
+    "set_execution_defaults",
+    "get_execution_defaults",
+    "RunEvent",
+    "ProgressHook",
+    "StderrProgress",
+    "Telemetry",
+    "chain",
+]

@@ -1,0 +1,182 @@
+"""Content-addressed on-disk result cache.
+
+Five benchmark artifacts derive from the same factorial sweep, and
+utilization sweeps re-probe the same (workload, util, seed) points
+across CLI invocations — yet before this layer every invocation
+re-simulated from scratch.  The cache keys completed
+:class:`~repro.exec.spec.RunResult` values by the *content digest* of
+the :class:`~repro.exec.spec.RunSpec` that produced them, so identical
+experiments are simulated once per machine, ever.
+
+Layout (one directory per entry, named by digest)::
+
+    <root>/<dd>/<igest...>/
+        meta.json      # version, digest, metrics, telemetry, raw path
+        outcome.pkl    # the full pickled RunResult
+        raw.npy        # pooled raw latency samples, when kept
+
+Invalidation is versioned: every entry records
+``library-version:cache-schema:spec-schema``; a mismatch on read
+deletes the entry and reports a miss, so stale results can never leak
+across releases or semantic changes.  Writes are atomic (tmp dir +
+rename), making the cache safe under concurrent producers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import shutil
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from .spec import SPEC_SCHEMA, RunResult, RunSpec
+
+__all__ = ["CACHE_SCHEMA", "cache_version", "ResultCache"]
+
+#: Bump when the on-disk layout changes.
+CACHE_SCHEMA = 1
+
+
+def _library_version() -> str:
+    try:  # local import to avoid a cycle at package-import time
+        from .. import __version__
+
+        return __version__
+    except Exception:  # pragma: no cover - defensive
+        return "unknown"
+
+
+def cache_version() -> str:
+    """The invalidation key stored with every entry."""
+    return f"{_library_version()}:{CACHE_SCHEMA}:{SPEC_SCHEMA}"
+
+
+class ResultCache:
+    """Digest-keyed store of completed runs.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created on demand).
+    """
+
+    def __init__(self, root: os.PathLike):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # ------------------------------------------------------------------
+    def _entry_dir(self, digest: str) -> Path:
+        return self.root / digest[:2] / digest[2:]
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*/meta.json"))
+
+    def __contains__(self, spec: RunSpec) -> bool:
+        return (self._entry_dir(spec.digest()) / "meta.json").exists()
+
+    # ------------------------------------------------------------------
+    def get(self, spec: RunSpec) -> Optional[RunResult]:
+        """The cached result for ``spec``, or ``None`` on miss.
+
+        Entries written by an older library/schema version are deleted
+        on sight (versioned invalidation).
+        """
+        digest = spec.digest()
+        entry = self._entry_dir(digest)
+        meta_path = entry / "meta.json"
+        try:
+            with open(meta_path) as f:
+                meta = json.load(f)
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        if meta.get("version") != cache_version():
+            shutil.rmtree(entry, ignore_errors=True)
+            self.misses += 1
+            return None
+        try:
+            with open(entry / "outcome.pkl", "rb") as f:
+                outcome: RunResult = pickle.load(f)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            # Torn or stale payload: drop the entry, report a miss.
+            shutil.rmtree(entry, ignore_errors=True)
+            self.misses += 1
+            return None
+        outcome.from_cache = True
+        outcome.wall_s = 0.0
+        self.hits += 1
+        return outcome
+
+    def put(self, spec: RunSpec, outcome: RunResult) -> Path:
+        """Store ``outcome`` under ``spec``'s digest (atomic).
+
+        Returns the entry directory.  A concurrent writer racing on the
+        same digest is harmless: both write identical content and the
+        loser's rename is discarded.
+        """
+        digest = spec.digest()
+        entry = self._entry_dir(digest)
+        entry.parent.mkdir(parents=True, exist_ok=True)
+        tmp = Path(
+            tempfile.mkdtemp(prefix=f".tmp-{digest[:8]}-", dir=self.root)
+        )
+        try:
+            with open(tmp / "outcome.pkl", "wb") as f:
+                pickle.dump(outcome, f, protocol=pickle.HIGHEST_PROTOCOL)
+            raw_name = None
+            raw = outcome.raw_samples()
+            if raw.size:
+                raw_name = "raw.npy"
+                np.save(tmp / raw_name, raw)
+            meta = {
+                "version": cache_version(),
+                "digest": digest,
+                "spec": spec.describe(),
+                "metrics": {repr(q): v for q, v in outcome.metrics.items()},
+                "wall_s": outcome.wall_s,
+                "events_processed": outcome.events_processed,
+                "raw_path": raw_name,
+            }
+            with open(tmp / "meta.json", "w") as f:
+                json.dump(meta, f, indent=1, sort_keys=True)
+            try:
+                os.replace(tmp, entry)
+            except OSError:
+                # Non-empty target (concurrent writer won): keep theirs.
+                shutil.rmtree(tmp, ignore_errors=True)
+        except BaseException:
+            shutil.rmtree(tmp, ignore_errors=True)
+            raise
+        self.stores += 1
+        return entry
+
+    def raw_path(self, spec: RunSpec) -> Optional[Path]:
+        """Path of the cached raw-sample array for ``spec``, if any."""
+        entry = self._entry_dir(spec.digest())
+        path = entry / "raw.npy"
+        return path if path.exists() else None
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for meta in list(self.root.glob("*/*/meta.json")):
+            shutil.rmtree(meta.parent, ignore_errors=True)
+            removed += 1
+        return removed
+
+    def stats(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "entries": len(self),
+            "version": cache_version(),
+        }

@@ -1,0 +1,295 @@
+"""RunSpec: one independent experiment as a frozen, hashable value.
+
+The paper's methodology is "many independent experiments, then
+aggregate": repeated runs to defeat hysteresis (Fig. 4), >= 30
+replications x 2^4 configurations for the factorial sweep (Table IV),
+and one procedure per point in utilization sweeps.  Every one of those
+experiments is fully described by the same small set of knobs — the
+workload, the hardware factors, the offered load, the sample budget,
+and the ``(seed, run_index)`` pair that makes it an *independent*
+run.  :class:`RunSpec` captures exactly that description as an
+immutable value with a stable content digest, so that
+
+* executors (:mod:`repro.exec.executors`) can ship it to worker
+  processes and run it anywhere — same spec, same result, bit for bit;
+* the result cache (:mod:`repro.exec.cache`) can key completed runs by
+  content, deduplicating identical configurations across benchmarks
+  and CLI invocations; and
+* schedulers can build the whole randomized factorial schedule up
+  front and submit it at once instead of hand-rolling serial loops.
+
+:func:`run_spec` is the single execution primitive for the entire
+library: it boots a fresh :class:`~repro.core.bench.TestBench` (one
+spec == one of the paper's independent runs == one server boot),
+drives the configured Treadmill instances, and extracts sound per-run
+metrics.  Every driver (procedure, attribution, sweeps, capacity,
+experiment modules) ultimately funnels through this function.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.aggregation import aggregate_quantile
+from ..core.bench import BenchConfig, TestBench
+from ..core.treadmill import InstanceReport, TreadmillConfig, TreadmillInstance
+from ..sim.machine import HardwareSpec
+from ..workloads.base import Workload
+
+__all__ = [
+    "SPEC_SCHEMA",
+    "RunSpec",
+    "RunResult",
+    "run_spec",
+    "metric_samples",
+    "spec_digest",
+]
+
+#: Bump when the meaning of a spec field (or the execution semantics
+#: behind it) changes; invalidates every cached result.
+SPEC_SCHEMA = 1
+
+
+# ----------------------------------------------------------------------
+# canonical serialization (the digest substrate)
+# ----------------------------------------------------------------------
+def _canonical(obj: object) -> object:
+    """Convert ``obj`` into a JSON-serializable canonical form.
+
+    The form is stable across processes and interpreter invocations:
+    no ``id()``/``hash()``-derived content, dict keys sorted, floats
+    serialized with exact shortest-round-trip ``repr``.
+    """
+    if obj is None or isinstance(obj, (str, int, bool)):
+        return obj
+    if isinstance(obj, float):
+        return {"__float__": repr(obj)}
+    if isinstance(obj, np.generic):
+        return _canonical(obj.item())
+    if isinstance(obj, np.ndarray):
+        return {"__ndarray__": [_canonical(x) for x in obj.tolist()]}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(x) for x in obj]
+    if isinstance(obj, dict):
+        return {
+            "__dict__": {str(k): _canonical(v) for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))}
+        }
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        body = {
+            f.name: _canonical(getattr(obj, f.name)) for f in dataclasses.fields(obj)
+        }
+        return {"__dataclass__": type(obj).__qualname__, "fields": body}
+    # Generic objects (workloads, distributions, operation mixes):
+    # public instance state, sorted.  Private attributes are derived
+    # caches and excluded so equivalent configurations digest equally.
+    state = {
+        k: _canonical(v)
+        for k, v in sorted(vars(obj).items())
+        if not k.startswith("_")
+    }
+    return {"__object__": type(obj).__qualname__, "state": state}
+
+
+def spec_digest(obj: object) -> str:
+    """Stable SHA-256 content digest of any canonicalizable object."""
+    blob = json.dumps(
+        _canonical(obj), sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# the spec
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, eq=False)
+class RunSpec:
+    """Complete description of one independent experiment.
+
+    Exactly one of ``total_rate_rps`` / ``target_utilization`` must be
+    set (mirroring :class:`~repro.core.procedure.ProcedureConfig`).
+    ``(seed, run_index)`` select the independent random universe: the
+    bench derives all per-run randomness from the pair, so equal specs
+    produce bit-identical results in any process.
+    """
+
+    workload: Workload
+    hardware: HardwareSpec = field(default_factory=HardwareSpec)
+    total_rate_rps: Optional[float] = None
+    target_utilization: Optional[float] = None
+    num_instances: int = 4
+    connections_per_instance: int = 16
+    warmup_samples: int = 300
+    measurement_samples_per_instance: int = 5_000
+    quantiles: Tuple[float, ...] = (0.5, 0.95, 0.99)
+    combine: str = "mean"
+    keep_raw: bool = False
+    seed: int = 0
+    run_index: int = 0
+    #: Free-form label surfaced by progress hooks (e.g. "util=0.70" or
+    #: "cfg=(1,0,0,0) rep=3"); not part of the content digest.
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if (self.total_rate_rps is None) == (self.target_utilization is None):
+            raise ValueError("set exactly one of total_rate_rps / target_utilization")
+        if self.num_instances < 1:
+            raise ValueError("num_instances must be >= 1")
+        if self.measurement_samples_per_instance < 1:
+            raise ValueError("measurement_samples_per_instance must be >= 1")
+        object.__setattr__(self, "quantiles", tuple(self.quantiles))
+
+    # -- identity ------------------------------------------------------
+    def digest(self) -> str:
+        """Stable content digest (excludes the cosmetic ``tag``)."""
+        cached = self.__dict__.get("_digest")
+        if cached is None:
+            body = {
+                f.name: _canonical(getattr(self, f.name))
+                for f in dataclasses.fields(self)
+                if f.name != "tag"
+            }
+            body["__schema__"] = SPEC_SCHEMA
+            blob = json.dumps(body, sort_keys=True, separators=(",", ":"))
+            cached = hashlib.sha256(blob.encode("utf-8")).hexdigest()
+            object.__setattr__(self, "_digest", cached)
+        return cached
+
+    def __hash__(self) -> int:
+        return hash(self.digest())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RunSpec):
+            return NotImplemented
+        return self.digest() == other.digest()
+
+    def replace(self, **changes: object) -> "RunSpec":
+        """A copy with ``changes`` applied (fresh digest)."""
+        return dataclasses.replace(self, **changes)
+
+    def describe(self) -> Dict[str, object]:
+        load = (
+            f"{self.total_rate_rps:.0f} rps"
+            if self.total_rate_rps is not None
+            else f"util={self.target_utilization:.2f}"
+        )
+        return {
+            "workload": self.workload.name,
+            "load": load,
+            "instances": self.num_instances,
+            "samples": self.measurement_samples_per_instance,
+            "seed": self.seed,
+            "run_index": self.run_index,
+            "digest": self.digest()[:12],
+        }
+
+
+# ----------------------------------------------------------------------
+# the result
+# ----------------------------------------------------------------------
+@dataclass
+class RunResult:
+    """One independent experiment (one server boot).
+
+    This is the value cached by :mod:`repro.exec.cache` and returned
+    by every executor; :mod:`repro.core.procedure` re-exports it under
+    the same name for backwards compatibility.
+    """
+
+    run_index: int
+    reports: List[InstanceReport]
+    #: Sound per-run estimates: per-instance quantiles combined.
+    metrics: Dict[float, float]
+    server_utilization: float
+    client_utilizations: Dict[str, float]
+    #: Content digest of the spec that produced this result.
+    spec_digest: str = ""
+    #: Wall-clock seconds this run took to simulate.
+    wall_s: float = 0.0
+    #: Simulator events processed during the run (telemetry).
+    events_processed: int = 0
+    #: True when the result was served from the on-disk cache.
+    from_cache: bool = False
+
+    def ground_truth(self) -> np.ndarray:
+        """Pooled NIC-level samples across instances (tcpdump view)."""
+        parts = [r.ground_truth_samples for r in self.reports]
+        return np.concatenate(parts) if parts else np.empty(0)
+
+    def raw_samples(self) -> np.ndarray:
+        """Pooled raw user-level samples (only if keep_raw was set)."""
+        parts = [np.asarray(r.raw_samples) for r in self.reports]
+        return np.concatenate(parts) if parts else np.empty(0)
+
+
+# ----------------------------------------------------------------------
+# execution primitive
+# ----------------------------------------------------------------------
+def metric_samples(report: InstanceReport) -> np.ndarray:
+    """Per-instance latency view for metric extraction.
+
+    Raw samples when kept (exact); otherwise the histogram is queried
+    directly through a dense quantile grid, which preserves metric
+    extraction accuracy to within a bin width.
+    """
+    if report.raw_samples:
+        return np.asarray(report.raw_samples, dtype=float)
+    qs = np.linspace(0.0005, 0.9995, 2000)
+    return np.asarray(report.histogram.quantiles(qs))
+
+
+def run_spec(spec: RunSpec) -> RunResult:
+    """Execute one independent experiment: boot, load, measure, report.
+
+    Pure function of ``spec``: same spec, same result, in any process
+    (the serial-vs-parallel determinism guarantee rests here).
+    """
+    t0 = time.perf_counter()
+    bench = TestBench(
+        BenchConfig(workload=spec.workload, hardware=spec.hardware, seed=spec.seed),
+        run_index=spec.run_index,
+    )
+    if spec.total_rate_rps is not None:
+        total_rate = spec.total_rate_rps
+    else:
+        per_us = bench.server.arrival_rate_for_utilization(spec.target_utilization)
+        total_rate = per_us * 1e6
+    rate_per_instance = total_rate / spec.num_instances
+    instances = []
+    for i in range(spec.num_instances):
+        tm_cfg = TreadmillConfig(
+            rate_rps=rate_per_instance,
+            connections=spec.connections_per_instance,
+            warmup_samples=spec.warmup_samples,
+            measurement_samples=spec.measurement_samples_per_instance,
+            keep_raw=spec.keep_raw,
+        )
+        instances.append(TreadmillInstance(bench, f"client{i}", tm_cfg))
+    for inst in instances:
+        inst.start()
+    bench.run_to_completion(instances)
+
+    reports = [inst.report() for inst in instances]
+    samples_by_client = {r.name: metric_samples(r) for r in reports}
+    metrics = {
+        q: aggregate_quantile(samples_by_client, q, combine=spec.combine)
+        for q in spec.quantiles
+    }
+    return RunResult(
+        run_index=spec.run_index,
+        reports=reports,
+        metrics=metrics,
+        server_utilization=bench.server.measured_utilization(),
+        client_utilizations={
+            name: client.utilization() for name, client in bench.clients.items()
+        },
+        spec_digest=spec.digest(),
+        wall_s=time.perf_counter() - t0,
+        events_processed=bench.sim.events_processed,
+    )

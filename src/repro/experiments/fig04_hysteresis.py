@@ -71,8 +71,9 @@ def run(scale: str = "default", workload: str = "memcached", seed: int = 9) -> H
     )
     trackers: List[RunningQuantileTracker] = []
     converged: List[float] = []
-    for run_index in range(sc.hysteresis_runs):
-        result = proc.run_once(run_index)
+    # All restarts are independent experiments: submit them to the
+    # execution layer as one batch (parallelizable, cacheable).
+    for result in proc.run_batch(range(sc.hysteresis_runs)):
         samples = result.raw_samples()
         tracker = RunningQuantileTracker(
             0.99, checkpoint_every=max(1, samples.size // 20)

@@ -21,7 +21,7 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 from ..core.attribution import apply_factors
-from ..core.procedure import MeasurementProcedure, ProcedureConfig
+from ..exec import RunSpec, execute_specs
 from ..sim.machine import HardwareSpec
 from ..stats.design import FactorialDesign
 from .common import HIGH_LOAD, attribution_report, get_scale, make_workload
@@ -53,23 +53,20 @@ class ImprovementResult:
         return 100.0 * (before - after) / before
 
 
-def _measure_once(workload, hardware, scale, seed, run_index) -> Dict[float, float]:
-    sc = get_scale(scale)
-    proc = MeasurementProcedure(
-        ProcedureConfig(
-            workload=workload,
-            hardware=hardware,
-            target_utilization=HIGH_LOAD,
-            num_instances=sc.instances,
-            measurement_samples_per_instance=sc.samples_per_instance,
-            warmup_samples=sc.warmup,
-            quantiles=QUANTILES,
-            primary_quantile=0.99,
-            keep_raw=True,
-            seed=seed,
-        )
+def _spec(workload, hardware, sc, seed, run_index) -> RunSpec:
+    return RunSpec(
+        workload=workload,
+        hardware=hardware,
+        target_utilization=HIGH_LOAD,
+        num_instances=sc.instances,
+        measurement_samples_per_instance=sc.samples_per_instance,
+        warmup_samples=sc.warmup,
+        quantiles=QUANTILES,
+        keep_raw=True,
+        seed=seed,
+        run_index=run_index,
+        tag=f"fig12 seed={seed} run={run_index}",
     )
-    return proc.run_once(run_index).metrics
 
 
 def run(scale: str = "default", workload: str = "memcached", seed: int = 11) -> ImprovementResult:
@@ -81,20 +78,34 @@ def run(scale: str = "default", workload: str = "memcached", seed: int = 11) -> 
     rng = np.random.default_rng(seed + 100)
     wl = make_workload(workload)
 
+    # Build both phases' independent experiments up front and submit
+    # them to the execution layer as one batch of 2 x improvement_runs.
+    best_hw = apply_factors(HardwareSpec(), best)
+    specs = [
+        _spec(
+            wl,
+            apply_factors(
+                HardwareSpec(), configs[int(rng.integers(0, len(configs)))]
+            ),
+            sc,
+            seed + 200 + i,
+            i,
+        )
+        for i in range(sc.improvement_runs)
+    ] + [
+        _spec(wl, best_hw, sc, seed + 600 + i, i)
+        for i in range(sc.improvement_runs)
+    ]
+    outcomes = execute_specs(specs)
+
     before: Dict[float, List[float]] = {q: [] for q in QUANTILES}
     after: Dict[float, List[float]] = {q: [] for q in QUANTILES}
-    for i in range(sc.improvement_runs):
-        coded = configs[int(rng.integers(0, len(configs)))]
-        metrics = _measure_once(
-            wl, apply_factors(HardwareSpec(), coded), scale, seed + 200 + i, i
-        )
+    for outcome in outcomes[: sc.improvement_runs]:
         for q in QUANTILES:
-            before[q].append(metrics[q])
-    best_hw = apply_factors(HardwareSpec(), best)
-    for i in range(sc.improvement_runs):
-        metrics = _measure_once(wl, best_hw, scale, seed + 600 + i, i)
+            before[q].append(outcome.metrics[q])
+    for outcome in outcomes[sc.improvement_runs :]:
         for q in QUANTILES:
-            after[q].append(metrics[q])
+            after[q].append(outcome.metrics[q])
     return ImprovementResult(best_config=best, before=before, after=after)
 
 

@@ -6,8 +6,9 @@ pair; ``run_experiment`` executes one and returns the rendered report.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, NamedTuple
+from typing import Callable, Dict, List, NamedTuple, Optional
 
+from ..exec.executors import execution
 from . import (
     fig01_outstanding,
     findings,
@@ -137,10 +138,25 @@ def experiment_ids() -> List[str]:
     return list(EXPERIMENTS)
 
 
-def run_experiment(exp_id: str, scale: str = "default") -> str:
-    """Run one experiment and return its rendered text report."""
+def run_experiment(
+    exp_id: str,
+    scale: str = "default",
+    jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+) -> str:
+    """Run one experiment and return its rendered text report.
+
+    ``jobs`` / ``cache_dir`` scope the process-wide execution defaults
+    (:mod:`repro.exec`) for the duration of the experiment: every
+    driver it touches submits its independent runs through a parallel
+    executor and/or the content-addressed result cache.
+    """
     exp = EXPERIMENTS.get(exp_id)
     if exp is None:
         raise KeyError(f"unknown experiment {exp_id!r} (have {experiment_ids()})")
-    result = exp.run(scale=scale)
+    if jobs is None and cache_dir is None:
+        result = exp.run(scale=scale)
+    else:
+        with execution(jobs=jobs, cache_dir=cache_dir):
+            result = exp.run(scale=scale)
     return exp.render(result)

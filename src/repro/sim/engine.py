@@ -39,17 +39,31 @@ class Event:
     popped.
     """
 
-    __slots__ = ("time", "fn", "args", "cancelled")
+    __slots__ = ("time", "fn", "args", "cancelled", "_sim")
 
-    def __init__(self, time: float, fn: Callable[..., Any], args: Tuple[Any, ...]):
+    def __init__(
+        self,
+        time: float,
+        fn: Callable[..., Any],
+        args: Tuple[Any, ...],
+        sim: Optional["Simulator"] = None,
+    ):
         self.time = time
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
-        """Prevent the callback from firing.  Idempotent."""
-        self.cancelled = True
+        """Prevent the callback from firing.  Idempotent.
+
+        Keeps the owning simulator's live-event counter exact, which
+        is what makes :attr:`Simulator.pending` O(1).
+        """
+        if not self.cancelled:
+            self.cancelled = True
+            if self._sim is not None:
+                self._sim._live -= 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
@@ -112,6 +126,9 @@ class Simulator:
         self._seq = itertools.count()
         self._stopped = False
         self._events_processed = 0
+        #: Live (non-cancelled, not-yet-fired) events.  Maintained
+        #: incrementally so :attr:`pending` never scans the heap.
+        self._live = 0
 
     # ------------------------------------------------------------------
     # scheduling
@@ -128,8 +145,9 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time!r} before now={self.now!r}"
             )
-        event = Event(time, fn, args)
+        event = Event(time, fn, args, sim=self)
         heapq.heappush(self._heap, (time, next(self._seq), event))
+        self._live += 1
         return event
 
     def spawn(self, gen: Generator[Optional[float], None, None]) -> Process:
@@ -141,8 +159,10 @@ class Simulator:
     # ------------------------------------------------------------------
     @property
     def pending(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for _, _, e in self._heap if not e.cancelled)
+        """Number of live (non-cancelled) events still queued.  O(1):
+        a counter maintained on schedule/cancel/fire, never a heap scan
+        (load testers poll this every request at high rates)."""
+        return self._live
 
     @property
     def events_processed(self) -> int:
@@ -163,6 +183,8 @@ class Simulator:
                 continue
             self.now = time
             self._events_processed += 1
+            self._live -= 1
+            event.cancelled = True  # fired; a late cancel() must be a no-op
             event.fn(*event.args)
             return True
         return False

@@ -129,13 +129,32 @@ class MeanConvergence:
         t = _scipy_stats.t.ppf(0.5 + self.confidence / 2.0, df=n - 1)
         return float(t * sd / math.sqrt(n))
 
-    def converged(self) -> bool:
+    def is_converged(self) -> bool:
+        """Pure convergence check: has the mean's CI tightened enough?
+
+        This is the *single* definition of convergence — the procedure
+        both stops on it (via :meth:`should_stop`) and reports it, so
+        the two can never disagree.  A zero mean (where a relative
+        tolerance is undefined) counts as converged exactly when the
+        runs carry no dispersion at all.
+        """
+        if len(self.values) < 2:
+            return False
+        mean = self.mean()
+        half = self.half_width()
+        if mean == 0.0:
+            return half == 0.0
+        return half / abs(mean) <= self.rel_tol
+
+    def should_stop(self) -> bool:
+        """Stopping rule: enough runs and (converged or capped out)."""
         n = len(self.values)
         if n < self.min_runs:
             return False
         if self.max_runs is not None and n >= self.max_runs:
             return True
-        mean = self.mean()
-        if mean == 0.0:
-            return self.half_width() == 0.0
-        return self.half_width() / abs(mean) <= self.rel_tol
+        return self.is_converged()
+
+    def converged(self) -> bool:
+        """Backwards-compatible alias for :meth:`should_stop`."""
+        return self.should_stop()
