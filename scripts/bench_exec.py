@@ -1,17 +1,20 @@
 #!/usr/bin/env python
-"""Benchmark the execution layer: serial vs parallel factorial sweep.
+"""Benchmark the execution layer: serial vs process pool vs cluster.
 
 Runs a small fig12/tab04-style randomized 2^4 factorial (the paper's
-Table IV shape) twice through :class:`repro.core.attribution.
-AttributionStudy` — once on a :class:`~repro.exec.SerialExecutor`,
-once on a :class:`~repro.exec.ParallelExecutor` — asserts that the
-per-run metrics are bit-identical, and writes ``BENCH_exec.json`` so
-the perf trajectory is tracked across PRs.
+Table IV shape) three times through :class:`repro.core.attribution.
+AttributionStudy` — on a :class:`~repro.exec.SerialExecutor`, a
+:class:`~repro.exec.ParallelExecutor`, and a
+:class:`~repro.exec.LocalClusterExecutor` (the distributed backend
+with local worker subprocesses) — asserts that the per-run metrics
+are bit-identical across all three, and writes ``BENCH_exec.json``
+so the perf trajectory is tracked across PRs.
 
 Usage::
 
     PYTHONPATH=src python scripts/bench_exec.py [--jobs 4]
-        [--replications 2] [--samples 800] [--out BENCH_exec.json]
+        [--cluster-workers 4] [--replications 2] [--samples 800]
+        [--out BENCH_exec.json]
 """
 
 from __future__ import annotations
@@ -28,7 +31,12 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro import __version__  # noqa: E402
 from repro.core.attribution import AttributionConfig, AttributionStudy  # noqa: E402
-from repro.exec import ParallelExecutor, SerialExecutor, Telemetry  # noqa: E402
+from repro.exec import (  # noqa: E402
+    LocalClusterExecutor,
+    ParallelExecutor,
+    SerialExecutor,
+    Telemetry,
+)
 from repro.workloads.memcached import MemcachedWorkload  # noqa: E402
 
 
@@ -47,43 +55,62 @@ def build_study(executor, args) -> AttributionStudy:
     )
 
 
+def run_lane(label, executor, args):
+    telemetry = Telemetry()
+    t0 = time.perf_counter()
+    with executor as ex:
+        runs = build_study(ex, args).run_experiments(progress=telemetry)
+    elapsed = time.perf_counter() - t0
+    events_per_s = telemetry.summary()["events_per_second"]
+    print(f"[bench_exec] {label:<22} {elapsed:6.1f}s ({events_per_s} sim events/s)")
+    return runs, elapsed, telemetry
+
+
+def identical(a, b) -> bool:
+    return all(
+        x.coded == y.coded and (x.samples == y.samples).all() for x, y in zip(a, b)
+    )
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--jobs", type=int, default=4)
+    parser.add_argument("--cluster-workers", type=int, default=4)
     parser.add_argument("--replications", type=int, default=2)
     parser.add_argument("--samples", type=int, default=800)
     parser.add_argument("--out", default="BENCH_exec.json")
     args = parser.parse_args()
 
     n_experiments = 16 * args.replications
-
     print(
         f"[bench_exec] factorial: 2^4 configs x {args.replications} reps "
         f"= {n_experiments} experiments, {args.samples} samples/instance"
     )
 
-    serial_telemetry = Telemetry()
-    t0 = time.perf_counter()
-    with SerialExecutor() as ex:
-        serial = build_study(ex, args).run_experiments(progress=serial_telemetry)
-    serial_s = time.perf_counter() - t0
-    print(f"[bench_exec] serial:    {serial_s:.1f}s "
-          f"({serial_telemetry.summary()['events_per_second']} events/s)")
-
-    parallel_telemetry = Telemetry()
-    t0 = time.perf_counter()
-    with ParallelExecutor(max_workers=args.jobs) as ex:
-        parallel = build_study(ex, args).run_experiments(progress=parallel_telemetry)
-    parallel_s = time.perf_counter() - t0
-    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
-    print(f"[bench_exec] --jobs {args.jobs}: {parallel_s:.1f}s "
-          f"(speedup {speedup:.2f}x)")
-
-    identical = all(
-        a.coded == b.coded and (a.samples == b.samples).all()
-        for a, b in zip(serial, parallel)
+    serial, serial_s, serial_telemetry = run_lane(
+        "serial:", SerialExecutor(), args
     )
-    print(f"[bench_exec] serial/parallel outputs identical: {identical}")
+    parallel, parallel_s, _ = run_lane(
+        f"process --jobs {args.jobs}:", ParallelExecutor(max_workers=args.jobs), args
+    )
+    cluster, cluster_s, _ = run_lane(
+        f"cluster --workers {args.cluster_workers}:",
+        LocalClusterExecutor(workers=args.cluster_workers),
+        args,
+    )
+
+    parallel_speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    cluster_speedup = serial_s / cluster_s if cluster_s > 0 else float("inf")
+    parallel_identical = identical(serial, parallel)
+    cluster_identical = identical(serial, cluster)
+    print(
+        f"[bench_exec] speedups: process {parallel_speedup:.2f}x, "
+        f"cluster {cluster_speedup:.2f}x"
+    )
+    print(
+        f"[bench_exec] outputs identical: process={parallel_identical} "
+        f"cluster={cluster_identical}"
+    )
 
     payload = {
         "bench": "exec_factorial",
@@ -93,19 +120,22 @@ def main() -> int:
         "experiments": n_experiments,
         "samples_per_instance": args.samples,
         "jobs": args.jobs,
+        "cluster_workers": args.cluster_workers,
         "serial_s": round(serial_s, 3),
         "parallel_s": round(parallel_s, 3),
-        "speedup": round(speedup, 3),
-        "outputs_identical": identical,
+        "cluster_s": round(cluster_s, 3),
+        "speedup": round(parallel_speedup, 3),
+        "cluster_speedup": round(cluster_speedup, 3),
+        "outputs_identical": parallel_identical,
+        "cluster_outputs_identical": cluster_identical,
         "serial_events_per_s": serial_telemetry.summary()["events_per_second"],
-        "parallel_wall_s_sum": parallel_telemetry.summary()["wall_s"],
     }
     with open(args.out, "w") as f:
         json.dump(payload, f, indent=2, sort_keys=True)
         f.write("\n")
     print(f"[bench_exec] wrote {args.out}")
 
-    if not identical:
+    if not (parallel_identical and cluster_identical):
         print("[bench_exec] FAIL: outputs differ between executors")
         return 1
     return 0

@@ -47,12 +47,19 @@ from .core import (
     workload_from_json,
 )
 from .exec import (
+    Capabilities,
+    ClusterExecutor,
+    Executor,
+    LocalClusterExecutor,
     ParallelExecutor,
     ResultCache,
     RunSpec,
     SerialExecutor,
+    available_backends,
     execute_specs,
     execution,
+    make_executor,
+    register_backend,
     run_spec,
 )
 from .sim import HardwareSpec
@@ -63,9 +70,16 @@ __version__ = "1.0.0"
 __all__ = [
     "RunSpec",
     "run_spec",
+    "Executor",
+    "Capabilities",
     "SerialExecutor",
     "ParallelExecutor",
+    "ClusterExecutor",
+    "LocalClusterExecutor",
     "ResultCache",
+    "make_executor",
+    "register_backend",
+    "available_backends",
     "execute_specs",
     "execution",
     "AttributionConfig",

@@ -15,9 +15,15 @@ expect a long run).
 
 Execution flags (both ``run`` and ``all``):
 
-* ``--jobs N`` — run independent experiments on ``N`` worker
-  processes through :class:`repro.exec.ParallelExecutor`; ``--jobs 1``
-  (the default) is byte-identical to the serial path for equal seeds.
+* ``--executor NAME`` — pick a registered execution backend:
+  ``serial`` (default), ``process`` (local pool), ``cluster``
+  (socket-based work-stealing cluster with local workers), or any
+  third-party registration.  All backends are byte-identical for
+  equal seeds; see ``repro backends``.
+* ``--workers N`` — size the chosen backend (pool processes or
+  cluster workers).
+* ``--jobs N`` — legacy spelling of ``--executor process --workers N``
+  (``--jobs 1`` is the serial path).
 * ``--cache-dir PATH`` — content-addressed result cache; identical
   experiment specs are simulated once per machine, ever.
 * ``--no-cache`` — ignore any configured cache directory.
@@ -26,10 +32,12 @@ Execution flags (both ``run`` and ``all``):
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 import time
 from typing import List, Optional
 
+from .exec.api import available_backends, backend_info
 from .exec.executors import execution
 from .experiments.common import SCALES
 from .experiments.runner import EXPERIMENTS, experiment_ids, run_experiment
@@ -53,11 +61,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     def add_exec_flags(p: argparse.ArgumentParser) -> None:
         p.add_argument(
+            "--executor",
+            default=None,
+            metavar="NAME",
+            help=(
+                "execution backend: serial, process, cluster, or any "
+                "registered third-party backend (see `repro backends`)"
+            ),
+        )
+        p.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            metavar="N",
+            help="worker count for the chosen backend (pool processes / cluster workers)",
+        )
+        p.add_argument(
             "--jobs",
             type=int,
             default=1,
             metavar="N",
-            help="worker processes for independent experiments (default: 1, serial)",
+            help="legacy: worker processes for independent experiments (default: 1, serial)",
         )
         p.add_argument(
             "--cache-dir",
@@ -88,6 +112,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_exec_flags(all_p)
 
     sub.add_parser("hardware", help="print the simulated hardware spec (Table II)")
+    sub.add_parser("backends", help="list the registered execution backends")
     return parser
 
 
@@ -130,18 +155,45 @@ def _cmd_hardware() -> int:
     return 0
 
 
+def _cmd_backends() -> int:
+    names = available_backends()
+    width = max(len(n) for n in names)
+    for name in names:
+        info = backend_info(name)
+        options = ", ".join(f.name for f in dataclasses.fields(info.options))
+        print(f"{name.ljust(width)}  {info.summary}")
+        if options:
+            print(f"{' ' * width}  options: {options}")
+    return 0
+
+
+def _execution_scope(args: argparse.Namespace):
+    """The scoped execution defaults implied by the CLI flags."""
+    backend = getattr(args, "executor", None)
+    if backend is not None:
+        backend_info(backend)  # fail fast on unknown names
+    return execution(
+        jobs=args.jobs,
+        cache_dir=_effective_cache_dir(args),
+        backend=backend,
+        workers=getattr(args, "workers", None),
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
-        with execution(jobs=args.jobs, cache_dir=_effective_cache_dir(args)):
+        with _execution_scope(args):
             return _cmd_run(args.artifact, args.scale, args.out)
     if args.command == "all":
-        with execution(jobs=args.jobs, cache_dir=_effective_cache_dir(args)):
+        with _execution_scope(args):
             return _cmd_all(args.scale)
     if args.command == "hardware":
         return _cmd_hardware()
+    if args.command == "backends":
+        return _cmd_backends()
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

@@ -3,18 +3,54 @@
 Everything the library runs is one shape of work: an independent
 experiment described by a :class:`~repro.exec.spec.RunSpec`, executed
 by :func:`~repro.exec.spec.run_spec`, scheduled through an executor
-(:mod:`~repro.exec.executors`), optionally memoized by a
-content-addressed cache (:mod:`~repro.exec.cache`), and observed
-through progress hooks (:mod:`~repro.exec.progress`)::
+backend (serial, process pool, or a distributed cluster), optionally
+memoized by a content-addressed cache (:mod:`~repro.exec.cache`), and
+observed through progress hooks (:mod:`~repro.exec.progress`)::
 
-    spec -> schedule -> (serial | parallel) workers -> cached artifacts
-                                                    -> progress telemetry
+    spec -> schedule -> (serial | process pool | cluster) -> cached artifacts
+                                                          -> progress telemetry
 
-All four experiment drivers (``core.procedure``, ``core.attribution``,
-``core.sweeps``, ``core.capacity``) and the CLI submit work exclusively
-through this package.
+All experiment drivers (``core.procedure``, ``core.attribution``,
+``core.sweeps``, ``core.capacity``) and the CLI submit work
+exclusively through this package.
+
+Public surface
+--------------
+This module re-exports the **stable** names only; anything not listed
+in ``__all__`` (module internals, the wire protocol, coordinator
+plumbing) is private and may change without notice.  The backend
+contract for third-party executor implementers is documented in
+``src/repro/exec/API.md``.
+
+* the work unit: ``RunSpec``, ``RunResult``, ``run_spec``,
+  ``spec_digest``, ``metric_samples``, ``SPEC_SCHEMA``
+* the executor API: ``Executor`` (protocol), ``Capabilities``,
+  ``make_executor``, ``register_backend``, ``available_backends``,
+  per-backend options (``SerialOptions``/``ProcessOptions``/
+  ``ClusterOptions``)
+* backends: ``SerialExecutor``, ``ParallelExecutor``,
+  ``ClusterExecutor``, ``LocalClusterExecutor``
+* caching: ``ResultCache``, ``cache_version``, ``CACHE_SCHEMA``
+* scoped defaults: ``execute_specs``, ``execution``,
+  ``default_executor``, ``set_execution_defaults``,
+  ``get_execution_defaults``
+* observability: ``RunEvent``, ``ProgressHook``, ``StderrProgress``,
+  ``Telemetry``, ``chain``
+* errors: ``ExecError``, ``ExecTimeout``
 """
 
+from .api import (
+    BackendInfo,
+    Capabilities,
+    ClusterOptions,
+    Executor,
+    ProcessOptions,
+    SerialOptions,
+    available_backends,
+    backend_info,
+    make_executor,
+    register_backend,
+)
 from .cache import CACHE_SCHEMA, ResultCache, cache_version
 from .executors import (
     ExecError,
@@ -25,35 +61,53 @@ from .executors import (
     execute_specs,
     execution,
     get_execution_defaults,
-    make_executor,
     set_execution_defaults,
 )
+from .distributed import ClusterExecutor, LocalClusterExecutor
 from .progress import ProgressHook, RunEvent, StderrProgress, Telemetry, chain
 from .spec import SPEC_SCHEMA, RunResult, RunSpec, metric_samples, run_spec, spec_digest
 
 __all__ = [
+    # work unit
     "SPEC_SCHEMA",
-    "CACHE_SCHEMA",
     "RunSpec",
     "RunResult",
     "run_spec",
     "spec_digest",
     "metric_samples",
-    "ResultCache",
-    "cache_version",
+    # executor API
+    "Executor",
+    "Capabilities",
+    "BackendInfo",
+    "SerialOptions",
+    "ProcessOptions",
+    "ClusterOptions",
+    "make_executor",
+    "register_backend",
+    "available_backends",
+    "backend_info",
+    # backends
     "SerialExecutor",
     "ParallelExecutor",
-    "ExecError",
-    "ExecTimeout",
-    "make_executor",
-    "default_executor",
+    "ClusterExecutor",
+    "LocalClusterExecutor",
+    # caching
+    "CACHE_SCHEMA",
+    "ResultCache",
+    "cache_version",
+    # scoped defaults & conveniences
     "execute_specs",
     "execution",
+    "default_executor",
     "set_execution_defaults",
     "get_execution_defaults",
+    # observability
     "RunEvent",
     "ProgressHook",
     "StderrProgress",
     "Telemetry",
     "chain",
+    # errors
+    "ExecError",
+    "ExecTimeout",
 ]

@@ -1,0 +1,729 @@
+"""Distributed executor: a socket-based work-stealing cluster backend.
+
+The paper's methodology — many short, fully independent runs (Section
+III-C defeats hysteresis exactly this way) — is embarrassingly
+distributable: a run is a pure function of its
+:class:`~repro.exec.spec.RunSpec`, so it can execute on any machine
+and the result is verifiable by content digest.  This module exploits
+that:
+
+* :class:`Coordinator` — a threaded TCP server speaking
+  :mod:`repro.exec.protocol`.  It serves a queue of pickled specs to
+  any number of ``repro-worker`` processes, tracks a *lease* per
+  issued task, requeues work when a lease expires or a connection
+  drops (worker death), and **verifies the spec digest on every
+  result** before accepting it.
+* **Work stealing / straggler re-issue** — when the queue drains but
+  leased tasks are still outstanding, idle workers are handed
+  speculative duplicates of the oldest lease.  Determinism (equal
+  spec ⇒ bit-identical result) makes this safe: whichever copy lands
+  first wins, the loser is discarded as a duplicate.
+* :class:`ClusterExecutor` — the :class:`~repro.exec.api.Executor`
+  implementation wrapping a coordinator.  Results are merged in
+  submission order, written into the existing
+  :class:`~repro.exec.cache.ResultCache`, and reported through the
+  existing :class:`~repro.exec.progress.RunEvent` stream — drivers
+  cannot tell it apart from the serial backend except by wall clock.
+* :class:`LocalClusterExecutor` — the same executor, but it spawns
+  its workers as local subprocesses (``python -m repro.exec.worker``),
+  which is what ``--executor cluster --workers N`` and the tests use.
+  Dead local workers are respawned (bounded) while a batch is active.
+
+Registered in the backend registry as ``"cluster"`` with
+:class:`~repro.exec.api.ClusterOptions`.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import subprocess
+import sys
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from queue import Empty, Queue
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from .api import Capabilities, ClusterOptions, register_backend
+from .cache import ResultCache
+from .executors import ExecError, _emit, _ExecutorBase
+from .progress import ProgressHook
+from .protocol import (
+    ProtocolError,
+    handshake_reply,
+    recv_msg,
+    resolve_task,
+    send_msg,
+    task_reference,
+)
+from .spec import run_spec, spec_digest
+
+__all__ = [
+    "Coordinator",
+    "ClusterExecutor",
+    "LocalClusterExecutor",
+]
+
+
+def digest_of(spec: object) -> str:
+    """Content digest for any spec (empty when uncanonicalizable)."""
+    method = getattr(spec, "digest", None)
+    if callable(method):
+        return method()
+    try:
+        return spec_digest(spec)
+    except Exception:
+        return ""
+
+
+# ----------------------------------------------------------------------
+# batch bookkeeping (pure state machine; caller holds the lock)
+# ----------------------------------------------------------------------
+@dataclass
+class _Lease:
+    lease_id: int
+    index: int
+    deadline: float
+    conn_id: int
+    stolen: bool = False
+    active: bool = True
+
+
+class _Batch:
+    """Lease/requeue/dedup state for one ``run()`` call.
+
+    Deliberately free of sockets and clocks (``now`` is injected) so
+    the lease-expiry, digest-mismatch, and worker-death paths are unit
+    testable without a network in the loop.
+    """
+
+    def __init__(
+        self,
+        indices: Sequence[int],
+        digests: Dict[int, str],
+        lease_s: float,
+        max_attempts: int,
+        steal: bool,
+    ):
+        self.pending: deque = deque(indices)
+        self.todo: Set[int] = set(indices)
+        self.digests = digests
+        self.lease_s = lease_s
+        self.max_attempts = max_attempts
+        self.steal = steal
+        self.done: Set[int] = set()
+        self.failures: Dict[int, int] = {i: 0 for i in indices}
+        self.issues: Dict[int, int] = {i: 0 for i in indices}
+        self.leases: Dict[int, _Lease] = {}
+        self.active_by_index: Dict[int, Set[int]] = {i: set() for i in indices}
+        self.failed: Optional[str] = None
+        self._next_lease_id = 0
+
+    # -- issue ---------------------------------------------------------
+    def _issue(self, index: int, now: float, conn_id: int, stolen: bool) -> _Lease:
+        self._next_lease_id += 1
+        lease = _Lease(
+            lease_id=self._next_lease_id,
+            index=index,
+            deadline=now + self.lease_s,
+            conn_id=conn_id,
+            stolen=stolen,
+        )
+        self.leases[lease.lease_id] = lease
+        self.active_by_index[index].add(lease.lease_id)
+        self.issues[index] += 1
+        return lease
+
+    def next_task(self, now: float, conn_id: int) -> Optional[_Lease]:
+        """Lease the next pending task, or steal a straggler, or None."""
+        if self.failed:
+            return None
+        while self.pending:
+            index = self.pending.popleft()
+            if index in self.done or self.active_by_index[index]:
+                continue  # completed late or re-issued already
+            return self._issue(index, now, conn_id, stolen=False)
+        if self.steal:
+            candidates = [
+                lease
+                for lease in self.leases.values()
+                if lease.active
+                and lease.index not in self.done
+                and len(self.active_by_index[lease.index]) == 1
+            ]
+            if candidates:
+                straggler = min(candidates, key=lambda lease: lease.deadline)
+                return self._issue(straggler.index, now, conn_id, stolen=True)
+        return None
+
+    # -- completion ----------------------------------------------------
+    def _deactivate(self, lease: _Lease) -> None:
+        lease.active = False
+        self.active_by_index[lease.index].discard(lease.lease_id)
+
+    def _record_loss(self, index: int, reason: str) -> None:
+        """A lease was lost/rejected: requeue or fail the batch."""
+        if index in self.done:
+            return
+        self.failures[index] += 1
+        if self.failures[index] >= self.max_attempts:
+            self.failed = (
+                f"spec #{index} failed {self.failures[index]} time(s) "
+                f"(last: {reason}); giving up"
+            )
+        elif not self.active_by_index[index] and index not in self.pending:
+            self.pending.appendleft(index)
+
+    def complete(
+        self,
+        lease_id: int,
+        echoed_digest: str,
+        result_digest: str,
+    ) -> Tuple[str, Optional[int], int]:
+        """Account one result; returns ``(status, index, attempt)``.
+
+        status ∈ {"ok", "duplicate", "mismatch", "unknown"}.  A result
+        for an *expired* lease is still accepted when the index is
+        incomplete — late work is not wasted work.  Digest mismatches
+        (corrupt worker, wrong library) are rejected and the spec
+        requeued.
+        """
+        lease = self.leases.get(lease_id)
+        if lease is None:
+            return "unknown", None, 0
+        index = lease.index
+        expected = self.digests.get(index, "")
+        self._deactivate(lease)
+        if expected and (
+            echoed_digest != expected or (result_digest and result_digest != expected)
+        ):
+            self._record_loss(index, "digest mismatch")
+            return "mismatch", index, self.issues[index]
+        if index in self.done:
+            return "duplicate", index, self.issues[index]
+        self.done.add(index)
+        for other_id in list(self.active_by_index[index]):
+            self._deactivate(self.leases[other_id])
+        return "ok", index, self.issues[index]
+
+    def task_error(self, lease_id: int, error: str, traceback_text: str) -> None:
+        """A deterministic task exception: fail fast (retry is futile)."""
+        lease = self.leases.get(lease_id)
+        if lease is not None:
+            self._deactivate(lease)
+        self.failed = f"task raised {error}\n{traceback_text}"
+
+    # -- loss detection ------------------------------------------------
+    def expire(self, now: float) -> List[int]:
+        """Requeue tasks whose lease deadline has passed (worker death)."""
+        lost: List[int] = []
+        for lease in list(self.leases.values()):
+            if lease.active and lease.deadline <= now:
+                self._deactivate(lease)
+                if lease.index not in self.done:
+                    lost.append(lease.index)
+                    self._record_loss(lease.index, "lease expired")
+        return lost
+
+    def drop_connection(self, conn_id: int) -> List[int]:
+        """A worker connection died: requeue its in-flight leases now."""
+        lost: List[int] = []
+        for lease in list(self.leases.values()):
+            if lease.active and lease.conn_id == conn_id:
+                self._deactivate(lease)
+                if lease.index not in self.done:
+                    lost.append(lease.index)
+                    self._record_loss(lease.index, "worker connection lost")
+        return lost
+
+    # -- progress ------------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        return self.failed is not None or self.done >= self.todo
+
+
+# ----------------------------------------------------------------------
+# the coordinator (socket layer)
+# ----------------------------------------------------------------------
+class Coordinator:
+    """Threaded TCP server feeding a :class:`_Batch` to remote workers.
+
+    One handler thread per worker connection; completion/fatal events
+    are delivered to the owning executor through ``events`` (a
+    thread-safe queue), keeping cache writes and progress emission on
+    the executor's thread.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, poll_s: float = 0.05):
+        self.poll_s = poll_s
+        self.events: Queue = Queue()
+        self._lock = threading.Lock()
+        self._batch: Optional[_Batch] = None
+        self._specs: Dict[int, object] = {}
+        self._task_ref: str = ""
+        self._closing = False
+        self._conn_seq = 0
+        self._threads: List[threading.Thread] = []
+        self._conns: Dict[int, socket.socket] = {}
+        self._server = socket.create_server((host, port))
+        self._server.settimeout(0.2)
+        self.address: Tuple[str, int] = self._server.getsockname()[:2]
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-coordinator-accept", daemon=True
+        )
+        self._accept_thread.start()
+
+    # -- batch lifecycle (called by the executor) ----------------------
+    def start_batch(
+        self,
+        indices: Sequence[int],
+        specs: Dict[int, object],
+        digests: Dict[int, str],
+        task_ref: str,
+        lease_s: float,
+        max_attempts: int,
+        steal: bool,
+    ) -> None:
+        with self._lock:
+            if self._batch is not None:
+                raise RuntimeError("a batch is already active")
+            self._specs = dict(specs)
+            self._task_ref = task_ref
+            self._batch = _Batch(indices, digests, lease_s, max_attempts, steal)
+        # drop events left over from an abandoned batch
+        while True:
+            try:
+                self.events.get_nowait()
+            except Empty:
+                break
+
+    def end_batch(self) -> None:
+        with self._lock:
+            self._batch = None
+            self._specs = {}
+
+    def sweep(self) -> None:
+        """Expire overdue leases; emit a fatal event if the batch died."""
+        with self._lock:
+            batch = self._batch
+            if batch is None:
+                return
+            batch.expire(time.monotonic())
+            failed = batch.failed
+        if failed:
+            self.events.put(("fatal", failed))
+
+    def connected_workers(self) -> int:
+        with self._lock:
+            return len(self._conns)
+
+    # -- server plumbing -----------------------------------------------
+    def _accept_loop(self) -> None:
+        while not self._closing:
+            try:
+                conn, _addr = self._server.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return  # server socket closed
+            self._conn_seq += 1
+            conn_id = self._conn_seq
+            with self._lock:
+                self._conns[conn_id] = conn
+            thread = threading.Thread(
+                target=self._serve_conn,
+                args=(conn, conn_id),
+                name=f"repro-coordinator-conn{conn_id}",
+                daemon=True,
+            )
+            with self._lock:
+                self._threads.append(thread)
+            thread.start()
+
+    def _serve_conn(self, conn: socket.socket, conn_id: int) -> None:
+        try:
+            msg = recv_msg(conn)
+            if msg is None:
+                return
+            reply = handshake_reply(msg)
+            send_msg(conn, reply)
+            if reply["type"] != "welcome":
+                return
+            while not self._closing:
+                msg = recv_msg(conn)
+                if msg is None:
+                    return
+                mtype = msg.get("type")
+                if mtype == "get":
+                    self._handle_get(conn, conn_id)
+                elif mtype == "result":
+                    self._handle_result(conn, msg)
+                elif mtype == "error":
+                    self._handle_error(conn, msg)
+                else:
+                    send_msg(
+                        conn,
+                        {"type": "reject", "reason": f"unexpected {mtype!r}"},
+                    )
+        except (ProtocolError, OSError):
+            pass  # dead/violating peer: leases requeued below
+        finally:
+            with self._lock:
+                self._conns.pop(conn_id, None)
+                batch = self._batch
+                failed = None
+                if batch is not None:
+                    batch.drop_connection(conn_id)
+                    failed = batch.failed
+            if failed:
+                self.events.put(("fatal", failed))
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    # -- message handlers ----------------------------------------------
+    def _handle_get(self, conn: socket.socket, conn_id: int) -> None:
+        with self._lock:
+            batch = self._batch
+            if self._closing:
+                send_msg(conn, {"type": "shutdown"})
+                return
+            if batch is None or batch.finished:
+                lease = None
+            else:
+                lease = batch.next_task(time.monotonic(), conn_id)
+            spec = self._specs.get(lease.index) if lease is not None else None
+            digest = (
+                batch.digests.get(lease.index, "")
+                if (lease is not None and batch is not None)
+                else ""
+            )
+            task_ref = self._task_ref
+            lease_s = batch.lease_s if batch is not None else 0.0
+        if lease is None:
+            send_msg(conn, {"type": "wait", "poll_s": self.poll_s})
+            return
+        send_msg(
+            conn,
+            {
+                "type": "task",
+                "task_id": lease.lease_id,
+                "digest": digest,
+                "spec": spec,
+                "task_ref": task_ref,
+                "lease_s": lease_s,
+                "stolen": lease.stolen,
+            },
+        )
+
+    def _handle_result(self, conn: socket.socket, msg: Dict[str, object]) -> None:
+        result = msg.get("result")
+        with self._lock:
+            batch = self._batch
+            if batch is None:
+                send_msg(conn, {"type": "ack", "status": "stale"})
+                return
+            status, index, attempt = batch.complete(
+                int(msg.get("task_id", -1)),
+                str(msg.get("digest", "")),
+                str(getattr(result, "spec_digest", "") or ""),
+            )
+            failed = batch.failed
+        if status == "ok":
+            self.events.put(
+                (
+                    "done",
+                    index,
+                    result,
+                    float(msg.get("wall_s", 0.0)),
+                    attempt,
+                )
+            )
+        if failed:
+            self.events.put(("fatal", failed))
+        if status == "mismatch":
+            send_msg(
+                conn,
+                {"type": "reject", "reason": "digest mismatch; result discarded"},
+            )
+        else:
+            send_msg(conn, {"type": "ack", "status": status})
+
+    def _handle_error(self, conn: socket.socket, msg: Dict[str, object]) -> None:
+        with self._lock:
+            batch = self._batch
+            if batch is not None:
+                batch.task_error(
+                    int(msg.get("task_id", -1)),
+                    str(msg.get("error", "unknown error")),
+                    str(msg.get("traceback", "")),
+                )
+                failed = batch.failed
+            else:
+                failed = None
+        if failed:
+            self.events.put(("fatal", failed))
+        send_msg(conn, {"type": "ack", "status": "error-recorded"})
+
+    # -- shutdown ------------------------------------------------------
+    def close(self) -> None:
+        self._closing = True
+        try:
+            self._server.close()
+        except OSError:
+            pass
+        with self._lock:
+            conns = list(self._conns.values())
+        for conn in conns:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self._accept_thread.join(timeout=2.0)
+        with self._lock:
+            threads = list(self._threads)
+        for thread in threads:
+            thread.join(timeout=2.0)
+
+
+# ----------------------------------------------------------------------
+# the executor
+# ----------------------------------------------------------------------
+class ClusterExecutor(_ExecutorBase):
+    """Executor backed by a :class:`Coordinator` and remote workers.
+
+    This base class spawns nothing: point external ``repro-worker``
+    processes at :attr:`address` (printed by the CLI / available after
+    ``start()``).  :class:`LocalClusterExecutor` adds local worker
+    subprocesses for the single-machine case.
+
+    Semantics match :class:`~repro.exec.executors.SerialExecutor`
+    bit for bit: results come back in submission order, cache hits
+    short-circuit execution, and equal specs produce equal results on
+    any worker (verified by digest on receipt).
+    """
+
+    def __init__(
+        self,
+        options: Optional[ClusterOptions] = None,
+        task: Callable[[object], object] = run_spec,
+        cache: Optional[ResultCache] = None,
+        **option_kwargs: object,
+    ):
+        super().__init__(task=task, cache=cache)
+        if options is not None and option_kwargs:
+            raise TypeError("pass ClusterOptions or option kwargs, not both")
+        self.options = options if options is not None else ClusterOptions(**option_kwargs)
+        if self.options.lease_s <= 0:
+            raise ValueError("lease_s must be positive")
+        if self.options.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        # Validate that the task survives the module:qualname round
+        # trip *before* shipping work (workers import it by reference).
+        self.task_ref = task_reference(task)
+        if resolve_task(self.task_ref) is not task:
+            raise ValueError(
+                f"task {task!r} is not importable as {self.task_ref!r}; "
+                "cluster tasks must be module-level callables"
+            )
+        self._coordinator: Optional[Coordinator] = None
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def address(self) -> Optional[Tuple[str, int]]:
+        """(host, port) the coordinator listens on, once started."""
+        return self._coordinator.address if self._coordinator else None
+
+    def start(self) -> Coordinator:
+        """Bind the coordinator (idempotent); returns it."""
+        if self._coordinator is None:
+            self._coordinator = Coordinator(
+                host=self.options.host,
+                port=self.options.port,
+                poll_s=self.options.poll_s,
+            )
+            self._on_started()
+        return self._coordinator
+
+    def _on_started(self) -> None:
+        """Subclass hook: called once after the coordinator binds."""
+
+    def _maintain_workers(self) -> None:
+        """Subclass hook: called every sweep while a batch is active."""
+
+    def close(self) -> None:
+        if self._coordinator is not None:
+            self._coordinator.close()
+            self._coordinator = None
+
+    def capabilities(self) -> Capabilities:
+        return Capabilities(
+            backend="cluster",
+            parallel=True,
+            distributed=True,
+            deterministic=True,
+            workers=self.options.workers or None,
+            supports_timeout=False,
+            supports_retry=True,
+        )
+
+    # -- execution -----------------------------------------------------
+    def run(
+        self,
+        specs: Sequence[object],
+        progress: Optional[ProgressHook] = None,
+    ) -> List[object]:
+        specs = list(specs)
+        total = len(specs)
+        results: List[object] = [None] * total
+        completed = 0
+        todo: List[int] = []
+        for i, spec in enumerate(specs):
+            hit = self._cache_get(spec)
+            if hit is not None:
+                results[i] = hit
+                _emit(progress, completed, total, spec, hit, cached=True)
+                completed += 1
+            else:
+                todo.append(i)
+        if not todo:
+            return results
+
+        coordinator = self.start()
+        digests = {i: digest_of(specs[i]) for i in todo}
+        coordinator.start_batch(
+            todo,
+            {i: specs[i] for i in todo},
+            digests,
+            self.task_ref,
+            lease_s=self.options.lease_s,
+            max_attempts=self.options.max_attempts,
+            steal=self.options.steal,
+        )
+        sweep_every = max(0.01, min(0.25, self.options.lease_s / 4.0))
+        pending = len(todo)
+        try:
+            while pending:
+                try:
+                    event = coordinator.events.get(timeout=sweep_every)
+                except Empty:
+                    event = None
+                if event is not None:
+                    if event[0] == "fatal":
+                        raise ExecError(event[1])
+                    _kind, index, result, _wall_s, attempt = event
+                    results[index] = result
+                    self._cache_put(specs[index], result)
+                    _emit(
+                        progress,
+                        completed,
+                        total,
+                        specs[index],
+                        result,
+                        cached=False,
+                        attempt=attempt,
+                    )
+                    completed += 1
+                    pending -= 1
+                coordinator.sweep()
+                self._maintain_workers()
+        finally:
+            coordinator.end_batch()
+        return results
+
+
+class LocalClusterExecutor(ClusterExecutor):
+    """A cluster whose workers are local subprocesses.
+
+    ``options.workers`` subprocesses run ``python -m repro.exec.worker``
+    pointed at the coordinator.  A worker that dies mid-batch (crash,
+    ``kill -9``) is detected two ways — connection drop (immediate
+    requeue) and lease expiry (belt and braces) — and respawned while
+    a batch is active, up to ``2 x workers`` respawns total.
+
+    This is what ``repro run <artifact> --executor cluster --workers N``
+    and ``make_executor("cluster", workers=N)`` construct.
+    """
+
+    def __init__(self, *args: object, **kwargs: object):
+        super().__init__(*args, **kwargs)
+        if self.options.workers < 1:
+            raise ValueError("LocalClusterExecutor needs workers >= 1")
+        self._procs: List[subprocess.Popen] = []
+        self._respawns_left = 2 * self.options.workers
+
+    # -- worker management ---------------------------------------------
+    def _spawn_worker(self, name: str) -> subprocess.Popen:
+        host, port = self.address
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
+        return subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.exec.worker",
+                "--connect",
+                f"{host}:{port}",
+                "--name",
+                name,
+            ],
+            env=env,
+            stdout=subprocess.DEVNULL,
+        )
+
+    def _on_started(self) -> None:
+        for i in range(self.options.workers):
+            self._procs.append(self._spawn_worker(f"local-{i}"))
+
+    def _maintain_workers(self) -> None:
+        for i, proc in enumerate(self._procs):
+            if proc.poll() is not None and self._respawns_left > 0:
+                self._respawns_left -= 1
+                self._procs[i] = self._spawn_worker(f"local-respawn-{self._respawns_left}")
+
+    def alive_workers(self) -> int:
+        return sum(1 for proc in self._procs if proc.poll() is None)
+
+    def close(self) -> None:
+        super().close()  # closes sockets: workers see EOF and exit
+        for proc in self._procs:
+            if proc.poll() is None:
+                try:
+                    proc.terminate()
+                except OSError:
+                    pass
+        deadline = time.monotonic() + 5.0
+        for proc in self._procs:
+            remaining = max(0.0, deadline - time.monotonic())
+            try:
+                proc.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+        self._procs = []
+
+
+# ----------------------------------------------------------------------
+# registry hookup
+# ----------------------------------------------------------------------
+def _cluster_factory(
+    options: object,
+    task: Callable[[object], object],
+    cache: Optional[ResultCache],
+) -> ClusterExecutor:
+    return LocalClusterExecutor(options=options, task=task, cache=cache)
+
+
+register_backend(
+    "cluster",
+    _cluster_factory,
+    ClusterOptions,
+    summary="socket-based work-stealing cluster (local worker subprocesses)",
+)

@@ -40,6 +40,14 @@ from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from typing import Callable, Dict, Iterator, List, Optional, Sequence
 
+from .api import (
+    Capabilities,
+    ProcessOptions,
+    SerialOptions,
+    make_executor,  # noqa: F401 - re-exported for backwards compatibility
+    register_backend,
+)
+from .api import make_executor as _make_executor
 from .cache import ResultCache
 from .progress import ProgressHook, RunEvent
 from .spec import run_spec
@@ -134,6 +142,9 @@ class _ExecutorBase:
 class SerialExecutor(_ExecutorBase):
     """In-process, in-order execution (the reference semantics)."""
 
+    def capabilities(self) -> Capabilities:
+        return Capabilities(backend="serial")
+
     def run(
         self,
         specs: Sequence[object],
@@ -196,6 +207,15 @@ class ParallelExecutor(_ExecutorBase):
         self.retries = retries
         self.max_inflight = max_inflight or 2 * self.max_workers
         self._pool: Optional[ProcessPoolExecutor] = None
+
+    def capabilities(self) -> Capabilities:
+        return Capabilities(
+            backend="process",
+            parallel=True,
+            workers=self.max_workers,
+            supports_timeout=True,
+            supports_retry=True,
+        )
 
     # -- pool lifecycle ------------------------------------------------
     def _ensure_pool(self) -> ProcessPoolExecutor:
@@ -325,22 +345,77 @@ class ParallelExecutor(_ExecutorBase):
 
 
 # ----------------------------------------------------------------------
+# backend registration
+# ----------------------------------------------------------------------
+def _serial_factory(
+    options: object,
+    task: Callable[[object], object],
+    cache: Optional[ResultCache],
+) -> SerialExecutor:
+    return SerialExecutor(task=task, cache=cache)
+
+
+def _process_factory(
+    options: ProcessOptions,
+    task: Callable[[object], object],
+    cache: Optional[ResultCache],
+) -> ParallelExecutor:
+    return ParallelExecutor(
+        max_workers=options.workers,
+        task=task,
+        cache=cache,
+        timeout=options.timeout,
+        retries=options.retries,
+        max_inflight=options.max_inflight,
+    )
+
+
+register_backend(
+    "serial",
+    _serial_factory,
+    SerialOptions,
+    summary="in-process, in-order execution (the reference semantics)",
+)
+register_backend(
+    "process",
+    _process_factory,
+    ProcessOptions,
+    summary="local process pool: bounded submission, timeout, crash retry",
+)
+
+
+# ----------------------------------------------------------------------
 # defaults & conveniences
 # ----------------------------------------------------------------------
 _UNSET = object()
-_DEFAULTS = {"jobs": 1, "cache_dir": None}
+_DEFAULTS = {"jobs": 1, "cache_dir": None, "backend": None, "workers": None}
 
 
 def set_execution_defaults(
-    jobs: Optional[int] = None, cache_dir: object = _UNSET
+    jobs: Optional[int] = None,
+    cache_dir: object = _UNSET,
+    backend: object = _UNSET,
+    workers: object = _UNSET,
 ) -> None:
-    """Set process-wide execution defaults (used by the CLI flags)."""
+    """Set process-wide execution defaults (used by the CLI flags).
+
+    ``backend`` names a registered executor backend (``"serial"``,
+    ``"process"``, ``"cluster"``, or a third-party registration); when
+    unset, ``jobs`` picks serial (1) vs process (>1) as before.
+    ``workers`` sizes the chosen backend.
+    """
     if jobs is not None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         _DEFAULTS["jobs"] = int(jobs)
     if cache_dir is not _UNSET:
         _DEFAULTS["cache_dir"] = cache_dir
+    if backend is not _UNSET:
+        _DEFAULTS["backend"] = backend
+    if workers is not _UNSET:
+        if workers is not None and int(workers) < 1:
+            raise ValueError("workers must be >= 1")
+        _DEFAULTS["workers"] = None if workers is None else int(workers)
 
 
 def get_execution_defaults() -> dict:
@@ -349,39 +424,42 @@ def get_execution_defaults() -> dict:
 
 @contextmanager
 def execution(
-    jobs: Optional[int] = None, cache_dir: object = _UNSET
+    jobs: Optional[int] = None,
+    cache_dir: object = _UNSET,
+    backend: object = _UNSET,
+    workers: object = _UNSET,
 ) -> Iterator[dict]:
     """Scoped execution defaults (restores the previous ones on exit)."""
     saved = get_execution_defaults()
     try:
-        set_execution_defaults(jobs=jobs, cache_dir=cache_dir)
+        set_execution_defaults(
+            jobs=jobs, cache_dir=cache_dir, backend=backend, workers=workers
+        )
         yield get_execution_defaults()
     finally:
+        _DEFAULTS.clear()
         _DEFAULTS.update(saved)
 
 
-def make_executor(
-    jobs: int = 1,
-    cache: Optional[ResultCache] = None,
-    cache_dir: Optional[os.PathLike] = None,
-    task: Callable[[object], object] = run_spec,
-    **parallel_kwargs: object,
-) -> _ExecutorBase:
-    """Build an executor: serial for ``jobs <= 1``, else a pool."""
-    if cache is None and cache_dir is not None:
-        cache = ResultCache(cache_dir)
-    if jobs <= 1:
-        return SerialExecutor(task=task, cache=cache)
-    return ParallelExecutor(
-        max_workers=jobs, task=task, cache=cache, **parallel_kwargs
-    )
-
-
 def default_executor(task: Callable[[object], object] = run_spec) -> _ExecutorBase:
-    """An executor honouring the process-wide defaults."""
-    return make_executor(
-        jobs=_DEFAULTS["jobs"], cache_dir=_DEFAULTS["cache_dir"], task=task
-    )
+    """An executor honouring the process-wide defaults.
+
+    Resolution order: an explicitly configured ``backend`` wins;
+    otherwise ``jobs`` selects serial (1) or the process pool (>1),
+    exactly as before the registry existed.
+    """
+    backend = _DEFAULTS["backend"]
+    workers = _DEFAULTS["workers"]
+    jobs = _DEFAULTS["jobs"]
+    cache_dir = _DEFAULTS["cache_dir"]
+    if backend is None:
+        backend = "serial" if jobs <= 1 else "process"
+        if workers is None and jobs > 1:
+            workers = jobs
+    if backend == "serial":
+        return _make_executor("serial", task=task, cache_dir=cache_dir)
+    option_kwargs = {} if workers is None else {"workers": workers}
+    return _make_executor(backend, task=task, cache_dir=cache_dir, **option_kwargs)
 
 
 def execute_specs(

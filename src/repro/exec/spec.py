@@ -54,44 +54,80 @@ __all__ = [
 
 #: Bump when the meaning of a spec field (or the execution semantics
 #: behind it) changes; invalidates every cached result.
-SPEC_SCHEMA = 1
+#: 2: canonicalization audit — type-tagged dict keys (no 1-vs-"1"
+#:    collisions, total sort order), ndarray dtype in the digest,
+#:    bytes/set/frozenset support.
+SPEC_SCHEMA = 2
 
 
 # ----------------------------------------------------------------------
 # canonical serialization (the digest substrate)
 # ----------------------------------------------------------------------
+def _canonical_blob(obj: object) -> str:
+    """Compact JSON of the canonical form (a total order over values)."""
+    return json.dumps(_canonical(obj), sort_keys=True, separators=(",", ":"))
+
+
 def _canonical(obj: object) -> object:
     """Convert ``obj`` into a JSON-serializable canonical form.
 
-    The form is stable across processes and interpreter invocations:
-    no ``id()``/``hash()``-derived content, dict keys sorted, floats
-    serialized with exact shortest-round-trip ``repr``.
+    The form is stable across processes, interpreter versions, and
+    machines — the digest-keyed dedup of the distributed executor
+    rides on this.  Audit notes:
+
+    * no ``id()``/``hash()``-derived content anywhere;
+    * floats are serialized with shortest-round-trip ``repr`` (exact
+      and stable since CPython 3.1; ``nan``/``inf``/``-0.0`` all have
+      fixed spellings), never as JSON numbers;
+    * dict entries are ``[key, value]`` *pairs* sorted by the canonical
+      JSON of the key — keys keep their type (``1`` and ``"1"`` cannot
+      collide, and mixed-type keys sort totally, so insertion order
+      can never leak into the digest);
+    * ndarrays record their dtype (a float32 and float64 array with
+      equal values are different experiments);
+    * sets are sorted by canonical JSON (iteration order is
+      hash-seed-dependent and must not leak in).
     """
-    if obj is None or isinstance(obj, (str, int, bool)):
+    if obj is None or isinstance(obj, (str, bool, int)):
         return obj
     if isinstance(obj, float):
         return {"__float__": repr(obj)}
+    if isinstance(obj, bytes):
+        return {"__bytes__": obj.hex()}
     if isinstance(obj, np.generic):
         return _canonical(obj.item())
     if isinstance(obj, np.ndarray):
-        return {"__ndarray__": [_canonical(x) for x in obj.tolist()]}
+        return {
+            "__ndarray__": [_canonical(x) for x in obj.tolist()],
+            "dtype": str(obj.dtype),
+        }
     if isinstance(obj, (list, tuple)):
         return [_canonical(x) for x in obj]
-    if isinstance(obj, dict):
+    if isinstance(obj, (set, frozenset)):
         return {
-            "__dict__": {str(k): _canonical(v) for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))}
+            "__set__": sorted(
+                (_canonical(x) for x in obj),
+                key=lambda c: json.dumps(c, sort_keys=True, separators=(",", ":")),
+            )
         }
+    if isinstance(obj, dict):
+        pairs = [[_canonical(k), _canonical(v)] for k, v in obj.items()]
+        pairs.sort(
+            key=lambda kv: json.dumps(kv[0], sort_keys=True, separators=(",", ":"))
+        )
+        return {"__dict__": pairs}
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
         body = {
             f.name: _canonical(getattr(obj, f.name)) for f in dataclasses.fields(obj)
         }
         return {"__dataclass__": type(obj).__qualname__, "fields": body}
     # Generic objects (workloads, distributions, operation mixes):
-    # public instance state, sorted.  Private attributes are derived
-    # caches and excluded so equivalent configurations digest equally.
+    # public instance state, sorted by attribute name.  Private
+    # attributes are derived caches and excluded so equivalent
+    # configurations digest equally.
     state = {
         k: _canonical(v)
-        for k, v in sorted(vars(obj).items())
+        for k, v in sorted(vars(obj).items(), key=lambda kv: kv[0])
         if not k.startswith("_")
     }
     return {"__object__": type(obj).__qualname__, "state": state}
@@ -99,10 +135,7 @@ def _canonical(obj: object) -> object:
 
 def spec_digest(obj: object) -> str:
     """Stable SHA-256 content digest of any canonicalizable object."""
-    blob = json.dumps(
-        _canonical(obj), sort_keys=True, separators=(",", ":")
-    ).encode("utf-8")
-    return hashlib.sha256(blob).hexdigest()
+    return hashlib.sha256(_canonical_blob(obj).encode("utf-8")).hexdigest()
 
 
 # ----------------------------------------------------------------------
@@ -160,6 +193,19 @@ class RunSpec:
             cached = hashlib.sha256(blob.encode("utf-8")).hexdigest()
             object.__setattr__(self, "_digest", cached)
         return cached
+
+    def __getstate__(self) -> Dict[str, object]:
+        """Drop the memoized digest when pickled.
+
+        A spec travels to remote workers by pickle; the receiving
+        interpreter must *recompute* the digest from content rather
+        than trust a cached hex carried inside the payload — that
+        recompute-and-compare is exactly how version skew between
+        coordinator and worker is detected.
+        """
+        state = dict(self.__dict__)
+        state.pop("_digest", None)
+        return state
 
     def __hash__(self) -> int:
         return hash(self.digest())

@@ -1,0 +1,202 @@
+"""``repro-worker``: the pull-based remote worker process.
+
+One worker = one TCP connection to a coordinator
+(:class:`~repro.exec.distributed.Coordinator`).  The loop is the
+simplest correct one — *pull, execute, push*::
+
+    hello  ->  welcome | reject
+    get    ->  task | wait | shutdown
+    result ->  ack | reject
+
+The worker never holds more than one task (the coordinator's lease is
+the unit of fault tolerance: if this process dies mid-run, the lease
+expires — or the connection drop is noticed sooner — and the task is
+requeued elsewhere).  Task code is resolved by *reference*
+(``module:qualname``, default ``repro.exec.spec:run_spec``) rather
+than shipped as pickled code, so worker and coordinator must run the
+same library version — which the handshake enforces.
+
+Defence in depth: before running a spec the worker recomputes its
+content digest and refuses the task on mismatch (a corrupt frame or a
+version skew would otherwise poison the digest-keyed result merge);
+the coordinator independently re-verifies the digest on receipt.
+
+Start one by hand against a remote coordinator::
+
+    repro-worker --connect 10.0.0.5:7781
+    python -m repro.exec.worker --connect 10.0.0.5:7781 --max-tasks 100
+
+or let :class:`~repro.exec.distributed.LocalClusterExecutor` spawn
+local ones for you.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import socket
+import sys
+import time
+import traceback
+from typing import Callable, List, Optional
+
+from .protocol import (
+    ProtocolError,
+    hello,
+    recv_msg,
+    resolve_task,
+    send_msg,
+    task_reference,  # noqa: F401 - historical import location
+)
+
+__all__ = ["serve", "main"]
+
+
+def _verify_spec_digest(spec: object, expected: str) -> None:
+    """Recompute the spec digest locally; raise on mismatch."""
+    if not expected:
+        return
+    method = getattr(spec, "digest", None)
+    if not callable(method):
+        return
+    actual = method()
+    if actual != expected:
+        raise ProtocolError(
+            f"spec digest mismatch: coordinator sent {expected[:12]}, "
+            f"local recompute is {actual[:12]} (version skew or corruption)"
+        )
+
+
+# ----------------------------------------------------------------------
+# the serve loop
+# ----------------------------------------------------------------------
+def serve(
+    host: str,
+    port: int,
+    name: Optional[str] = None,
+    max_tasks: Optional[int] = None,
+    connect_timeout: float = 10.0,
+    log: Callable[[str], None] = lambda line: print(line, file=sys.stderr, flush=True),
+) -> int:
+    """Connect to a coordinator and pull tasks until told to stop.
+
+    Returns the number of tasks completed (useful for tests and for
+    ``--max-tasks`` batch workers).
+    """
+    worker_name = name or f"{socket.gethostname()}:{os.getpid()}"
+    sock = socket.create_connection((host, port), timeout=connect_timeout)
+    sock.settimeout(None)
+    completed = 0
+    try:
+        send_msg(sock, hello(worker_name))
+        reply = recv_msg(sock)
+        if reply is None or reply.get("type") != "welcome":
+            reason = (reply or {}).get("reason", "connection closed during handshake")
+            raise ProtocolError(f"coordinator rejected worker: {reason}")
+        task_cache: dict = {}
+        while max_tasks is None or completed < max_tasks:
+            try:
+                send_msg(sock, {"type": "get"})
+                msg = recv_msg(sock)
+            except (OSError, ProtocolError):
+                # The coordinator went away between tasks.  For a pull
+                # worker that *is* the shutdown signal — exit cleanly;
+                # any lease we held is requeued by the lease machinery.
+                break
+            if msg is None or msg.get("type") == "shutdown":
+                break
+            if msg.get("type") == "wait":
+                time.sleep(float(msg.get("poll_s", 0.05)))
+                continue
+            if msg.get("type") != "task":
+                raise ProtocolError(f"unexpected message {msg.get('type')!r}")
+
+            task_ref = str(msg["task_ref"])
+            task = task_cache.get(task_ref)
+            if task is None:
+                task = task_cache[task_ref] = resolve_task(task_ref)
+            spec = msg["spec"]
+            digest = str(msg.get("digest", ""))
+            try:
+                _verify_spec_digest(spec, digest)
+                t0 = time.perf_counter()
+                result = task(spec)
+                wall_s = time.perf_counter() - t0
+            except BaseException as err:
+                # Deterministic task failure: report, let the
+                # coordinator fail fast (re-running a pure function on
+                # the same input is futile).
+                try:
+                    send_msg(
+                        sock,
+                        {
+                            "type": "error",
+                            "task_id": msg["task_id"],
+                            "digest": digest,
+                            "error": repr(err),
+                            "traceback": traceback.format_exc(),
+                        },
+                    )
+                    recv_msg(sock)  # ack
+                except (OSError, ProtocolError):
+                    break
+                continue
+            try:
+                send_msg(
+                    sock,
+                    {
+                        "type": "result",
+                        "task_id": msg["task_id"],
+                        "digest": digest,
+                        "result": result,
+                        "wall_s": wall_s,
+                        "worker": worker_name,
+                    },
+                )
+                recv_msg(sock)  # ack | reject (coordinator requeues on reject)
+            except (OSError, ProtocolError):
+                break  # coordinator gone mid-result: lease machinery recovers
+            completed += 1
+    finally:
+        try:
+            sock.close()
+        except OSError:
+            pass
+    return completed
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-worker",
+        description="Pull-based worker for the repro cluster executor.",
+    )
+    parser.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="coordinator address (printed by the cluster executor)",
+    )
+    parser.add_argument(
+        "--name", default=None, help="worker name reported to the coordinator"
+    )
+    parser.add_argument(
+        "--max-tasks",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit after completing N tasks (default: run until shutdown)",
+    )
+    args = parser.parse_args(argv)
+    host, _, port_text = args.connect.rpartition(":")
+    if not host or not port_text.isdigit():
+        parser.error(f"--connect must be HOST:PORT, got {args.connect!r}")
+    try:
+        serve(host, int(port_text), name=args.name, max_tasks=args.max_tasks)
+    except (ProtocolError, OSError) as err:
+        print(f"[repro-worker] {err}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - subprocess entry
+    sys.exit(main())

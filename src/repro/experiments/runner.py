@@ -143,20 +143,26 @@ def run_experiment(
     scale: str = "default",
     jobs: Optional[int] = None,
     cache_dir: Optional[str] = None,
+    executor: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> str:
     """Run one experiment and return its rendered text report.
 
-    ``jobs`` / ``cache_dir`` scope the process-wide execution defaults
-    (:mod:`repro.exec`) for the duration of the experiment: every
-    driver it touches submits its independent runs through a parallel
-    executor and/or the content-addressed result cache.
+    ``jobs`` / ``cache_dir`` / ``executor`` / ``workers`` scope the
+    process-wide execution defaults (:mod:`repro.exec`) for the
+    duration of the experiment: every driver it touches submits its
+    independent runs through the chosen backend (``executor`` names a
+    registered backend — ``"serial"``, ``"process"``, ``"cluster"``)
+    and/or the content-addressed result cache.
     """
     exp = EXPERIMENTS.get(exp_id)
     if exp is None:
         raise KeyError(f"unknown experiment {exp_id!r} (have {experiment_ids()})")
-    if jobs is None and cache_dir is None:
+    if jobs is None and cache_dir is None and executor is None and workers is None:
         result = exp.run(scale=scale)
     else:
-        with execution(jobs=jobs, cache_dir=cache_dir):
+        with execution(
+            jobs=jobs, cache_dir=cache_dir, backend=executor, workers=workers
+        ):
             result = exp.run(scale=scale)
     return exp.render(result)
