@@ -27,6 +27,20 @@ Execution flags (both ``run`` and ``all``):
 * ``--cache-dir PATH`` — content-addressed result cache; identical
   experiment specs are simulated once per machine, ever.
 * ``--no-cache`` — ignore any configured cache directory.
+
+Resilience flags (honored by backends that support them):
+
+* ``--retries N`` — per-spec retry budget for transient failures
+  (process-pool crash retries; cluster lost-work + transient-error
+  attempts with exponential backoff and jitter).
+* ``--min-healthy-workers N`` — cluster graceful-degradation floor:
+  when fewer healthy (connected, non-quarantined) workers remain for
+  long enough, the run falls back to the local process pool instead
+  of stalling.
+* ``--fault-plan JSON|PATH`` — chaos testing only: a serialized
+  ``repro.faults.FaultPlan`` injected at the executor's deterministic
+  hook points.  Also see ``repro chaos`` for the seeded invariant
+  checker.
 """
 
 from __future__ import annotations
@@ -94,6 +108,36 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="disable the result cache even if --cache-dir is given",
         )
+        p.add_argument(
+            "--retries",
+            type=int,
+            default=None,
+            metavar="N",
+            help=(
+                "per-spec retry budget for transient failures (crashed "
+                "workers, expired leases, transport errors); backends "
+                "without retry support ignore it"
+            ),
+        )
+        p.add_argument(
+            "--min-healthy-workers",
+            type=int,
+            default=None,
+            metavar="N",
+            help=(
+                "cluster backend: degrade to the local process pool when "
+                "fewer healthy workers remain (default: never degrade)"
+            ),
+        )
+        p.add_argument(
+            "--fault-plan",
+            default=None,
+            metavar="JSON|PATH",
+            help=(
+                "chaos testing: serialized repro.faults.FaultPlan (JSON "
+                "text or a file path) injected at the executor hook points"
+            ),
+        )
 
     run_p = sub.add_parser("run", help="regenerate one artifact")
     run_p.add_argument("artifact", choices=experiment_ids())
@@ -113,6 +157,32 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("hardware", help="print the simulated hardware spec (Table II)")
     sub.add_parser("backends", help="list the registered execution backends")
+
+    chaos_p = sub.add_parser(
+        "chaos",
+        help=(
+            "run one seeded fault-injection experiment and check the "
+            "executor invariant (bit-identical to serial, or a clean "
+            "attributed failure)"
+        ),
+    )
+    chaos_p.add_argument(
+        "--seed", type=int, default=0, metavar="N", help="fault-plan seed"
+    )
+    chaos_p.add_argument(
+        "--workers", type=int, default=2, metavar="N", help="cluster workers"
+    )
+    chaos_p.add_argument(
+        "--specs", type=int, default=10, metavar="N", help="specs in the batch"
+    )
+    chaos_p.add_argument(
+        "--lease-s", type=float, default=1.0, metavar="S", help="task lease seconds"
+    )
+    chaos_p.add_argument(
+        "--restart",
+        action="store_true",
+        help="also inject a coordinator restart (journal-recovery path)",
+    )
     return parser
 
 
@@ -167,6 +237,24 @@ def _cmd_backends() -> int:
     return 0
 
 
+def _load_fault_plan(text: Optional[str]):
+    """Parse ``--fault-plan`` (JSON text or a path) into a FaultPlan.
+
+    Imported lazily so production CLI invocations never touch
+    ``repro.faults``.
+    """
+    if not text:
+        return None
+    import os
+
+    from .faults.plan import FaultPlan  # local import: chaos only
+
+    if os.path.exists(text):
+        with open(text, encoding="utf-8") as fh:
+            text = fh.read()
+    return FaultPlan.from_json(text)
+
+
 def _execution_scope(args: argparse.Namespace):
     """The scoped execution defaults implied by the CLI flags."""
     backend = getattr(args, "executor", None)
@@ -177,7 +265,29 @@ def _execution_scope(args: argparse.Namespace):
         cache_dir=_effective_cache_dir(args),
         backend=backend,
         workers=getattr(args, "workers", None),
+        retries=getattr(args, "retries", None),
+        min_healthy_workers=getattr(args, "min_healthy_workers", None),
+        fault_plan=_load_fault_plan(getattr(args, "fault_plan", None)),
     )
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .faults.harness import run_chaos  # local import: chaos only
+
+    report = run_chaos(
+        seed=args.seed,
+        workers=args.workers,
+        n_specs=args.specs,
+        lease_s=args.lease_s,
+        include_restart=args.restart,
+    )
+    import json as _json
+
+    print(_json.dumps(report.summary(), indent=2))
+    if not report.invariant_holds:
+        print("[chaos] INVARIANT VIOLATED", file=sys.stderr)
+        return 1
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -194,6 +304,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_hardware()
     if args.command == "backends":
         return _cmd_backends()
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

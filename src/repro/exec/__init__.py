@@ -36,7 +36,10 @@ contract for third-party executor implementers is documented in
   ``get_execution_defaults``
 * observability: ``RunEvent``, ``ProgressHook``, ``StderrProgress``,
   ``Telemetry``, ``chain``
-* errors: ``ExecError``, ``ExecTimeout``
+* resilience: ``RetryPolicy``, ``HealthPolicy``, ``CircuitBreaker``,
+  ``RunJournal``, ``classify_error``, ``TRANSIENT_ERROR_TYPES``,
+  ``QUARANTINE_DIR``
+* errors: ``ExecError``, ``ExecTimeout``, ``SimulatedCrash``
 """
 
 from .api import (
@@ -44,14 +47,16 @@ from .api import (
     Capabilities,
     ClusterOptions,
     Executor,
+    HealthPolicy,
     ProcessOptions,
+    RetryPolicy,
     SerialOptions,
     available_backends,
     backend_info,
     make_executor,
     register_backend,
 )
-from .cache import CACHE_SCHEMA, ResultCache, cache_version
+from .cache import CACHE_SCHEMA, QUARANTINE_DIR, ResultCache, cache_version
 from .executors import (
     ExecError,
     ExecTimeout,
@@ -63,7 +68,15 @@ from .executors import (
     get_execution_defaults,
     set_execution_defaults,
 )
-from .distributed import ClusterExecutor, LocalClusterExecutor
+from .distributed import (
+    TRANSIENT_ERROR_TYPES,
+    CircuitBreaker,
+    ClusterExecutor,
+    LocalClusterExecutor,
+    SimulatedCrash,
+    classify_error,
+)
+from .journal import RunJournal
 from .progress import ProgressHook, RunEvent, StderrProgress, Telemetry, chain
 from .spec import SPEC_SCHEMA, RunResult, RunSpec, metric_samples, run_spec, spec_digest
 
@@ -107,7 +120,16 @@ __all__ = [
     "StderrProgress",
     "Telemetry",
     "chain",
+    # resilience
+    "RetryPolicy",
+    "HealthPolicy",
+    "CircuitBreaker",
+    "RunJournal",
+    "classify_error",
+    "TRANSIENT_ERROR_TYPES",
+    "QUARANTINE_DIR",
     # errors
     "ExecError",
     "ExecTimeout",
+    "SimulatedCrash",
 ]

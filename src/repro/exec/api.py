@@ -67,6 +67,8 @@ __all__ = [
     "SerialOptions",
     "ProcessOptions",
     "ClusterOptions",
+    "RetryPolicy",
+    "HealthPolicy",
     "register_backend",
     "available_backends",
     "backend_info",
@@ -156,6 +158,58 @@ class ProcessOptions:
 
 
 @dataclass(frozen=True)
+class RetryPolicy:
+    """Retry budget + backoff for *transient* task failures.
+
+    Lost work (crashed workers, expired leases, digest mismatches) and
+    transient worker exceptions (``MemoryError``, ``OSError``, pickling
+    transport errors) are re-attempted under this budget; genuine task
+    exceptions are never retried (a pure function of the spec fails
+    the same way every time).
+
+    Backoff is exponential with *decorrelated jitter* (Brooker, AWS
+    Architecture Blog): ``delay = min(cap, uniform(base, prev * 3))``,
+    drawn from a seeded RNG so the schedule is deterministic for a
+    given seed — chaos runs are replayable.
+    """
+
+    #: Attempts per spec before the batch fails (>= 1).
+    max_attempts: int = 3
+    #: First backoff delay, seconds (0 disables backoff entirely).
+    backoff_base_s: float = 0.05
+    #: Backoff ceiling, seconds.
+    backoff_cap_s: float = 2.0
+    #: Seed for the jitter RNG (delays are deterministic per seed).
+    jitter_seed: int = 0
+
+
+@dataclass(frozen=True)
+class HealthPolicy:
+    """Per-worker health scoring and circuit breaking.
+
+    A worker accumulates one strike per attributed failure (expired
+    lease, digest-mismatched result, transient task error).  At
+    ``trip_after`` consecutive strikes the breaker opens and the
+    worker is *quarantined* — it receives ``wait`` instead of tasks —
+    until ``cooldown_s`` elapses, after which it is put on probation
+    (half-open): one more strike re-trips immediately, one accepted
+    result closes the breaker and clears the strikes.
+    """
+
+    #: Consecutive strikes that open a worker's breaker (0 disables).
+    trip_after: int = 3
+    #: Quarantine duration, seconds.
+    cooldown_s: float = 5.0
+    #: Healthy (connected, non-quarantined) worker floor; when the
+    #: cluster stays below it for ``degrade_after_s``, the executor
+    #: falls back to the local process backend for the remaining specs
+    #: instead of stalling.  0 disables degradation.
+    min_healthy_workers: int = 0
+    #: Grace period below the floor before degrading, seconds.
+    degrade_after_s: float = 5.0
+
+
+@dataclass(frozen=True)
 class ClusterOptions:
     """Options for the socket-based work-stealing cluster backend."""
 
@@ -176,6 +230,19 @@ class ClusterOptions:
     steal: bool = True
     #: Idle-worker polling interval, seconds.
     poll_s: float = 0.05
+    #: Retry budget + backoff for transient failures.  ``max_attempts``
+    #: above remains the lost-work bound; this policy's own
+    #: ``max_attempts`` bounds *transient task errors* and its backoff
+    #: paces every requeue.
+    retry: RetryPolicy = RetryPolicy()
+    #: Worker circuit breaking + graceful-degradation floor.
+    health: HealthPolicy = HealthPolicy()
+    #: Append-only JSONL run journal enabling coordinator-restart
+    #: recovery (None: no journal).
+    journal_path: Optional[str] = None
+    #: Deterministic fault-injection plan (``repro.faults.FaultPlan``)
+    #: threaded through every hook point; None in production.
+    fault_plan: Optional[object] = None
 
 
 # ----------------------------------------------------------------------

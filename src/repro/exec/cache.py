@@ -11,7 +11,7 @@ experiments are simulated once per machine, ever.
 Layout (one directory per entry, named by digest)::
 
     <root>/<dd>/<igest...>/
-        meta.json      # version, digest, metrics, telemetry, raw path
+        meta.json      # version, digest, checksum, metrics, raw path
         outcome.pkl    # the full pickled RunResult
         raw.npy        # pooled raw latency samples, when kept
 
@@ -20,15 +20,25 @@ Invalidation is versioned: every entry records
 deletes the entry and reports a miss, so stale results can never leak
 across releases or semantic changes.  Writes are atomic (tmp dir +
 rename), making the cache safe under concurrent producers.
+
+Corruption is *contained*, never fatal: ``meta.json`` stores a SHA-256
+checksum of ``outcome.pkl`` (schema 2), so bit-rot, torn writes, and
+unpicklable payloads are all detected on read — the entry is moved to
+``<root>/.quarantine/`` with a warning and the read counts as a miss,
+preserving the executor invariant that a bad cache entry costs one
+re-simulation, not a crash.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import pickle
 import shutil
 import tempfile
+import time
+import warnings
 from pathlib import Path
 from typing import Optional
 
@@ -36,10 +46,16 @@ import numpy as np
 
 from .spec import SPEC_SCHEMA, RunResult, RunSpec
 
-__all__ = ["CACHE_SCHEMA", "cache_version", "ResultCache"]
+__all__ = ["CACHE_SCHEMA", "QUARANTINE_DIR", "cache_version", "ResultCache"]
 
 #: Bump when the on-disk layout changes.
-CACHE_SCHEMA = 1
+#: 2: ``meta.json`` gains ``"checksum"`` (SHA-256 of ``outcome.pkl``)
+#:    so payload bit-rot is detected on read instead of trusted.
+CACHE_SCHEMA = 2
+
+#: Corrupt entries are moved here (under the cache root), not deleted:
+#: forensically useful, and excluded from entry counts and ``clear()``.
+QUARANTINE_DIR = ".quarantine"
 
 
 def _library_version() -> str:
@@ -56,6 +72,10 @@ def cache_version() -> str:
     return f"{_library_version()}:{CACHE_SCHEMA}:{SPEC_SCHEMA}"
 
 
+def _checksum(payload: bytes) -> str:
+    return hashlib.sha256(payload).hexdigest()
+
+
 class ResultCache:
     """Digest-keyed store of completed runs.
 
@@ -63,39 +83,84 @@ class ResultCache:
     ----------
     root:
         Cache directory (created on demand).
+    injector:
+        Optional fault injector (``repro.faults.FaultInjector``) whose
+        ``fire("cache.put")`` / ``fire("cache.get")`` hooks let the
+        chaos harness corrupt entries deterministically.  ``None`` in
+        production — the hooks are no-ops.
     """
 
-    def __init__(self, root: os.PathLike):
+    def __init__(self, root: os.PathLike, injector: Optional[object] = None):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.injector = injector
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.quarantined = 0
 
     # ------------------------------------------------------------------
     def _entry_dir(self, digest: str) -> Path:
         return self.root / digest[:2] / digest[2:]
 
+    def _entries(self):
+        """Live entry metas (the quarantine area is not an entry)."""
+        for meta in self.root.glob("*/*/meta.json"):
+            if QUARANTINE_DIR not in meta.parts:
+                yield meta
+
     def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("*/*/meta.json"))
+        return sum(1 for _ in self._entries())
 
     def __contains__(self, spec: RunSpec) -> bool:
         return (self._entry_dir(spec.digest()) / "meta.json").exists()
 
+    def _fire(self, site: str) -> Optional[object]:
+        fire = getattr(self.injector, "fire", None)
+        return fire(site) if fire is not None else None
+
     # ------------------------------------------------------------------
+    def _quarantine(self, entry: Path, reason: str) -> None:
+        """Move a corrupt entry aside (idempotent, best-effort)."""
+        target = self.root / QUARANTINE_DIR / f"{entry.parent.name}{entry.name}"
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            if target.exists():
+                shutil.rmtree(target, ignore_errors=True)
+            os.replace(entry, target)
+        except OSError:
+            shutil.rmtree(entry, ignore_errors=True)
+        self.quarantined += 1
+        warnings.warn(
+            f"quarantined corrupt cache entry {entry.parent.name}{entry.name}"
+            f" ({reason}); treating as a miss",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
     def get(self, spec: RunSpec) -> Optional[RunResult]:
         """The cached result for ``spec``, or ``None`` on miss.
 
         Entries written by an older library/schema version are deleted
-        on sight (versioned invalidation).
+        on sight (versioned invalidation); corrupt or truncated
+        entries — undecodable ``meta.json``, checksum mismatch,
+        unpicklable ``outcome.pkl`` — are quarantined with a warning
+        and reported as misses.  ``get`` never raises for on-disk
+        state.
         """
         digest = spec.digest()
         entry = self._entry_dir(digest)
         meta_path = entry / "meta.json"
+        if not meta_path.exists():
+            self.misses += 1
+            return None
         try:
             with open(meta_path) as f:
                 meta = json.load(f)
-        except (OSError, json.JSONDecodeError):
+            if not isinstance(meta, dict):
+                raise ValueError("meta.json is not an object")
+        except (OSError, ValueError):
+            self._quarantine(entry, "corrupt meta.json")
             self.misses += 1
             return None
         if meta.get("version") != cache_version():
@@ -104,10 +169,22 @@ class ResultCache:
             return None
         try:
             with open(entry / "outcome.pkl", "rb") as f:
-                outcome: RunResult = pickle.load(f)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
-            # Torn or stale payload: drop the entry, report a miss.
-            shutil.rmtree(entry, ignore_errors=True)
+                payload = f.read()
+        except OSError:
+            self._quarantine(entry, "unreadable outcome.pkl")
+            self.misses += 1
+            return None
+        expected = str(meta.get("checksum", ""))
+        if expected and _checksum(payload) != expected:
+            self._quarantine(entry, "outcome.pkl checksum mismatch (bit-rot?)")
+            self.misses += 1
+            return None
+        try:
+            outcome: RunResult = pickle.loads(payload)
+        except Exception:
+            # Torn/corrupt/stale payload (including AttributeError from
+            # renamed classes): contain it, report a miss.
+            self._quarantine(entry, "unpicklable outcome.pkl")
             self.misses += 1
             return None
         outcome.from_cache = True
@@ -129,8 +206,9 @@ class ResultCache:
             tempfile.mkdtemp(prefix=f".tmp-{digest[:8]}-", dir=self.root)
         )
         try:
+            payload = pickle.dumps(outcome, protocol=pickle.HIGHEST_PROTOCOL)
             with open(tmp / "outcome.pkl", "wb") as f:
-                pickle.dump(outcome, f, protocol=pickle.HIGHEST_PROTOCOL)
+                f.write(payload)
             raw_name = None
             raw = outcome.raw_samples()
             if raw.size:
@@ -139,11 +217,13 @@ class ResultCache:
             meta = {
                 "version": cache_version(),
                 "digest": digest,
+                "checksum": _checksum(payload),
                 "spec": spec.describe(),
                 "metrics": {repr(q): v for q, v in outcome.metrics.items()},
                 "wall_s": outcome.wall_s,
                 "events_processed": outcome.events_processed,
                 "raw_path": raw_name,
+                "stored_at": time.time(),
             }
             with open(tmp / "meta.json", "w") as f:
                 json.dump(meta, f, indent=1, sort_keys=True)
@@ -156,7 +236,24 @@ class ResultCache:
             shutil.rmtree(tmp, ignore_errors=True)
             raise
         self.stores += 1
+        action = self._fire("cache.put")
+        if action is not None and getattr(action, "kind", "") == "corrupt_cache_entry":
+            self._corrupt_entry(entry)
         return entry
+
+    def _corrupt_entry(self, entry: Path) -> None:
+        """Chaos hook: flip bytes in the stored payload (checksum kept
+        stale, exactly what bit-rot looks like)."""
+        path = entry / "outcome.pkl"
+        try:
+            data = bytearray(path.read_bytes())
+            if data:
+                mid = len(data) // 2
+                data[mid] ^= 0xFF
+                data[-1] ^= 0xFF
+                path.write_bytes(bytes(data))
+        except OSError:  # pragma: no cover - chaos best-effort
+            pass
 
     def raw_path(self, spec: RunSpec) -> Optional[Path]:
         """Path of the cached raw-sample array for ``spec``, if any."""
@@ -167,7 +264,7 @@ class ResultCache:
     def clear(self) -> int:
         """Delete every entry; returns the number removed."""
         removed = 0
-        for meta in list(self.root.glob("*/*/meta.json")):
+        for meta in list(self._entries()):
             shutil.rmtree(meta.parent, ignore_errors=True)
             removed += 1
         return removed
@@ -177,6 +274,7 @@ class ResultCache:
             "hits": self.hits,
             "misses": self.misses,
             "stores": self.stores,
+            "quarantined": self.quarantined,
             "entries": len(self),
             "version": cache_version(),
         }

@@ -29,6 +29,31 @@ that:
   which is what ``--executor cluster --workers N`` and the tests use.
   Dead local workers are respawned (bounded) while a batch is active.
 
+Self-healing (PR 3) — the measurement infrastructure is itself a
+source of tail-latency lies if it fails unevenly ("Tell-Tale Tail
+Latencies"), so failures are *classified and contained*:
+
+* **transient vs deterministic errors** — a worker ``MemoryError`` /
+  ``OSError`` / pickling transport error is retried under a
+  :class:`~repro.exec.api.RetryPolicy` budget with exponential backoff
+  and decorrelated jitter; a genuine task exception still fails fast
+  (re-running a pure function on the same input is futile);
+* **circuit breakers** — :class:`CircuitBreaker` quarantines workers
+  whose leases repeatedly expire or whose results fail digest
+  verification, and un-quarantines them after a cool-down
+  (:class:`~repro.exec.api.HealthPolicy`);
+* **run journal** — with ``ClusterOptions.journal_path`` set, issued
+  and completed digests are appended to a crash-recoverable
+  :class:`~repro.exec.journal.RunJournal`, so a restarted coordinator
+  re-runs only unfinished specs (payloads come from the cache);
+* **graceful degradation** — when healthy workers stay below
+  ``HealthPolicy.min_healthy_workers`` for a grace period, the
+  remaining specs fall back to the local process backend instead of
+  stalling the batch;
+* **deterministic fault injection** — every failure path above is
+  exercisable through explicit hook points (``injector.fire(site)``),
+  no-ops in production, driven by :mod:`repro.faults`.
+
 Registered in the backend registry as ``"cluster"`` with
 :class:`~repro.exec.api.ClusterOptions`.
 """
@@ -36,6 +61,8 @@ Registered in the backend registry as ``"cluster"`` with
 from __future__ import annotations
 
 import os
+import random
+import re
 import socket
 import subprocess
 import sys
@@ -46,10 +73,11 @@ from dataclasses import dataclass, field
 from queue import Empty, Queue
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
-from .api import Capabilities, ClusterOptions, register_backend
+from .api import Capabilities, ClusterOptions, HealthPolicy, RetryPolicy, register_backend
 from .cache import ResultCache
-from .executors import ExecError, _emit, _ExecutorBase
-from .progress import ProgressHook
+from .executors import ExecError, ParallelExecutor, _emit, _ExecutorBase
+from .journal import RunJournal
+from .progress import ProgressHook, RunEvent
 from .protocol import (
     ProtocolError,
     handshake_reply,
@@ -62,8 +90,12 @@ from .spec import run_spec, spec_digest
 
 __all__ = [
     "Coordinator",
+    "CircuitBreaker",
     "ClusterExecutor",
     "LocalClusterExecutor",
+    "SimulatedCrash",
+    "classify_error",
+    "TRANSIENT_ERROR_TYPES",
 ]
 
 
@@ -76,6 +108,138 @@ def digest_of(spec: object) -> str:
         return spec_digest(spec)
     except Exception:
         return ""
+
+
+class SimulatedCrash(ExecError):
+    """An injected ``coordinator_restart`` fault killed the run loop.
+
+    Raised only under fault injection; the run journal and result
+    cache survive, so constructing a fresh executor with the same
+    ``journal_path``/cache resumes the batch (see
+    ``repro.faults.harness``).
+    """
+
+
+# ----------------------------------------------------------------------
+# error classification (transient => retry budget; deterministic => fail)
+# ----------------------------------------------------------------------
+#: Exception type names whose failures are *environmental*, not a
+#: property of the spec: memory pressure, I/O and connection trouble,
+#: and pickle transport corruption.  Retrying these elsewhere/later can
+#: succeed; retrying a genuine task exception cannot.
+TRANSIENT_ERROR_TYPES = frozenset(
+    {
+        "MemoryError",
+        "OSError",
+        "IOError",
+        "ConnectionError",
+        "ConnectionResetError",
+        "ConnectionAbortedError",
+        "ConnectionRefusedError",
+        "BrokenPipeError",
+        "TimeoutError",
+        "InterruptedError",
+        "BlockingIOError",
+        "PickleError",
+        "PicklingError",
+        "UnpicklingError",
+        "EOFError",
+        "BufferError",
+    }
+)
+
+_REPR_TYPE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*)\s*\(")
+
+
+def classify_error(error_type: str, error_repr: str = "") -> bool:
+    """True when a worker-reported task error is *transient* (retryable).
+
+    ``error_type`` is the exception class name shipped by the worker;
+    older workers only ship ``repr(err)``, from which the leading
+    identifier is recovered as a fallback.
+    """
+    name = (error_type or "").rpartition(".")[2]
+    if not name and error_repr:
+        match = _REPR_TYPE.match(error_repr.strip())
+        if match:
+            name = match.group(1)
+    return name in TRANSIENT_ERROR_TYPES
+
+
+def _fire(injector: Optional[object], site: str) -> Optional[object]:
+    """Consult a fault injector at a hook point (no-op without one)."""
+    if injector is None:
+        return None
+    fire = getattr(injector, "fire", None)
+    return fire(site) if fire is not None else None
+
+
+# ----------------------------------------------------------------------
+# per-worker health: the circuit breaker
+# ----------------------------------------------------------------------
+class CircuitBreaker:
+    """Consecutive-strike circuit breaker over worker names.
+
+    Pure and clock-injected (``now`` everywhere) so it is unit
+    testable without sleeping.  States per worker:
+
+    * **closed** (healthy): tasks flow; strikes accumulate on
+      attributed failures, reset on any accepted result.
+    * **open** (quarantined): entered after ``trip_after`` consecutive
+      strikes; ``allow`` is False until ``cooldown_s`` elapses.
+    * **half-open** (probation): after cool-down one task is allowed;
+      a further strike re-opens immediately, an accepted result
+      closes the breaker.
+
+    ``trip_after == 0`` disables the breaker entirely.
+    """
+
+    def __init__(self, policy: HealthPolicy):
+        self.policy = policy
+        self.strikes: Dict[str, int] = {}
+        self.open_until: Dict[str, float] = {}
+        self.probation: Set[str] = set()
+        self.trips = 0
+
+    def record_failure(self, worker: str, now: float) -> bool:
+        """Account one attributed failure; True when the breaker trips."""
+        if not worker or self.policy.trip_after <= 0:
+            return False
+        self.strikes[worker] = self.strikes.get(worker, 0) + 1
+        tripped = worker in self.probation or (
+            self.strikes[worker] >= self.policy.trip_after
+        )
+        if tripped:
+            self.open_until[worker] = now + self.policy.cooldown_s
+            self.probation.discard(worker)
+            self.strikes[worker] = 0
+            self.trips += 1
+        return tripped
+
+    def record_success(self, worker: str) -> None:
+        if not worker:
+            return
+        self.strikes.pop(worker, None)
+        self.open_until.pop(worker, None)
+        self.probation.discard(worker)
+
+    def allow(self, worker: str, now: float) -> bool:
+        """May ``worker`` receive a task right now?"""
+        if not worker or self.policy.trip_after <= 0:
+            return True
+        deadline = self.open_until.get(worker)
+        if deadline is None:
+            return True
+        if now < deadline:
+            return False
+        # cool-down over: half-open probation
+        self.open_until.pop(worker, None)
+        self.probation.add(worker)
+        return True
+
+    def is_open(self, worker: str, now: float) -> bool:
+        deadline = self.open_until.get(worker)
+        return deadline is not None and now < deadline
 
 
 # ----------------------------------------------------------------------
@@ -92,11 +256,16 @@ class _Lease:
 
 
 class _Batch:
-    """Lease/requeue/dedup state for one ``run()`` call.
+    """Lease/requeue/dedup/backoff state for one ``run()`` call.
 
     Deliberately free of sockets and clocks (``now`` is injected) so
-    the lease-expiry, digest-mismatch, and worker-death paths are unit
-    testable without a network in the loop.
+    the lease-expiry, digest-mismatch, backoff, and worker-death paths
+    are unit testable without a network in the loop.
+
+    ``retry`` paces every requeue with exponential backoff +
+    decorrelated jitter drawn from a seeded RNG (deterministic per
+    seed); when None, a zero-backoff policy preserves the legacy
+    immediate-requeue behaviour.
     """
 
     def __init__(
@@ -106,6 +275,7 @@ class _Batch:
         lease_s: float,
         max_attempts: int,
         steal: bool,
+        retry: Optional[RetryPolicy] = None,
     ):
         self.pending: deque = deque(indices)
         self.todo: Set[int] = set(indices)
@@ -113,13 +283,30 @@ class _Batch:
         self.lease_s = lease_s
         self.max_attempts = max_attempts
         self.steal = steal
+        self.retry = retry if retry is not None else RetryPolicy(backoff_base_s=0.0)
         self.done: Set[int] = set()
         self.failures: Dict[int, int] = {i: 0 for i in indices}
+        self.transient_errors: Dict[int, int] = {i: 0 for i in indices}
         self.issues: Dict[int, int] = {i: 0 for i in indices}
         self.leases: Dict[int, _Lease] = {}
         self.active_by_index: Dict[int, Set[int]] = {i: set() for i in indices}
+        self.not_before: Dict[int, float] = {}
         self.failed: Optional[str] = None
+        self.last_expired: List[Tuple[int, int]] = []  # (index, conn_id)
+        self._prev_delay: Dict[int, float] = {}
+        self._rng = random.Random(self.retry.jitter_seed)
         self._next_lease_id = 0
+
+    # -- backoff -------------------------------------------------------
+    def _backoff_delay(self, index: int) -> float:
+        """Decorrelated jitter: ``min(cap, uniform(base, prev * 3))``."""
+        base = self.retry.backoff_base_s
+        if base <= 0:
+            return 0.0
+        prev = self._prev_delay.get(index, base)
+        delay = min(self.retry.backoff_cap_s, self._rng.uniform(base, prev * 3))
+        self._prev_delay[index] = delay
+        return delay
 
     # -- issue ---------------------------------------------------------
     def _issue(self, index: int, now: float, conn_id: int, stolen: bool) -> _Lease:
@@ -137,24 +324,35 @@ class _Batch:
         return lease
 
     def next_task(self, now: float, conn_id: int) -> Optional[_Lease]:
-        """Lease the next pending task, or steal a straggler, or None."""
+        """Lease the next *eligible* pending task, steal a straggler,
+        or return None (worker should poll again)."""
         if self.failed:
             return None
+        backed_off: List[int] = []
+        lease: Optional[_Lease] = None
         while self.pending:
             index = self.pending.popleft()
             if index in self.done or self.active_by_index[index]:
                 continue  # completed late or re-issued already
-            return self._issue(index, now, conn_id, stolen=False)
-        if self.steal:
+            if self.not_before.get(index, 0.0) > now:
+                backed_off.append(index)  # still cooling down
+                continue
+            lease = self._issue(index, now, conn_id, stolen=False)
+            break
+        for index in reversed(backed_off):
+            self.pending.appendleft(index)
+        if lease is not None:
+            return lease
+        if self.steal and not backed_off:
             candidates = [
-                lease
-                for lease in self.leases.values()
-                if lease.active
-                and lease.index not in self.done
-                and len(self.active_by_index[lease.index]) == 1
+                cand
+                for cand in self.leases.values()
+                if cand.active
+                and cand.index not in self.done
+                and len(self.active_by_index[cand.index]) == 1
             ]
             if candidates:
-                straggler = min(candidates, key=lambda lease: lease.deadline)
+                straggler = min(candidates, key=lambda cand: cand.deadline)
                 return self._issue(straggler.index, now, conn_id, stolen=True)
         return None
 
@@ -163,17 +361,25 @@ class _Batch:
         lease.active = False
         self.active_by_index[lease.index].discard(lease.lease_id)
 
-    def _record_loss(self, index: int, reason: str) -> None:
-        """A lease was lost/rejected: requeue or fail the batch."""
+    def _record_loss(
+        self,
+        index: int,
+        reason: str,
+        now: float = 0.0,
+        budget: Optional[int] = None,
+    ) -> None:
+        """A lease was lost/rejected: back off and requeue, or fail."""
         if index in self.done:
             return
         self.failures[index] += 1
-        if self.failures[index] >= self.max_attempts:
+        bound = budget if budget is not None else self.max_attempts
+        if self.failures[index] >= bound:
             self.failed = (
                 f"spec #{index} failed {self.failures[index]} time(s) "
                 f"(last: {reason}); giving up"
             )
         elif not self.active_by_index[index] and index not in self.pending:
+            self.not_before[index] = now + self._backoff_delay(index)
             self.pending.appendleft(index)
 
     def complete(
@@ -181,6 +387,7 @@ class _Batch:
         lease_id: int,
         echoed_digest: str,
         result_digest: str,
+        now: float = 0.0,
     ) -> Tuple[str, Optional[int], int]:
         """Account one result; returns ``(status, index, attempt)``.
 
@@ -199,35 +406,72 @@ class _Batch:
         if expected and (
             echoed_digest != expected or (result_digest and result_digest != expected)
         ):
-            self._record_loss(index, "digest mismatch")
+            self._record_loss(index, "digest mismatch", now)
             return "mismatch", index, self.issues[index]
         if index in self.done:
             return "duplicate", index, self.issues[index]
         self.done.add(index)
+        self.not_before.pop(index, None)
         for other_id in list(self.active_by_index[index]):
             self._deactivate(self.leases[other_id])
         return "ok", index, self.issues[index]
 
-    def task_error(self, lease_id: int, error: str, traceback_text: str) -> None:
-        """A deterministic task exception: fail fast (retry is futile)."""
+    def task_error(
+        self,
+        lease_id: int,
+        error: str,
+        traceback_text: str,
+        error_type: str = "",
+        now: float = 0.0,
+    ) -> bool:
+        """A worker reported a task exception.
+
+        Transient errors (``MemoryError``/``OSError``/pickle transport
+        — see :func:`classify_error`) are retried under the
+        ``RetryPolicy`` budget with backoff; returns True in that
+        case.  Deterministic task exceptions fail the batch fast
+        (retry is futile) and return False.
+        """
         lease = self.leases.get(lease_id)
         if lease is not None:
             self._deactivate(lease)
+        if classify_error(error_type, error):
+            index = lease.index if lease is not None else None
+            if index is not None and index not in self.done:
+                self.transient_errors[index] += 1
+                if self.transient_errors[index] >= self.retry.max_attempts:
+                    self.failed = (
+                        f"spec #{index} hit {self.transient_errors[index]} "
+                        f"transient error(s) (last: {error}); retry budget "
+                        "exhausted"
+                    )
+                elif not self.active_by_index[index] and index not in self.pending:
+                    self.not_before[index] = now + self._backoff_delay(index)
+                    self.pending.appendleft(index)
+            return True
         self.failed = f"task raised {error}\n{traceback_text}"
+        return False
 
     # -- loss detection ------------------------------------------------
     def expire(self, now: float) -> List[int]:
-        """Requeue tasks whose lease deadline has passed (worker death)."""
+        """Requeue tasks whose lease deadline has passed (worker death).
+
+        ``last_expired`` additionally records ``(index, conn_id)``
+        pairs so the caller can attribute the loss to a worker (for
+        circuit breaking).
+        """
         lost: List[int] = []
+        self.last_expired = []
         for lease in list(self.leases.values()):
             if lease.active and lease.deadline <= now:
                 self._deactivate(lease)
                 if lease.index not in self.done:
                     lost.append(lease.index)
-                    self._record_loss(lease.index, "lease expired")
+                    self.last_expired.append((lease.index, lease.conn_id))
+                    self._record_loss(lease.index, "lease expired", now)
         return lost
 
-    def drop_connection(self, conn_id: int) -> List[int]:
+    def drop_connection(self, conn_id: int, now: float = 0.0) -> List[int]:
         """A worker connection died: requeue its in-flight leases now."""
         lost: List[int] = []
         for lease in list(self.leases.values()):
@@ -235,7 +479,7 @@ class _Batch:
                 self._deactivate(lease)
                 if lease.index not in self.done:
                     lost.append(lease.index)
-                    self._record_loss(lease.index, "worker connection lost")
+                    self._record_loss(lease.index, "worker connection lost", now)
         return lost
 
     # -- progress ------------------------------------------------------
@@ -250,23 +494,39 @@ class _Batch:
 class Coordinator:
     """Threaded TCP server feeding a :class:`_Batch` to remote workers.
 
-    One handler thread per worker connection; completion/fatal events
-    are delivered to the owning executor through ``events`` (a
+    One handler thread per worker connection; completion/fatal/note
+    events are delivered to the owning executor through ``events`` (a
     thread-safe queue), keeping cache writes and progress emission on
     the executor's thread.
+
+    ``health`` enables the per-worker :class:`CircuitBreaker`;
+    ``injector`` threads the deterministic fault-injection hook points
+    (``coordinator.send``, ``coordinator.recv``) — both default to
+    production no-ops.
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0, poll_s: float = 0.05):
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        poll_s: float = 0.05,
+        health: Optional[HealthPolicy] = None,
+        injector: Optional[object] = None,
+    ):
         self.poll_s = poll_s
         self.events: Queue = Queue()
+        self.breaker = CircuitBreaker(health if health is not None else HealthPolicy())
+        self.injector = injector
         self._lock = threading.Lock()
         self._batch: Optional[_Batch] = None
         self._specs: Dict[int, object] = {}
         self._task_ref: str = ""
         self._closing = False
+        self._closed = False
         self._conn_seq = 0
         self._threads: List[threading.Thread] = []
         self._conns: Dict[int, socket.socket] = {}
+        self._worker_names: Dict[int, str] = {}
         self._server = socket.create_server((host, port))
         self._server.settimeout(0.2)
         self.address: Tuple[str, int] = self._server.getsockname()[:2]
@@ -274,6 +534,10 @@ class Coordinator:
             target=self._accept_loop, name="repro-coordinator-accept", daemon=True
         )
         self._accept_thread.start()
+
+    # -- notes to the executor -----------------------------------------
+    def _note(self, kind: str, detail: str) -> None:
+        self.events.put(("note", kind, detail))
 
     # -- batch lifecycle (called by the executor) ----------------------
     def start_batch(
@@ -285,13 +549,14 @@ class Coordinator:
         lease_s: float,
         max_attempts: int,
         steal: bool,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         with self._lock:
             if self._batch is not None:
                 raise RuntimeError("a batch is already active")
             self._specs = dict(specs)
             self._task_ref = task_ref
-            self._batch = _Batch(indices, digests, lease_s, max_attempts, steal)
+            self._batch = _Batch(indices, digests, lease_s, max_attempts, steal, retry)
         # drop events left over from an abandoned batch
         while True:
             try:
@@ -305,19 +570,44 @@ class Coordinator:
             self._specs = {}
 
     def sweep(self) -> None:
-        """Expire overdue leases; emit a fatal event if the batch died."""
+        """Expire overdue leases; emit fault/recovery notes; emit a
+        fatal event if the batch died."""
+        now = time.monotonic()
+        expired: List[Tuple[int, str]] = []
+        tripped: List[str] = []
         with self._lock:
             batch = self._batch
             if batch is None:
                 return
-            batch.expire(time.monotonic())
+            batch.expire(now)
+            for index, conn_id in batch.last_expired:
+                worker = self._worker_names.get(conn_id, f"conn{conn_id}")
+                expired.append((index, worker))
+                if self.breaker.record_failure(worker, now):
+                    tripped.append(worker)
             failed = batch.failed
+        for index, worker in expired:
+            self._note("fault", f"lease expired for spec #{index} (worker {worker})")
+            if not failed:
+                self._note("recovery", f"spec #{index} requeued after lease expiry")
+        for worker in tripped:
+            self._note("fault", f"circuit opened: worker {worker} quarantined")
         if failed:
             self.events.put(("fatal", failed))
 
     def connected_workers(self) -> int:
         with self._lock:
             return len(self._conns)
+
+    def healthy_workers(self) -> int:
+        """Connected workers whose circuit breaker is not open."""
+        now = time.monotonic()
+        with self._lock:
+            names = [
+                self._worker_names.get(conn_id, f"conn{conn_id}")
+                for conn_id in self._conns
+            ]
+        return sum(1 for name in names if not self.breaker.is_open(name, now))
 
     # -- server plumbing -----------------------------------------------
     def _accept_loop(self) -> None:
@@ -331,6 +621,12 @@ class Coordinator:
             self._conn_seq += 1
             conn_id = self._conn_seq
             with self._lock:
+                if self._closing:
+                    try:
+                        conn.close()
+                    except OSError:
+                        pass
+                    return
                 self._conns[conn_id] = conn
             thread = threading.Thread(
                 target=self._serve_conn,
@@ -339,8 +635,30 @@ class Coordinator:
                 daemon=True,
             )
             with self._lock:
+                # prune finished handler threads so the list stays bounded
+                self._threads = [t for t in self._threads if t.is_alive()]
                 self._threads.append(thread)
             thread.start()
+
+    def _send(self, conn: socket.socket, msg: Dict[str, object]) -> None:
+        """Send one message, passing through the fault-injection hook.
+
+        An injected ``drop_frame``/``truncate_frame`` mangles the send
+        and then abandons the connection (raising
+        :class:`ProtocolError` so ``_serve_conn`` tears it down and
+        the lease machinery requeues any in-flight work) — the same
+        observable behaviour as a link dying mid-frame.
+        """
+        action = _fire(self.injector, "coordinator.send")
+        kind = getattr(action, "kind", None)
+        if kind in ("drop_frame", "truncate_frame"):
+            self._note("fault", f"injected {kind} on coordinator send")
+            try:
+                send_msg(conn, msg, fault=kind)
+            except OSError:
+                pass
+            raise ProtocolError(f"injected {kind}; abandoning connection")
+        send_msg(conn, msg)
 
     def _serve_conn(self, conn: socket.socket, conn_id: int) -> None:
         try:
@@ -351,32 +669,49 @@ class Coordinator:
             send_msg(conn, reply)
             if reply["type"] != "welcome":
                 return
+            with self._lock:
+                self._worker_names[conn_id] = str(msg.get("worker", f"conn{conn_id}"))
             while not self._closing:
                 msg = recv_msg(conn)
                 if msg is None:
                     return
+                action = _fire(self.injector, "coordinator.recv")
+                if getattr(action, "kind", None) in ("drop_frame", "truncate_frame"):
+                    self._note(
+                        "fault",
+                        f"injected {action.kind} on coordinator receive",
+                    )
+                    raise ProtocolError(f"injected {action.kind} on receive")
                 mtype = msg.get("type")
                 if mtype == "get":
                     self._handle_get(conn, conn_id)
                 elif mtype == "result":
-                    self._handle_result(conn, msg)
+                    self._handle_result(conn, conn_id, msg)
                 elif mtype == "error":
-                    self._handle_error(conn, msg)
+                    self._handle_error(conn, conn_id, msg)
                 else:
-                    send_msg(
+                    self._send(
                         conn,
                         {"type": "reject", "reason": f"unexpected {mtype!r}"},
                     )
         except (ProtocolError, OSError):
             pass  # dead/violating peer: leases requeued below
         finally:
+            now = time.monotonic()
             with self._lock:
                 self._conns.pop(conn_id, None)
+                self._worker_names.pop(conn_id, None)
                 batch = self._batch
                 failed = None
+                lost: List[int] = []
                 if batch is not None:
-                    batch.drop_connection(conn_id)
+                    lost = batch.drop_connection(conn_id, now)
                     failed = batch.failed
+            for index in lost:
+                self._note(
+                    "recovery",
+                    f"spec #{index} requeued after worker connection loss",
+                )
             if failed:
                 self.events.put(("fatal", failed))
             try:
@@ -386,15 +721,18 @@ class Coordinator:
 
     # -- message handlers ----------------------------------------------
     def _handle_get(self, conn: socket.socket, conn_id: int) -> None:
+        now = time.monotonic()
         with self._lock:
             batch = self._batch
             if self._closing:
-                send_msg(conn, {"type": "shutdown"})
+                self._send(conn, {"type": "shutdown"})
                 return
-            if batch is None or batch.finished:
+            worker = self._worker_names.get(conn_id, f"conn{conn_id}")
+            quarantined = not self.breaker.allow(worker, now)
+            if batch is None or batch.finished or quarantined:
                 lease = None
             else:
-                lease = batch.next_task(time.monotonic(), conn_id)
+                lease = batch.next_task(now, conn_id)
             spec = self._specs.get(lease.index) if lease is not None else None
             digest = (
                 batch.digests.get(lease.index, "")
@@ -404,9 +742,9 @@ class Coordinator:
             task_ref = self._task_ref
             lease_s = batch.lease_s if batch is not None else 0.0
         if lease is None:
-            send_msg(conn, {"type": "wait", "poll_s": self.poll_s})
+            self._send(conn, {"type": "wait", "poll_s": self.poll_s})
             return
-        send_msg(
+        self._send(
             conn,
             {
                 "type": "task",
@@ -419,18 +757,28 @@ class Coordinator:
             },
         )
 
-    def _handle_result(self, conn: socket.socket, msg: Dict[str, object]) -> None:
+    def _handle_result(
+        self, conn: socket.socket, conn_id: int, msg: Dict[str, object]
+    ) -> None:
         result = msg.get("result")
+        now = time.monotonic()
+        tripped = False
         with self._lock:
             batch = self._batch
             if batch is None:
-                send_msg(conn, {"type": "ack", "status": "stale"})
+                self._send(conn, {"type": "ack", "status": "stale"})
                 return
+            worker = self._worker_names.get(conn_id, f"conn{conn_id}")
             status, index, attempt = batch.complete(
                 int(msg.get("task_id", -1)),
                 str(msg.get("digest", "")),
                 str(getattr(result, "spec_digest", "") or ""),
+                now,
             )
+            if status == "ok":
+                self.breaker.record_success(worker)
+            elif status == "mismatch":
+                tripped = self.breaker.record_failure(worker, now)
             failed = batch.failed
         if status == "ok":
             self.events.put(
@@ -442,39 +790,83 @@ class Coordinator:
                     attempt,
                 )
             )
+        if status == "mismatch":
+            self._note(
+                "fault",
+                f"digest mismatch on spec #{index} from worker {worker}; "
+                "result discarded",
+            )
+            if not failed:
+                self._note("recovery", f"spec #{index} requeued after mismatch")
+            if tripped:
+                self._note(
+                    "fault", f"circuit opened: worker {worker} quarantined"
+                )
         if failed:
             self.events.put(("fatal", failed))
         if status == "mismatch":
-            send_msg(
+            self._send(
                 conn,
                 {"type": "reject", "reason": "digest mismatch; result discarded"},
             )
         else:
-            send_msg(conn, {"type": "ack", "status": status})
+            self._send(conn, {"type": "ack", "status": status})
 
-    def _handle_error(self, conn: socket.socket, msg: Dict[str, object]) -> None:
+    def _handle_error(
+        self, conn: socket.socket, conn_id: int, msg: Dict[str, object]
+    ) -> None:
+        now = time.monotonic()
+        transient = False
         with self._lock:
             batch = self._batch
             if batch is not None:
-                batch.task_error(
+                worker = self._worker_names.get(conn_id, f"conn{conn_id}")
+                lease = batch.leases.get(int(msg.get("task_id", -1)))
+                index = lease.index if lease is not None else None
+                transient = batch.task_error(
                     int(msg.get("task_id", -1)),
                     str(msg.get("error", "unknown error")),
                     str(msg.get("traceback", "")),
+                    error_type=str(msg.get("error_type", "")),
+                    now=now,
                 )
+                if transient:
+                    self.breaker.record_failure(worker, now)
                 failed = batch.failed
             else:
                 failed = None
+        if transient:
+            self._note(
+                "fault",
+                f"transient worker error on spec #{index}: {msg.get('error')}",
+            )
+            if not failed:
+                self._note(
+                    "recovery",
+                    f"spec #{index} requeued under retry budget with backoff",
+                )
         if failed:
             self.events.put(("fatal", failed))
-        send_msg(conn, {"type": "ack", "status": "error-recorded"})
+        self._send(conn, {"type": "ack", "status": "error-recorded"})
 
     # -- shutdown ------------------------------------------------------
     def close(self) -> None:
+        """Tear down the server, every connection, and every thread.
+
+        Idempotent.  Connection sockets are closed on *this* path even
+        when their handler threads are wedged (belt and braces with
+        the per-connection ``finally`` close), so no file descriptors
+        outlive the coordinator.
+        """
+        if self._closed:
+            return
+        self._closed = True
         self._closing = True
         try:
             self._server.close()
         except OSError:
             pass
+        self._accept_thread.join(timeout=2.0)
         with self._lock:
             conns = list(self._conns.values())
         for conn in conns:
@@ -486,11 +878,21 @@ class Coordinator:
                 conn.close()
             except OSError:
                 pass
-        self._accept_thread.join(timeout=2.0)
         with self._lock:
             threads = list(self._threads)
         for thread in threads:
             thread.join(timeout=2.0)
+        # Final reap: anything a wedged handler did not release.
+        with self._lock:
+            leftover = list(self._conns.values())
+            self._conns.clear()
+            self._worker_names.clear()
+            self._threads = [t for t in self._threads if t.is_alive()]
+        for conn in leftover:
+            try:
+                conn.close()
+            except OSError:
+                pass
 
 
 # ----------------------------------------------------------------------
@@ -508,6 +910,12 @@ class ClusterExecutor(_ExecutorBase):
     bit for bit: results come back in submission order, cache hits
     short-circuit execution, and equal specs produce equal results on
     any worker (verified by digest on receipt).
+
+    Self-healing extras (all off unless configured in
+    :class:`~repro.exec.api.ClusterOptions`): a crash-recoverable run
+    journal (``journal_path``), graceful degradation to the process
+    backend below a healthy-worker floor (``health``), and a
+    deterministic fault-injection plan (``fault_plan``).
     """
 
     def __init__(
@@ -525,6 +933,8 @@ class ClusterExecutor(_ExecutorBase):
             raise ValueError("lease_s must be positive")
         if self.options.max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
+        if self.options.retry.max_attempts < 1:
+            raise ValueError("retry.max_attempts must be >= 1")
         # Validate that the task survives the module:qualname round
         # trip *before* shipping work (workers import it by reference).
         self.task_ref = task_reference(task)
@@ -534,12 +944,23 @@ class ClusterExecutor(_ExecutorBase):
                 "cluster tasks must be module-level callables"
             )
         self._coordinator: Optional[Coordinator] = None
+        self._journal: Optional[RunJournal] = None
+        plan = self.options.fault_plan
+        make = getattr(plan, "injector", None)
+        self._injector = make() if callable(make) else None
+        self.degraded = False
 
     # -- lifecycle -----------------------------------------------------
     @property
     def address(self) -> Optional[Tuple[str, int]]:
         """(host, port) the coordinator listens on, once started."""
         return self._coordinator.address if self._coordinator else None
+
+    @property
+    def journal(self) -> Optional[RunJournal]:
+        if self._journal is None and self.options.journal_path:
+            self._journal = RunJournal(self.options.journal_path)
+        return self._journal
 
     def start(self) -> Coordinator:
         """Bind the coordinator (idempotent); returns it."""
@@ -548,7 +969,15 @@ class ClusterExecutor(_ExecutorBase):
                 host=self.options.host,
                 port=self.options.port,
                 poll_s=self.options.poll_s,
+                health=self.options.health,
+                injector=self._injector,
             )
+            if (
+                self._injector is not None
+                and self.cache is not None
+                and getattr(self.cache, "injector", None) is None
+            ):
+                self.cache.injector = self._injector  # chaos-only wiring
             self._on_started()
         return self._coordinator
 
@@ -562,6 +991,9 @@ class ClusterExecutor(_ExecutorBase):
         if self._coordinator is not None:
             self._coordinator.close()
             self._coordinator = None
+        if self._journal is not None:
+            self._journal.close()
+            self._journal = None
 
     def capabilities(self) -> Capabilities:
         return Capabilities(
@@ -574,6 +1006,49 @@ class ClusterExecutor(_ExecutorBase):
             supports_retry=True,
         )
 
+    # -- degradation ---------------------------------------------------
+    def _fallback_executor(self) -> _ExecutorBase:
+        """The local backend used when the cluster degrades."""
+        workers = max(1, min(self.options.workers or 1, os.cpu_count() or 1))
+        return ParallelExecutor(max_workers=workers, task=self.task, cache=self.cache)
+
+    def _degrade(
+        self,
+        specs: List[object],
+        remaining: List[int],
+        results: List[object],
+        progress: Optional[ProgressHook],
+        total: int,
+        completed: int,
+        journal_id: Optional[str],
+    ) -> int:
+        """Run the unfinished specs on the process backend; returns the
+        updated completed count."""
+        self.degraded = True
+        if progress is not None:
+            progress(
+                RunEvent(
+                    index=-1,
+                    total=total,
+                    kind="recovery",
+                    detail=(
+                        f"cluster below healthy-worker floor "
+                        f"({self.options.health.min_healthy_workers}); "
+                        f"degrading {len(remaining)} spec(s) to the "
+                        "process backend"
+                    ),
+                )
+            )
+        with self._fallback_executor() as fallback:
+            fallback_results = fallback.run([specs[i] for i in remaining])
+        for i, result in zip(remaining, fallback_results):
+            results[i] = result
+            if journal_id is not None and self.journal is not None:
+                self.journal.record_done(journal_id, digest_of(specs[i]))
+            _emit(progress, completed, total, specs[i], result, cached=False)
+            completed += 1
+        return completed
+
     # -- execution -----------------------------------------------------
     def run(
         self,
@@ -585,19 +1060,38 @@ class ClusterExecutor(_ExecutorBase):
         results: List[object] = [None] * total
         completed = 0
         todo: List[int] = []
+        journal = self.journal
+        journaled_done = journal.completed_digests() if journal is not None else set()
+        resumed = 0
         for i, spec in enumerate(specs):
             hit = self._cache_get(spec)
             if hit is not None:
                 results[i] = hit
+                resumed += digest_of(spec) in journaled_done
                 _emit(progress, completed, total, spec, hit, cached=True)
                 completed += 1
             else:
                 todo.append(i)
+        if resumed and progress is not None:
+            progress(
+                RunEvent(
+                    index=-1,
+                    total=total,
+                    kind="recovery",
+                    detail=(
+                        f"journal resume: {resumed} spec(s) already "
+                        "complete, served from cache"
+                    ),
+                )
+            )
         if not todo:
             return results
 
         coordinator = self.start()
         digests = {i: digest_of(specs[i]) for i in todo}
+        journal_id: Optional[str] = None
+        if journal is not None:
+            journal_id = journal.begin_batch([digests[i] for i in todo])
         coordinator.start_batch(
             todo,
             {i: specs[i] for i in todo},
@@ -606,11 +1100,20 @@ class ClusterExecutor(_ExecutorBase):
             lease_s=self.options.lease_s,
             max_attempts=self.options.max_attempts,
             steal=self.options.steal,
+            retry=self.options.retry,
         )
         sweep_every = max(0.01, min(0.25, self.options.lease_s / 4.0))
         pending = len(todo)
+        floor = self.options.health.min_healthy_workers
+        below_floor_since: Optional[float] = None
         try:
             while pending:
+                action = _fire(self._injector, "coordinator.loop")
+                if getattr(action, "kind", None) == "coordinator_restart":
+                    raise SimulatedCrash(
+                        "injected coordinator_restart: run journal and "
+                        "cache survive; resume by re-running the batch"
+                    )
                 try:
                     event = coordinator.events.get(timeout=sweep_every)
                 except Empty:
@@ -618,25 +1121,68 @@ class ClusterExecutor(_ExecutorBase):
                 if event is not None:
                     if event[0] == "fatal":
                         raise ExecError(event[1])
-                    _kind, index, result, _wall_s, attempt = event
-                    results[index] = result
-                    self._cache_put(specs[index], result)
-                    _emit(
-                        progress,
-                        completed,
-                        total,
-                        specs[index],
-                        result,
-                        cached=False,
-                        attempt=attempt,
-                    )
-                    completed += 1
-                    pending -= 1
+                    if event[0] == "note":
+                        if progress is not None:
+                            progress(
+                                RunEvent(
+                                    index=-1,
+                                    total=total,
+                                    kind=event[1],
+                                    detail=event[2],
+                                )
+                            )
+                    else:
+                        _kind, index, result, _wall_s, attempt = event
+                        if results[index] is None:
+                            results[index] = result
+                            self._cache_put(specs[index], result)
+                            if journal_id is not None and journal is not None:
+                                journal.record_done(journal_id, digests[index])
+                            _emit(
+                                progress,
+                                completed,
+                                total,
+                                specs[index],
+                                result,
+                                cached=False,
+                                attempt=attempt,
+                            )
+                            completed += 1
+                            pending -= 1
                 coordinator.sweep()
                 self._maintain_workers()
+                if pending and floor > 0:
+                    healthy = self.healthy_workers()
+                    now = time.monotonic()
+                    if healthy < floor:
+                        if below_floor_since is None:
+                            below_floor_since = now
+                        elif now - below_floor_since >= self.options.health.degrade_after_s:
+                            remaining = [i for i in todo if results[i] is None]
+                            coordinator.end_batch()
+                            completed = self._degrade(
+                                specs,
+                                remaining,
+                                results,
+                                progress,
+                                total,
+                                completed,
+                                journal_id,
+                            )
+                            pending = 0
+                    else:
+                        below_floor_since = None
         finally:
             coordinator.end_batch()
+        if journal_id is not None and journal is not None:
+            journal.end_batch(journal_id)
         return results
+
+    def healthy_workers(self) -> int:
+        """Connected, non-quarantined workers (0 before ``start``)."""
+        if self._coordinator is None:
+            return 0
+        return self._coordinator.healthy_workers()
 
 
 class LocalClusterExecutor(ClusterExecutor):
@@ -664,19 +1210,21 @@ class LocalClusterExecutor(ClusterExecutor):
         host, port = self.address
         env = dict(os.environ)
         env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
-        return subprocess.Popen(
-            [
-                sys.executable,
-                "-m",
-                "repro.exec.worker",
-                "--connect",
-                f"{host}:{port}",
-                "--name",
-                name,
-            ],
-            env=env,
-            stdout=subprocess.DEVNULL,
-        )
+        argv = [
+            sys.executable,
+            "-m",
+            "repro.exec.worker",
+            "--connect",
+            f"{host}:{port}",
+            "--name",
+            name,
+        ]
+        plan = self.options.fault_plan
+        plan = getattr(plan, "plan", plan)  # accept FaultInjector too
+        to_json = getattr(plan, "to_json", None)
+        if callable(to_json):
+            argv += ["--fault-plan", to_json()]
+        return subprocess.Popen(argv, env=env, stdout=subprocess.DEVNULL)
 
     def _on_started(self) -> None:
         for i in range(self.options.workers):

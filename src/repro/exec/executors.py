@@ -32,6 +32,7 @@ explicit executor inherits them via :func:`default_executor`.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import time
 from collections import deque
@@ -42,8 +43,11 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence
 
 from .api import (
     Capabilities,
+    HealthPolicy,
     ProcessOptions,
+    RetryPolicy,
     SerialOptions,
+    backend_info,
     make_executor,  # noqa: F401 - re-exported for backwards compatibility
     register_backend,
 )
@@ -388,7 +392,15 @@ register_backend(
 # defaults & conveniences
 # ----------------------------------------------------------------------
 _UNSET = object()
-_DEFAULTS = {"jobs": 1, "cache_dir": None, "backend": None, "workers": None}
+_DEFAULTS = {
+    "jobs": 1,
+    "cache_dir": None,
+    "backend": None,
+    "workers": None,
+    "retries": None,
+    "min_healthy_workers": None,
+    "fault_plan": None,
+}
 
 
 def set_execution_defaults(
@@ -396,6 +408,9 @@ def set_execution_defaults(
     cache_dir: object = _UNSET,
     backend: object = _UNSET,
     workers: object = _UNSET,
+    retries: object = _UNSET,
+    min_healthy_workers: object = _UNSET,
+    fault_plan: object = _UNSET,
 ) -> None:
     """Set process-wide execution defaults (used by the CLI flags).
 
@@ -403,6 +418,15 @@ def set_execution_defaults(
     ``"process"``, ``"cluster"``, or a third-party registration); when
     unset, ``jobs`` picks serial (1) vs process (>1) as before.
     ``workers`` sizes the chosen backend.
+
+    Resilience defaults (applied only to backends whose options accept
+    them — see :func:`default_executor`):
+
+    * ``retries`` — attempt budget per spec (process ``retries`` /
+      cluster ``max_attempts`` + retry policy);
+    * ``min_healthy_workers`` — cluster graceful-degradation floor;
+    * ``fault_plan`` — a ``repro.faults.FaultPlan`` (or injector) for
+      chaos testing; never set in production.
     """
     if jobs is not None:
         if jobs < 1:
@@ -416,6 +440,18 @@ def set_execution_defaults(
         if workers is not None and int(workers) < 1:
             raise ValueError("workers must be >= 1")
         _DEFAULTS["workers"] = None if workers is None else int(workers)
+    if retries is not _UNSET:
+        if retries is not None and int(retries) < 0:
+            raise ValueError("retries must be >= 0")
+        _DEFAULTS["retries"] = None if retries is None else int(retries)
+    if min_healthy_workers is not _UNSET:
+        if min_healthy_workers is not None and int(min_healthy_workers) < 0:
+            raise ValueError("min_healthy_workers must be >= 0")
+        _DEFAULTS["min_healthy_workers"] = (
+            None if min_healthy_workers is None else int(min_healthy_workers)
+        )
+    if fault_plan is not _UNSET:
+        _DEFAULTS["fault_plan"] = fault_plan
 
 
 def get_execution_defaults() -> dict:
@@ -428,12 +464,21 @@ def execution(
     cache_dir: object = _UNSET,
     backend: object = _UNSET,
     workers: object = _UNSET,
+    retries: object = _UNSET,
+    min_healthy_workers: object = _UNSET,
+    fault_plan: object = _UNSET,
 ) -> Iterator[dict]:
     """Scoped execution defaults (restores the previous ones on exit)."""
     saved = get_execution_defaults()
     try:
         set_execution_defaults(
-            jobs=jobs, cache_dir=cache_dir, backend=backend, workers=workers
+            jobs=jobs,
+            cache_dir=cache_dir,
+            backend=backend,
+            workers=workers,
+            retries=retries,
+            min_healthy_workers=min_healthy_workers,
+            fault_plan=fault_plan,
         )
         yield get_execution_defaults()
     finally:
@@ -441,12 +486,43 @@ def execution(
         _DEFAULTS.update(saved)
 
 
+def _resilience_kwargs(backend: str) -> Dict[str, object]:
+    """Option kwargs for the configured resilience defaults, filtered
+    to the fields the backend's options dataclass actually accepts
+    (so ``--retries`` is meaningful for process *and* cluster while
+    staying a silent no-op for serial)."""
+    try:
+        valid = {f.name for f in dataclasses.fields(backend_info(backend).options)}
+    except Exception:  # unknown backend: let make_executor raise properly
+        return {}
+    kwargs: Dict[str, object] = {}
+    retries = _DEFAULTS["retries"]
+    if retries is not None:
+        if "retries" in valid:
+            kwargs["retries"] = int(retries)
+        elif "retry" in valid:
+            # Cluster semantics: N retries = N + 1 attempts, bounding
+            # both lost-work requeues and transient task errors.
+            kwargs["max_attempts"] = int(retries) + 1
+            kwargs["retry"] = RetryPolicy(max_attempts=int(retries) + 1)
+    floor = _DEFAULTS["min_healthy_workers"]
+    if floor is not None and "health" in valid:
+        kwargs["health"] = HealthPolicy(min_healthy_workers=int(floor))
+    fault_plan = _DEFAULTS["fault_plan"]
+    if fault_plan is not None and "fault_plan" in valid:
+        kwargs["fault_plan"] = fault_plan
+    return kwargs
+
+
 def default_executor(task: Callable[[object], object] = run_spec) -> _ExecutorBase:
     """An executor honouring the process-wide defaults.
 
     Resolution order: an explicitly configured ``backend`` wins;
     otherwise ``jobs`` selects serial (1) or the process pool (>1),
-    exactly as before the registry existed.
+    exactly as before the registry existed.  Resilience defaults
+    (``retries`` / ``min_healthy_workers`` / ``fault_plan``) are
+    translated into the chosen backend's option fields when it has
+    them (:func:`_resilience_kwargs`).
     """
     backend = _DEFAULTS["backend"]
     workers = _DEFAULTS["workers"]
@@ -458,7 +534,9 @@ def default_executor(task: Callable[[object], object] = run_spec) -> _ExecutorBa
             workers = jobs
     if backend == "serial":
         return _make_executor("serial", task=task, cache_dir=cache_dir)
-    option_kwargs = {} if workers is None else {"workers": workers}
+    option_kwargs = _resilience_kwargs(backend)
+    if workers is not None:
+        option_kwargs["workers"] = workers
     return _make_executor(backend, task=task, cache_dir=cache_dir, **option_kwargs)
 
 

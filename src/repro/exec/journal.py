@@ -1,0 +1,156 @@
+"""Crash-recoverable run journal (append-only JSONL).
+
+The cluster executor's determinism contract (equal spec ⇒ equal
+result) makes *restart* cheap in principle: any spec whose result is
+already in the content-addressed cache never needs to run again.  What
+a crashed coordinator loses is the *bookkeeping* — which batch was in
+flight, which digests completed, which were still outstanding.  The
+:class:`RunJournal` persists exactly that bookkeeping as an
+append-only JSONL file:
+
+    {"ev": "begin", "batch": "<id>", "digests": [...], "t": ...}
+    {"ev": "issued", "batch": "<id>", "digest": "...", "t": ...}
+    {"ev": "done",   "batch": "<id>", "digest": "...", "t": ...}
+    {"ev": "end",    "batch": "<id>", "t": ...}
+
+Records are flushed per write, so the journal survives ``kill -9`` of
+the coordinator process at any instant; a torn final line (the crash
+landed mid-write) is ignored on replay.  Payloads are *not* journaled
+— the :class:`~repro.exec.cache.ResultCache` is the payload store —
+so the journal stays tiny (a digest per line) and recovery is
+"re-open the journal, skip every ``done`` digest whose payload the
+cache still holds, re-run the rest".
+
+Used by :class:`~repro.exec.distributed.ClusterExecutor` when
+``ClusterOptions.journal_path`` is set, and by the chaos harness's
+``coordinator_restart`` fault to prove that a restarted batch re-runs
+*only* unfinished specs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import uuid
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set
+
+__all__ = ["RunJournal"]
+
+
+class RunJournal:
+    """Append-only JSONL log of issued/completed spec digests.
+
+    Parameters
+    ----------
+    path:
+        Journal file (created on demand; parent directories too).
+    fsync:
+        When True, ``os.fsync`` after every record — survives machine
+        power loss, not just process death.  Default False (flush
+        only), which is what the chaos tests exercise.
+    """
+
+    def __init__(self, path: os.PathLike, fsync: bool = False):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.fsync = fsync
+        self._fh = open(self.path, "a", encoding="utf-8")
+        self.records_written = 0
+
+    # -- writing -------------------------------------------------------
+    def _write(self, record: Dict[str, object]) -> None:
+        record.setdefault("t", time.time())
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+        if self.fsync:
+            os.fsync(self._fh.fileno())
+        self.records_written += 1
+
+    def begin_batch(self, digests: Sequence[str], batch_id: Optional[str] = None) -> str:
+        """Open a batch; returns its id (generated when not given)."""
+        batch_id = batch_id or uuid.uuid4().hex[:12]
+        self._write({"ev": "begin", "batch": batch_id, "digests": list(digests)})
+        return batch_id
+
+    def record_issued(self, batch_id: str, digest: str) -> None:
+        self._write({"ev": "issued", "batch": batch_id, "digest": digest})
+
+    def record_done(self, batch_id: str, digest: str) -> None:
+        self._write({"ev": "done", "batch": batch_id, "digest": digest})
+
+    def end_batch(self, batch_id: str) -> None:
+        self._write({"ev": "end", "batch": batch_id})
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- replay --------------------------------------------------------
+    @staticmethod
+    def replay(path: os.PathLike) -> List[Dict[str, object]]:
+        """Parse every intact record; a torn final line is ignored.
+
+        A torn line *anywhere but the end* indicates real corruption
+        and raises ``ValueError`` — the journal is append-only, so the
+        only legitimate tear is the crash-interrupted last write.
+        """
+        path = Path(path)
+        if not path.exists():
+            return []
+        records: List[Dict[str, object]] = []
+        torn_at: Optional[int] = None
+        with open(path, encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                if torn_at is not None:
+                    raise ValueError(
+                        f"journal {path} corrupt: undecodable record at "
+                        f"line {torn_at} followed by more records"
+                    )
+                try:
+                    records.append(json.loads(line))
+                except json.JSONDecodeError:
+                    torn_at = lineno  # fatal only if not the last line
+        return records
+
+    def completed_digests(self) -> Set[str]:
+        """Digests with a ``done`` record anywhere in the journal."""
+        self._fh.flush()
+        return {
+            str(r["digest"])
+            for r in self.replay(self.path)
+            if r.get("ev") == "done" and r.get("digest")
+        }
+
+    def open_batches(self) -> Dict[str, Set[str]]:
+        """Unfinished batches: id -> outstanding (not-done) digests.
+
+        ``done`` is digest-global, not batch-local: a restarted
+        coordinator re-runs the outstanding work under a *new* batch
+        id, and its completions must settle the crashed batch's books
+        too (results are content-addressed; the batch id is only a
+        grouping key).
+        """
+        pending: Dict[str, Set[str]] = {}
+        for record in self.replay(self.path):
+            ev = record.get("ev")
+            batch = str(record.get("batch", ""))
+            if ev == "begin":
+                pending[batch] = {str(d) for d in record.get("digests", [])}
+            elif ev == "done":
+                digest = str(record.get("digest", ""))
+                for outstanding in pending.values():
+                    outstanding.discard(digest)
+            elif ev == "end":
+                pending.pop(batch, None)
+        return {b: d for b, d in pending.items() if d}

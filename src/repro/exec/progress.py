@@ -25,9 +25,24 @@ __all__ = ["RunEvent", "ProgressHook", "StderrProgress", "Telemetry", "chain"]
 
 @dataclass(frozen=True)
 class RunEvent:
-    """One completed run, as observed by the executor."""
+    """One executor observation: a completed run, or a fault/recovery.
 
-    #: Position of the spec in the submitted batch.
+    ``kind`` distinguishes the streams sharing this type:
+
+    * ``"run"`` — one completed spec (the original meaning; every
+      field is populated);
+    * ``"fault"`` — something went wrong but was contained (lease
+      expired, digest mismatch, worker quarantined, injected fault);
+      ``detail`` names it, ``index`` is -1;
+    * ``"recovery"`` — the containment succeeded (spec requeued,
+      breaker closed, journal resume, degradation to a local
+      backend); ``detail`` names it, ``index`` is -1.
+
+    Aggregating hooks must ignore non-``"run"`` events for run math
+    (both shipped hooks do).
+    """
+
+    #: Position of the spec in the submitted batch (-1 for non-run events).
     index: int
     #: Size of the submitted batch.
     total: int
@@ -43,6 +58,10 @@ class RunEvent:
     events_processed: int = 0
     #: Executor attempt number (> 1 after a crash/timeout retry).
     attempt: int = 1
+    #: Event stream: "run" (default), "fault", or "recovery".
+    kind: str = "run"
+    #: Human-readable description for fault/recovery events.
+    detail: str = ""
 
 
 #: Anything that accepts a RunEvent.
@@ -64,9 +83,13 @@ class StderrProgress:
         self._wall = 0.0
         self._events = 0
         self._total = 0
+        self._faults = 0
         self._open = False
 
     def __call__(self, event: RunEvent) -> None:
+        if event.kind != "run":
+            self._faults += event.kind == "fault"
+            return
         self._seen += 1
         self._total = max(self._total, event.total)
         if event.cached:
@@ -81,6 +104,8 @@ class StderrProgress:
             f" | {per_run:.2f}s/run"
             f" | {self._events / 1e6:.1f}M events"
         )
+        if self._faults:
+            line += f" | {self._faults} faults"
         self.stream.write("\r" + line)
         self.stream.flush()
         self._open = True
@@ -108,25 +133,38 @@ class Telemetry:
         self.events.append(event)
 
     @property
+    def run_events(self) -> List[RunEvent]:
+        return [e for e in self.events if e.kind == "run"]
+
+    @property
     def runs(self) -> int:
-        return len(self.events)
+        return len(self.run_events)
 
     @property
     def cache_hits(self) -> int:
-        return sum(1 for e in self.events if e.cached)
+        return sum(1 for e in self.run_events if e.cached)
 
     @property
     def wall_s(self) -> float:
         """Total simulated wall-clock across runs (cache hits are 0)."""
-        return float(sum(e.wall_s for e in self.events))
+        return float(sum(e.wall_s for e in self.run_events))
 
     @property
     def events_processed(self) -> int:
-        return int(sum(e.events_processed for e in self.events))
+        return int(sum(e.events_processed for e in self.run_events))
 
     @property
     def retries(self) -> int:
-        return sum(e.attempt - 1 for e in self.events)
+        return sum(e.attempt - 1 for e in self.run_events)
+
+    @property
+    def faults(self) -> int:
+        """Contained faults observed (lease expiry, mismatch, injected)."""
+        return sum(1 for e in self.events if e.kind == "fault")
+
+    @property
+    def recoveries(self) -> int:
+        return sum(1 for e in self.events if e.kind == "recovery")
 
     def summary(self) -> dict:
         simulated = self.runs - self.cache_hits
@@ -134,6 +172,8 @@ class Telemetry:
             "runs": self.runs,
             "cache_hits": self.cache_hits,
             "retries": self.retries,
+            "faults": self.faults,
+            "recoveries": self.recoveries,
             "wall_s": round(self.wall_s, 3),
             "events_processed": self.events_processed,
             "events_per_second": (

@@ -89,12 +89,29 @@ class FrameTooLarge(ProtocolError):
 # ----------------------------------------------------------------------
 # framing
 # ----------------------------------------------------------------------
-def send_frame(sock: socket.socket, payload: bytes) -> None:
-    """Write one length-prefixed frame (atomic via ``sendall``)."""
+def send_frame(sock: socket.socket, payload: bytes, fault: Optional[str] = None) -> None:
+    """Write one length-prefixed frame (atomic via ``sendall``).
+
+    ``fault`` is the deterministic fault-injection hook used by
+    :mod:`repro.faults` — a no-op (``None``) in production:
+
+    * ``"drop_frame"`` — the frame is silently not sent; the caller is
+      expected to abandon the connection, modelling a frame lost to a
+      dying link (TCP would eventually reset it).
+    * ``"truncate_frame"`` — the length prefix and *half* the payload
+      are sent, then nothing; the peer's ``recv_frame`` raises
+      :class:`ProtocolError` mid-frame, exercising the torn-frame
+      abandon/requeue path.
+    """
     if len(payload) > MAX_FRAME:
         raise FrameTooLarge(
             f"refusing to send {len(payload)} byte frame (max {MAX_FRAME})"
         )
+    if fault == "drop_frame":
+        return
+    if fault == "truncate_frame":
+        sock.sendall(_LEN.pack(len(payload)) + payload[: max(1, len(payload) // 2)])
+        return
     sock.sendall(_LEN.pack(len(payload)) + payload)
 
 
@@ -136,9 +153,11 @@ def recv_frame(sock: socket.socket) -> Optional[bytes]:
 # ----------------------------------------------------------------------
 # messages
 # ----------------------------------------------------------------------
-def send_msg(sock: socket.socket, msg: Dict[str, object]) -> None:
-    """Pickle and send one message dict."""
-    send_frame(sock, pickle.dumps(msg, protocol=pickle.HIGHEST_PROTOCOL))
+def send_msg(
+    sock: socket.socket, msg: Dict[str, object], fault: Optional[str] = None
+) -> None:
+    """Pickle and send one message dict (``fault``: see :func:`send_frame`)."""
+    send_frame(sock, pickle.dumps(msg, protocol=pickle.HIGHEST_PROTOCOL), fault=fault)
 
 
 def recv_msg(sock: socket.socket) -> Optional[Dict[str, object]]:

@@ -1,0 +1,41 @@
+"""Deterministic fault injection and chaos testing for the exec stack.
+
+The package has two halves:
+
+- :mod:`repro.faults.plan` — seeded, content-digestable
+  :class:`FaultPlan` schedules and the :class:`FaultInjector` that
+  fires them at explicit hook points threaded through
+  ``repro.exec`` (all no-ops in production).
+- :mod:`repro.faults.harness` — the chaos harness, whose
+  :func:`run_chaos` asserts the executor invariant: under any fault
+  plan, a cluster run is bit-identical to serial or fails with a
+  clean, attributed error — never a hang, never silent data loss.
+
+``repro.exec`` never imports this package; the coupling is one-way
+(duck-typed ``fire(site)`` hooks), so production code paths carry no
+chaos machinery.
+"""
+
+from .harness import (
+    ChaosReport,
+    ChaosResult,
+    ChaosSpec,
+    chaos_task,
+    result_signature,
+    run_chaos,
+)
+from .plan import FAULT_KINDS, KIND_SITES, FaultAction, FaultInjector, FaultPlan
+
+__all__ = [
+    "FAULT_KINDS",
+    "KIND_SITES",
+    "FaultAction",
+    "FaultInjector",
+    "FaultPlan",
+    "ChaosSpec",
+    "ChaosResult",
+    "ChaosReport",
+    "chaos_task",
+    "result_signature",
+    "run_chaos",
+]

@@ -131,9 +131,16 @@ class AdaptiveHistogram:
         hi = max(raw) * self.range_margin
         if hi <= lo:
             hi = lo + 1.0
+        width = (hi - lo) / self.num_bins
+        if width <= 0.0:
+            # Degenerate calibration window (denormal samples): the
+            # span is positive but underflows to zero width per bin.
+            # Widen to a unit range rather than divide by zero.
+            hi = lo + 1.0
+            width = (hi - lo) / self.num_bins
         self._lo = lo
         self._hi = hi
-        self._width = (hi - lo) / self.num_bins
+        self._width = width
         self._counts = np.zeros(self.num_bins, dtype=np.int64)
         for v in raw:
             idx = min(int((v - lo) / self._width), self.num_bins - 1)
