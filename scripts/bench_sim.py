@@ -1,0 +1,220 @@
+#!/usr/bin/env python
+"""Benchmark the simulation hot path itself.
+
+Boots one Treadmill-vs-memcached bench (the same shape ``run_spec``
+builds) and drives the event loop in timed slices, reporting
+
+* sustained **events/s** and **requests/s** of the kernel,
+* the **p50/p99 per-event step cost** in nanoseconds, measured over
+  fixed-size slices (each slice's wall time divided by the events it
+  executed — the distribution exposes warm-up, GC, and host jitter
+  that a single average would hide), and
+* the **RNG-batch hit rate**: the fraction of hot-path variate draws
+  (inter-arrival gaps, connection picks, request parameters) served
+  from pre-sampled blocks without touching a numpy Generator.
+
+Results go to ``BENCH_sim.json`` so the perf trajectory is tracked
+across PRs.  ``--profile`` additionally runs the measured portion
+under cProfile and prints the top-N functions by internal time.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_sim.py [--quick]
+        [--samples 3000] [--instances 2] [--utilization 0.7]
+        [--slice-events 2048] [--profile [N]] [--out BENCH_sim.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import math
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import __version__  # noqa: E402
+from repro.core.bench import BenchConfig, TestBench  # noqa: E402
+from repro.core.treadmill import TreadmillConfig, TreadmillInstance  # noqa: E402
+from repro.workloads.memcached import MemcachedWorkload  # noqa: E402
+
+
+def build_bench(args):
+    """One server + N Treadmill instances, same wiring as run_spec."""
+    bench = TestBench(
+        BenchConfig(workload=MemcachedWorkload(), seed=args.seed), run_index=0
+    )
+    per_us = bench.server.arrival_rate_for_utilization(args.utilization)
+    rate_per_instance = per_us * 1e6 / args.instances
+    instances = [
+        TreadmillInstance(
+            bench,
+            f"client{i}",
+            TreadmillConfig(
+                rate_rps=rate_per_instance,
+                connections=4,
+                warmup_samples=args.warmup,
+                measurement_samples=args.samples,
+            ),
+        )
+        for i in range(args.instances)
+    ]
+    for inst in instances:
+        inst.start()
+    return bench, instances
+
+
+def drive(bench, instances, slice_events):
+    """Run to completion in fixed-size slices; return per-slice costs.
+
+    Mirrors ``TestBench.run_to_completion`` (run until every instance
+    is done, stop, drain) but executes through ``sim.run(max_events=
+    slice_events)`` so each slice can be timed individually.
+    """
+    sim = bench.sim
+    step_ns = []  # mean ns/event of each slice
+    perf = time.perf_counter_ns
+    while not all(inst.done for inst in instances):
+        t0 = perf()
+        executed = sim.run(max_events=slice_events)
+        dt = perf() - t0
+        if executed:
+            step_ns.append(dt / executed)
+        if executed < slice_events and sim.peek() is None:
+            raise RuntimeError("simulation drained before instances finished")
+    for inst in instances:
+        inst.stop()
+    sim.run()  # drain in-flight requests
+    return step_ns
+
+
+def percentile(sorted_vals, q):
+    """Nearest-rank percentile of an ascending list."""
+    if not sorted_vals:
+        return 0.0
+    rank = max(0, math.ceil(q * len(sorted_vals)) - 1)
+    return sorted_vals[rank]
+
+
+def batch_hit_rate(instances):
+    """Pooled hit rate across every hot-path BlockStream."""
+    draws = sum(s.draws for inst in instances for s in inst.streams)
+    refills = sum(s.refills for inst in instances for s in inst.streams)
+    if draws == 0:
+        return 0.0, 0, 0
+    return 1.0 - refills / draws, draws, refills
+
+
+def run_measurement(args):
+    bench, instances = build_bench(args)
+    gc_was_enabled = gc.isenabled()
+    if gc_was_enabled:
+        gc.disable()
+    t0 = time.perf_counter()
+    try:
+        step_ns = drive(bench, instances, args.slice_events)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    wall_s = time.perf_counter() - t0
+    return bench, instances, step_ns, wall_s
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--samples", type=int, default=3000,
+                        help="measurement samples per instance")
+    parser.add_argument("--warmup", type=int, default=200)
+    parser.add_argument("--instances", type=int, default=2)
+    parser.add_argument("--utilization", type=float, default=0.7)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--slice-events", type=int, default=2048,
+                        help="events per timed kernel slice")
+    parser.add_argument("--quick", action="store_true",
+                        help="small CI-sized run (fewer samples)")
+    parser.add_argument("--profile", nargs="?", type=int, const=25,
+                        default=None, metavar="N",
+                        help="also profile a run and print the top N functions")
+    parser.add_argument("--out", default="BENCH_sim.json")
+    args = parser.parse_args()
+    if args.quick:
+        args.samples = min(args.samples, 800)
+        args.warmup = min(args.warmup, 150)
+
+    # One discarded warm-up pass: the first run through the kernel pays
+    # interpreter cold-start (code-object caches, allocator arenas) that
+    # a steady-state measurement should not include.
+    run_measurement(args)
+    bench, instances, step_ns, wall_s = run_measurement(args)
+
+    events = bench.sim.events_processed
+    requests = sum(inst.controller.sent for inst in instances)
+    hit_rate, draws, refills = batch_hit_rate(instances)
+    step_sorted = sorted(step_ns)
+    p50 = percentile(step_sorted, 0.50)
+    p99 = percentile(step_sorted, 0.99)
+
+    print(
+        f"[bench_sim] {events:,} events / {requests:,} requests "
+        f"in {wall_s:.2f}s"
+    )
+    print(
+        f"[bench_sim] {events / wall_s:,.0f} events/s, "
+        f"{requests / wall_s:,.0f} requests/s "
+        f"({events / requests:.1f} events/request)"
+    )
+    print(
+        f"[bench_sim] step cost over {len(step_ns)} slices of "
+        f"{args.slice_events} events: p50={p50:.0f} ns, p99={p99:.0f} ns"
+    )
+    print(
+        f"[bench_sim] RNG-batch hit rate: {hit_rate:.4f} "
+        f"({draws:,} draws, {refills:,} block refills)"
+    )
+
+    payload = {
+        "bench": "sim_hot_path",
+        "library_version": __version__,
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "quick": args.quick,
+        "samples_per_instance": args.samples,
+        "instances": args.instances,
+        "utilization": args.utilization,
+        "slice_events": args.slice_events,
+        "wall_s": round(wall_s, 3),
+        "events": events,
+        "requests": requests,
+        "events_per_s": round(events / wall_s, 1),
+        "requests_per_s": round(requests / wall_s, 1),
+        "step_ns_p50": round(p50, 1),
+        "step_ns_p99": round(p99, 1),
+        "rng_batch_hit_rate": round(hit_rate, 6),
+        "rng_draws": draws,
+        "rng_block_refills": refills,
+    }
+    with open(args.out, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"[bench_sim] wrote {args.out}")
+
+    if args.profile is not None:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        run_measurement(args)
+        profiler.disable()
+        print(f"[bench_sim] top {args.profile} functions by internal time:")
+        pstats.Stats(profiler).sort_stats("tottime").print_stats(args.profile)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

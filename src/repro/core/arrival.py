@@ -48,6 +48,20 @@ class ArrivalProcess(abc.ABC):
     def next_gap_us(self, rng: np.random.Generator) -> float:
         """Time until the next request, in microseconds."""
 
+    def next_gaps_us(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` successive gaps at once.
+
+        **Batching invariant:** the block is drawn from the same stream
+        in the same order as ``n`` sequential :meth:`next_gap_us`
+        calls, so the values — and therefore every downstream result —
+        are bit-identical regardless of block size.  Subclasses
+        override with a vectorized draw where numpy guarantees that
+        equivalence; this fallback simply loops.
+        """
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        return np.array([self.next_gap_us(rng) for _ in range(n)], dtype=float)
+
     @abc.abstractmethod
     def spec(self) -> Dict:
         """JSON-style description."""
@@ -58,6 +72,13 @@ class PoissonArrivals(ArrivalProcess):
 
     def next_gap_us(self, rng: np.random.Generator) -> float:
         return float(rng.exponential(self.mean_gap_us))
+
+    def next_gaps_us(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        # numpy draws array variates one at a time from the same bit
+        # stream, so this equals n sequential next_gap_us calls exactly.
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        return rng.exponential(self.mean_gap_us, n)
 
     def spec(self) -> Dict:
         return {"type": "poisson", "rate_rps": self.rate_rps}
@@ -73,6 +94,12 @@ class DeterministicArrivals(ArrivalProcess):
 
     def next_gap_us(self, rng: np.random.Generator) -> float:
         return self.mean_gap_us
+
+    def next_gaps_us(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        # No randomness consumed — same as the scalar path.
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        return np.full(n, self.mean_gap_us)
 
     def spec(self) -> Dict:
         return {"type": "deterministic", "rate_rps": self.rate_rps}
@@ -91,6 +118,11 @@ class LognormalArrivals(ArrivalProcess):
 
     def next_gap_us(self, rng: np.random.Generator) -> float:
         return float(rng.lognormal(self._mu, self._sigma))
+
+    def next_gaps_us(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        return rng.lognormal(self._mu, self._sigma, n)
 
     def spec(self) -> Dict:
         return {"type": "lognormal", "rate_rps": self.rate_rps, "cv": self.cv}
@@ -133,6 +165,16 @@ class BurstyArrivals(ArrivalProcess):
         gap = float(rng.exponential(1e6 / rate))
         self._phase_left_us -= gap
         return gap
+
+    def next_gaps_us(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        # Each gap depends on the mutable phase state and may consume a
+        # variable number of draws (phase transitions), so there is no
+        # exact vectorization; the scalar loop *is* the batched form
+        # and trivially preserves the draw order.
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        next_gap = self.next_gap_us
+        return np.array([next_gap(rng) for _ in range(n)], dtype=float)
 
     def spec(self) -> Dict:
         return {

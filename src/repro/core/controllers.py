@@ -29,6 +29,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 import numpy as np
 
 from ..sim.engine import Event, Simulator
+from ..workloads.sampling import BlockStream
 from .arrival import ArrivalProcess
 
 __all__ = ["OutstandingTracker", "OpenLoopController", "ClosedLoopController"]
@@ -53,15 +54,23 @@ class OutstandingTracker:
         self._durations[self.count] += now - self._last_change
         self._last_change = now
 
+    # increment/decrement inline _credit: they run once per request
+    # send/response, and the extra frame is measurable at high rates.
     def increment(self) -> None:
-        self._credit()
-        self.count += 1
+        count = self.count
+        now = self.sim.now
+        self._durations[count] += now - self._last_change
+        self._last_change = now
+        self.count = count + 1
 
     def decrement(self) -> None:
-        if self.count <= 0:
+        count = self.count
+        if count <= 0:
             raise ValueError("outstanding count would go negative")
-        self._credit()
-        self.count -= 1
+        now = self.sim.now
+        self._durations[count] += now - self._last_change
+        self._last_change = now
+        self.count = count - 1
 
     def finalize(self) -> None:
         """Credit the trailing interval (call once at measurement end)."""
@@ -114,6 +123,8 @@ class OpenLoopController:
         send: Callable[[int], None],
         connections: List[int],
         rng: np.random.Generator,
+        gap_rng: Optional[np.random.Generator] = None,
+        rng_block: int = 512,
     ):
         if not connections:
             raise ValueError("need at least one connection")
@@ -122,11 +133,32 @@ class OpenLoopController:
         self._send = send
         self.connections = list(connections)
         self._rng = rng
+        self._schedule = sim.schedule
         self._running = False
         self._pending_event: Optional[Event] = None
         self.tracker = OutstandingTracker(sim)
         self.sent = 0
         self.completed = 0
+        # Batched mode: with a dedicated ``gap_rng``, inter-arrival
+        # gaps refill from a pre-sampled block (bit-identical to scalar
+        # draws on that stream — the batching invariant), and the
+        # connection picks on ``rng`` batch too (after start()'s single
+        # phase draw the stream is homogeneous integer picks, so the
+        # block split is exact).  Without ``gap_rng`` everything stays
+        # scalar on ``rng`` in the legacy draw order.
+        self._gap_stream: Optional[BlockStream] = None
+        self._conn_stream: Optional[BlockStream] = None
+        if gap_rng is not None:
+            self._gap_stream = BlockStream(arrival.next_gaps_us, gap_rng, rng_block)
+            n_conns = len(self.connections)
+            self._conn_stream = BlockStream(
+                lambda r, k: r.integers(0, n_conns, size=k), rng, rng_block
+            )
+        #: BlockStreams in use (empty in scalar mode) — lets benchmarks
+        #: report the RNG-batch hit rate.
+        self.streams = tuple(
+            s for s in (self._gap_stream, self._conn_stream) if s is not None
+        )
 
     def start(self) -> None:
         if self._running:
@@ -147,17 +179,36 @@ class OpenLoopController:
             self._pending_event = None
 
     def _schedule_next(self) -> None:
-        gap = self.arrival.next_gap_us(self._rng)
+        if self._gap_stream is not None:
+            gap = self._gap_stream.next()
+        else:
+            gap = self.arrival.next_gap_us(self._rng)
         self._pending_event = self.sim.schedule(gap, self._fire)
 
     def _fire(self) -> None:
         if not self._running:
             return
-        conn = self.connections[int(self._rng.integers(0, len(self.connections)))]
+        conn_stream = self._conn_stream
+        gap_stream = self._gap_stream
+        if conn_stream is not None and gap_stream is not None:
+            # Hot path with both streams inline (one call frame per
+            # request matters at high rates).
+            conn = self.connections[conn_stream.next()]
+            self.tracker.increment()
+            self.sent += 1
+            # Schedule the next send *before* issuing: the send timing
+            # must never depend on how long issuing takes (open-loop
+            # property).
+            self._pending_event = self._schedule(gap_stream.next(), self._fire)
+            self._send(conn)
+            return
+        if conn_stream is not None:
+            conn = self.connections[conn_stream.next()]
+        else:
+            conn = self.connections[int(self._rng.integers(0, len(self.connections)))]
         self.tracker.increment()
         self.sent += 1
-        # Schedule the next send *before* issuing: the send timing must
-        # never depend on how long issuing takes (open-loop property).
+        # Schedule the next send *before* issuing (open-loop property).
         self._schedule_next()
         self._send(conn)
 

@@ -32,8 +32,22 @@ PHASE_CALIBRATION = "calibration"
 PHASE_MEASUREMENT = "measurement"
 
 
+#: Buffered samples accumulated before a bulk histogram flush.  The
+#: histogram ingest is batch-size-invariant (record_many == sequential
+#: adds), so this is purely an amortization knob.
+_FLUSH_EVERY = 512
+
+
 class PhaseManager:
-    """Warm-up / calibration / measurement lifecycle for one instance."""
+    """Warm-up / calibration / measurement lifecycle for one instance.
+
+    Post-warm-up samples are buffered and flushed into the histogram in
+    bulk via :meth:`AdaptiveHistogram.record_many`, which is exactly
+    equivalent to per-sample adds — so buffering is invisible to every
+    observable: :attr:`collected` and :attr:`done` count buffered
+    samples immediately, and :attr:`histogram` / :attr:`phase` flush
+    before reading histogram state.
+    """
 
     def __init__(
         self,
@@ -48,12 +62,14 @@ class PhaseManager:
             raise ValueError("measurement_samples must be >= 1")
         self.warmup_samples = warmup_samples
         self.measurement_samples = measurement_samples
-        self.histogram = histogram or AdaptiveHistogram()
+        self._histogram = histogram or AdaptiveHistogram()
         #: Optionally retain raw measurement samples (experiments that
         #: need exact values, e.g. quantile-regression input).
         self.keep_raw = keep_raw
         self.raw_samples: List[float] = []
         self._seen = 0
+        self._collected = 0
+        self._pending: List[float] = []
 
     @property
     def seen(self) -> int:
@@ -61,27 +77,51 @@ class PhaseManager:
         return self._seen
 
     @property
+    def histogram(self) -> AdaptiveHistogram:
+        """The underlying histogram, with any buffered samples flushed."""
+        if self._pending:
+            self.flush()
+        return self._histogram
+
+    @property
     def phase(self) -> str:
         if self._seen < self.warmup_samples:
             return PHASE_WARMUP
-        if self.histogram.calibrating:
+        if self._pending:
+            self.flush()
+        if self._histogram.calibrating:
             return PHASE_CALIBRATION
         return PHASE_MEASUREMENT
 
     @property
     def collected(self) -> int:
         """Samples recorded after warm-up (calibration + measurement)."""
-        return self.histogram.count
+        return self._collected
 
     @property
     def done(self) -> bool:
-        return self.histogram.count >= self.measurement_samples
+        return self._collected >= self.measurement_samples
 
-    def record(self, latency_us: float) -> None:
-        """Feed one response latency through the phase machine."""
+    def record(self, latency_us: float) -> bool:
+        """Feed one response latency through the phase machine.
+
+        Returns True if the sample was counted (i.e. past warm-up), so
+        hot callers can branch without re-reading phase state.
+        """
         self._seen += 1
         if self._seen <= self.warmup_samples:
-            return
-        self.histogram.add(latency_us)
+            return False
+        self._collected += 1
+        pending = self._pending
+        pending.append(latency_us)
+        if len(pending) >= _FLUSH_EVERY:
+            self.flush()
         if self.keep_raw:
             self.raw_samples.append(latency_us)
+        return True
+
+    def flush(self) -> None:
+        """Push buffered samples into the histogram."""
+        if self._pending:
+            batch, self._pending = self._pending, []
+            self._histogram.record_many(batch)

@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..sim.machine import ClientSpec
+from ..stats.buffer import FloatBuffer
 from ..stats.histogram import AdaptiveHistogram
 from ..workloads.base import Request
 from .arrival import ArrivalProcess, PoissonArrivals
@@ -65,12 +66,19 @@ class TreadmillConfig:
     keep_components: bool = False
     #: Arrival-process factory; defaults to Poisson at ``rate_rps``.
     arrival: Optional[ArrivalProcess] = None
+    #: Variates per pre-sampled RNG block on the hot path (gaps,
+    #: connection picks, request parameters).  Any value >= 1 produces
+    #: identical results — the batching invariant — so this is purely
+    #: a speed/memory knob.
+    rng_block: int = 512
 
     def __post_init__(self) -> None:
         if self.rate_rps <= 0:
             raise ValueError("rate_rps must be positive")
         if self.connections < 1:
             raise ValueError("connections must be >= 1")
+        if self.rng_block < 1:
+            raise ValueError("rng_block must be >= 1")
 
     def make_arrival(self) -> ArrivalProcess:
         return self.arrival if self.arrival is not None else PoissonArrivals(self.rate_rps)
@@ -87,7 +95,9 @@ class InstanceReport:
 
     name: str
     histogram: AdaptiveHistogram
-    raw_samples: List[float]
+    #: Raw measurement-phase latencies (numpy array; empty unless
+    #: ``keep_raw`` was set).
+    raw_samples: np.ndarray
     requests_sent: int
     responses_recorded: int
     client_utilization: float
@@ -134,12 +144,25 @@ class TreadmillInstance:
         self.client.response_handler = self._on_response
         self._rng = bench.rng.stream(f"{name}/requests")
         self.connections = bench.open_connections(self.config.connections)
+        # Hot-path batching: request parameters, inter-arrival gaps,
+        # and connection picks each draw from a dedicated stream in
+        # pre-sampled blocks.  Per-stream block draws are bit-identical
+        # to scalar draws (the batching invariant), so rng_block never
+        # affects results; the split into per-purpose streams is what
+        # makes the batching exact.
+        self._sampler = bench.config.workload.request_sampler(
+            self._rng,
+            stream_factory=lambda p: bench.rng.stream(f"{name}/requests/{p}"),
+            block=self.config.rng_block,
+        )
         self.controller = OpenLoopController(
             bench.sim,
             self.config.make_arrival(),
             self._send,
             self.connections,
             bench.rng.stream(f"{name}/arrivals"),
+            gap_rng=bench.rng.stream(f"{name}/gaps"),
+            rng_block=self.config.rng_block,
         )
         self.phases = PhaseManager(
             warmup_samples=self.config.warmup_samples,
@@ -152,7 +175,14 @@ class TreadmillInstance:
         )
         self._req_counter = 0
         self._workload = bench.config.workload
-        self._components = {"server": [], "network": [], "client": []}
+        self._components = {
+            "server": FloatBuffer(),
+            "network": FloatBuffer(),
+            "client": FloatBuffer(),
+        }
+        # report() memo: (collected, ground-truth count) -> arrays.
+        self._report_key = None
+        self._report_arrays = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -171,17 +201,21 @@ class TreadmillInstance:
     # request path
     # ------------------------------------------------------------------
     def _send(self, conn_id: int) -> None:
-        request = self._workload.sample_request(self._rng, self._req_counter, conn_id)
-        self._req_counter += 1
-        self.client.issue(request)
+        counter = self._req_counter
+        self._req_counter = counter + 1
+        self.client.issue(self._sampler(counter, conn_id))
+
+    @property
+    def streams(self):
+        """All hot-path BlockStreams (gaps, conn picks, request params)."""
+        return self.controller.streams + tuple(self._sampler.streams)
 
     def _on_response(self, request: Request) -> None:
         # Inline execution: accounting happens in the completion
         # callback itself, immediately (no extra queueing stage).
         self.controller.on_response(request.conn_id)
-        was_warmup = self.phases.seen < self.phases.warmup_samples
-        self.phases.record(request.user_latency_us)
-        if self.config.keep_components and not was_warmup:
+        counted = self.phases.record(request.user_latency_us)
+        if counted and self.config.keep_components:
             self._components["server"].append(request.server_latency_us)
             self._components["network"].append(request.network_latency_us)
             self._components["client"].append(request.client_latency_us)
@@ -193,18 +227,25 @@ class TreadmillInstance:
     # ------------------------------------------------------------------
     def report(self) -> InstanceReport:
         capture = self.client.capture
+        n_truth = len(capture.latencies_us) if capture is not None else 0
+        key = (self.phases.collected, n_truth)
+        if key != self._report_key:
+            # Array conversions happen once per batch of new samples;
+            # repeated report() calls at the same point reuse them.
+            self._report_arrays = (
+                np.asarray(self.phases.raw_samples, dtype=float),
+                capture.samples() if capture is not None else np.empty(0),
+                {k: buf.array() for k, buf in self._components.items()},
+            )
+            self._report_key = key
+        raw, truth, components = self._report_arrays
         return InstanceReport(
             name=self.name,
             histogram=self.phases.histogram,
-            raw_samples=list(self.phases.raw_samples),
+            raw_samples=raw,
             requests_sent=self.controller.sent,
             responses_recorded=self.phases.collected,
             client_utilization=self.client.utilization(),
-            ground_truth_samples=(
-                capture.samples() if capture is not None else np.empty(0)
-            ),
-            components={
-                key: np.asarray(vals, dtype=float)
-                for key, vals in self._components.items()
-            },
+            ground_truth_samples=truth,
+            components=components,
         )

@@ -26,8 +26,9 @@ core's instantaneous frequency and the socket's thermal state.
 from __future__ import annotations
 
 import math
+from collections import deque
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Callable, Deque, List, Optional
 
 from .engine import Simulator
 
@@ -101,22 +102,27 @@ class Job:
     that instant) via the ``mem_cost`` callable.
     """
 
-    __slots__ = ("work_us", "fixed_us", "mem_cost", "on_done", "tag")
+    __slots__ = ("work_us", "fixed_us", "mem_cost", "on_done", "on_done_args", "tag")
 
     def __init__(
         self,
         work_us: float,
         fixed_us: float = 0.0,
         mem_cost: Optional[Callable[["Core"], float]] = None,
-        on_done: Optional[Callable[[float], None]] = None,
+        on_done: Optional[Callable[..., None]] = None,
         tag: Optional[object] = None,
+        on_done_args: tuple = (),
     ):
         if work_us < 0 or fixed_us < 0:
             raise ValueError("job costs must be non-negative")
         self.work_us = work_us
         self.fixed_us = fixed_us
         self.mem_cost = mem_cost
+        #: Completion callback, invoked as ``on_done(duration, *on_done_args)``
+        #: so hot callers can pass a bound method plus payload instead of
+        #: allocating a per-job closure.
         self.on_done = on_done
+        self.on_done_args = on_done_args
         self.tag = tag
 
 
@@ -201,6 +207,7 @@ class Core:
         "busy_us",
         "jobs_done",
         "irq_us",
+        "_schedule",
     )
 
     def __init__(self, sim: Simulator, config: CpuConfig, socket: Socket, index: int):
@@ -208,7 +215,10 @@ class Core:
         self.config = config
         self.socket = socket
         self.index = index
-        self.queue: List[Job] = []
+        # Pre-bound kernel schedule — one job dispatch per event makes
+        # the attribute hop + method bind measurable.
+        self._schedule = sim.schedule
+        self.queue: Deque[Job] = deque()
         self.busy = False
         #: Time the core last went idle; drives ondemand down-clocking.
         self.last_busy_end = 0.0
@@ -259,12 +269,38 @@ class Core:
         """Enqueue ``job``; dispatch immediately if the core is idle."""
         if self.busy:
             self.queue.append(job)
-        else:
-            self._dispatch(job)
+            return
+        # Duplicate of _dispatch's no-turbo fast path (see there for
+        # the exactness argument) — submit is called once per job, so
+        # the extra frame would cost on every request.
+        cfg = self.config
+        if not cfg.turbo_enabled and cfg.governor != GOVERNOR_ONDEMAND:
+            self.busy = True
+            duration = job.work_us + job.fixed_us
+            if job.mem_cost is not None:
+                duration += job.mem_cost(self)
+            self._schedule(duration, self._finish, job, duration)
+            return
+        self._dispatch(job)
 
     def _dispatch(self, job: Job) -> None:
-        now = self.sim.now
         cfg = self.config
+        # Fast path: a busy or performance-governed core with Turbo off
+        # runs at exactly base frequency, so ``work * (base/base)``
+        # reduces to ``work`` bit-for-bit and the whole frequency /
+        # thermal machinery can be skipped.  (With Turbo enabled the
+        # full path must run: ``thermal_headroom`` advances stateful
+        # socket EMAs whose call sequence is part of the results.)
+        if not cfg.turbo_enabled and (
+            self.busy or cfg.governor != GOVERNOR_ONDEMAND
+        ):
+            self.busy = True
+            duration = job.work_us + job.fixed_us
+            if job.mem_cost is not None:
+                duration += job.mem_cost(self)
+            self._schedule(duration, self._finish, job, duration)
+            return
+        now = self.sim.now
         down = self.downclock_fraction(now)
         self.busy = True
         freq = self.effective_freq_ghz(now, down)
@@ -274,20 +310,20 @@ class Core:
             duration += cfg.ondemand_ramp_stall_us * down
         if job.mem_cost is not None:
             duration += job.mem_cost(self)
-        self.sim.schedule(duration, self._finish, job, duration)
+        self._schedule(duration, self._finish, job, duration)
 
     def _finish(self, job: Job, duration: float) -> None:
         self.busy_us += duration
         self.jobs_done += 1
-        self.socket.account_busy(duration)
-        if self.queue:
-            nxt = self.queue.pop(0)
-            self._dispatch(nxt)
+        self.socket.busy_us_acc += duration
+        queue = self.queue
+        if queue:
+            self._dispatch(queue.popleft())
         else:
             self.busy = False
             self.last_busy_end = self.sim.now
         if job.on_done is not None:
-            job.on_done(duration)
+            job.on_done(duration, *job.on_done_args)
 
 
 class CpuComplex:

@@ -15,15 +15,42 @@ number for deterministic FIFO tie-breaking, and O(1) cancellation via
 tombstones.  A generator-based process API (:meth:`Simulator.spawn`) is
 layered on top for the few places where sequential control flow is more
 readable than callback chains.
+
+Hot-path design notes (this kernel executes hundreds of thousands of
+events per simulated second, so per-event overhead is the throughput
+of the whole library):
+
+* ``run`` / ``run_until`` are fused loops: heap access, tombstone
+  skipping, clock advance, and dispatch all happen inline with hot
+  attribute lookups bound into locals, instead of re-entering
+  ``step()`` per event.
+* Tombstone discarding is a single shared pop path
+  (:meth:`Simulator._prune`) used by ``peek``, ``step``, and both run
+  loops, so an event is never examined twice.  ``peek`` only discards
+  already-dead tombstones — no live state changes on a read.
+* Fired :class:`Event` objects are recycled through a small pool.
+  Recycling is only safe when the kernel holds the *sole* remaining
+  reference (``sys.getrefcount(ev) == 2``: the local plus the refcount
+  probe itself); events still referenced by controllers or processes
+  (which may cancel them late) are simply left to the garbage
+  collector.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
+import sys
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
 __all__ = ["Event", "Process", "Simulator", "SimulationError"]
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+_getrefcount = sys.getrefcount
+
+#: Upper bound on pooled Event objects per simulator (plenty for any
+#: realistic number of simultaneously in-flight events between pops).
+_POOL_MAX = 4096
 
 
 class SimulationError(RuntimeError):
@@ -57,13 +84,15 @@ class Event:
     def cancel(self) -> None:
         """Prevent the callback from firing.  Idempotent.
 
-        Keeps the owning simulator's live-event counter exact, which
-        is what makes :attr:`Simulator.pending` O(1).
+        Counts the tombstone left in the owning simulator's heap, which
+        is what makes :attr:`Simulator.pending` O(1): live events are
+        ``len(heap) - tombstones``, with no bookkeeping at all on the
+        schedule/fire fast path.
         """
         if not self.cancelled:
             self.cancelled = True
             if self._sim is not None:
-                self._sim._live -= 1
+                self._sim._tombstones += 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
@@ -123,12 +152,16 @@ class Simulator:
     def __init__(self) -> None:
         self.now: float = 0.0
         self._heap: List[Tuple[float, int, Event]] = []
-        self._seq = itertools.count()
+        self._seqn = 0
         self._stopped = False
         self._events_processed = 0
-        #: Live (non-cancelled, not-yet-fired) events.  Maintained
-        #: incrementally so :attr:`pending` never scans the heap.
-        self._live = 0
+        #: Cancelled entries still sitting in the heap.  ``pending`` is
+        #: ``len(heap) - tombstones`` — exact, O(1), and free on the
+        #: schedule/fire fast path (only cancel() and tombstone pops,
+        #: both rare, touch the counter).
+        self._tombstones = 0
+        #: Recycled Event objects (see module docstring).
+        self._pool: List[Event] = []
 
     # ------------------------------------------------------------------
     # scheduling
@@ -137,7 +170,19 @@ class Simulator:
         """Schedule ``fn(*args)`` to run ``delay`` microseconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
-        return self.at(self.now + delay, fn, *args)
+        time = self.now + delay
+        pool = self._pool
+        if pool:
+            event = pool.pop()
+            event.time = time
+            event.fn = fn
+            event.args = args
+            event.cancelled = False
+        else:
+            event = Event(time, fn, args, sim=self)
+        self._seqn = seq = self._seqn + 1
+        _heappush(self._heap, (time, seq, event))
+        return event
 
     def at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` at absolute virtual ``time``."""
@@ -145,9 +190,17 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time!r} before now={self.now!r}"
             )
-        event = Event(time, fn, args, sim=self)
-        heapq.heappush(self._heap, (time, next(self._seq), event))
-        self._live += 1
+        pool = self._pool
+        if pool:
+            event = pool.pop()
+            event.time = time
+            event.fn = fn
+            event.args = args
+            event.cancelled = False
+        else:
+            event = Event(time, fn, args, sim=self)
+        self._seqn = seq = self._seqn + 1
+        _heappush(self._heap, (time, seq, event))
         return event
 
     def spawn(self, gen: Generator[Optional[float], None, None]) -> Process:
@@ -160,65 +213,157 @@ class Simulator:
     @property
     def pending(self) -> int:
         """Number of live (non-cancelled) events still queued.  O(1):
-        a counter maintained on schedule/cancel/fire, never a heap scan
+        the heap length minus the tombstone count, never a heap scan
         (load testers poll this every request at high rates)."""
-        return self._live
+        return len(self._heap) - self._tombstones
 
     @property
     def events_processed(self) -> int:
         """Total events executed since construction."""
         return self._events_processed
 
+    def _prune(self) -> None:
+        """Discard dead tombstones from the heap top.
+
+        The single shared pop path: ``peek``, ``step``, ``run``, and
+        ``run_until`` all rely on the invariant that after pruning the
+        heap top (if any) is a live event.  Dead entries may be pooled
+        for reuse when nothing else references them.
+        """
+        heap = self._heap
+        pool = self._pool
+        while heap and heap[0][2].cancelled:
+            event = _heappop(heap)[2]
+            self._tombstones -= 1
+            if _getrefcount(event) == 2 and len(pool) < _POOL_MAX:
+                event.fn = None
+                event.args = ()
+                pool.append(event)
+
     def peek(self) -> Optional[float]:
-        """Timestamp of the next live event, or ``None`` if drained."""
-        while self._heap and self._heap[0][2].cancelled:
-            heapq.heappop(self._heap)
+        """Timestamp of the next live event, or ``None`` if drained.
+
+        Logically read-only: the only mutation is discarding already
+        dead tombstones (via the shared :meth:`_prune` path), which no
+        observable state depends on.
+        """
+        self._prune()
         return self._heap[0][0] if self._heap else None
 
     def step(self) -> bool:
         """Execute the single next event.  Returns False when drained."""
-        while self._heap:
-            time, _, event = heapq.heappop(self._heap)
+        self._prune()
+        heap = self._heap
+        if not heap:
+            return False
+        time, _, event = _heappop(heap)
+        self.now = time
+        self._events_processed += 1
+        event.cancelled = True  # fired; a late cancel() must be a no-op
+        fn = event.fn
+        args = event.args
+        if _getrefcount(event) == 2 and len(self._pool) < _POOL_MAX:
+            event.fn = None
+            event.args = ()
+            self._pool.append(event)
+        del event
+        fn(*args)
+        return True
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Run until the event heap drains (or ``max_events`` executed).
+
+        Returns the number of events executed by this call, which lets
+        slice-driving callers (e.g. ``TestBench.run_until``) detect a
+        drained heap without a separate ``peek``.
+        """
+        self._stopped = False
+        heap = self._heap
+        pool = self._pool
+        limit = float("inf") if max_events is None else max_events
+        executed = 0
+        while heap and executed < limit:
+            if self._stopped:
+                break
+            time, _, event = _heappop(heap)
             if event.cancelled:
+                # Tombstone: recycle when nothing else references it.
+                self._tombstones -= 1
+                if _getrefcount(event) == 2 and len(pool) < _POOL_MAX:
+                    event.fn = None
+                    event.args = ()
+                    pool.append(event)
                 continue
             self.now = time
-            self._events_processed += 1
-            self._live -= 1
-            event.cancelled = True  # fired; a late cancel() must be a no-op
-            event.fn(*event.args)
-            return True
-        return False
-
-    def run(self, max_events: Optional[int] = None) -> None:
-        """Run until the event heap drains (or ``max_events`` executed)."""
-        self._stopped = False
-        executed = 0
-        while not self._stopped:
-            if max_events is not None and executed >= max_events:
-                return
-            if not self.step():
-                return
+            event.cancelled = True  # fired; late cancel() is a no-op
             executed += 1
+            fn = event.fn
+            args = event.args
+            if _getrefcount(event) == 2 and len(pool) < _POOL_MAX:
+                event.fn = None
+                event.args = ()
+                pool.append(event)
+            del event
+            fn(*args)
+        self._events_processed += executed
+        return executed
 
-    def run_until(self, time: float) -> None:
+    def run_until(self, time: float) -> int:
         """Run all events with timestamp <= ``time`` and advance the clock.
 
         The clock lands exactly on ``time`` even if no event fires
         there, so back-to-back ``run_until`` calls observe a monotone
-        clock.
+        clock.  Returns the number of events executed.
+
+        A single fused batch loop: the old implementation alternated
+        ``peek()`` (which popped tombstones and read the top) with
+        ``step()`` (which re-examined the same top entry); here every
+        heap entry is popped and examined exactly once.
         """
         if time < self.now:
             raise SimulationError(
                 f"run_until({time!r}) is before now={self.now!r}"
             )
         self._stopped = False
-        while not self._stopped:
-            nxt = self.peek()
-            if nxt is None or nxt > time:
+        heap = self._heap
+        pool = self._pool
+        executed = 0
+        while heap:
+            if self._stopped:
                 break
-            self.step()
-        if not self._stopped:
-            self.now = max(self.now, time)
+            head = heap[0]
+            event = head[2]
+            if event.cancelled:
+                _heappop(heap)
+                self._tombstones -= 1
+                if _getrefcount(event) == 3 and len(pool) < _POOL_MAX:
+                    # 3: `head`, `event`, and the refcount probe — the
+                    # popped tuple is gone, nothing external remains.
+                    del head
+                    event.fn = None
+                    event.args = ()
+                    pool.append(event)
+                continue
+            t = head[0]
+            if t > time:
+                break
+            _heappop(heap)
+            del head
+            self.now = t
+            event.cancelled = True  # fired; late cancel() is a no-op
+            executed += 1
+            fn = event.fn
+            args = event.args
+            if _getrefcount(event) == 2 and len(pool) < _POOL_MAX:
+                event.fn = None
+                event.args = ()
+                pool.append(event)
+            del event
+            fn(*args)
+        self._events_processed += executed
+        if not self._stopped and self.now < time:
+            self.now = time
+        return executed
 
     def stop(self) -> None:
         """Stop the currently executing :meth:`run` / :meth:`run_until`."""

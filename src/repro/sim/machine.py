@@ -29,6 +29,7 @@ single run collects.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Callable, Dict, List, Optional
 
 import numpy as np
@@ -114,6 +115,11 @@ class ServerMachine:
         self.nic = Nic(spec.nic, self.cpu)
         self.memory = NumaMemory(spec.numa, spec.cpu.sockets, rng.stream("numa"))
         self._service_rng = rng.stream("service")
+        # Batched service-profile sampler: workloads whose noise draws
+        # are homogeneous (memcached) pre-sample blocks on the same
+        # stream bit-identically; others fall back to scalar profile().
+        self._profile = workload.profile_sampler(self._service_rng)
+        self._schedule = sim.schedule
         self._conns: Dict[int, ServerConnection] = {}
         self.requests_served = 0
         # Boot state; populated by boot().
@@ -189,22 +195,25 @@ class ServerMachine:
         irq_job = Job(
             work_us=0.0,
             fixed_us=irq_cost,
-            on_done=lambda _d, req=request, c=conn, cb=respond: self._dispatch_worker(
-                req, c, cb
-            ),
+            on_done=self._dispatch_worker,
+            on_done_args=(request, conn, respond),
         )
         conn.irq_core.irq_us += irq_cost
         conn.irq_core.submit(irq_job)
 
     def _dispatch_worker(
-        self, request: Request, conn: ServerConnection, respond: Callable[[Request], None]
+        self,
+        _duration: float,
+        request: Request,
+        conn: ServerConnection,
+        respond: Callable[[Request], None],
     ) -> None:
-        profile = self.workload.profile(request, self._service_rng)
+        profile = self._profile(request)
         wake = self.nic.wake_cost_us(conn.irq_core, conn.worker_core)
         mem_cost = None
         if profile.mem_accesses > 0:
-            mem_cost = lambda core, p=conn.placement, n=profile.mem_accesses: (
-                self.memory.access_cost_us(p, core, n)
+            mem_cost = partial(
+                self._buffer_access_cost, conn.placement, profile.mem_accesses
             )
         if request.t_service_start != request.t_service_start:  # still NaN
             request.t_service_start = self.sim.now
@@ -212,15 +221,21 @@ class ServerMachine:
             work_us=profile.work_us * self.boot_quality,
             fixed_us=profile.fixed_us + wake,
             mem_cost=mem_cost,
-            on_done=lambda _d: self._phase_done(request, conn, profile, respond),
+            on_done=self._phase_done,
+            on_done_args=(request, conn, profile, respond),
         )
         conn.worker_core.submit(job)
 
-    def _phase_done(self, request, conn, profile, respond) -> None:
+    def _buffer_access_cost(
+        self, placement: BufferPlacement, accesses: int, core: Core
+    ) -> float:
+        return self.memory.access_cost_us(placement, core, accesses)
+
+    def _phase_done(self, _duration, request, conn, profile, respond) -> None:
         if profile.backend_wait_us > 0 or profile.post_work_us > 0:
             # Proxy workload: wait off-core for the backend, then run
             # the response-assembly phase on the same worker core.
-            self.sim.schedule(
+            self._schedule(
                 profile.backend_wait_us,
                 self._backend_returned,
                 request,
@@ -235,15 +250,19 @@ class ServerMachine:
         job = Job(
             work_us=profile.post_work_us * self.boot_quality,
             fixed_us=0.0,
-            on_done=lambda _d: self._complete(request, respond),
+            on_done=self._post_work_done,
+            on_done_args=(request, respond),
         )
         conn.worker_core.submit(job)
+
+    def _post_work_done(self, _duration, request, respond) -> None:
+        self._complete(request, respond)
 
     def _complete(self, request: Request, respond: Callable[[Request], None]) -> None:
         request.t_service_end = self.sim.now
         # Response TX: fixed kernel cost, pipelined (does not occupy a
         # worker core in this model).
-        self.sim.schedule(
+        self._schedule(
             self.spec.kernel.server_tx_us, self._send_response, request, respond
         )
 
@@ -343,6 +362,11 @@ class ClientMachine:
         cpu_cfg = CpuConfig(sockets=1, cores_per_socket=1, governor="performance")
         self._cpu = CpuComplex(sim, cpu_cfg)
         self._core = self._cpu.cores[0]
+        # Hot-path caches: pre-bound kernel schedule and the two fixed
+        # kernel crossing costs (dataclass attribute chains otherwise).
+        self._schedule = sim.schedule
+        self._tx_kernel_us = spec.kernel.client_tx_us
+        self._rx_kernel_us = spec.kernel.client_rx_us
         self.requests_issued = 0
         self.responses_received = 0
 
@@ -358,13 +382,14 @@ class ClientMachine:
         job = Job(
             work_us=0.0,
             fixed_us=self.spec.tx_cpu_us,
-            on_done=lambda _d: self._after_tx_cpu(request),
+            on_done=self._after_tx_cpu,
+            on_done_args=(request,),
         )
         self._core.submit(job)
 
-    def _after_tx_cpu(self, request: Request) -> None:
+    def _after_tx_cpu(self, _duration: float, request: Request) -> None:
         # Kernel TX path (pipelined), then the wire.
-        self.sim.schedule(self.spec.kernel.client_tx_us, self._to_wire, request)
+        self._schedule(self._tx_kernel_us, self._to_wire, request)
 
     def _to_wire(self, request: Request) -> None:
         request.t_nic_send = self.sim.now
@@ -377,17 +402,18 @@ class ClientMachine:
         request.t_nic_recv = self.sim.now
         if self.capture is not None:
             self.capture.record_rx(request)
-        self.sim.schedule(self.spec.kernel.client_rx_us, self._rx_user, request)
+        self._schedule(self._rx_kernel_us, self._rx_user, request)
 
     def _rx_user(self, request: Request) -> None:
         job = Job(
             work_us=0.0,
             fixed_us=self.spec.rx_cpu_us,
-            on_done=lambda _d: self._complete(request),
+            on_done=self._complete,
+            on_done_args=(request,),
         )
         self._core.submit(job)
 
-    def _complete(self, request: Request) -> None:
+    def _complete(self, _duration: float, request: Request) -> None:
         request.t_user_recv = self.sim.now
         self.responses_received += 1
         if self.response_handler is not None:

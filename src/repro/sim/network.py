@@ -55,34 +55,57 @@ class Link:
     has been transmitted (queueing + transmission) and propagated.
     """
 
-    __slots__ = ("sim", "config", "_free_at", "busy_us", "packets", "bytes_sent")
+    __slots__ = (
+        "sim",
+        "config",
+        "_bandwidth",
+        "_propagation",
+        "_schedule",
+        "_free_at",
+        "busy_us",
+        "packets",
+        "bytes_sent",
+    )
 
     def __init__(self, sim: Simulator, config: LinkConfig):
         self.sim = sim
         self.config = config
+        # Config is immutable after construction; cache the two hot
+        # fields as plain floats (dataclass attribute access is a dict
+        # lookup on the per-packet path otherwise), and the kernel's
+        # schedule as a pre-bound method.
+        self._bandwidth = config.bandwidth_bpus
+        self._propagation = config.propagation_us
+        self._schedule = sim.schedule
         self._free_at = 0.0
         self.busy_us = 0.0
         self.packets = 0
         self.bytes_sent = 0
 
-    def send(self, size_bytes: int, on_delivered: Callable[[], None]) -> float:
+    def send(
+        self, size_bytes: int, on_delivered: Callable[..., None], *args: object
+    ) -> float:
         """Transmit a packet; returns the queueing delay experienced.
 
         FIFO ordering is maintained by tracking when the transmitter
         frees up; no per-packet event is needed while the link is
-        backlogged, which keeps the simulation cheap.
+        backlogged, which keeps the simulation cheap.  Extra ``args``
+        are forwarded to ``on_delivered``, so callers can pass a bound
+        method plus its payload instead of building a per-packet
+        closure.
         """
         if size_bytes <= 0:
             raise ValueError("packet size must be positive")
         now = self.sim.now
-        start = max(now, self._free_at)
-        tx_us = size_bytes / self.config.bandwidth_bpus
-        self._free_at = start + tx_us
+        free_at = self._free_at
+        start = free_at if free_at > now else now
+        tx_us = size_bytes / self._bandwidth
+        self._free_at = free_at = start + tx_us
         self.busy_us += tx_us
         self.packets += 1
         self.bytes_sent += size_bytes
-        delivered_at = self._free_at + self.config.propagation_us
-        self.sim.schedule(delivered_at - now, on_delivered)
+        delivered_at = free_at + self._propagation
+        self._schedule(delivered_at - now, on_delivered, *args)
         return start - now
 
     def utilization(self) -> float:
@@ -123,14 +146,14 @@ class Spine:
         self.config = config
         self._rng = rng
 
-    def traverse(self, on_delivered: Callable[[], None]) -> None:
+    def traverse(self, on_delivered: Callable[..., None], *args: object) -> None:
         cfg = self.config
         delay = cfg.propagation_us
         if cfg.background_mean_us > 0:
             delay += float(self._rng.exponential(cfg.background_mean_us))
         if cfg.burst_probability > 0 and self._rng.random() < cfg.burst_probability:
             delay += float(self._rng.exponential(cfg.burst_mean_us))
-        self.sim.schedule(delay, on_delivered)
+        self.sim.schedule(delay, on_delivered, *args)
 
 
 class NetworkPath:
@@ -141,18 +164,24 @@ class NetworkPath:
         self.downlink = downlink
         self.spine = spine
 
-    def send(self, size_bytes: int, on_delivered: Callable[[], None]) -> None:
+    def send(
+        self, size_bytes: int, on_delivered: Callable[..., None], *args: object
+    ) -> None:
+        # Hop-to-hop continuations are expressed as (bound method,
+        # payload) pairs, so the common same-rack case allocates no
+        # closures at all on the per-packet path.
         if self.spine is None:
             self.uplink.send(
-                size_bytes,
-                lambda: self.downlink.send(size_bytes, on_delivered),
+                size_bytes, self.downlink.send, size_bytes, on_delivered, *args
             )
         else:
             self.uplink.send(
                 size_bytes,
-                lambda: self.spine.traverse(
-                    lambda: self.downlink.send(size_bytes, on_delivered)
-                ),
+                self.spine.traverse,
+                self.downlink.send,
+                size_bytes,
+                on_delivered,
+                *args,
             )
 
 

@@ -1,0 +1,62 @@
+"""Growable numpy sample buffers.
+
+Per-request metric accumulation used to go through Python lists and a
+full ``np.asarray`` copy at every report.  :class:`FloatBuffer` keeps
+the samples in a numpy array from the start — amortized O(1) appends
+into a doubling backing store, and :meth:`array` returns a zero-copy
+view, so repeated reporting is allocation-light.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["FloatBuffer"]
+
+
+class FloatBuffer:
+    """An append-only float array with amortized-O(1) growth."""
+
+    __slots__ = ("_data", "_n")
+
+    def __init__(self, capacity: int = 1024):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._data = np.empty(capacity, dtype=float)
+        self._n = 0
+
+    def append(self, value: float) -> None:
+        data = self._data
+        n = self._n
+        if n == len(data):
+            grown = np.empty(2 * len(data), dtype=float)
+            grown[:n] = data
+            self._data = data = grown
+        data[n] = value
+        self._n = n + 1
+
+    def extend(self, values) -> None:
+        arr = np.asarray(values, dtype=float)
+        need = self._n + arr.size
+        data = self._data
+        if need > len(data):
+            cap = len(data)
+            while cap < need:
+                cap *= 2
+            grown = np.empty(cap, dtype=float)
+            grown[: self._n] = data[: self._n]
+            self._data = data = grown
+        data[self._n : need] = arr
+        self._n = need
+
+    def __len__(self) -> int:
+        return self._n
+
+    def array(self) -> np.ndarray:
+        """Zero-copy view of the samples appended so far.
+
+        The view aliases the backing store: it stays valid and cheap
+        for read-side consumers, but appending may reallocate, so
+        callers that need a stable snapshot should copy.
+        """
+        return self._data[: self._n]

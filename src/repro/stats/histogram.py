@@ -124,6 +124,88 @@ class AdaptiveHistogram:
         for v in values:
             self.add(v)
 
+    def record_many(self, values) -> None:
+        """Bulk-ingest a batch; exactly equivalent to sequential adds.
+
+        The steady-state fast path vectorizes the in-range samples of
+        each chunk (index computation and bin counting in numpy) while
+        preserving :meth:`add`'s semantics bit-for-bit: the running
+        ``_sum`` still accumulates one float at a time in order,
+        calibration fills and finishes at exactly the same sample, and
+        any overflow or invalid value is routed through the scalar
+        :meth:`add` so re-binning and error behaviour are unchanged.
+        """
+        arr = np.asarray(values, dtype=float)
+        if arr.ndim != 1:
+            arr = arr.ravel()
+        n = int(arr.size)
+        if n == 0:
+            return
+        if np.isnan(arr).any() or bool((arr < 0).any()):
+            # Invalid sample somewhere in the batch: the scalar loop
+            # ingests the valid prefix and raises at the same index
+            # sequential adds would.
+            for v in arr.tolist():
+                self.add(v)
+            return
+        i = 0
+        counts = None
+        while i < n:
+            if self._calibrating:
+                take = min(n - i, self.calibration_size - len(self._raw))
+                chunk = arr[i : i + take].tolist()
+                s = self._sum
+                mn = self._min
+                mx = self._max
+                raw_append = self._raw.append
+                for v in chunk:
+                    s += v
+                    if v < mn:
+                        mn = v
+                    if v > mx:
+                        mx = v
+                    raw_append(v)
+                self._count += take
+                self._sum = s
+                self._min = mn
+                self._max = mx
+                if len(self._raw) >= self.calibration_size:
+                    self._finish_calibration()
+                i += take
+                continue
+            chunk = arr[i:]
+            over = np.nonzero(chunk >= self._hi)[0]
+            stop = int(over[0]) if over.size else int(chunk.size)
+            if stop > 0:
+                sub = chunk[:stop]
+                # _sum must accumulate sequentially (float addition is
+                # not associative; np.sum would drift by ulps).
+                s = self._sum
+                for v in sub.tolist():
+                    s += v
+                self._sum = s
+                self._count += stop
+                mn = float(sub.min())
+                mx = float(sub.max())
+                if mn < self._min:
+                    self._min = mn
+                if mx > self._max:
+                    self._max = mx
+                idx = ((sub - self._lo) / self._width).astype(np.int64)
+                # add() clamps below-range samples into the first bin.
+                np.clip(idx, 0, None, out=idx)
+                if counts is None:
+                    counts = self._counts
+                counts += np.bincount(idx, minlength=self.num_bins)
+                i += stop
+            if i < n:
+                # First at-or-above-range sample: scalar add() keeps
+                # the overflow/re-bin bookkeeping exact, then the loop
+                # resumes against the (possibly widened) range.
+                self.add(float(arr[i]))
+                counts = None  # _rebin may have replaced the array
+                i += 1
+
     def _finish_calibration(self) -> None:
         """Derive the bin range from buffered samples and bin them."""
         raw = self._raw
@@ -217,7 +299,71 @@ class AdaptiveHistogram:
         return self._max
 
     def quantiles(self, qs: Sequence[float]) -> List[float]:
-        return [self.quantile(q) for q in qs]
+        """Batch quantiles, bit-identical to per-q :meth:`quantile`.
+
+        One cumsum + searchsorted replaces the per-q linear walk over
+        the bins, and the raw overflow is sorted once instead of per q
+        — metric extraction queries dense grids (thousands of points),
+        where the scalar walk dominates report time.
+        """
+        qarr = np.asarray(qs, dtype=float)
+        if qarr.size == 0:
+            return []
+        if not bool(np.all((qarr >= 0.0) & (qarr <= 1.0))):
+            raise ValueError("q must be in [0, 1]")
+        if self._count == 0:
+            raise ValueError("cannot take a quantile of an empty histogram")
+        if self._calibrating:
+            raw = np.asarray(self._raw)
+            return [float(np.quantile(raw, q)) for q in qarr.tolist()]
+        counts = self._counts
+        # int64 bin counts: the cumulative sums are exact integers
+        # (representable in float64), so every comparison and the
+        # interpolation arithmetic below match the scalar walk's float
+        # accumulation bit for bit.
+        cumsum = np.cumsum(counts)
+        targets = qarr * self._count
+        idxs = np.searchsorted(cumsum, targets, side="left")
+        num_bins = self.num_bins
+        lo = self._lo
+        width = self._width
+        in_bins = idxs < num_bins
+        safe = np.where(in_bins, idxs, 0)
+        c = counts[safe]
+        direct = in_bins & (c > 0)
+        # Same expressions as the scalar walk, elementwise: frac =
+        # (target - cum_before) / c; value = lo + (idx + frac) * width.
+        with np.errstate(divide="ignore", invalid="ignore"):
+            frac = (targets - (cumsum[safe] - c)) / c
+            vals = lo + (safe + frac) * width
+        if bool(direct.all()):
+            return vals.tolist()
+        # Slow path for the rare leftovers: targets beyond the binned
+        # mass (raw overflow / max) and exact ties on empty leading
+        # bins (the scalar walk skips zero-count bins).
+        out = vals.tolist()
+        sorted_overflow: Optional[List[float]] = None
+        total_binned = int(cumsum[-1]) if num_bins else 0
+        counts_list = counts.tolist()
+        cumsum_list = cumsum.tolist()
+        for i in np.nonzero(~direct)[0].tolist():
+            target = float(targets[i])
+            idx = int(idxs[i])
+            while idx < num_bins and not counts_list[idx]:
+                idx += 1
+            if idx < num_bins:
+                cb = counts_list[idx]
+                frac_i = (target - (cumsum_list[idx] - cb)) / cb
+                out[i] = lo + (idx + frac_i) * width
+                continue
+            if sorted_overflow is None:
+                sorted_overflow = sorted(self._overflow)
+            if sorted_overflow:
+                pos = min(int(target - total_binned), len(sorted_overflow) - 1)
+                out[i] = sorted_overflow[max(0, pos)]
+            else:
+                out[i] = self._max
+        return out
 
     def cdf_points(self) -> Tuple[np.ndarray, np.ndarray]:
         """(latency, cumulative probability) points for plotting CDFs.

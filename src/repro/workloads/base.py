@@ -20,6 +20,8 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
+from typing import Callable, Optional
+
 import numpy as np
 
 __all__ = ["Request", "WorkProfile", "Workload"]
@@ -148,9 +150,16 @@ class WorkProfile:
     post_work_us: float = 0.0
 
     def __post_init__(self) -> None:
-        for name in ("work_us", "fixed_us", "mem_accesses", "backend_wait_us", "post_work_us"):
-            if getattr(self, name) < 0:
-                raise ValueError(f"{name} must be non-negative")
+        # One profile is built per simulated request; direct field
+        # reads keep this validation off the profiler's radar.
+        if (
+            self.work_us < 0
+            or self.fixed_us < 0
+            or self.mem_accesses < 0
+            or self.backend_wait_us < 0
+            or self.post_work_us < 0
+        ):
+            raise ValueError("WorkProfile costs must be non-negative")
 
     @property
     def total_on_core_us(self) -> float:
@@ -175,6 +184,50 @@ class Workload(abc.ABC):
     @abc.abstractmethod
     def profile(self, request: Request, rng: np.random.Generator) -> WorkProfile:
         """Server-side cost of ``request``."""
+
+    def request_sampler(
+        self,
+        rng: np.random.Generator,
+        stream_factory: Optional[Callable[[str], np.random.Generator]] = None,
+        block: int = 512,
+    ) -> Callable[[int, int], Request]:
+        """A ``(req_id, conn_id) -> Request`` closure for the hot path.
+
+        With ``stream_factory`` (a ``purpose -> Generator`` map giving
+        each request parameter its own dedicated stream), workloads
+        override this to draw parameters in pre-sampled blocks — see
+        :class:`repro.workloads.sampling.BlockStream` for the
+        invariant that makes block size irrelevant to results.  This
+        default ignores the factory and wraps the scalar
+        :meth:`sample_request` on ``rng``, preserving the legacy
+        single-stream draw sequence exactly.
+
+        The returned callable carries a ``streams`` attribute (tuple
+        of its ``BlockStream`` objects, empty here) for batch-hit-rate
+        diagnostics.
+        """
+        def sample(req_id: int, conn_id: int) -> Request:
+            return self.sample_request(rng, req_id, conn_id)
+
+        sample.streams = ()
+        return sample
+
+    def profile_sampler(
+        self, rng: np.random.Generator, block: int = 512
+    ) -> Callable[[Request], WorkProfile]:
+        """A ``Request -> WorkProfile`` closure for the server hot path.
+
+        Workloads whose per-request randomness is a single homogeneous
+        draw override this to batch it from the *same* ``rng`` —
+        bit-identical to the scalar path.  Workloads with
+        value-dependent or interleaved draws must keep this scalar
+        default (batching would change the bit-stream split).
+        """
+        def prof(request: Request) -> WorkProfile:
+            return self.profile(request, rng)
+
+        prof.streams = ()
+        return prof
 
     @abc.abstractmethod
     def mean_service_us(self) -> float:

@@ -23,12 +23,13 @@ latency.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 import numpy as np
 
 from .base import Request, Workload, WorkProfile
 from .generators import Distribution, Exponential, Lognormal, OperationMix, Uniform
+from .sampling import BlockStream
 
 __all__ = ["McrouterWorkload"]
 
@@ -106,6 +107,57 @@ class McrouterWorkload(Workload):
             request_bytes=request_bytes,
             response_bytes=response_bytes,
         )
+
+    def request_sampler(
+        self,
+        rng: np.random.Generator,
+        stream_factory: Optional[Callable[[str], np.random.Generator]] = None,
+        block: int = 512,
+    ) -> Callable[[int, int], Request]:
+        """Batched op/key/value drawing on dedicated per-parameter
+        streams (same scheme as memcached; falls back to the scalar
+        path without a ``stream_factory``).
+
+        The server-side :meth:`profile` deliberately keeps its scalar
+        form: it interleaves a lognormal noise draw with an exponential
+        backend wait on one stream, and that heterogeneous sequence is
+        not exactly batchable.
+        """
+        if stream_factory is None:
+            return super().request_sampler(rng, None, block)
+        op_s = BlockStream(self.mix.sample_block, stream_factory("op"), block)
+        key_s = BlockStream(self.key_size.sample_block, stream_factory("key"), block)
+        value_s = BlockStream(
+            self.value_size.sample_block, stream_factory("value"), block
+        )
+        op_next, key_next, value_next = op_s.next, key_s.next, value_s.next
+
+        def sample(req_id: int, conn_id: int) -> Request:
+            op = op_next()
+            key = int(round(key_next()))
+            value = int(round(value_next()))
+            if key < 1:
+                key = 1
+            if value < 1:
+                value = 1
+            if op == "get":
+                request_bytes = _PROTOCOL_OVERHEAD_BYTES + key
+                response_bytes = _PROTOCOL_OVERHEAD_BYTES + value
+            else:
+                request_bytes = _PROTOCOL_OVERHEAD_BYTES + key + value
+                response_bytes = _PROTOCOL_OVERHEAD_BYTES
+            return Request(
+                req_id=req_id,
+                conn_id=conn_id,
+                op=op,
+                key_size=key,
+                value_size=value,
+                request_bytes=request_bytes,
+                response_bytes=response_bytes,
+            )
+
+        sample.streams = (op_s, key_s, value_s)
+        return sample
 
     def profile(self, request: Request, rng: np.random.Generator) -> WorkProfile:
         kb = request.request_bytes / 1024.0

@@ -19,12 +19,13 @@ attribution pipeline with zero changes elsewhere.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 import numpy as np
 
 from .base import Request, Workload, WorkProfile
 from .generators import Distribution, GeneralizedPareto
+from .sampling import BlockStream
 
 __all__ = ["SearchLeafWorkload"]
 
@@ -92,6 +93,40 @@ class SearchLeafWorkload(Workload):
             request_bytes=64 + n_terms * 8,
             response_bytes=256,  # fixed-size scored doc-id list
         )
+
+    def request_sampler(
+        self,
+        rng: np.random.Generator,
+        stream_factory: Optional[Callable[[str], np.random.Generator]] = None,
+        block: int = 512,
+    ) -> Callable[[int, int], Request]:
+        """Batched term-count drawing (the only client-side draw).
+
+        The server-side :meth:`profile` stays scalar: its expensive-
+        query coin flip and conditional noise draw interleave two
+        distributions on one stream, which is not exactly batchable.
+        """
+        if stream_factory is None:
+            return super().request_sampler(rng, None, block)
+        terms_s = BlockStream(self.terms.sample_block, stream_factory("terms"), block)
+        terms_next = terms_s.next
+
+        def sample(req_id: int, conn_id: int) -> Request:
+            n_terms = int(round(terms_next()))
+            if n_terms < 1:
+                n_terms = 1
+            return Request(
+                req_id=req_id,
+                conn_id=conn_id,
+                op="query",
+                key_size=n_terms * 8,
+                value_size=n_terms,
+                request_bytes=64 + n_terms * 8,
+                response_bytes=256,
+            )
+
+        sample.streams = (terms_s,)
+        return sample
 
     def profile(self, request: Request, rng: np.random.Generator) -> WorkProfile:
         n_terms = max(1, request.value_size)

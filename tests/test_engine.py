@@ -246,3 +246,75 @@ class TestDeterminism:
             return trace
 
         assert build_and_run() == build_and_run()
+
+
+class TestEventPooling:
+    """Fired events are recycled only when the kernel holds the sole
+    remaining reference; anything a caller can still touch is left
+    alone."""
+
+    def test_fired_events_are_recycled(self):
+        sim = Simulator()
+        for _ in range(10):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert len(sim._pool) > 0
+        before = len(sim._pool)
+        sim.schedule(1.0, lambda: None)
+        assert len(sim._pool) == before - 1  # reused, not newly allocated
+
+    def test_held_event_is_not_recycled(self):
+        sim = Simulator()
+        held = sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert held not in sim._pool
+        # The held handle still reflects the fired state (late cancel
+        # must be a no-op, not a tombstone on a recycled object).
+        assert held.cancelled
+
+    def test_late_cancel_after_fire_is_safe(self):
+        sim = Simulator()
+        seen = []
+        held = sim.schedule(1.0, seen.append, 1)
+        sim.run()
+        held.cancel()  # fired already; must not corrupt pending
+        assert sim.pending == 0
+        ev = sim.schedule(2.0, seen.append, 2)
+        ev.cancel()
+        sim.run()
+        assert seen == [1]
+        assert sim.pending == 0
+
+    def test_cancelled_event_not_recycled_while_held(self):
+        sim = Simulator()
+        held = sim.schedule(5.0, lambda: None)
+        sim.schedule(1.0, lambda: None)
+        held.cancel()
+        sim.run()
+        # The tombstone was popped but the object is still ours.
+        assert held not in sim._pool
+        assert held.cancelled
+
+    def test_pool_reuse_preserves_results(self):
+        sim = Simulator()
+        seen = []
+
+        def chain(i):
+            if i < 200:
+                sim.schedule(0.5, chain, i + 1)
+            seen.append(i)
+
+        sim.schedule(0.0, chain, 0)
+        sim.run()
+        assert seen == list(range(201))
+
+    def test_pending_consistent_under_cancel_churn(self):
+        sim = Simulator()
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(100)]
+        for ev in events[::2]:
+            ev.cancel()
+        assert sim.pending == 50
+        sim.run_until(50.0)
+        assert sim.pending == 50 - sum(1 for e in events[1::2] if e.time <= 50.0)
+        sim.run()
+        assert sim.pending == 0

@@ -215,3 +215,54 @@ class TestSerialization:
         restored = AdaptiveHistogram.from_state(h.state())
         assert restored.count == 0
         assert restored.calibrating
+
+
+class TestVectorizedQuantiles:
+    """quantiles(qs) must equal [quantile(q) for q in qs] bit for bit —
+    the batch path is a pure speedup, never a different estimator."""
+
+    @staticmethod
+    def _fill(h, rng, n):
+        for x in rng.lognormal(4.0, 1.0, n).tolist():
+            h.add(x)
+
+    @pytest.mark.parametrize("n", [10, 200, 5000])
+    def test_batch_equals_scalar(self, n):
+        h = AdaptiveHistogram(num_bins=64, calibration_size=100)
+        self._fill(h, np.random.default_rng(n), n)
+        qs = [0.0, 0.001, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0]
+        assert h.quantiles(qs) == [h.quantile(q) for q in qs]
+
+    def test_batch_equals_scalar_with_overflow(self):
+        h = AdaptiveHistogram(num_bins=32, calibration_size=50)
+        self._fill(h, np.random.default_rng(0), 60)
+        for x in (1e6, 2e6, 3e6):  # far past the calibrated range
+            h.add(x)
+        qs = np.linspace(0.0, 1.0, 101).tolist()
+        assert h.quantiles(qs) == [h.quantile(q) for q in qs]
+
+    def test_batch_equals_scalar_while_calibrating(self):
+        h = AdaptiveHistogram(num_bins=32, calibration_size=1000)
+        self._fill(h, np.random.default_rng(1), 100)
+        qs = [0.1, 0.5, 0.99]
+        assert h.quantiles(qs) == [h.quantile(q) for q in qs]
+
+    def test_record_many_equals_scalar_adds(self):
+        rng = np.random.default_rng(2)
+        data = rng.lognormal(4.0, 1.0, 3000)
+        a = AdaptiveHistogram(num_bins=64, calibration_size=100)
+        b = AdaptiveHistogram(num_bins=64, calibration_size=100)
+        for x in data.tolist():
+            a.add(x)
+        b.record_many(data)
+        qs = [0.01, 0.5, 0.95, 0.999]
+        assert a.count == b.count
+        assert a.quantiles(qs) == b.quantiles(qs)
+
+    def test_nan_quantile_rejected(self):
+        h = AdaptiveHistogram(num_bins=32, calibration_size=10)
+        self._fill(h, np.random.default_rng(3), 50)
+        with pytest.raises(ValueError):
+            h.quantiles([0.5, float("nan")])
+        with pytest.raises(ValueError):
+            h.quantiles([-0.1])
