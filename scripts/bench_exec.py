@@ -117,9 +117,11 @@ def main() -> int:
 
     parallel_speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
     cluster_speedup = serial_s / cluster_s if cluster_s > 0 else float("inf")
+    from repro.hostinfo import host_info, parallel_meaningful as _pm  # noqa: E402
+
     parallel_identical = identical(serial, parallel)
     cluster_identical = identical(serial, cluster)
-    parallel_meaningful = (os.cpu_count() or 1) > 1
+    parallel_meaningful = _pm()
     print(
         f"[bench_exec] speedups: process {parallel_speedup:.2f}x, "
         f"cluster {cluster_speedup:.2f}x"
@@ -140,6 +142,9 @@ def main() -> int:
         "library_version": __version__,
         "python": platform.python_version(),
         "cpu_count": os.cpu_count(),
+        #: Host provenance: trajectory points are only comparable
+        #: between hosts with the same fingerprint.
+        "host": host_info(),
         "experiments": n_experiments,
         "samples_per_instance": args.samples,
         "jobs": args.jobs,

@@ -177,11 +177,16 @@ def main() -> int:
         f"({draws:,} draws, {refills:,} block refills)"
     )
 
+    from repro.hostinfo import host_info  # noqa: E402
+
     payload = {
         "bench": "sim_hot_path",
         "library_version": __version__,
         "python": platform.python_version(),
         "cpu_count": os.cpu_count(),
+        #: Host provenance: trajectory points are only comparable
+        #: between hosts with the same fingerprint.
+        "host": host_info(),
         "quick": args.quick,
         "samples_per_instance": args.samples,
         "instances": args.instances,

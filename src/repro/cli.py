@@ -158,6 +158,38 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("hardware", help="print the simulated hardware spec (Table II)")
     sub.add_parser("backends", help="list the registered execution backends")
 
+    scen_p = sub.add_parser(
+        "scenario",
+        help="declarative N-fleet x M-pool scenarios (list / validate / run)",
+    )
+    scen_sub = scen_p.add_subparsers(dest="scenario_command", required=True)
+    scen_sub.add_parser("list", help="list the library scenarios")
+    val_p = scen_sub.add_parser(
+        "validate",
+        help="load, validate, and compile scenarios without running them",
+    )
+    val_p.add_argument(
+        "scenario",
+        nargs="*",
+        metavar="NAME|PATH",
+        help="library scenario names or JSON file paths (default: whole library)",
+    )
+    scen_run_p = scen_sub.add_parser(
+        "run", help="compile a scenario and execute every RunSpec"
+    )
+    scen_run_p.add_argument(
+        "scenario", metavar="NAME|PATH", help="library scenario name or JSON file path"
+    )
+    scen_run_p.add_argument(
+        "--verify-identical",
+        action="store_true",
+        help=(
+            "run each compiled spec through both the serial and the "
+            "process executor and gate on outputs_identical"
+        ),
+    )
+    add_exec_flags(scen_run_p)
+
     chaos_p = sub.add_parser(
         "chaos",
         help=(
@@ -237,6 +269,109 @@ def _cmd_backends() -> int:
     return 0
 
 
+def _resolve_scenario(ref: str):
+    """A scenario by library name or JSON file path."""
+    import os
+
+    from .scenarios import load_scenario, scenario_from_json
+
+    if os.path.exists(ref) or ref.endswith(".json"):
+        return scenario_from_json(ref)
+    return load_scenario(ref)
+
+
+def _cmd_scenario_list() -> int:
+    from .scenarios import list_scenarios, load_scenario
+
+    names = list_scenarios()
+    width = max(len(n) for n in names)
+    for name in names:
+        spec = load_scenario(name)
+        shape = f"{len(spec.fleets)}x{len(spec.pools)}"
+        print(f"{name.ljust(width)}  [{shape}]  {spec.description}")
+    return 0
+
+
+def _cmd_scenario_validate(refs: List[str]) -> int:
+    from .scenarios import compile_scenario, list_scenarios
+
+    refs = list(refs) or list_scenarios()
+    failures = 0
+    for ref in refs:
+        try:
+            spec = _resolve_scenario(ref)
+            specs = compile_scenario(spec)
+        except (ValueError, KeyError, FileNotFoundError) as exc:
+            print(f"{ref}: INVALID — {exc}")
+            failures += 1
+            continue
+        print(
+            f"{ref}: ok ({len(specs)} run spec(s), "
+            f"first digest {specs[0].digest()[:12]})"
+        )
+    return 1 if failures else 0
+
+
+def _result_fingerprint(result) -> str:
+    """Content hash of everything a run reports (identity checks)."""
+    import hashlib
+
+    import numpy as np
+
+    h = hashlib.sha256()
+    h.update(repr(sorted(result.metrics.items())).encode())
+    h.update(
+        repr(
+            sorted((g, sorted(m.items())) for g, m in result.group_metrics.items())
+        ).encode()
+    )
+    for report in result.reports:
+        h.update(np.ascontiguousarray(report.raw_samples, dtype=float).tobytes())
+        h.update(
+            np.ascontiguousarray(report.ground_truth_samples, dtype=float).tobytes()
+        )
+    return h.hexdigest()
+
+
+def _cmd_scenario_run(scenario, args: argparse.Namespace) -> int:
+    from .exec.api import make_executor
+    from .exec.executors import execute_specs
+    from .scenarios import compile_scenario
+
+    specs = compile_scenario(scenario)
+    print(
+        f"[scenario {scenario.name}] {len(scenario.fleets)} fleet(s) x "
+        f"{len(scenario.pools)} pool(s) -> {len(specs)} run spec(s)"
+    )
+    start = time.time()
+    if args.verify_identical:
+        # Two independent lanes, compared result by result: the same
+        # gate the perf harness applies (identity, never wall-clock).
+        serial = execute_specs(specs, make_executor("serial"))
+        process = execute_specs(specs, make_executor("process"))
+        identical = all(
+            _result_fingerprint(a) == _result_fingerprint(b)
+            for a, b in zip(serial, process)
+        )
+        results = serial
+        print(f"outputs_identical: {identical}")
+    else:
+        identical = None
+        results = execute_specs(specs)
+    for spec, result in zip(specs, results):
+        metrics = ", ".join(
+            f"p{q * 100:g}={v:.1f}us" for q, v in sorted(result.metrics.items())
+        )
+        print(f"{spec.tag}: {metrics} (peak server util {result.server_utilization:.2f})")
+        for (fleet, pool), gm in sorted(result.group_metrics.items()):
+            gmetrics = ", ".join(
+                f"p{q * 100:g}={v:.1f}us" for q, v in sorted(gm.items())
+            )
+            print(f"  ({fleet}, {pool}): {gmetrics}")
+    print(f"[{scenario.name} completed in {time.time() - start:.1f}s]")
+    return 0 if identical in (None, True) else 1
+
+
 def _load_fault_plan(text: Optional[str]):
     """Parse ``--fault-plan`` (JSON text or a path) into a FaultPlan.
 
@@ -306,6 +441,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_backends()
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "scenario":
+        if args.scenario_command == "list":
+            return _cmd_scenario_list()
+        if args.scenario_command == "validate":
+            return _cmd_scenario_validate(args.scenario)
+        if args.scenario_command == "run":
+            scenario = _resolve_scenario(args.scenario)
+            if scenario.fault_plan is not None and not getattr(
+                args, "fault_plan", None
+            ):
+                # The scenario's embedded fault plan becomes the
+                # execution-scope default unless --fault-plan overrides.
+                import json as _json
+
+                args.fault_plan = _json.dumps(dict(scenario.fault_plan))
+            with _execution_scope(args):
+                return _cmd_scenario_run(scenario, args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

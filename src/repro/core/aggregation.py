@@ -31,6 +31,7 @@ import numpy as np
 __all__ = [
     "per_instance_quantiles",
     "aggregate_quantile",
+    "grouped_quantiles",
     "pooled_quantile",
     "client_share_by_latency",
 ]
@@ -67,6 +68,32 @@ def aggregate_quantile(
         raise ValueError(f"unknown combiner {combine!r} (have {sorted(_COMBINERS)})")
     metrics = per_instance_quantiles(samples_by_client, q)
     return float(fn(list(metrics.values())))
+
+
+def grouped_quantiles(
+    samples_by_client: Dict[str, Sequence[float]],
+    group_of_client: Dict[str, "tuple[str, str]"],
+    qs: Sequence[float],
+    combine: str = "mean",
+) -> "Dict[tuple[str, str], Dict[float, float]]":
+    """Per-(fleet, pool) aggregation for scenario runs.
+
+    Clients are partitioned by their grouping key and each group is
+    aggregated independently with :func:`aggregate_quantile` — the
+    paper's per-instance-then-combine rule applied *within* each
+    (client fleet, server pool) pair, so a hot pool's tail is never
+    diluted by a healthy one's samples.  Clients missing from
+    ``group_of_client`` raise: a silent default would mis-assign load.
+    """
+    groups: "Dict[tuple[str, str], Dict[str, Sequence[float]]]" = {}
+    for name, samples in samples_by_client.items():
+        if name not in group_of_client:
+            raise ValueError(f"client {name!r} has no (fleet, pool) group")
+        groups.setdefault(group_of_client[name], {})[name] = samples
+    return {
+        group: {q: aggregate_quantile(members, q, combine) for q in qs}
+        for group, members in groups.items()
+    }
 
 
 def pooled_quantile(samples_by_client: Dict[str, Sequence[float]], q: float) -> float:

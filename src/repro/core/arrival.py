@@ -27,6 +27,7 @@ __all__ = [
     "DeterministicArrivals",
     "LognormalArrivals",
     "BurstyArrivals",
+    "DiurnalArrivals",
     "arrival_from_spec",
 ]
 
@@ -186,6 +187,105 @@ class BurstyArrivals(ArrivalProcess):
         }
 
 
+class DiurnalArrivals(ArrivalProcess):
+    """Sinusoidally modulated Poisson arrivals (a compressed diurnal
+    cycle), with an optional superimposed flash crowd.
+
+    The instantaneous rate follows
+
+    ``rate(t) = base * (1 + amplitude * sin(2*pi*t/period + phase))``
+
+    plus, when ``flash_factor > 1``, a multiplicative flash-crowd
+    window of ``flash_duration_us`` starting at ``flash_at_us`` —
+    the scenario library's "diurnal/flash-crowd" pattern.  Gaps are
+    generated by thinning against the peak rate, so the process is an
+    exact non-homogeneous Poisson process; like
+    :class:`BurstyArrivals` it is stateful (elapsed time accumulates
+    across draws), so the batched path is the scalar loop.
+    """
+
+    def __init__(
+        self,
+        rate_rps: float,
+        amplitude: float = 0.5,
+        period_us: float = 2_000_000.0,
+        phase: float = 0.0,
+        flash_factor: float = 1.0,
+        flash_at_us: float = 0.0,
+        flash_duration_us: float = 0.0,
+    ):
+        super().__init__(rate_rps)
+        if not 0.0 <= amplitude < 1.0:
+            raise ValueError("amplitude must be in [0, 1)")
+        if period_us <= 0:
+            raise ValueError("period_us must be positive")
+        if flash_factor < 1.0:
+            raise ValueError("flash_factor must be >= 1")
+        if flash_duration_us < 0 or flash_at_us < 0:
+            raise ValueError("flash window must be non-negative")
+        self.amplitude = float(amplitude)
+        self.period_us = float(period_us)
+        self.phase = float(phase)
+        self.flash_factor = float(flash_factor)
+        self.flash_at_us = float(flash_at_us)
+        self.flash_duration_us = float(flash_duration_us)
+        self._t_us = 0.0
+
+    def _rate_at(self, t_us: float) -> float:
+        """Instantaneous rate (requests per us) at elapsed time t."""
+        base = self.rate_rps / 1e6
+        rate = base * (
+            1.0
+            + self.amplitude
+            * np.sin(2.0 * np.pi * t_us / self.period_us + self.phase)
+        )
+        if (
+            self.flash_factor > 1.0
+            and self.flash_at_us <= t_us < self.flash_at_us + self.flash_duration_us
+        ):
+            rate *= self.flash_factor
+        return rate
+
+    @property
+    def _peak_rate(self) -> float:
+        peak = (self.rate_rps / 1e6) * (1.0 + self.amplitude)
+        if self.flash_duration_us > 0:
+            peak *= self.flash_factor
+        return peak
+
+    def next_gap_us(self, rng: np.random.Generator) -> float:
+        # Thinning (Lewis & Shedler): candidate gaps at the peak rate,
+        # accepted with probability rate(t)/peak.
+        peak = self._peak_rate
+        start = self._t_us
+        t = start
+        while True:
+            t += float(rng.exponential(1.0 / peak))
+            if float(rng.random()) * peak <= self._rate_at(t):
+                self._t_us = t
+                return t - start
+
+    def next_gaps_us(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        # Stateful (elapsed time) and rejection-based: the scalar loop
+        # is the batched form, preserving the draw order exactly.
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        next_gap = self.next_gap_us
+        return np.array([next_gap(rng) for _ in range(n)], dtype=float)
+
+    def spec(self) -> Dict:
+        return {
+            "type": "diurnal",
+            "rate_rps": self.rate_rps,
+            "amplitude": self.amplitude,
+            "period_us": self.period_us,
+            "phase": self.phase,
+            "flash_factor": self.flash_factor,
+            "flash_at_us": self.flash_at_us,
+            "flash_duration_us": self.flash_duration_us,
+        }
+
+
 _BUILDERS = {
     "poisson": lambda s: PoissonArrivals(s["rate_rps"]),
     "deterministic": lambda s: DeterministicArrivals(s["rate_rps"]),
@@ -195,6 +295,15 @@ _BUILDERS = {
         s.get("burst_factor", 5.0),
         s.get("burst_fraction", 0.1),
         s.get("phase_mean_us", 10_000.0),
+    ),
+    "diurnal": lambda s: DiurnalArrivals(
+        s["rate_rps"],
+        s.get("amplitude", 0.5),
+        s.get("period_us", 2_000_000.0),
+        s.get("phase", 0.0),
+        s.get("flash_factor", 1.0),
+        s.get("flash_at_us", 0.0),
+        s.get("flash_duration_us", 0.0),
     ),
 }
 

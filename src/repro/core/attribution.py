@@ -40,10 +40,32 @@ from ..workloads.base import Workload
 __all__ = [
     "TREADMILL_FACTORS",
     "apply_factors",
+    "subsample_latencies",
+    "fit_report",
+    "fit_grouped_experiments",
     "AttributionConfig",
     "AttributionReport",
     "AttributionStudy",
 ]
+
+
+def subsample_latencies(
+    raw: np.ndarray, limit: int, seed: int, run_index: int
+) -> np.ndarray:
+    """Cap one experiment's raw latencies at ``limit`` samples.
+
+    The paper keeps 20k raw latencies per experiment.  Index through a
+    permutation of positions rather than ``rng.choice(raw,
+    replace=False)``: choice materializes a shuffled copy of the full
+    value array, while a position permutation costs O(n) small
+    integers and one fancy-index.  The RNG is keyed on (seed,
+    run_index) so the same experiment always keeps the same subsample.
+    """
+    if raw.size > limit:
+        rng = np.random.default_rng((seed, run_index, 0x5EED))
+        idx = rng.permutation(raw.size)[:limit]
+        raw = raw[idx]
+    return raw
 
 #: The paper's Table III.
 TREADMILL_FACTORS: List[Factor] = [
@@ -218,20 +240,10 @@ class AttributionStudy:
         )
 
     def _subsample(self, run: RunResult, run_index: int) -> np.ndarray:
-        """The paper keeps 20k raw latencies per experiment.
-
-        Index through a permutation of positions rather than
-        ``rng.choice(raw, replace=False)``: choice materializes a
-        shuffled copy of the full value array, while a position
-        permutation costs O(n) small integers and one fancy-index.
-        """
         cfg = self.config
-        raw = run.raw_samples()
-        if raw.size > cfg.samples_per_experiment:
-            rng = np.random.default_rng((cfg.seed, run_index, 0x5EED))
-            idx = rng.permutation(raw.size)[: cfg.samples_per_experiment]
-            raw = raw[idx]
-        return raw
+        return subsample_latencies(
+            run.raw_samples(), cfg.samples_per_experiment, cfg.seed, run_index
+        )
 
     def _experiment(self, coded: Tuple[int, ...], run_index: int) -> ExperimentSample:
         """One independent experiment at one configuration."""
@@ -285,24 +297,81 @@ class AttributionStudy:
         cfg = self.config
         if experiments is None:
             experiments = self.run_experiments()
-        rng = np.random.default_rng(cfg.seed + 1)
-        fits: Dict[float, QuantRegResult] = {}
-        r2: Dict[float, float] = {}
-        for tau in cfg.taus:
-            fit, fit_r2 = fit_with_inference(
-                experiments,
-                [f.name for f in self.factors],
-                tau,
-                n_boot=cfg.n_boot,
-                perturb_sd=cfg.perturb_sd,
-                rng=rng,
-            )
-            fits[tau] = fit
-            r2[tau] = fit_r2
-        return AttributionReport(
-            factors=list(self.factors),
-            taus=tuple(cfg.taus),
-            experiments=list(experiments),
-            fits=fits,
-            pseudo_r2=r2,
+        return fit_report(
+            experiments,
+            self.factors,
+            cfg.taus,
+            n_boot=cfg.n_boot,
+            perturb_sd=cfg.perturb_sd,
+            seed=cfg.seed,
         )
+
+
+def fit_report(
+    experiments: List[ExperimentSample],
+    factors: List[Factor],
+    taus: Sequence[float],
+    n_boot: int = 120,
+    perturb_sd: float = 0.01,
+    seed: int = 0,
+) -> AttributionReport:
+    """Fit the full-interaction model over one set of experiments.
+
+    This is :meth:`AttributionStudy.analyze` factored out so scenario
+    attribution can fit the same model once per (fleet, pool) group
+    without owning a study/sweep: one bootstrap RNG is seeded at
+    ``seed + 1`` and shared across quantiles in order, exactly as the
+    study does.
+    """
+    rng = np.random.default_rng(seed + 1)
+    names = [f.name for f in factors]
+    fits: Dict[float, QuantRegResult] = {}
+    r2: Dict[float, float] = {}
+    for tau in taus:
+        fit, fit_r2 = fit_with_inference(
+            experiments,
+            names,
+            tau,
+            n_boot=n_boot,
+            perturb_sd=perturb_sd,
+            rng=rng,
+        )
+        fits[tau] = fit
+        r2[tau] = fit_r2
+    return AttributionReport(
+        factors=list(factors),
+        taus=tuple(taus),
+        experiments=list(experiments),
+        fits=fits,
+        pseudo_r2=r2,
+    )
+
+
+def fit_grouped_experiments(
+    experiments_by_group: "Dict[Tuple[str, str], List[ExperimentSample]]",
+    factors: List[Factor],
+    taus: Sequence[float],
+    n_boot: int = 120,
+    perturb_sd: float = 0.01,
+    seed: int = 0,
+) -> "Dict[Tuple[str, str], AttributionReport]":
+    """One attribution fit per (fleet, pool) group.
+
+    Scenario sweeps measure every group under the *same* factorial
+    schedule (common random numbers across groups), so each group gets
+    its own independent model over its own latency samples — which is
+    what lets a factor's effect be localized to the pool it actually
+    hurts.  Each group's fit seeds its own bootstrap RNG, so results
+    are independent of dict insertion order.
+    """
+    return {
+        group: fit_report(
+            experiments_by_group[group],
+            factors,
+            taus,
+            n_boot=n_boot,
+            perturb_sd=perturb_sd,
+            seed=seed,
+        )
+        for group in sorted(experiments_by_group)
+    }

@@ -30,7 +30,44 @@ from ..sim.rng import RngRegistry
 from ..sim.tcpdump import PacketCapture
 from ..workloads.base import Request, Workload
 
-__all__ = ["BenchConfig", "TestBench"]
+__all__ = ["BenchConfig", "TestBench", "drive_until", "drive_to_completion"]
+
+
+def drive_until(sim: Simulator, predicate: Callable[[], bool], check_every: int = 256) -> None:
+    """Run ``sim`` until ``predicate()`` is true.
+
+    The predicate is polled every ``check_every`` events to keep the
+    loop overhead negligible; raises if the event heap drains while
+    the predicate is still false (a wiring bug: nothing left to wait
+    for).  Events are executed in batches of ``check_every`` via the
+    kernel's fused ``run`` loop rather than one ``step()`` call per
+    event — same predicate cadence, a fraction of the dispatch
+    overhead.  Shared by :class:`TestBench` and the scenario bench
+    (:mod:`repro.scenarios.bench`): one drive loop, one semantics.
+    """
+    if check_every < 1:
+        raise ValueError("check_every must be >= 1")
+    while True:
+        if predicate():
+            return
+        executed = sim.run(max_events=check_every)
+        if executed < check_every and sim.peek() is None:
+            if predicate():
+                return
+            raise RuntimeError(
+                "simulation drained before the run condition was met "
+                "(no pending events; check load-tester wiring)"
+            )
+
+
+def drive_to_completion(sim: Simulator, instances) -> None:
+    """Run until every instance reports done, then drain in-flight work."""
+    pending = list(instances)
+    drive_until(sim, lambda: all(inst.done for inst in pending))
+    for inst in pending:
+        inst.stop()
+    # Let in-flight requests and responses finish.
+    sim.run()
 
 
 @dataclass
@@ -140,36 +177,11 @@ class TestBench:
     def run_until(self, predicate: Callable[[], bool], check_every: int = 256) -> None:
         """Run the simulation until ``predicate()`` is true.
 
-        The predicate is polled every ``check_every`` events to keep
-        the loop overhead negligible; raises if the event heap drains
-        while the predicate is still false (a wiring bug: nothing left
-        to wait for).
-
-        Events are executed in batches of ``check_every`` via the
-        kernel's fused ``run`` loop rather than one ``step()`` call per
-        event — same predicate cadence, a fraction of the dispatch
-        overhead.
+        Delegates to the module-level :func:`drive_until` (shared with
+        the scenario bench) — see its docstring for semantics.
         """
-        if check_every < 1:
-            raise ValueError("check_every must be >= 1")
-        sim = self.sim
-        while True:
-            if predicate():
-                return
-            executed = sim.run(max_events=check_every)
-            if executed < check_every and sim.peek() is None:
-                if predicate():
-                    return
-                raise RuntimeError(
-                    "simulation drained before the run condition was met "
-                    "(no pending events; check load-tester wiring)"
-                )
+        drive_until(self.sim, predicate, check_every)
 
     def run_to_completion(self, instances) -> None:
         """Run until every instance reports done, then drain in-flight work."""
-        pending = list(instances)
-        self.run_until(lambda: all(inst.done for inst in pending))
-        for inst in pending:
-            inst.stop()
-        # Let in-flight requests and responses finish.
-        self.sim.run()
+        drive_to_completion(self.sim, instances)

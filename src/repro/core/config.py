@@ -20,9 +20,11 @@ Example configuration::
 
 from __future__ import annotations
 
+import dataclasses
+import difflib
 import json
 from pathlib import Path
-from typing import Dict, Union
+from typing import Dict, Iterable, Union
 
 from ..workloads.base import Workload
 from ..workloads.generators import distribution_from_spec
@@ -32,7 +34,14 @@ from ..workloads.searchleaf import SearchLeafWorkload
 from .arrival import arrival_from_spec
 from .treadmill import TreadmillConfig
 
-__all__ = ["workload_from_json", "treadmill_config_from_json", "load_json"]
+__all__ = [
+    "workload_from_json",
+    "treadmill_config_from_json",
+    "hardware_from_json",
+    "load_json",
+    "unknown_key_error",
+    "require_known_keys",
+]
 
 
 def load_json(source: Union[str, Path, Dict]) -> Dict:
@@ -48,6 +57,36 @@ def load_json(source: Union[str, Path, Dict]) -> Dict:
         with open(path) as f:
             return json.load(f)
     return json.loads(source)
+
+
+def unknown_key_error(context: str, unknown: Iterable[str], allowed: Iterable[str]) -> ValueError:
+    """A precise error for unknown configuration keys.
+
+    Names every bad key, lists the allowed vocabulary, and — when a
+    close match exists — suggests the nearest valid key, so a typo like
+    ``"get_fracton"`` points straight at ``"get_fraction"`` instead of
+    a bare rejection.  Used by both the legacy workload/treadmill
+    loaders and the scenario schema loader.
+    """
+    allowed = sorted(set(allowed))
+    parts = []
+    for key in sorted(set(unknown)):
+        close = difflib.get_close_matches(key, allowed, n=1, cutoff=0.6)
+        hint = f" (did you mean {close[0]!r}?)" if close else ""
+        parts.append(f"{key!r}{hint}")
+    plural = "keys" if len(parts) > 1 else "key"
+    return ValueError(
+        f"unknown {context} {plural}: {', '.join(parts)}; allowed: {allowed}"
+    )
+
+
+def require_known_keys(context: str, cfg: Dict, allowed: Iterable[str]) -> None:
+    """Raise :func:`unknown_key_error` if ``cfg`` has keys outside
+    ``allowed`` (strict validation: unknown keys are never ignored)."""
+    allowed = set(allowed)
+    unknown = [k for k in cfg if k not in allowed]
+    if unknown:
+        raise unknown_key_error(context, unknown, allowed)
 
 
 _SIZE_FIELDS = ("key_size", "value_size")
@@ -124,16 +163,70 @@ def workload_from_json(source: Union[str, Path, Dict]) -> Workload:
         if key in allowed:
             kwargs[key] = cfg.pop(key)
     if cfg:
-        raise ValueError(
-            f"unknown {kind} configuration keys: {sorted(cfg)} "
-            f"(allowed: {sorted(allowed) + list(_SIZE_FIELDS)})"
+        extra = {"backend_wait"} if kind == "mcrouter" else (
+            {"terms"} if kind == "searchleaf" else set()
+        )
+        raise unknown_key_error(
+            f"{kind} configuration",
+            cfg,
+            set(allowed) | set(_SIZE_FIELDS) | extra,
         )
     return cls(**kwargs)
 
 
-def treadmill_config_from_json(source: Union[str, Path, Dict]) -> TreadmillConfig:
-    """Build a :class:`~repro.core.treadmill.TreadmillConfig` from JSON."""
+def hardware_from_json(source: Union[str, Path, Dict]) -> "HardwareSpec":
+    """Build a :class:`~repro.sim.machine.HardwareSpec` from JSON.
+
+    Sections (``cpu``, ``numa``, ``nic``, ``kernel``) override the
+    corresponding config dataclass's defaults field by field, plus the
+    top-level ``boot_quality_sigma``.  Strict at every level: unknown
+    sections and unknown fields within a section both raise
+    :func:`unknown_key_error` naming the nearest valid key.
+    """
+    from ..sim.cpu import CpuConfig
+    from ..sim.kernel import KernelConfig
+    from ..sim.machine import HardwareSpec
+    from ..sim.memory import NumaConfig
+    from ..sim.nic import NicConfig
+
+    sections = {
+        "cpu": CpuConfig,
+        "numa": NumaConfig,
+        "nic": NicConfig,
+        "kernel": KernelConfig,
+    }
     cfg = dict(load_json(source))
+    require_known_keys(
+        "hardware configuration", cfg, list(sections) + ["boot_quality_sigma"]
+    )
+    kwargs: Dict = {}
+    for section, cls in sections.items():
+        if section in cfg:
+            sub = dict(cfg[section])
+            require_known_keys(
+                f"hardware.{section} configuration",
+                sub,
+                [f.name for f in dataclasses.fields(cls)],
+            )
+            kwargs[section] = cls(**sub)
+    if "boot_quality_sigma" in cfg:
+        kwargs["boot_quality_sigma"] = float(cfg["boot_quality_sigma"])
+    return HardwareSpec(**kwargs)
+
+
+def treadmill_config_from_json(source: Union[str, Path, Dict]) -> TreadmillConfig:
+    """Build a :class:`~repro.core.treadmill.TreadmillConfig` from JSON.
+
+    Strict: unknown keys raise :func:`unknown_key_error` (naming the
+    bad key and its nearest valid neighbour) instead of surfacing as an
+    opaque ``TypeError`` from the dataclass constructor.
+    """
+    cfg = dict(load_json(source))
+    require_known_keys(
+        "treadmill configuration",
+        cfg,
+        [f.name for f in dataclasses.fields(TreadmillConfig)],
+    )
     if "arrival" in cfg:
         cfg["arrival"] = arrival_from_spec(cfg["arrival"])
     try:

@@ -160,16 +160,24 @@ class OpenLoopController:
             s for s in (self._gap_stream, self._conn_stream) if s is not None
         )
 
-    def start(self) -> None:
+    def start(self, delay_us: float = 0.0) -> None:
+        """Begin the send schedule, optionally after ``delay_us``.
+
+        The delay lets scenario fleets come online mid-run (a load
+        shifted across racks, a flash crowd arriving); the default of
+        zero is bit-identical to the historical immediate start.
+        """
         if self._running:
             raise RuntimeError("controller already started")
+        if delay_us < 0:
+            raise ValueError("delay_us must be non-negative")
         self._running = True
         # Random initial phase: multiple instances must not fire in
         # lockstep (with low-variance gap distributions, synchronized
         # phases would superpose into periodic bursts the offered load
         # does not actually contain).
         phase = float(self._rng.uniform(0.0, self.arrival.mean_gap_us))
-        self._pending_event = self.sim.schedule(phase, self._fire)
+        self._pending_event = self.sim.schedule(delay_us + phase, self._fire)
 
     def stop(self) -> None:
         """Stop issuing new requests (in-flight ones still complete)."""

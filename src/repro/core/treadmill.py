@@ -71,6 +71,10 @@ class TreadmillConfig:
     #: identical results — the batching invariant — so this is purely
     #: a speed/memory knob.
     rng_block: int = 512
+    #: Virtual-time delay before this instance begins sending.  Lets a
+    #: scenario fleet come online mid-run (cross-rack load shift,
+    #: flash crowd); zero is the historical immediate start.
+    start_us: float = 0.0
 
     def __post_init__(self) -> None:
         if self.rate_rps <= 0:
@@ -79,6 +83,8 @@ class TreadmillConfig:
             raise ValueError("connections must be >= 1")
         if self.rng_block < 1:
             raise ValueError("rng_block must be >= 1")
+        if self.start_us < 0:
+            raise ValueError("start_us must be non-negative")
 
     def make_arrival(self) -> ArrivalProcess:
         return self.arrival if self.arrival is not None else PoissonArrivals(self.rate_rps)
@@ -105,6 +111,16 @@ class InstanceReport:
     #: (server, network, client) latency components per measured
     #: request, when keep_components was set; else empty arrays.
     components: Dict[str, np.ndarray]
+    #: Scenario grouping labels: the client fleet this instance belongs
+    #: to and the server pool it measured.  Empty outside scenarios;
+    #: per-(fleet, pool) aggregation and attribution key on the pair.
+    fleet: str = ""
+    pool: str = ""
+
+    @property
+    def group(self) -> "tuple[str, str]":
+        """The (fleet, pool) grouping key for scenario aggregation."""
+        return (self.fleet, self.pool)
 
     def quantile(self, q: float) -> float:
         return self.histogram.quantile(q)
@@ -128,9 +144,17 @@ class TreadmillInstance:
         client_spec: Optional[ClientSpec] = None,
         link_config=None,
         request_observer=None,
+        fleet: str = "",
+        pool: str = "",
     ):
         self.bench = bench
         self.name = name
+        #: Scenario grouping labels (empty outside scenarios): which
+        #: client fleet this instance belongs to and which server pool
+        #: it targets.  The bench decides routing; the labels ride
+        #: along so reports group per (fleet, pool).
+        self.fleet = fleet
+        self.pool = pool
         #: Optional callback invoked with every completed Request
         #: (e.g. repro.core.trace.RequestTrace.observe).
         self.request_observer = request_observer
@@ -188,7 +212,7 @@ class TreadmillInstance:
     # lifecycle
     # ------------------------------------------------------------------
     def start(self) -> None:
-        self.controller.start()
+        self.controller.start(self.config.start_us)
 
     def stop(self) -> None:
         self.controller.stop()
@@ -248,4 +272,6 @@ class TreadmillInstance:
             client_utilization=self.client.utilization(),
             ground_truth_samples=truth,
             components=components,
+            fleet=self.fleet,
+            pool=self.pool,
         )

@@ -375,9 +375,10 @@ def make_executor(
         jobs, backend = backend, None
     if jobs is not None:
         warnings.warn(
-            "make_executor(jobs=N, **pool_kwargs) is deprecated; use "
-            "make_executor('serial') or make_executor('process', "
-            "options=ProcessOptions(workers=N, ...))",
+            "make_executor(jobs=N, **pool_kwargs) is deprecated and will be "
+            "removed in version 2.0; migrate to make_executor('serial') or "
+            "make_executor('process', options=ProcessOptions(workers=N, ...)) "
+            "(see exec/API.md, 'Deprecated surface')",
             DeprecationWarning,
             stacklevel=2,
         )

@@ -51,7 +51,9 @@ __all__ = ["CACHE_SCHEMA", "QUARANTINE_DIR", "cache_version", "ResultCache"]
 #: Bump when the on-disk layout changes.
 #: 2: ``meta.json`` gains ``"checksum"`` (SHA-256 of ``outcome.pkl``)
 #:    so payload bit-rot is detected on read instead of trusted.
-CACHE_SCHEMA = 2
+#: 3: ``RunResult`` gains ``group_metrics`` (scenario runs); pickles
+#:    written before the field would unpickle without the attribute.
+CACHE_SCHEMA = 3
 
 #: Corrupt entries are moved here (under the cache root), not deleted:
 #: forensically useful, and excluded from entry counts and ``clear()``.

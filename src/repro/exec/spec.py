@@ -174,10 +174,27 @@ class RunSpec:
     #: Free-form label surfaced by progress hooks (e.g. "util=0.70" or
     #: "cfg=(1,0,0,0) rep=3"); not part of the content digest.
     tag: str = ""
+    #: Optional declarative scenario
+    #: (:class:`repro.scenarios.schema.ScenarioSpec`).  When set, the
+    #: spec describes one N-fleet x M-pool experiment and
+    #: :func:`run_spec` routes through the scenario runtime; the
+    #: single-server load knobs above must stay unset (per-fleet loads
+    #: live inside the scenario).  Excluded from the digest when None,
+    #: so every pre-existing spec keeps its historical digest and cache
+    #: entries survive.
+    scenario: Optional[object] = None
 
     def __post_init__(self) -> None:
-        if (self.total_rate_rps is None) == (self.target_utilization is None):
-            raise ValueError("set exactly one of total_rate_rps / target_utilization")
+        if self.scenario is None:
+            if (self.total_rate_rps is None) == (self.target_utilization is None):
+                raise ValueError(
+                    "set exactly one of total_rate_rps / target_utilization"
+                )
+        elif self.total_rate_rps is not None or self.target_utilization is not None:
+            raise ValueError(
+                "scenario specs carry per-fleet loads; leave "
+                "total_rate_rps / target_utilization unset"
+            )
         if self.num_instances < 1:
             raise ValueError("num_instances must be >= 1")
         if self.measurement_samples_per_instance < 1:
@@ -193,6 +210,7 @@ class RunSpec:
                 f.name: _canonical(getattr(self, f.name))
                 for f in dataclasses.fields(self)
                 if f.name != "tag"
+                and not (f.name == "scenario" and self.scenario is None)
             }
             body["__schema__"] = SPEC_SCHEMA
             blob = json.dumps(body, sort_keys=True, separators=(",", ":"))
@@ -226,11 +244,12 @@ class RunSpec:
         return dataclasses.replace(self, **changes)
 
     def describe(self) -> Dict[str, object]:
-        load = (
-            f"{self.total_rate_rps:.0f} rps"
-            if self.total_rate_rps is not None
-            else f"util={self.target_utilization:.2f}"
-        )
+        if self.scenario is not None:
+            load = f"scenario={getattr(self.scenario, 'name', '?')}"
+        elif self.total_rate_rps is not None:
+            load = f"{self.total_rate_rps:.0f} rps"
+        else:
+            load = f"util={self.target_utilization:.2f}"
         return {
             "workload": self.workload.name,
             "load": load,
@@ -268,6 +287,11 @@ class RunResult:
     events_processed: int = 0
     #: True when the result was served from the on-disk cache.
     from_cache: bool = False
+    #: Scenario runs only: sound per-(fleet, pool) estimates, keyed by
+    #: the grouping pair.  Empty for single-fleet legacy runs.
+    group_metrics: Dict[Tuple[str, str], Dict[float, float]] = field(
+        default_factory=dict
+    )
 
     def ground_truth(self) -> np.ndarray:
         """Pooled NIC-level samples across instances (tcpdump view)."""
@@ -302,7 +326,15 @@ def run_spec(spec: RunSpec) -> RunResult:
 
     Pure function of ``spec``: same spec, same result, in any process
     (the serial-vs-parallel determinism guarantee rests here).
+
+    Scenario specs route through the scenario runtime (lazy import —
+    :mod:`repro.scenarios` sits above the exec layer); everything else
+    runs the historical single-server path below, untouched.
     """
+    if spec.scenario is not None:
+        from ..scenarios.runtime import run_scenario_spec
+
+        return run_scenario_spec(spec)
     t0 = time.perf_counter()
     bench = TestBench(
         BenchConfig(workload=spec.workload, hardware=spec.hardware, seed=spec.seed),

@@ -1,0 +1,51 @@
+"""The curated scenario library.
+
+Versioned JSON scenario documents shipped inside this package
+(``repro/scenarios/library/*.json``), loadable by name:
+
+* ``colocated_antagonist`` — a noisy neighbour pinned to one socket of
+  the cache server, with an on/off factor for attribution;
+* ``heterogeneous_pool`` — one fleet per pool over a fast and a slow
+  server pool (per-(fleet, pool) aggregation made visible);
+* ``cross_rack_shift`` — a remote fleet joins mid-run from another
+  rack, shifting load across the spine;
+* ``mcrouter_fanout`` — an mcrouter front tier over a 16-shard
+  memcached pool, probed per tier;
+* ``diurnal_flash_crowd`` — a diurnally modulated arrival process with
+  a flash-crowd spike mid-measurement.
+
+``list_scenarios()`` enumerates the names; ``load_scenario(name)``
+returns the validated :class:`~repro.scenarios.schema.ScenarioSpec`.
+"""
+
+from __future__ import annotations
+
+import json
+from importlib import resources
+from typing import List
+
+from ..config import scenario_from_json
+from ..schema import ScenarioSpec
+
+__all__ = ["list_scenarios", "load_scenario"]
+
+_PACKAGE = __name__
+
+
+def list_scenarios() -> List[str]:
+    """Names of every library scenario, sorted."""
+    names = []
+    for entry in resources.files(_PACKAGE).iterdir():
+        if entry.name.endswith(".json"):
+            names.append(entry.name[: -len(".json")])
+    return sorted(names)
+
+
+def load_scenario(name: str) -> ScenarioSpec:
+    """Load and validate one library scenario by name."""
+    path = resources.files(_PACKAGE) / f"{name}.json"
+    if not path.is_file():
+        raise KeyError(
+            f"unknown library scenario {name!r} (have {list_scenarios()})"
+        )
+    return scenario_from_json(json.loads(path.read_text()))

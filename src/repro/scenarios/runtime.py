@@ -1,0 +1,112 @@
+"""Execute one scenario-carrying RunSpec.
+
+:func:`run_scenario_spec` is the scenario counterpart of the legacy
+body of :func:`repro.exec.spec.run_spec`: boot every pool, stand up
+every fleet's Treadmill instances, start antagonists, drive the shared
+simulator to completion, and report — overall metrics via the paper's
+per-instance-then-combine rule plus per-(fleet, pool)
+``group_metrics``.  It is a pure function of the spec, so the
+serial-vs-parallel bit-identity guarantee of the execution layer
+extends to scenarios unchanged.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+from typing import Dict, List
+
+from ..core.aggregation import aggregate_quantile, grouped_quantiles
+from ..core.arrival import arrival_from_spec
+from ..core.treadmill import TreadmillConfig, TreadmillInstance
+from .bench import ScenarioBench
+from .schema import ScenarioSpec
+
+__all__ = ["run_scenario_spec"]
+
+
+def run_scenario_spec(spec) -> "RunResult":
+    """Execute one scenario experiment described by ``spec.scenario``."""
+    # Late imports from exec.spec: this module is imported *by* it.
+    from ..exec.spec import RunResult, metric_samples
+
+    scenario: ScenarioSpec = spec.scenario
+    if scenario is None:
+        raise ValueError("run_scenario_spec needs a scenario-carrying spec")
+    t0 = time.perf_counter()
+    bench = ScenarioBench(scenario, run_index=spec.run_index)
+
+    instances: List[TreadmillInstance] = []
+    for fleet in scenario.fleets:
+        view = bench.fleet_view(fleet.name)
+        rate_per_instance = bench.fleet_total_rate(fleet.name) / fleet.instances
+        for i in range(fleet.instances):
+            arrival = None
+            if fleet.arrival is not None:
+                arrival = arrival_from_spec(
+                    {**dict(fleet.arrival), "rate_rps": rate_per_instance}
+                )
+            tm_cfg = TreadmillConfig(
+                rate_rps=rate_per_instance,
+                connections=fleet.connections_per_instance,
+                warmup_samples=fleet.warmup_samples,
+                measurement_samples=fleet.measurement_samples_per_instance,
+                keep_raw=spec.keep_raw,
+                arrival=arrival,
+                start_us=fleet.start_us,
+            )
+            instances.append(
+                TreadmillInstance(
+                    view,
+                    f"{fleet.name}{i}",
+                    tm_cfg,
+                    fleet=fleet.name,
+                    pool=fleet.target,
+                )
+            )
+
+    bench.start_antagonists()
+    for inst in instances:
+        inst.start()
+    # Same GC discipline as the legacy path: the event loop allocates
+    # no reference cycles, so mid-run cyclic-GC passes are pure cost.
+    gc_was_enabled = gc.isenabled()
+    if gc_was_enabled:
+        gc.disable()
+    try:
+        bench.run_to_completion(instances)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+    reports = [inst.report() for inst in instances]
+    samples_by_client = {r.name: metric_samples(r) for r in reports}
+    metrics = {
+        q: aggregate_quantile(samples_by_client, q, combine=spec.combine)
+        for q in spec.quantiles
+    }
+    group_metrics = grouped_quantiles(
+        samples_by_client,
+        {r.name: r.group for r in reports},
+        spec.quantiles,
+        combine=spec.combine,
+    )
+    server_utils: Dict[str, float] = {}
+    for servers in bench.pools.values():
+        for server in servers:
+            server_utils[server.name] = server.measured_utilization()
+    return RunResult(
+        run_index=spec.run_index,
+        reports=reports,
+        metrics=metrics,
+        # One scalar slot for many servers: report the bottleneck (the
+        # hottest server), which is what capacity reasoning needs.
+        server_utilization=float(max(server_utils.values())),
+        client_utilizations={
+            name: client.utilization() for name, client in bench.clients.items()
+        },
+        spec_digest=spec.digest(),
+        wall_s=time.perf_counter() - t0,
+        events_processed=bench.sim.events_processed,
+        group_metrics=group_metrics,
+    )

@@ -48,6 +48,8 @@ __all__ = [
     "ServerMachine",
     "ClientSpec",
     "ClientMachine",
+    "AntagonistConfig",
+    "AntagonistProcess",
 ]
 
 
@@ -301,6 +303,101 @@ class ServerMachine:
             return 0.0
         total = self.cpu.total_busy_us()
         return min(1.0, total / (self.sim.now * self.spec.cpu.total_cores))
+
+
+@dataclass
+class AntagonistConfig:
+    """A colocated background process sharing a socket with the
+    service under test.
+
+    TailBench++-style interference: the antagonist submits bursts of
+    compute to the cores of one socket of a :class:`ServerMachine`, so
+    requests whose worker or IRQ core lives on that socket queue
+    behind it, and the socket's thermal headroom (Turbo) erodes under
+    the extra power draw.  ``rate_rps == 0`` disables the antagonist —
+    the natural "off" level of a scenario factor.
+    """
+
+    #: Burst arrival rate (exponential gaps), bursts per second.
+    rate_rps: float = 2_000.0
+    #: Frequency-scaled compute per burst.
+    work_us: float = 50.0
+    #: Frequency-independent cost per burst (I/O, lock handoffs).
+    fixed_us: float = 0.0
+    #: Which socket of the host machine the antagonist is pinned to.
+    socket: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rate_rps < 0:
+            raise ValueError("rate_rps must be non-negative")
+        if self.work_us < 0 or self.fixed_us < 0:
+            raise ValueError("antagonist costs must be non-negative")
+        if self.socket < 0:
+            raise ValueError("socket must be non-negative")
+
+
+class AntagonistProcess:
+    """Drives one :class:`AntagonistConfig` against one server machine.
+
+    Bursts land round-robin on the pinned socket's cores — the FIFO
+    core queues do the rest: colocated interference is ordinary
+    queueing, not a synthetic latency adder, so it interacts with
+    every hardware factor (governor ramps, turbo headroom, NUMA)
+    exactly the way a real noisy neighbour does.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        server: "ServerMachine",
+        config: AntagonistConfig,
+        rng,
+        name: str = "antagonist",
+    ):
+        n_sockets = server.spec.cpu.sockets
+        if config.socket >= n_sockets:
+            raise ValueError(
+                f"antagonist socket {config.socket} out of range for "
+                f"{server.name!r} ({n_sockets} sockets)"
+            )
+        self.sim = sim
+        self.server = server
+        self.config = config
+        self.name = name
+        self._rng = rng
+        self._cores = server.cpu.cores_on_socket(config.socket)
+        self._mean_gap_us = 1e6 / config.rate_rps if config.rate_rps > 0 else 0.0
+        self._running = False
+        self._pending = None
+        self._next_core = 0
+        self.bursts_submitted = 0
+
+    def start(self) -> None:
+        if self.config.rate_rps <= 0:
+            return  # disabled (the factor's "off" level)
+        if self._running:
+            raise RuntimeError("antagonist already started")
+        self._running = True
+        # Random initial phase, mirroring the open-loop controller.
+        phase = float(self._rng.uniform(0.0, self._mean_gap_us))
+        self._pending = self.sim.schedule(phase, self._fire)
+
+    def stop(self) -> None:
+        self._running = False
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+
+    def _fire(self) -> None:
+        if not self._running:
+            return
+        cfg = self.config
+        core = self._cores[self._next_core]
+        self._next_core = (self._next_core + 1) % len(self._cores)
+        self.bursts_submitted += 1
+        gap = float(self._rng.exponential(self._mean_gap_us))
+        self._pending = self.sim.schedule(gap, self._fire)
+        core.submit(Job(work_us=cfg.work_us, fixed_us=cfg.fixed_us))
 
 
 @dataclass

@@ -219,8 +219,30 @@ class TestGoldenDigest:
 
     GOLDEN = "50f7830615751421"
 
-    def test_full_run_digest_is_frozen(self):
-        spec = RunSpec(
+    #: The declarative twin of ``golden_spec()``: a 1-fleet x 1-pool
+    #: scenario the compiler must lower to the *same* plain RunSpec —
+    #: same digest, same cache key, same golden result digest.
+    GOLDEN_SCENARIO = {
+        "name": "degenerate",
+        "seed": 11,
+        "keep_raw": True,
+        "pools": [{"name": "pool", "workload": {"workload": "memcached"}}],
+        "fleets": [
+            {
+                "name": "fl",
+                "target": "pool",
+                "instances": 2,
+                "connections_per_instance": 4,
+                "target_utilization": 0.6,
+                "warmup_samples": 100,
+                "measurement_samples_per_instance": 500,
+            }
+        ],
+    }
+
+    @staticmethod
+    def golden_spec() -> RunSpec:
+        return RunSpec(
             workload=MemcachedWorkload(),
             target_utilization=0.6,
             num_instances=2,
@@ -230,7 +252,9 @@ class TestGoldenDigest:
             keep_raw=True,
             seed=11,
         )
-        result = run_spec(spec)
+
+    @staticmethod
+    def result_digest(result) -> str:
         blob = json.dumps(
             {
                 "metrics": {repr(q): repr(v) for q, v in result.metrics.items()},
@@ -240,5 +264,23 @@ class TestGoldenDigest:
             },
             sort_keys=True,
         )
-        digest = hashlib.sha256(blob.encode()).hexdigest()[:16]
-        assert digest == self.GOLDEN
+        return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+    def test_full_run_digest_is_frozen(self):
+        assert self.result_digest(run_spec(self.golden_spec())) == self.GOLDEN
+
+    def test_degenerate_scenario_lowers_to_the_golden_spec(self):
+        """The bit-identity guarantee of the scenario compiler: the
+        degenerate 1x1 scenario *is* the golden RunSpec — digest
+        equality means cache entries and results are shared."""
+        from repro.scenarios import compile_scenario, scenario_from_json
+
+        (lowered,) = compile_scenario(scenario_from_json(self.GOLDEN_SCENARIO))
+        assert lowered.scenario is None
+        assert lowered.digest() == self.golden_spec().digest()
+
+    def test_degenerate_scenario_reproduces_the_golden_digest(self):
+        from repro.scenarios import compile_scenario, scenario_from_json
+
+        (lowered,) = compile_scenario(scenario_from_json(self.GOLDEN_SCENARIO))
+        assert self.result_digest(run_spec(lowered)) == self.GOLDEN

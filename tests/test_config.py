@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.core.config import (
+    hardware_from_json,
     load_json,
     treadmill_config_from_json,
     workload_from_json,
@@ -97,6 +98,56 @@ class TestTreadmillConfigFromJson:
     def test_unknown_field_rejected(self):
         with pytest.raises(ValueError):
             treadmill_config_from_json({"rate_rps": 1000, "threads": 4})
+
+
+class TestStrictValidation:
+    """Unknown keys are errors that name the bad key and its nearest
+    valid neighbour — never silent ignores."""
+
+    def test_workload_typo_suggests_the_nearest_key(self):
+        with pytest.raises(ValueError) as exc:
+            workload_from_json({"workload": "memcached", "get_fracton": 0.9})
+        msg = str(exc.value)
+        assert "get_fracton" in msg
+        assert "did you mean 'get_fraction'" in msg
+
+    def test_treadmill_typo_suggests_the_nearest_key(self):
+        with pytest.raises(ValueError) as exc:
+            treadmill_config_from_json({"rate_rps": 1000, "conections": 8})
+        assert "did you mean 'connections'" in str(exc.value)
+
+    def test_error_lists_the_allowed_vocabulary(self):
+        with pytest.raises(ValueError, match="allowed"):
+            workload_from_json({"workload": "memcached", "zzz": 1})
+
+
+class TestHardwareFromJson:
+    def test_sections_build_the_real_configs(self):
+        hw = hardware_from_json(
+            {
+                "cpu": {"base_freq_ghz": 1.6, "turbo_enabled": False},
+                "kernel": {"server_rx_us": 4.0},
+                "boot_quality_sigma": 0.1,
+            }
+        )
+        assert hw.cpu.base_freq_ghz == 1.6
+        assert hw.cpu.turbo_enabled is False
+        assert hw.kernel.server_rx_us == 4.0
+        assert hw.boot_quality_sigma == 0.1
+
+    def test_defaults_when_empty(self):
+        from repro.sim.machine import HardwareSpec
+
+        assert hardware_from_json({}) == HardwareSpec()
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(ValueError, match="did you mean 'cpu'"):
+            hardware_from_json({"cpus": {"freq_ghz": 2.0}})
+
+    def test_unknown_field_inside_a_section_rejected(self):
+        with pytest.raises(ValueError) as exc:
+            hardware_from_json({"cpu": {"base_freq_gz": 2.0}})
+        assert "did you mean 'base_freq_ghz'" in str(exc.value)
 
 
 class TestSearchleafFromJson:

@@ -177,6 +177,16 @@ class TestRegistry:
 
 
 class TestDeprecatedSurface:
+    def test_warning_carries_schedule_and_migration_hint(self):
+        """The message must name the removal version and the new
+        spelling — migration guidance, not a bare rejection."""
+        with pytest.warns(DeprecationWarning) as caught:
+            make_executor(jobs=1)
+        message = str(caught[0].message)
+        assert "removed in version 2.0" in message
+        assert "ProcessOptions(workers=N" in message
+        assert "make_executor('serial')" in message
+
     def test_positional_jobs_still_works_with_warning(self):
         with pytest.warns(DeprecationWarning, match="deprecated"):
             assert isinstance(make_executor(1), SerialExecutor)
