@@ -20,6 +20,12 @@ The package provides:
 * ``repro.experiments`` — one module per paper table/figure,
   regenerating its rows/series.
 
+* ``repro.measure`` — the versioned MeasurementBackend protocol and
+  registry separating the measurement *procedure* from the target
+  under test;
+* ``repro.live`` — the wall-clock asyncio open-loop driver (backend
+  ``"live"``) plus a deterministic local reference server.
+
 Quickstart::
 
     from repro import MeasurementProcedure, ProcedureConfig
@@ -29,6 +35,11 @@ Quickstart::
         workload=MemcachedWorkload(), target_utilization=0.7))
     result = proc.run()
     print(result.estimates)   # {0.5: ..., 0.95: ..., 0.99: ...} in us
+
+One-shot execution goes through :func:`repro.run`::
+
+    result = repro.run(spec)                  # sim (the default)
+    result = repro.run(spec, backend="live")  # same procedure, real endpoint
 """
 
 from .core import (
@@ -62,12 +73,32 @@ from .exec import (
     register_backend,
     run_spec,
 )
+from .facade import run
+from .measure import (
+    BenchCapabilities,
+    MeasurementBackend,
+    available_measurement_backends,
+    backend_defaults,
+    make_measurement_backend,
+    measure_spec,
+    register_measurement_backend,
+    set_backend_defaults,
+)
 from .sim import HardwareSpec
 from .workloads import McrouterWorkload, MemcachedWorkload
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "run",
+    "measure_spec",
+    "MeasurementBackend",
+    "BenchCapabilities",
+    "available_measurement_backends",
+    "make_measurement_backend",
+    "register_measurement_backend",
+    "set_backend_defaults",
+    "backend_defaults",
     "RunSpec",
     "run_spec",
     "Executor",

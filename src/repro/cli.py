@@ -8,6 +8,10 @@ Usage::
     repro run fig12 --cache-dir ~/.cache/repro   # reuse shared runs
     repro all --scale quick        # regenerate everything
     repro hardware                 # show the simulated Table II spec
+    repro backends                 # execution + measurement backends
+    repro live ping tcp://h:7799   # smoke-check a live endpoint
+    repro live serve --port 7799   # deterministic reference server
+    repro live measure tcp://h:7799 --rate 2000   # one live measurement
 
 Scales: ``quick`` (seconds, smoke), ``default`` (tens of seconds, what
 the benchmark suite uses), ``paper`` (the paper's replication counts;
@@ -156,7 +160,65 @@ def build_parser() -> argparse.ArgumentParser:
     add_exec_flags(all_p)
 
     sub.add_parser("hardware", help="print the simulated hardware spec (Table II)")
-    sub.add_parser("backends", help="list the registered execution backends")
+    sub.add_parser(
+        "backends",
+        help="list the registered execution and measurement backends",
+    )
+
+    live_p = sub.add_parser(
+        "live",
+        help="live-endpoint measurement (ping / serve / measure)",
+    )
+    live_sub = live_p.add_subparsers(dest="live_command", required=True)
+    ping_p = live_sub.add_parser(
+        "ping", help="round-trip connectivity check of a live endpoint"
+    )
+    ping_p.add_argument(
+        "target", metavar="URL", help="tcp://host:port or http://host:port"
+    )
+    ping_p.add_argument(
+        "--timeout", type=float, default=5.0, metavar="S", help="seconds to wait"
+    )
+    serve_p = live_sub.add_parser(
+        "serve", help="run the deterministic local reference server"
+    )
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=7799)
+    serve_p.add_argument(
+        "--service",
+        default='{"type": "constant", "value": 200.0}',
+        metavar="JSON",
+        help="service-time distribution spec (microseconds)",
+    )
+    serve_p.add_argument("--seed", type=int, default=0)
+    serve_p.add_argument(
+        "--mode", choices=("parallel", "serial"), default="parallel"
+    )
+    meas_p = live_sub.add_parser(
+        "measure",
+        help=(
+            "one open-loop measurement against a live endpoint "
+            "(exit 0 on success, 3 on a clean measurement error)"
+        ),
+    )
+    meas_p.add_argument(
+        "target", metavar="URL", help="tcp://host:port or http://host:port"
+    )
+    meas_p.add_argument(
+        "--rate", type=float, default=2000.0, metavar="RPS", help="offered load"
+    )
+    meas_p.add_argument("--instances", type=int, default=1, metavar="N")
+    meas_p.add_argument("--connections", type=int, default=4, metavar="N")
+    meas_p.add_argument("--warmup", type=int, default=50, metavar="N")
+    meas_p.add_argument(
+        "--samples", type=int, default=500, metavar="N",
+        help="measurement samples per instance",
+    )
+    meas_p.add_argument("--seed", type=int, default=0)
+    meas_p.add_argument(
+        "--progress-timeout", type=float, default=10.0, metavar="S",
+        help="abort cleanly if no response arrives for this long",
+    )
 
     scen_p = sub.add_parser(
         "scenario",
@@ -258,15 +320,104 @@ def _cmd_hardware() -> int:
 
 
 def _cmd_backends() -> int:
-    names = available_backends()
-    width = max(len(n) for n in names)
-    for name in names:
+    from .measure.api import available_measurement_backends, measurement_backend_info
+
+    exec_names = available_backends()
+    meas_names = available_measurement_backends()
+    width = max(len(n) for n in (*exec_names, *meas_names))
+
+    print("execution backends (how runs are scheduled):")
+    for name in exec_names:
         info = backend_info(name)
         options = ", ".join(f.name for f in dataclasses.fields(info.options))
-        print(f"{name.ljust(width)}  {info.summary}")
+        print(f"  {name.ljust(width)}  {info.summary}")
         if options:
-            print(f"{' ' * width}  options: {options}")
+            print(f"  {' ' * width}  options: {options}")
+
+    print()
+    print("measurement backends (what each run measures):")
+    for name in meas_names:
+        info = measurement_backend_info(name)
+        caps = info.factory(info.options()).capabilities()
+        flags = ", ".join(
+            f.name
+            for f in dataclasses.fields(caps)
+            if f.name != "backend" and getattr(caps, f.name)
+        )
+        options = ", ".join(f.name for f in dataclasses.fields(info.options))
+        print(f"  {name.ljust(width)}  {info.summary}")
+        print(f"  {' ' * width}  capabilities: {flags or '(none)'}")
+        if options:
+            print(f"  {' ' * width}  options: {options}")
     return 0
+
+
+def _cmd_live_ping(target: str, timeout_s: float) -> int:
+    from .live import LiveMeasurementError, ping
+
+    try:
+        rtt_s = ping(target, timeout_s=timeout_s)
+    except (LiveMeasurementError, ValueError) as exc:
+        print(f"ping {target}: FAILED — {exc}", file=sys.stderr)
+        return 3
+    print(f"ping {target}: {rtt_s * 1e3:.3f} ms")
+    return 0
+
+
+def _cmd_live_measure(args: argparse.Namespace) -> int:
+    from .exec.spec import RunSpec
+    from .live import LiveMeasurementError
+    from .measure import backend_defaults, measure_spec
+    from .workloads import MemcachedWorkload
+
+    spec = RunSpec(
+        workload=MemcachedWorkload(),
+        total_rate_rps=args.rate,
+        num_instances=args.instances,
+        connections_per_instance=args.connections,
+        warmup_samples=args.warmup,
+        measurement_samples_per_instance=args.samples,
+        seed=args.seed,
+        backend="live",
+        tag=f"live:{args.target}",
+    )
+    start = time.time()
+    try:
+        with backend_defaults(
+            "live",
+            target=args.target,
+            progress_timeout_s=args.progress_timeout,
+        ):
+            result = measure_spec(spec)
+    except (LiveMeasurementError, ValueError) as exc:
+        # The CI smoke contract: a clean attributed failure, never a
+        # hang — distinguishable from success by exit code 3.
+        print(f"live measure {args.target}: FAILED — {exc}", file=sys.stderr)
+        return 3
+    metrics = ", ".join(
+        f"p{q * 100:g}={v:.1f}us" for q, v in sorted(result.metrics.items())
+    )
+    sent = sum(r.requests_sent for r in result.reports)
+    print(f"live measure {args.target}: {metrics}")
+    print(
+        f"[{sent} requests over {len(result.reports)} instance(s) "
+        f"in {time.time() - start:.1f}s]"
+    )
+    return 0
+
+
+def _cmd_live_serve(args: argparse.Namespace) -> int:
+    from .live import refserver
+
+    return refserver.main(
+        [
+            "--host", args.host,
+            "--port", str(args.port),
+            "--service", args.service,
+            "--seed", str(args.seed),
+            "--mode", args.mode,
+        ]
+    )
 
 
 def _resolve_scenario(ref: str):
@@ -439,6 +590,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_hardware()
     if args.command == "backends":
         return _cmd_backends()
+    if args.command == "live":
+        if args.live_command == "ping":
+            return _cmd_live_ping(args.target, args.timeout)
+        if args.live_command == "serve":
+            return _cmd_live_serve(args)
+        if args.live_command == "measure":
+            return _cmd_live_measure(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
     if args.command == "scenario":

@@ -31,7 +31,8 @@ import numpy as np
 
 from ..exec.executors import _ExecutorBase, default_executor
 from ..exec.progress import ProgressHook
-from ..exec.spec import RunResult, RunSpec, metric_samples, run_spec
+from ..exec.spec import RunResult, RunSpec, metric_samples
+from ..measure.api import measure_spec
 from ..sim.machine import HardwareSpec
 from ..stats.convergence import MeanConvergence
 from ..workloads.base import Workload
@@ -63,6 +64,12 @@ class ProcedureConfig:
     convergence_rel_tol: float = 0.05
     keep_raw: bool = False
     seed: int = 0
+    #: Measurement backend executing each independent run ("sim" — the
+    #: virtual-time simulator — or "live" for a real endpoint; any name
+    #: from the :mod:`repro.measure` registry).  The procedure itself
+    #: is backend-agnostic: phases, convergence, and aggregation do not
+    #: change.
+    backend: str = "sim"
 
     def __post_init__(self) -> None:
         if (self.total_rate_rps is None) == (self.target_utilization is None):
@@ -138,11 +145,12 @@ class MeasurementProcedure:
             seed=cfg.seed,
             run_index=run_index,
             tag=f"{cfg.workload.name} {load} run={run_index}",
+            backend=cfg.backend,
         )
 
     def run_once(self, run_index: int) -> RunResult:
         """One independent experiment: boot, load, measure, report."""
-        return run_spec(self.spec_for(run_index))
+        return measure_spec(self.spec_for(run_index))
 
     def run_batch(
         self,

@@ -37,7 +37,12 @@ from .bench import TestBench
 from .controllers import OpenLoopController
 from .phases import PhaseManager
 
-__all__ = ["TreadmillConfig", "InstanceReport", "TreadmillInstance"]
+__all__ = [
+    "TreadmillConfig",
+    "InstanceReport",
+    "PhaseRecorder",
+    "TreadmillInstance",
+]
 
 #: Default per-request user-space CPU cost of a Treadmill instance.
 #: The real tool is highly optimized (lock-free, inline callbacks);
@@ -132,6 +137,106 @@ class InstanceReport:
         return self.histogram.mean()
 
 
+class PhaseRecorder:
+    """Phase machine + component buffers + report assembly for one
+    measurement instance.
+
+    This is the backend-independent half of a Treadmill instance: the
+    warm-up/calibration/measurement lifecycle, the optional per-request
+    latency decomposition, and the memoized :class:`InstanceReport`
+    construction.  The simulated :class:`TreadmillInstance` and the
+    wall-clock live driver (:mod:`repro.live.driver`) both own one, so
+    every measurement backend reports through the identical machinery —
+    the paper's aggregation rule cannot diverge between targets.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        config: TreadmillConfig,
+        fleet: str = "",
+        pool: str = "",
+    ):
+        self.name = name
+        self.config = config
+        self.fleet = fleet
+        self.pool = pool
+        self.phases = PhaseManager(
+            warmup_samples=config.warmup_samples,
+            measurement_samples=config.measurement_samples,
+            histogram=AdaptiveHistogram(
+                num_bins=config.histogram_bins,
+                calibration_size=config.calibration_samples,
+            ),
+            keep_raw=config.keep_raw,
+        )
+        self.components = {
+            "server": FloatBuffer(),
+            "network": FloatBuffer(),
+            "client": FloatBuffer(),
+        }
+        # report() memo: (collected, ground-truth count) -> arrays.
+        self._report_key = None
+        self._report_arrays = None
+
+    @property
+    def done(self) -> bool:
+        return self.phases.done
+
+    def record(
+        self,
+        latency_us: float,
+        server_us: float = 0.0,
+        network_us: float = 0.0,
+        client_us: float = 0.0,
+    ) -> bool:
+        """Feed one response latency (and optional decomposition)
+        through the phase machine; True when the sample counted."""
+        counted = self.phases.record(latency_us)
+        if counted and self.config.keep_components:
+            self.components["server"].append(server_us)
+            self.components["network"].append(network_us)
+            self.components["client"].append(client_us)
+        return counted
+
+    def report(
+        self,
+        *,
+        requests_sent: int,
+        client_utilization: float,
+        n_ground_truth: int = 0,
+        ground_truth=None,
+    ) -> InstanceReport:
+        """Assemble the :class:`InstanceReport` for the current state.
+
+        ``ground_truth`` is a zero-argument callable producing the
+        NIC-level sample array; it is only invoked when the memo key
+        ``(collected, n_ground_truth)`` changed, so repeated report()
+        calls at the same point reuse the converted arrays.
+        """
+        key = (self.phases.collected, n_ground_truth)
+        if key != self._report_key:
+            self._report_arrays = (
+                np.asarray(self.phases.raw_samples, dtype=float),
+                ground_truth() if ground_truth is not None else np.empty(0),
+                {k: buf.array() for k, buf in self.components.items()},
+            )
+            self._report_key = key
+        raw, truth, components = self._report_arrays
+        return InstanceReport(
+            name=self.name,
+            histogram=self.phases.histogram,
+            raw_samples=raw,
+            requests_sent=requests_sent,
+            responses_recorded=self.phases.collected,
+            client_utilization=client_utilization,
+            ground_truth_samples=truth,
+            components=components,
+            fleet=self.fleet,
+            pool=self.pool,
+        )
+
+
 class TreadmillInstance:
     """One Treadmill process on one client machine."""
 
@@ -188,25 +293,13 @@ class TreadmillInstance:
             gap_rng=bench.rng.stream(f"{name}/gaps"),
             rng_block=self.config.rng_block,
         )
-        self.phases = PhaseManager(
-            warmup_samples=self.config.warmup_samples,
-            measurement_samples=self.config.measurement_samples,
-            histogram=AdaptiveHistogram(
-                num_bins=self.config.histogram_bins,
-                calibration_size=self.config.calibration_samples,
-            ),
-            keep_raw=self.config.keep_raw,
-        )
+        # Backend-independent half (phases, components, reporting);
+        # hot-path aliases avoid an attribute hop per response.
+        self.recorder = PhaseRecorder(name, self.config, fleet=fleet, pool=pool)
+        self.phases = self.recorder.phases
+        self._components = self.recorder.components
         self._req_counter = 0
         self._workload = bench.config.workload
-        self._components = {
-            "server": FloatBuffer(),
-            "network": FloatBuffer(),
-            "client": FloatBuffer(),
-        }
-        # report() memo: (collected, ground-truth count) -> arrays.
-        self._report_key = None
-        self._report_arrays = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -252,26 +345,11 @@ class TreadmillInstance:
     def report(self) -> InstanceReport:
         capture = self.client.capture
         n_truth = len(capture.latencies_us) if capture is not None else 0
-        key = (self.phases.collected, n_truth)
-        if key != self._report_key:
-            # Array conversions happen once per batch of new samples;
-            # repeated report() calls at the same point reuse them.
-            self._report_arrays = (
-                np.asarray(self.phases.raw_samples, dtype=float),
-                capture.samples() if capture is not None else np.empty(0),
-                {k: buf.array() for k, buf in self._components.items()},
-            )
-            self._report_key = key
-        raw, truth, components = self._report_arrays
-        return InstanceReport(
-            name=self.name,
-            histogram=self.phases.histogram,
-            raw_samples=raw,
+        return self.recorder.report(
             requests_sent=self.controller.sent,
-            responses_recorded=self.phases.collected,
             client_utilization=self.client.utilization(),
-            ground_truth_samples=truth,
-            components=components,
-            fleet=self.fleet,
-            pool=self.pool,
+            n_ground_truth=n_truth,
+            ground_truth=(
+                capture.samples if capture is not None else None
+            ),
         )

@@ -2,7 +2,9 @@
 
 Everything the library runs is one shape of work: an independent
 experiment described by a :class:`~repro.exec.spec.RunSpec`, executed
-by :func:`~repro.exec.spec.run_spec`, scheduled through an executor
+by :func:`repro.measure.measure_spec` on the measurement backend the
+spec names (``spec.backend``; the simulator by default), scheduled
+through an executor
 backend (serial, process pool, or a distributed cluster), optionally
 memoized by a content-addressed cache (:mod:`~repro.exec.cache`), and
 observed through progress hooks (:mod:`~repro.exec.progress`)::
@@ -22,8 +24,9 @@ plumbing) is private and may change without notice.  The backend
 contract for third-party executor implementers is documented in
 ``src/repro/exec/API.md``.
 
-* the work unit: ``RunSpec``, ``RunResult``, ``run_spec``,
-  ``spec_digest``, ``metric_samples``, ``SPEC_SCHEMA``
+* the work unit: ``RunSpec``, ``RunResult``, ``spec_digest``,
+  ``metric_samples``, ``SPEC_SCHEMA`` (plus ``run_spec``, a
+  deprecated alias for :func:`repro.measure.measure_spec`)
 * the executor API: ``Executor`` (protocol), ``Capabilities``,
   ``make_executor``, ``register_backend``, ``available_backends``,
   per-backend options (``SerialOptions``/``ProcessOptions``/

@@ -56,9 +56,9 @@ from typing import (
     runtime_checkable,
 )
 
+from ..measure.api import measure_spec
 from .cache import ResultCache
 from .progress import ProgressHook
-from .spec import run_spec
 
 __all__ = [
     "Capabilities",
@@ -350,7 +350,7 @@ def make_executor(
     backend: object = "serial",
     *,
     options: object = None,
-    task: Callable[[object], object] = run_spec,
+    task: Callable[[object], object] = measure_spec,
     cache: Optional[ResultCache] = None,
     cache_dir: Optional[os.PathLike] = None,
     jobs: Optional[int] = None,

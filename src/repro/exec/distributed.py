@@ -86,7 +86,8 @@ from .protocol import (
     send_msg,
     task_reference,
 )
-from .spec import run_spec, spec_digest
+from ..measure.api import measure_spec
+from .spec import spec_digest
 
 __all__ = [
     "Coordinator",
@@ -921,7 +922,7 @@ class ClusterExecutor(_ExecutorBase):
     def __init__(
         self,
         options: Optional[ClusterOptions] = None,
-        task: Callable[[object], object] = run_spec,
+        task: Callable[[object], object] = measure_spec,
         cache: Optional[ResultCache] = None,
         **option_kwargs: object,
     ):

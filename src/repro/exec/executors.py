@@ -7,10 +7,13 @@ spec.  Both executors here expose one verb:
 
     ``run(specs, progress=None) -> list of results`` (ordered)
 
-with *identical semantics*: because :func:`repro.exec.spec.run_spec`
-is a pure function of its spec, ``SerialExecutor`` and
-``ParallelExecutor`` produce bit-identical results for the same specs
-(tested in ``tests/test_exec.py``).
+with *identical semantics*: because :func:`repro.measure.measure_spec`
+is a pure function of its spec on deterministic backends,
+``SerialExecutor`` and ``ParallelExecutor`` produce bit-identical
+results for the same specs (tested in ``tests/test_exec.py``).  Specs
+whose measurement backend is *not* deterministic (e.g. ``"live"``)
+bypass the result cache entirely — a wall-clock measurement is a
+sample, not a value, and must never short-circuit a future run.
 
 :class:`ParallelExecutor` adds a ``ProcessPoolExecutor`` behind
 bounded submission (at most ``2 x max_workers`` futures outstanding,
@@ -52,9 +55,9 @@ from .api import (
     register_backend,
 )
 from .api import make_executor as _make_executor
+from ..measure.api import backend_is_deterministic, measure_spec
 from .cache import ResultCache
 from .progress import ProgressHook, RunEvent
-from .spec import run_spec
 
 __all__ = [
     "ExecError",
@@ -76,6 +79,17 @@ class ExecError(RuntimeError):
 
 class ExecTimeout(ExecError):
     """A task exceeded the per-task timeout (after retries)."""
+
+
+def _cacheable(spec: object) -> bool:
+    """Whether results for ``spec`` may enter / be served from the cache.
+
+    Only deterministic measurement backends honour the cache contract
+    (equal digest ⇒ equal result); ``"sim"`` short-circuits without
+    touching the registry.
+    """
+    name = getattr(spec, "backend", "sim") or "sim"
+    return name == "sim" or backend_is_deterministic(name)
 
 
 def _emit(
@@ -108,7 +122,7 @@ class _ExecutorBase:
 
     def __init__(
         self,
-        task: Callable[[object], object] = run_spec,
+        task: Callable[[object], object] = measure_spec,
         cache: Optional[ResultCache] = None,
     ):
         self.task = task
@@ -118,10 +132,12 @@ class _ExecutorBase:
     def _cache_get(self, spec: object) -> Optional[object]:
         if self.cache is None or not hasattr(spec, "digest"):
             return None
+        if not _cacheable(spec):
+            return None
         return self.cache.get(spec)
 
     def _cache_put(self, spec: object, result: object) -> None:
-        if self.cache is not None and hasattr(spec, "digest"):
+        if self.cache is not None and hasattr(spec, "digest") and _cacheable(spec):
             self.cache.put(spec, result)
 
     # -- lifecycle -----------------------------------------------------
@@ -193,7 +209,7 @@ class ParallelExecutor(_ExecutorBase):
     def __init__(
         self,
         max_workers: Optional[int] = None,
-        task: Callable[[object], object] = run_spec,
+        task: Callable[[object], object] = measure_spec,
         cache: Optional[ResultCache] = None,
         timeout: Optional[float] = None,
         retries: int = 1,
@@ -514,7 +530,7 @@ def _resilience_kwargs(backend: str) -> Dict[str, object]:
     return kwargs
 
 
-def default_executor(task: Callable[[object], object] = run_spec) -> _ExecutorBase:
+def default_executor(task: Callable[[object], object] = measure_spec) -> _ExecutorBase:
     """An executor honouring the process-wide defaults.
 
     Resolution order: an explicitly configured ``backend`` wins;

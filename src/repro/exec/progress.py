@@ -9,8 +9,8 @@ a valid hook; the module ships three:
   thing you want when a factorial sweep takes minutes;
 * :class:`Telemetry` — accumulates per-run wall-clock and
   events-processed counters into a summary dict (fed by the
-  per-run telemetry that :func:`repro.exec.spec.run_spec` extracts
-  from ``Simulator.events_processed``);
+  per-run telemetry the sim measurement backend extracts from
+  ``Simulator.events_processed``);
 * :func:`chain` — fan one event out to several hooks.
 """
 

@@ -18,29 +18,28 @@ immutable value with a stable content digest, so that
 * schedulers can build the whole randomized factorial schedule up
   front and submit it at once instead of hand-rolling serial loops.
 
-:func:`run_spec` is the single execution primitive for the entire
-library: it boots a fresh :class:`~repro.core.bench.TestBench` (one
-spec == one of the paper's independent runs == one server boot),
-drives the configured Treadmill instances, and extracts sound per-run
-metrics.  Every driver (procedure, attribution, sweeps, capacity,
-experiment modules) ultimately funnels through this function.
+Execution itself lives behind the versioned
+:class:`~repro.measure.api.MeasurementBackend` protocol:
+:func:`repro.measure.measure_spec` reads ``spec.backend`` (absent or
+``"sim"`` selects the historical virtual-time simulator) and routes to
+the registered backend.  Every driver (procedure, attribution, sweeps,
+capacity, experiment modules) ultimately funnels through that
+dispatcher; the :func:`run_spec` name kept here is a deprecated alias
+for it.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import gc
 import hashlib
 import json
-import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..core.aggregation import aggregate_quantile
-from ..core.bench import BenchConfig, TestBench
-from ..core.treadmill import InstanceReport, TreadmillConfig, TreadmillInstance
+from ..core.treadmill import InstanceReport
 from ..sim.machine import HardwareSpec
 from ..workloads.base import Workload
 
@@ -177,12 +176,20 @@ class RunSpec:
     #: Optional declarative scenario
     #: (:class:`repro.scenarios.schema.ScenarioSpec`).  When set, the
     #: spec describes one N-fleet x M-pool experiment and
-    #: :func:`run_spec` routes through the scenario runtime; the
+    #: execution routes through the scenario runtime; the
     #: single-server load knobs above must stay unset (per-fleet loads
     #: live inside the scenario).  Excluded from the digest when None,
     #: so every pre-existing spec keeps its historical digest and cache
     #: entries survive.
     scenario: Optional[object] = None
+    #: Measurement backend that executes this spec (a name from the
+    #: :mod:`repro.measure` registry).  ``"sim"`` — the default — is
+    #: the historical virtual-time simulator and is *excluded from the
+    #: digest*, so every pre-existing spec keeps its digest and cache
+    #: entries from earlier schema-3 runs still hit.  Non-default
+    #: backends (e.g. ``"live"``) digest in: a wall-clock measurement
+    #: and a simulation of the same knobs are different experiments.
+    backend: str = "sim"
 
     def __post_init__(self) -> None:
         if self.scenario is None:
@@ -199,6 +206,8 @@ class RunSpec:
             raise ValueError("num_instances must be >= 1")
         if self.measurement_samples_per_instance < 1:
             raise ValueError("measurement_samples_per_instance must be >= 1")
+        if not self.backend or not isinstance(self.backend, str):
+            raise ValueError("backend must be a non-empty measurement backend name")
         object.__setattr__(self, "quantiles", tuple(self.quantiles))
 
     # -- identity ------------------------------------------------------
@@ -211,6 +220,7 @@ class RunSpec:
                 for f in dataclasses.fields(self)
                 if f.name != "tag"
                 and not (f.name == "scenario" and self.scenario is None)
+                and not (f.name == "backend" and self.backend == "sim")
             }
             body["__schema__"] = SPEC_SCHEMA
             blob = json.dumps(body, sort_keys=True, separators=(",", ":"))
@@ -250,7 +260,7 @@ class RunSpec:
             load = f"{self.total_rate_rps:.0f} rps"
         else:
             load = f"util={self.target_utilization:.2f}"
-        return {
+        desc = {
             "workload": self.workload.name,
             "load": load,
             "instances": self.num_instances,
@@ -259,6 +269,9 @@ class RunSpec:
             "run_index": self.run_index,
             "digest": self.digest()[:12],
         }
+        if self.backend != "sim":
+            desc["backend"] = self.backend
+        return desc
 
 
 # ----------------------------------------------------------------------
@@ -322,69 +335,20 @@ def metric_samples(report: InstanceReport) -> np.ndarray:
 
 
 def run_spec(spec: RunSpec) -> RunResult:
-    """Execute one independent experiment: boot, load, measure, report.
+    """Deprecated alias for :func:`repro.measure.measure_spec`.
 
-    Pure function of ``spec``: same spec, same result, in any process
-    (the serial-vs-parallel determinism guarantee rests here).
-
-    Scenario specs route through the scenario runtime (lazy import —
-    :mod:`repro.scenarios` sits above the exec layer); everything else
-    runs the historical single-server path below, untouched.
+    The execution body moved behind the versioned MeasurementBackend
+    protocol (:mod:`repro.measure.api`); the simulator semantics live
+    in :mod:`repro.measure.simbackend`, bit-identical to the historical
+    in-place body.  Use :func:`repro.run` (or ``measure_spec`` for the
+    single-spec primitive) instead.
     """
-    if spec.scenario is not None:
-        from ..scenarios.runtime import run_scenario_spec
-
-        return run_scenario_spec(spec)
-    t0 = time.perf_counter()
-    bench = TestBench(
-        BenchConfig(workload=spec.workload, hardware=spec.hardware, seed=spec.seed),
-        run_index=spec.run_index,
+    warnings.warn(
+        "run_spec() is deprecated; use repro.run(spec) or "
+        "repro.measure.measure_spec(spec) (see exec/API.md migration table)",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    if spec.total_rate_rps is not None:
-        total_rate = spec.total_rate_rps
-    else:
-        per_us = bench.server.arrival_rate_for_utilization(spec.target_utilization)
-        total_rate = per_us * 1e6
-    rate_per_instance = total_rate / spec.num_instances
-    instances = []
-    for i in range(spec.num_instances):
-        tm_cfg = TreadmillConfig(
-            rate_rps=rate_per_instance,
-            connections=spec.connections_per_instance,
-            warmup_samples=spec.warmup_samples,
-            measurement_samples=spec.measurement_samples_per_instance,
-            keep_raw=spec.keep_raw,
-        )
-        instances.append(TreadmillInstance(bench, f"client{i}", tm_cfg))
-    for inst in instances:
-        inst.start()
-    # The event loop allocates no reference cycles; cyclic-GC passes in
-    # the middle of a run are pure overhead.  Restore the collector's
-    # prior state even on error.
-    gc_was_enabled = gc.isenabled()
-    if gc_was_enabled:
-        gc.disable()
-    try:
-        bench.run_to_completion(instances)
-    finally:
-        if gc_was_enabled:
-            gc.enable()
+    from ..measure.api import measure_spec
 
-    reports = [inst.report() for inst in instances]
-    samples_by_client = {r.name: metric_samples(r) for r in reports}
-    metrics = {
-        q: aggregate_quantile(samples_by_client, q, combine=spec.combine)
-        for q in spec.quantiles
-    }
-    return RunResult(
-        run_index=spec.run_index,
-        reports=reports,
-        metrics=metrics,
-        server_utilization=bench.server.measured_utilization(),
-        client_utilizations={
-            name: client.utilization() for name, client in bench.clients.items()
-        },
-        spec_digest=spec.digest(),
-        wall_s=time.perf_counter() - t0,
-        events_processed=bench.sim.events_processed,
-    )
+    return measure_spec(spec)

@@ -12,9 +12,9 @@ The worker never holds more than one task (the coordinator's lease is
 the unit of fault tolerance: if this process dies mid-run, the lease
 expires — or the connection drop is noticed sooner — and the task is
 requeued elsewhere).  Task code is resolved by *reference*
-(``module:qualname``, default ``repro.exec.spec:run_spec``) rather
-than shipped as pickled code, so worker and coordinator must run the
-same library version — which the handshake enforces.
+(``module:qualname``, default ``repro.measure.api:measure_spec``)
+rather than shipped as pickled code, so worker and coordinator must
+run the same library version — which the handshake enforces.
 
 Defence in depth: before running a spec the worker recomputes its
 content digest and refuses the task on mismatch (a corrupt frame or a

@@ -1,0 +1,94 @@
+"""`repro.run` — the one front door for executing experiments.
+
+Historically the library had three run spellings: ``run_spec`` (plain
+specs), ``run_scenario_spec`` (scenario-carrying specs), and ad-hoc
+executor calls inside experiment runners.  :func:`run` consolidates
+them: give it a :class:`~repro.exec.spec.RunSpec` or a
+:class:`~repro.scenarios.schema.ScenarioSpec`, optionally name a
+measurement backend and/or an executor, and it does the right thing.
+The old spellings survive as thin deprecated aliases (see
+``exec/API.md``, "Migration table").
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+__all__ = ["run"]
+
+
+def _is_scenario(obj: object) -> bool:
+    # Duck-typed so repro.scenarios is only imported when needed.
+    return hasattr(obj, "fleets") and hasattr(obj, "pools")
+
+
+def run(
+    spec_or_scenario: object,
+    *,
+    backend: Optional[str] = None,
+    executor: object = None,
+    progress: object = None,
+) -> Union[object, List[object]]:
+    """Execute an experiment description end to end.
+
+    Parameters
+    ----------
+    spec_or_scenario:
+        A :class:`~repro.exec.spec.RunSpec` (one independent
+        experiment — returns its ``RunResult``) or a
+        :class:`~repro.scenarios.schema.ScenarioSpec` (compiled to its
+        full factor-matrix x replication schedule — returns the list
+        of ``RunResult``\\ s in schedule order).
+    backend:
+        Measurement backend name overriding ``spec.backend`` (e.g.
+        ``"live"``); None keeps what the spec says.  Configure backend
+        options (like the live target) via
+        :func:`repro.measure.set_backend_defaults`.
+    executor:
+        How to schedule the runs: None uses the direct in-process path
+        for a single spec and the process-wide default executor for
+        scenarios; a string names a registered executor backend
+        (``"serial"``, ``"process"``, ``"cluster"``); anything with a
+        ``.run(specs, progress=...)`` method is used as-is (and not
+        closed).
+    progress:
+        Optional :mod:`repro.exec.progress` hook forwarded to the
+        executor.
+
+    Examples
+    --------
+    ::
+
+        result = repro.run(spec)
+        result = repro.run(spec, backend="live")
+        results = repro.run(scenario, executor="process")
+    """
+    from .measure.api import measure_spec
+
+    if _is_scenario(spec_or_scenario):
+        from .scenarios.compiler import compile_scenario
+
+        specs: Sequence[object] = compile_scenario(spec_or_scenario)
+        single = False
+    else:
+        specs = [spec_or_scenario]
+        single = True
+
+    if backend is not None:
+        specs = [s.replace(backend=backend) for s in specs]
+
+    if executor is None:
+        if single:
+            return measure_spec(specs[0])
+        from .exec.executors import execute_specs
+
+        return execute_specs(specs, progress=progress)
+
+    if isinstance(executor, str):
+        from .exec.api import make_executor
+
+        with make_executor(executor) as ex:
+            results = ex.run(specs, progress=progress)
+    else:
+        results = executor.run(specs, progress=progress)
+    return results[0] if single else results

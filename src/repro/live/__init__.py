@@ -1,0 +1,45 @@
+"""repro.live — wall-clock measurement against real endpoints.
+
+The Treadmill procedure (open-loop Poisson arrivals, warm-up/
+calibration/measurement phases, per-instance-then-aggregate quantiles,
+repeat-until-converged) applied to a *live* TCP or HTTP endpoint via
+asyncio, behind the same :class:`~repro.measure.api.MeasurementBackend`
+protocol the simulator implements.  Select it per spec with
+``RunSpec(backend="live", total_rate_rps=...)`` and point it at an
+endpoint with::
+
+    from repro.measure import backend_defaults
+    with backend_defaults("live", target="tcp://127.0.0.1:7799"):
+        result = repro.run(spec)
+
+Modules:
+
+* :mod:`repro.live.protocol` — the minimal wire protocols (TCP
+  line-echo and minimal HTTP) plus target-URL parsing.
+* :mod:`repro.live.driver` — the open-loop asyncio driver
+  (``LiveBackend``/``LiveOptions``) registered as backend ``"live"``.
+* :mod:`repro.live.refserver` — a deterministic local reference server
+  (seeded service-time distribution, injectable stalls) used to
+  validate the backend against the simulator.
+
+The driver is **never closed-loop**: send times come from the same
+:class:`~repro.core.arrival.ArrivalProcess` gap streams the simulator
+uses, scheduled against absolute wall-clock deadlines, and a send is
+never gated on an outstanding response (the paper's §II client-bias
+pitfall — see the coordinated-omission guard test).
+"""
+
+from .driver import LiveBackend, LiveMeasurementError, LiveOptions, ping
+from .protocol import parse_target
+from .refserver import RefServerConfig, ReferenceServer, serve_in_thread
+
+__all__ = [
+    "LiveBackend",
+    "LiveMeasurementError",
+    "LiveOptions",
+    "ping",
+    "parse_target",
+    "RefServerConfig",
+    "ReferenceServer",
+    "serve_in_thread",
+]

@@ -1,0 +1,467 @@
+"""The "live" measurement backend: open-loop asyncio load driver.
+
+One :class:`~repro.exec.spec.RunSpec` with ``backend="live"`` runs the
+*identical* Treadmill procedure against a real endpoint in wall-clock
+time:
+
+* ``num_instances`` concurrent client instances, each with
+  ``connections_per_instance`` TCP connections;
+* **open-loop, timestamped sends** — inter-arrival gaps come from the
+  same :class:`~repro.core.arrival.ArrivalProcess` streams the
+  simulator draws from (seeded ``RngRegistry`` keyed by ``(seed,
+  run_index)``, stream names ``client{i}/gaps`` and
+  ``client{i}/arrivals``), turned into *absolute* wall-clock deadlines
+  ``t0 + Σ gaps``.  A send never waits for an outstanding response and
+  a response never advances the send schedule — the paper's §II
+  client-bias pitfall (coordinated omission) is structurally
+  impossible, which the guard test verifies under an injected 50 ms
+  server stall;
+* per-connection outstanding-request tracking (responses match sends
+  by sequence number, out of order);
+* the same warm-up/calibration/measurement phase machine and
+  :class:`~repro.stats.histogram.AdaptiveHistogram` via the shared
+  :class:`~repro.core.treadmill.PhaseRecorder`, so convergence,
+  cross-instance aggregation, and attribution run unchanged.
+
+Wall-clock results are **not deterministic** (the capability flag says
+so), so they never enter the result cache and are excluded from the
+bit-identity CI gates.  A watchdog turns a dead or wedged endpoint
+into a clean :class:`LiveMeasurementError` — converged or clean error,
+never a hang.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.treadmill import PhaseRecorder, TreadmillConfig
+from ..sim.rng import RngRegistry
+from .protocol import (
+    PING,
+    decode_response,
+    encode_http_request,
+    encode_request,
+    parse_target,
+)
+
+__all__ = ["LiveOptions", "LiveMeasurementError", "LiveBackend", "ping"]
+
+#: Gap/connection-pick variates drawn per pre-sampled block (a speed
+#: knob, mirroring ``TreadmillConfig.rng_block``).
+_GAP_BLOCK = 512
+
+
+class LiveMeasurementError(RuntimeError):
+    """A live measurement failed cleanly (endpoint dead, wedged, or
+    refusing connections) instead of hanging."""
+
+
+@dataclass(frozen=True)
+class LiveOptions:
+    """Environment of the live backend (never part of a spec digest:
+    *where* a measurement runs is configuration, *what* it measures is
+    the spec)."""
+
+    #: Endpoint URL: ``tcp://host:port`` (echo protocol) or
+    #: ``http://host:port`` (minimal HTTP).
+    target: str = "tcp://127.0.0.1:7799"
+    #: Budget for establishing each connection.
+    connect_timeout_s: float = 5.0
+    #: Watchdog: with zero response progress for this long, the run is
+    #: aborted with a clean error instead of hanging.
+    progress_timeout_s: float = 10.0
+    #: Record per-send scheduled/actual timestamps on the result
+    #: (``result.send_log``) for offered-rate audits; costs memory, so
+    #: off by default.
+    record_send_log: bool = False
+
+
+class _Progress:
+    """Shared liveness marker the watchdog polls."""
+
+    __slots__ = ("last",)
+
+    def __init__(self, now: float):
+        self.last = now
+
+
+class _Conn:
+    __slots__ = ("reader", "writer", "pending")
+
+    def __init__(self, reader, writer):
+        self.reader = reader
+        self.writer = writer
+        #: seq -> send timestamp (loop time) of outstanding requests.
+        self.pending: Dict[int, float] = {}
+
+
+class _LiveInstance:
+    """One Treadmill instance driving one set of connections."""
+
+    def __init__(
+        self,
+        name: str,
+        spec,
+        rate_rps: float,
+        rng: RngRegistry,
+        options: LiveOptions,
+        progress: _Progress,
+    ):
+        self.name = name
+        self.spec = spec
+        self.options = options
+        self.progress = progress
+        config = TreadmillConfig(
+            rate_rps=rate_rps,
+            connections=spec.connections_per_instance,
+            warmup_samples=spec.warmup_samples,
+            measurement_samples=spec.measurement_samples_per_instance,
+            keep_raw=spec.keep_raw,
+        )
+        self.recorder = PhaseRecorder(name, config)
+        self.arrival = config.make_arrival()
+        # Same stream naming as the simulated bench, so the offered
+        # arrival sequence for (seed, run_index) is the identical draw.
+        self._gap_rng = rng.stream(f"{name}/gaps")
+        self._conn_rng = rng.stream(f"{name}/arrivals")
+        self.sent = 0
+        self.responses = 0
+        #: Offered-rate audit trail (filled when record_send_log).
+        self.scheduled_ts: List[float] = []
+        self.actual_ts: List[float] = []
+
+    # -- lifecycle -----------------------------------------------------
+    async def run(self, proto: str, host: str, port: int) -> None:
+        conns = await self._connect(host, port)
+        send_task = None
+        readers = []
+        try:
+            readers = [
+                asyncio.get_running_loop().create_task(self._read_loop(proto, c))
+                for c in conns
+            ]
+            send_task = asyncio.get_running_loop().create_task(
+                self._send_loop(proto, conns)
+            )
+            done, _ = await asyncio.wait(
+                [send_task, *readers], return_when=asyncio.FIRST_COMPLETED
+            )
+            for t in done:
+                exc = t.exception()
+                if exc is not None:
+                    raise exc
+            if send_task not in done:
+                raise LiveMeasurementError(
+                    f"{self.name}: server closed a connection before the "
+                    "measurement completed"
+                )
+        finally:
+            tasks = [t for t in (send_task, *readers) if t is not None]
+            for t in tasks:
+                t.cancel()
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            for c in conns:
+                c.writer.close()
+
+    async def _connect(self, host: str, port: int) -> List[_Conn]:
+        conns = []
+        for _ in range(self.spec.connections_per_instance):
+            try:
+                reader, writer = await asyncio.wait_for(
+                    asyncio.open_connection(host, port),
+                    self.options.connect_timeout_s,
+                )
+            except (OSError, asyncio.TimeoutError) as exc:
+                for c in conns:
+                    c.writer.close()
+                raise LiveMeasurementError(
+                    f"{self.name}: cannot connect to {host}:{port}: {exc}"
+                ) from exc
+            conns.append(_Conn(reader, writer))
+        return conns
+
+    # -- open-loop sender ----------------------------------------------
+    async def _send_loop(self, proto: str, conns: List[_Conn]) -> None:
+        """Send on absolute deadlines derived from the gap stream.
+
+        The deadline chain ``next_t += gap`` is computed independently
+        of every response and of how late the previous send was, so a
+        slow server cannot slow the offered load (open loop).  Sends
+        go to a uniformly random connection — same policy as the
+        simulated :class:`~repro.core.controllers.OpenLoopController`,
+        preserving Poisson arrivals per connection.  No per-request
+        ``drain()``: awaiting the kernel send buffer would couple the
+        schedule to the receiver again.
+        """
+        loop = asyncio.get_running_loop()
+        encode = encode_http_request if proto == "http" else encode_request
+        record_log = self.options.record_send_log
+        n_conns = len(conns)
+        seq = 0
+        next_t = loop.time()
+        while not self.recorder.done:
+            gaps = self.arrival.next_gaps_us(self._gap_rng, _GAP_BLOCK)
+            if n_conns > 1:
+                picks = self._conn_rng.integers(0, n_conns, _GAP_BLOCK)
+            else:
+                picks = np.zeros(_GAP_BLOCK, dtype=int)
+            for gap_us, pick in zip(gaps, picks):
+                next_t += gap_us * 1e-6
+                delay = next_t - loop.time()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                elif (seq & 63) == 0:
+                    # Behind schedule: still yield so readers run.
+                    await asyncio.sleep(0)
+                if self.recorder.done:
+                    return
+                seq += 1
+                conn = conns[pick]
+                now = loop.time()
+                conn.pending[seq] = now
+                if record_log:
+                    self.scheduled_ts.append(next_t)
+                    self.actual_ts.append(now)
+                conn.writer.write(encode(seq))
+                self.sent += 1
+
+    # -- reader --------------------------------------------------------
+    async def _read_loop(self, proto: str, conn: _Conn) -> None:
+        loop = asyncio.get_running_loop()
+        read = self._read_http_seq if proto == "http" else self._read_echo_seq
+        while True:
+            seq = await read(conn.reader)
+            if seq is None:
+                return  # EOF: surfaced as an error by run()
+            sent_at = conn.pending.pop(seq, None)
+            if sent_at is None:
+                continue  # unmatched (late duplicate); ignore
+            latency_us = (loop.time() - sent_at) * 1e6
+            # In-flight responses keep arriving after the budget is
+            # met; the sample count must match the spec exactly (the
+            # simulated bench stops at precisely this point too).
+            if not self.recorder.done:
+                self.recorder.record(latency_us)
+            self.responses += 1
+            self.progress.last = loop.time()
+
+    @staticmethod
+    async def _read_echo_seq(reader) -> Optional[int]:
+        line = await reader.readline()
+        if not line:
+            return None
+        return decode_response(line)
+
+    @staticmethod
+    async def _read_http_seq(reader) -> Optional[int]:
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except (asyncio.IncompleteReadError, ConnectionError):
+            return None
+        seq = None
+        length = 0
+        for line in head.split(b"\r\n"):
+            if line.lower().startswith(b"x-seq:"):
+                seq = int(line.split(b":", 1)[1])
+            elif line.lower().startswith(b"content-length:"):
+                length = int(line.split(b":", 1)[1])
+        if length:
+            await reader.readexactly(length)
+        return seq
+
+    # -- reporting -----------------------------------------------------
+    def report(self):
+        return self.recorder.report(
+            requests_sent=self.sent,
+            # A live client's CPU share is not observable from here;
+            # the open-loop schedule (not utilization accounting) is
+            # what protects against client bias.
+            client_utilization=0.0,
+        )
+
+
+class _LiveRun:
+    """One prepared live experiment (``MeasurementRun``)."""
+
+    def __init__(self, spec, options: LiveOptions):
+        self.spec = spec
+        self.options = options
+
+    def drive(self):
+        from ..core.aggregation import aggregate_quantile
+        from ..exec.spec import RunResult, metric_samples
+
+        spec = self.spec
+        t0 = time.perf_counter()
+        instances = asyncio.run(self._measure())
+        reports = [inst.report() for inst in instances]
+        samples_by_client = {r.name: metric_samples(r) for r in reports}
+        metrics = {
+            q: aggregate_quantile(samples_by_client, q, combine=spec.combine)
+            for q in spec.quantiles
+        }
+        result = RunResult(
+            run_index=spec.run_index,
+            reports=reports,
+            metrics=metrics,
+            # Not observable from the client side of a live endpoint.
+            server_utilization=float("nan"),
+            client_utilizations={r.name: 0.0 for r in reports},
+            spec_digest=spec.digest(),
+            wall_s=time.perf_counter() - t0,
+            events_processed=0,
+        )
+        if self.options.record_send_log:
+            # Offered-rate audit trail for coordinated-omission checks;
+            # an annotation, not a RunResult field (sim runs never
+            # carry one).
+            result.send_log = {
+                inst.name: {
+                    "scheduled": np.asarray(inst.scheduled_ts),
+                    "actual": np.asarray(inst.actual_ts),
+                }
+                for inst in instances
+            }
+        return result
+
+    async def _measure(self) -> List[_LiveInstance]:
+        spec = self.spec
+        options = self.options
+        proto, host, port = parse_target(options.target)
+        loop = asyncio.get_running_loop()
+        progress = _Progress(loop.time())
+        # Same per-run seeding as the simulated TestBench: repeated
+        # runs are independent experiments drawn from (seed, run_index).
+        rng = RngRegistry(hash((spec.seed, spec.run_index)) & 0x7FFFFFFF)
+        rate_per_instance = spec.total_rate_rps / spec.num_instances
+        instances = [
+            _LiveInstance(
+                f"client{i}", spec, rate_per_instance, rng, options, progress
+            )
+            for i in range(spec.num_instances)
+        ]
+
+        async def watchdog() -> None:
+            interval = max(0.05, options.progress_timeout_s / 8.0)
+            while True:
+                await asyncio.sleep(interval)
+                if loop.time() - progress.last > options.progress_timeout_s:
+                    raise LiveMeasurementError(
+                        f"no response progress from {options.target} for "
+                        f"{options.progress_timeout_s:.1f}s; aborting instead "
+                        "of hanging"
+                    )
+
+        body = asyncio.ensure_future(
+            asyncio.gather(*(inst.run(proto, host, port) for inst in instances))
+        )
+        guard = loop.create_task(watchdog())
+        try:
+            done, _ = await asyncio.wait(
+                [body, guard], return_when=asyncio.FIRST_COMPLETED
+            )
+            for t in done:
+                exc = t.exception()
+                if exc is not None:
+                    raise exc
+        finally:
+            body.cancel()
+            guard.cancel()
+            await asyncio.gather(body, guard, return_exceptions=True)
+        return instances
+
+
+class LiveBackend:
+    """Measurement backend ``"live"`` (wall-clock, never cached)."""
+
+    def __init__(self, options: Optional[LiveOptions] = None):
+        self.options = options if options is not None else LiveOptions()
+
+    def prepare(self, spec) -> _LiveRun:
+        if getattr(spec, "scenario", None) is not None:
+            raise ValueError(
+                "the live backend runs plain RunSpecs only; lower the "
+                "scenario first (scenarios.compiler.lower_degenerate)"
+            )
+        if getattr(spec, "total_rate_rps", None) is None:
+            raise ValueError(
+                "the live backend needs an absolute total_rate_rps: a real "
+                "endpoint's service model is unknown, so target_utilization "
+                "cannot be resolved (capability 'utilization_targeting' is "
+                "False)"
+            )
+        return _LiveRun(spec, self.options)
+
+    def capabilities(self):
+        from ..measure.api import BenchCapabilities
+
+        return BenchCapabilities(
+            backend="live",
+            deterministic=False,
+            wall_clock=True,
+            fault_hookable=True,
+            scenarios=False,
+            utilization_targeting=False,
+        )
+
+    def close(self) -> None:
+        return None
+
+
+def ping(target: str, timeout_s: float = 5.0) -> float:
+    """Round-trip a PING to ``target``; returns the RTT in seconds.
+
+    Raises :class:`LiveMeasurementError` on refusal, timeout, or an
+    unexpected reply — the ``repro live ping`` smoke check.
+    """
+    _proto, host, port = parse_target(target)
+
+    async def _go() -> float:
+        loop = asyncio.get_running_loop()
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(host, port), timeout_s
+            )
+        except (OSError, asyncio.TimeoutError) as exc:
+            raise LiveMeasurementError(
+                f"cannot connect to {target}: {exc}"
+            ) from exc
+        try:
+            t0 = loop.time()
+            writer.write(PING)
+            await writer.drain()
+            line = await asyncio.wait_for(reader.readline(), timeout_s)
+            if line.strip() != b"PONG":
+                raise LiveMeasurementError(
+                    f"unexpected ping reply from {target}: {line!r}"
+                )
+            return loop.time() - t0
+        except asyncio.TimeoutError as exc:
+            raise LiveMeasurementError(
+                f"no PONG from {target} within {timeout_s:.1f}s"
+            ) from exc
+        finally:
+            writer.close()
+
+    return asyncio.run(_go())
+
+
+def _register() -> None:
+    from ..measure.api import register_measurement_backend
+
+    register_measurement_backend(
+        "live",
+        lambda options: LiveBackend(options),
+        LiveOptions,
+        summary="wall-clock asyncio open-loop driver for real endpoints "
+        "(never cached)",
+    )
+
+
+_register()

@@ -1,0 +1,156 @@
+"""Minimal wire protocols for live-endpoint measurement.
+
+Two interchangeable request/response encodings over one TCP stream:
+
+* **echo** — newline-delimited: request ``q <seq>\\n``, response
+  ``r <seq>\\n``.  The smallest possible protocol; per-request cost on
+  both sides is a few microseconds, so the client machine stays far
+  from saturation (the paper's lightly-utilized-client requirement).
+* **http** — a minimal HTTP/1.1 exchange on a keep-alive connection:
+  ``GET /echo?seq=<seq>`` answered with a 200 carrying an ``X-Seq``
+  header.  Enough for smoke-testing real HTTP stacks; not a general
+  HTTP client.
+
+Both carry an explicit sequence number so responses can be matched to
+sends out of order — a server with variable service times completes
+requests in whatever order it likes, and the open-loop driver must not
+care.
+
+``PING\\n`` / ``PONG\\n`` is the connectivity handshake used by
+``repro live ping``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+__all__ = [
+    "PROTOCOLS",
+    "PING",
+    "PONG",
+    "encode_request",
+    "decode_request",
+    "encode_response",
+    "decode_response",
+    "encode_http_request",
+    "http_request_seq",
+    "encode_http_response",
+    "parse_target",
+]
+
+PROTOCOLS: Tuple[str, ...] = ("echo", "http")
+
+PING = b"PING\n"
+PONG = b"PONG\n"
+
+
+# ----------------------------------------------------------------------
+# echo protocol
+# ----------------------------------------------------------------------
+def encode_request(seq: int) -> bytes:
+    return b"q %d\n" % seq
+
+
+def decode_request(line: bytes) -> Optional[int]:
+    """Sequence number of an echo request line, or None if not one."""
+    if not line.startswith(b"q "):
+        return None
+    try:
+        return int(line[2:])
+    except ValueError:
+        return None
+
+
+def encode_response(seq: int) -> bytes:
+    return b"r %d\n" % seq
+
+
+def decode_response(line: bytes) -> Optional[int]:
+    """Sequence number of an echo response line, or None if malformed."""
+    if not line.startswith(b"r "):
+        return None
+    try:
+        return int(line[2:])
+    except ValueError:
+        return None
+
+
+# ----------------------------------------------------------------------
+# minimal HTTP
+# ----------------------------------------------------------------------
+def encode_http_request(seq: int) -> bytes:
+    return (
+        b"GET /echo?seq=%d HTTP/1.1\r\n"
+        b"Host: refserver\r\n"
+        b"Connection: keep-alive\r\n"
+        b"\r\n" % seq
+    )
+
+
+def http_request_seq(request_line: bytes) -> Optional[int]:
+    """Sequence number from a ``GET /echo?seq=N`` request line."""
+    marker = b"seq="
+    idx = request_line.find(marker)
+    if idx < 0:
+        return None
+    tail = request_line[idx + len(marker):]
+    digits = bytearray()
+    for byte in tail:
+        if 48 <= byte <= 57:
+            digits.append(byte)
+        else:
+            break
+    try:
+        return int(bytes(digits))
+    except ValueError:
+        return None
+
+
+def encode_http_response(seq: int) -> bytes:
+    body = b"ok"
+    return (
+        b"HTTP/1.1 200 OK\r\n"
+        b"X-Seq: %d\r\n"
+        b"Content-Length: %d\r\n"
+        b"Connection: keep-alive\r\n"
+        b"\r\n" % (seq, len(body))
+    ) + body
+
+
+# ----------------------------------------------------------------------
+# target URLs
+# ----------------------------------------------------------------------
+def parse_target(target: str) -> Tuple[str, str, int]:
+    """Parse a live target URL into ``(protocol, host, port)``.
+
+    Accepted spellings::
+
+        tcp://127.0.0.1:7799      -> ("echo", "127.0.0.1", 7799)
+        http://127.0.0.1:8080     -> ("http", "127.0.0.1", 8080)
+        127.0.0.1:7799            -> ("echo", "127.0.0.1", 7799)
+    """
+    proto = "echo"
+    rest = target
+    if "://" in target:
+        scheme, rest = target.split("://", 1)
+        scheme = scheme.lower()
+        if scheme in ("tcp", "echo"):
+            proto = "echo"
+        elif scheme == "http":
+            proto = "http"
+        else:
+            raise ValueError(
+                f"unsupported live target scheme {scheme!r} in {target!r}; "
+                "use tcp:// or http://"
+            )
+    rest = rest.rstrip("/")
+    host, sep, port_s = rest.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"live target {target!r} must include host:port")
+    try:
+        port = int(port_s)
+    except ValueError:
+        raise ValueError(f"live target {target!r} has a non-numeric port") from None
+    if not 0 < port < 65536:
+        raise ValueError(f"live target {target!r} port out of range")
+    return proto, host, port

@@ -22,6 +22,13 @@ correctly.  The assignments below follow the paper's text:
 * generality: the workload-framework tools (YCSB bindings, Faban
   drivers, Treadmill plug-ins) pass; CloudSuite's loader and Mutilate
   are memcached-specific.
+
+``Treadmill-live`` is this reproduction's wall-clock measurement
+backend (:mod:`repro.live`): the same open-loop procedure pointed at a
+real network endpoint instead of the simulator.  It inherits every
+row — the arrival streams, histogram aggregation, multi-client fan-out
+and repeat-until-converged loop are shared code, and its echo/HTTP
+protocols keep it workload-agnostic.
 """
 
 from __future__ import annotations
@@ -30,7 +37,14 @@ from typing import Dict, List
 
 __all__ = ["FEATURES", "TOOLS", "feature_matrix", "render_feature_table"]
 
-TOOLS: List[str] = ["YCSB", "Faban", "CloudSuite", "Mutilate", "Treadmill"]
+TOOLS: List[str] = [
+    "YCSB",
+    "Faban",
+    "CloudSuite",
+    "Mutilate",
+    "Treadmill",
+    "Treadmill-live",
+]
 
 FEATURES: Dict[str, Dict[str, bool]] = {
     "Query Interarrival Generation": {
@@ -39,6 +53,7 @@ FEATURES: Dict[str, Dict[str, bool]] = {
         "CloudSuite": True,
         "Mutilate": False,
         "Treadmill": True,
+        "Treadmill-live": True,
     },
     "Statistical Aggregation": {
         "YCSB": False,
@@ -46,6 +61,7 @@ FEATURES: Dict[str, Dict[str, bool]] = {
         "CloudSuite": False,
         "Mutilate": True,
         "Treadmill": True,
+        "Treadmill-live": True,
     },
     "Client-side Queueing Bias": {
         "YCSB": False,
@@ -53,6 +69,7 @@ FEATURES: Dict[str, Dict[str, bool]] = {
         "CloudSuite": False,
         "Mutilate": True,
         "Treadmill": True,
+        "Treadmill-live": True,
     },
     "Performance Hysteresis": {
         "YCSB": False,
@@ -60,6 +77,7 @@ FEATURES: Dict[str, Dict[str, bool]] = {
         "CloudSuite": False,
         "Mutilate": False,
         "Treadmill": True,
+        "Treadmill-live": True,
     },
     "Generality": {
         "YCSB": True,
@@ -67,6 +85,7 @@ FEATURES: Dict[str, Dict[str, bool]] = {
         "CloudSuite": False,
         "Mutilate": False,
         "Treadmill": True,
+        "Treadmill-live": True,
     },
 }
 

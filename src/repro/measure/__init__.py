@@ -1,0 +1,56 @@
+"""repro.measure — the formal MeasurementBackend layer.
+
+Treadmill's contribution is a measurement *procedure* — open-loop
+arrivals, warm-up/calibration/measurement phases, per-instance metric
+extraction then aggregation, repeat-until-converged — not a simulator.
+This package makes that separation structural: a
+:class:`~repro.measure.api.MeasurementBackend` turns one
+:class:`~repro.exec.spec.RunSpec` into one
+:class:`~repro.exec.spec.RunResult`, and everything above it
+(procedure, attribution, sweeps, executors, cache, CLI) is
+target-agnostic.
+
+Two backends ship with the library:
+
+* ``"sim"`` (:mod:`repro.measure.simbackend`) — the historical
+  virtual-time discrete-event bench; deterministic, cacheable,
+  bit-identical across executors.
+* ``"live"`` (:mod:`repro.live.driver`) — a wall-clock asyncio
+  open-loop driver against a real TCP endpoint; same phases, same
+  aggregation, *not* deterministic and therefore never cached.
+
+See ``src/repro/exec/API.md`` ("Measurement backends") for the
+implementer-facing contract.
+"""
+
+from .api import (
+    MEASUREMENT_API_VERSION,
+    BenchCapabilities,
+    MeasurementBackend,
+    MeasurementBackendInfo,
+    MeasurementRun,
+    available_measurement_backends,
+    backend_defaults,
+    backend_is_deterministic,
+    make_measurement_backend,
+    measure_spec,
+    measurement_backend_info,
+    register_measurement_backend,
+    set_backend_defaults,
+)
+
+__all__ = [
+    "MEASUREMENT_API_VERSION",
+    "BenchCapabilities",
+    "MeasurementBackend",
+    "MeasurementBackendInfo",
+    "MeasurementRun",
+    "available_measurement_backends",
+    "backend_defaults",
+    "backend_is_deterministic",
+    "make_measurement_backend",
+    "measure_spec",
+    "measurement_backend_info",
+    "register_measurement_backend",
+    "set_backend_defaults",
+]

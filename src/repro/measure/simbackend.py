@@ -1,0 +1,147 @@
+"""The simulator measurement backend ("sim").
+
+The historical execution semantics of :func:`repro.exec.spec.run_spec`,
+now behind the :class:`~repro.measure.api.MeasurementBackend` protocol:
+one spec == one of the paper's independent runs == one fresh
+:class:`~repro.core.bench.TestBench` boot in virtual time.  Scenario
+specs route through the multi-pool scenario runtime.
+
+This backend is the determinism anchor of the library — equal spec ⇒
+bit-identical result in any process — which is why it alone declares
+``deterministic=True`` and participates in the result cache and the
+serial-vs-parallel identity gates.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+from dataclasses import dataclass
+
+from ..core.aggregation import aggregate_quantile
+from ..core.bench import BenchConfig, TestBench
+from ..core.treadmill import TreadmillConfig, TreadmillInstance
+from .api import BenchCapabilities, register_measurement_backend
+
+__all__ = ["SimOptions", "SimBackend"]
+
+
+@dataclass(frozen=True)
+class SimOptions:
+    """Options for the simulator backend.
+
+    Deliberately empty: everything that influences a simulated result
+    must live in the :class:`~repro.exec.spec.RunSpec` content digest,
+    or equal specs would stop implying equal results and the cache
+    contract would break.  Environment-only knobs belong here if they
+    ever appear (none so far).
+    """
+
+
+class _SimRun:
+    """One prepared simulator experiment (``MeasurementRun``)."""
+
+    def __init__(self, spec) -> None:
+        self.spec = spec
+
+    def drive(self):
+        spec = self.spec
+        if spec.scenario is not None:
+            from ..scenarios.runtime import _execute_scenario_spec
+
+            return _execute_scenario_spec(spec)
+        return _drive_single_server(spec)
+
+
+class SimBackend:
+    """Virtual-time discrete-event backend (the historical semantics)."""
+
+    def __init__(self, options: SimOptions | None = None) -> None:
+        self.options = options if options is not None else SimOptions()
+
+    def prepare(self, spec) -> _SimRun:
+        return _SimRun(spec)
+
+    def capabilities(self) -> BenchCapabilities:
+        return BenchCapabilities(
+            backend="sim",
+            deterministic=True,
+            wall_clock=False,
+            fault_hookable=False,
+            scenarios=True,
+            utilization_targeting=True,
+        )
+
+    def close(self) -> None:  # stateless; nothing to release
+        return None
+
+
+def _drive_single_server(spec):
+    """The legacy single-server body: boot, load, measure, report.
+
+    Pure function of ``spec``: same spec, same result, in any process
+    (the serial-vs-parallel determinism guarantee rests here).
+    """
+    from ..exec.spec import RunResult, metric_samples
+
+    t0 = time.perf_counter()
+    bench = TestBench(
+        BenchConfig(workload=spec.workload, hardware=spec.hardware, seed=spec.seed),
+        run_index=spec.run_index,
+    )
+    if spec.total_rate_rps is not None:
+        total_rate = spec.total_rate_rps
+    else:
+        per_us = bench.server.arrival_rate_for_utilization(spec.target_utilization)
+        total_rate = per_us * 1e6
+    rate_per_instance = total_rate / spec.num_instances
+    instances = []
+    for i in range(spec.num_instances):
+        tm_cfg = TreadmillConfig(
+            rate_rps=rate_per_instance,
+            connections=spec.connections_per_instance,
+            warmup_samples=spec.warmup_samples,
+            measurement_samples=spec.measurement_samples_per_instance,
+            keep_raw=spec.keep_raw,
+        )
+        instances.append(TreadmillInstance(bench, f"client{i}", tm_cfg))
+    for inst in instances:
+        inst.start()
+    # The event loop allocates no reference cycles; cyclic-GC passes in
+    # the middle of a run are pure overhead.  Restore the collector's
+    # prior state even on error.
+    gc_was_enabled = gc.isenabled()
+    if gc_was_enabled:
+        gc.disable()
+    try:
+        bench.run_to_completion(instances)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+    reports = [inst.report() for inst in instances]
+    samples_by_client = {r.name: metric_samples(r) for r in reports}
+    metrics = {
+        q: aggregate_quantile(samples_by_client, q, combine=spec.combine)
+        for q in spec.quantiles
+    }
+    return RunResult(
+        run_index=spec.run_index,
+        reports=reports,
+        metrics=metrics,
+        server_utilization=bench.server.measured_utilization(),
+        client_utilizations={
+            name: client.utilization() for name, client in bench.clients.items()
+        },
+        spec_digest=spec.digest(),
+        wall_s=time.perf_counter() - t0,
+        events_processed=bench.sim.events_processed,
+    )
+
+
+register_measurement_backend(
+    "sim",
+    lambda options: SimBackend(options),
+    SimOptions,
+    summary="virtual-time discrete-event bench (deterministic, cacheable)",
+)

@@ -1,19 +1,24 @@
 """Execute one scenario-carrying RunSpec.
 
-:func:`run_scenario_spec` is the scenario counterpart of the legacy
-body of :func:`repro.exec.spec.run_spec`: boot every pool, stand up
-every fleet's Treadmill instances, start antagonists, drive the shared
+:func:`_execute_scenario_spec` is the scenario counterpart of the
+simulator backend's single-server body
+(:mod:`repro.measure.simbackend`): boot every pool, stand up every
+fleet's Treadmill instances, start antagonists, drive the shared
 simulator to completion, and report — overall metrics via the paper's
 per-instance-then-combine rule plus per-(fleet, pool)
 ``group_metrics``.  It is a pure function of the spec, so the
 serial-vs-parallel bit-identity guarantee of the execution layer
-extends to scenarios unchanged.
+extends to scenarios unchanged.  The simulator measurement backend
+calls it for every scenario-carrying spec; the public
+:func:`run_scenario_spec` name is a deprecated alias for
+:func:`repro.measure.measure_spec`.
 """
 
 from __future__ import annotations
 
 import gc
 import time
+import warnings
 from typing import Dict, List
 
 from ..core.aggregation import aggregate_quantile, grouped_quantiles
@@ -26,6 +31,24 @@ __all__ = ["run_scenario_spec"]
 
 
 def run_scenario_spec(spec) -> "RunResult":
+    """Deprecated alias for :func:`repro.measure.measure_spec`.
+
+    Kept so pre-PR-7 callers continue to work; dispatching through the
+    measurement registry also honours ``spec.backend`` instead of
+    silently assuming the simulator.
+    """
+    warnings.warn(
+        "run_scenario_spec() is deprecated; use repro.run(spec) or "
+        "repro.measure.measure_spec(spec) (see exec/API.md migration table)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from ..measure.api import measure_spec
+
+    return measure_spec(spec)
+
+
+def _execute_scenario_spec(spec) -> "RunResult":
     """Execute one scenario experiment described by ``spec.scenario``."""
     # Late imports from exec.spec: this module is imported *by* it.
     from ..exec.spec import RunResult, metric_samples

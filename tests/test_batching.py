@@ -266,8 +266,27 @@ class TestGoldenDigest:
         )
         return hashlib.sha256(blob.encode()).hexdigest()[:16]
 
+    #: Frozen *spec* digest (the cache/dedup key).  The ``backend``
+    #: field added in PR 7 is excluded from the digest when it holds
+    #: the default ``"sim"``, so every pre-existing spec — and every
+    #: cache entry keyed by it — keeps this exact digest.
+    GOLDEN_SPEC_DIGEST = (
+        "d5b37ebf206aaab767566f51035abe47992a5275d29979fffa05a9719d70de56"
+    )
+
     def test_full_run_digest_is_frozen(self):
         assert self.result_digest(run_spec(self.golden_spec())) == self.GOLDEN
+
+    def test_spec_digest_is_frozen(self):
+        assert self.golden_spec().digest() == self.GOLDEN_SPEC_DIGEST
+
+    def test_backend_field_is_digest_neutral(self):
+        explicit = self.golden_spec().replace(backend="sim")
+        assert explicit.digest() == self.GOLDEN_SPEC_DIGEST
+
+    def test_non_default_backend_changes_the_spec_digest(self):
+        live = self.golden_spec().replace(backend="live")
+        assert live.digest() != self.GOLDEN_SPEC_DIGEST
 
     def test_degenerate_scenario_lowers_to_the_golden_spec(self):
         """The bit-identity guarantee of the scenario compiler: the

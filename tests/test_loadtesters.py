@@ -34,10 +34,11 @@ class TestFeatureMatrix:
 
     def test_treadmill_handles_everything(self):
         assert all(cols["Treadmill"] for cols in FEATURES.values())
+        assert all(cols["Treadmill-live"] for cols in FEATURES.values())
 
     def test_only_treadmill_handles_hysteresis(self):
         row = FEATURES["Performance Hysteresis"]
-        assert [t for t in TOOLS if row[t]] == ["Treadmill"]
+        assert [t for t in TOOLS if row[t]] == ["Treadmill", "Treadmill-live"]
 
     def test_closed_loop_tools_fail_interarrival(self):
         row = FEATURES["Query Interarrival Generation"]
