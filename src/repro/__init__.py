@@ -24,7 +24,13 @@ The package provides:
   registry separating the measurement *procedure* from the target
   under test;
 * ``repro.live`` — the wall-clock asyncio open-loop driver (backend
-  ``"live"``) plus a deterministic local reference server.
+  ``"live"``) plus a deterministic local reference server; the driver
+  self-heals (reconnects, health probes, stall ladder) and salvages
+  partial results as *degraded* runs;
+* ``repro.guards`` — executable measurement-validity detectors (the
+  paper's §II pitfall catalogue) auditing every run; verdicts ride on
+  ``result.guards`` and ``repro.run(spec, strict_guards=True)``
+  enforces them.
 
 Quickstart::
 
@@ -74,6 +80,16 @@ from .exec import (
     run_spec,
 )
 from .facade import run
+from .guards import (
+    GuardFailureError,
+    GuardReport,
+    GuardThresholds,
+    GuardVerdict,
+    available_detectors,
+    evaluate_run,
+    guard_thresholds,
+    set_guard_thresholds,
+)
 from .measure import (
     BenchCapabilities,
     MeasurementBackend,
@@ -99,6 +115,14 @@ __all__ = [
     "register_measurement_backend",
     "set_backend_defaults",
     "backend_defaults",
+    "GuardFailureError",
+    "GuardReport",
+    "GuardThresholds",
+    "GuardVerdict",
+    "available_detectors",
+    "evaluate_run",
+    "guard_thresholds",
+    "set_guard_thresholds",
     "RunSpec",
     "run_spec",
     "Executor",

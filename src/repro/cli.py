@@ -12,6 +12,19 @@ Usage::
     repro live ping tcp://h:7799   # smoke-check a live endpoint
     repro live serve --port 7799   # deterministic reference server
     repro live measure tcp://h:7799 --rate 2000   # one live measurement
+    repro guards list              # the validity-detector catalogue
+    repro guards run               # self-test every detector fixture
+
+Exit codes: 0 success / converged; 1 generic failure (invalid input,
+self-test miss, identity-gate violation); 3 clean live-measurement
+error (endpoint dead, wedged, or refusing connections — never a
+hang); 4 validity-guard failure under ``--strict-guards``.
+
+Validity guards: every measurement is audited by the detectors in
+``repro.guards`` and carries the verdicts on ``result.guards``.
+``--strict-guards`` (on ``run``, ``all``, ``scenario run``, ``live
+measure``, and ``guards run``) escalates a *failed* audit to exit
+code 4; warnings always stay advisory.
 
 Scales: ``quick`` (seconds, smoke), ``default`` (tens of seconds, what
 the benchmark suite uses), ``paper`` (the paper's replication counts;
@@ -143,6 +156,16 @@ def build_parser() -> argparse.ArgumentParser:
             ),
         )
 
+    def add_guard_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--strict-guards",
+            action="store_true",
+            help=(
+                "escalate a failed validity audit to exit code 4 "
+                "(guards are advisory otherwise)"
+            ),
+        )
+
     run_p = sub.add_parser("run", help="regenerate one artifact")
     run_p.add_argument("artifact", choices=experiment_ids())
     run_p.add_argument(
@@ -152,12 +175,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None, help="also write the rendered report to this file"
     )
     add_exec_flags(run_p)
+    add_guard_flags(run_p)
 
     all_p = sub.add_parser("all", help="regenerate every artifact in order")
     all_p.add_argument(
         "--scale", choices=sorted(SCALES), default="default", help="experiment size"
     )
     add_exec_flags(all_p)
+    add_guard_flags(all_p)
 
     sub.add_parser("hardware", help="print the simulated hardware spec (Table II)")
     sub.add_parser(
@@ -194,11 +219,33 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument(
         "--mode", choices=("parallel", "serial"), default="parallel"
     )
+    serve_p.add_argument(
+        "--drop-after",
+        type=int,
+        default=0,
+        metavar="N",
+        help="misbehave: drop each connection after N requests (0 = off)",
+    )
+    serve_p.add_argument(
+        "--accept-delay-s",
+        type=float,
+        default=0.0,
+        metavar="S",
+        help="misbehave: serve each new connection only after S seconds",
+    )
+    serve_p.add_argument(
+        "--drift-us-per-request",
+        type=float,
+        default=0.0,
+        metavar="US",
+        help="misbehave: ramp service time by US microseconds per request",
+    )
     meas_p = live_sub.add_parser(
         "measure",
         help=(
             "one open-loop measurement against a live endpoint "
-            "(exit 0 on success, 3 on a clean measurement error)"
+            "(exit 0 on success, 3 on a clean measurement error, "
+            "4 on guard failure under --strict-guards)"
         ),
     )
     meas_p.add_argument(
@@ -217,8 +264,29 @@ def build_parser() -> argparse.ArgumentParser:
     meas_p.add_argument("--seed", type=int, default=0)
     meas_p.add_argument(
         "--progress-timeout", type=float, default=10.0, metavar="S",
-        help="abort cleanly if no response arrives for this long",
+        help="stall ladder rung 3: abort cleanly after this long without progress",
     )
+    meas_p.add_argument(
+        "--stall-warn", type=float, default=1.0, metavar="S",
+        help="stall ladder rung 1: record a stall warning after this long",
+    )
+    meas_p.add_argument(
+        "--stall-probe", type=float, default=5.0, metavar="S",
+        help="stall ladder rung 2: actively re-probe the endpoint after this long",
+    )
+    meas_p.add_argument(
+        "--max-lost-fraction", type=float, default=0.25, metavar="F",
+        help=(
+            "salvage bound: complete degraded while at most this fraction "
+            "of connections is permanently lost"
+        ),
+    )
+    meas_p.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable report (metrics, guards, health) on stdout",
+    )
+    add_guard_flags(meas_p)
 
     scen_p = sub.add_parser(
         "scenario",
@@ -251,6 +319,40 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     add_exec_flags(scen_run_p)
+    add_guard_flags(scen_run_p)
+
+    guards_p = sub.add_parser(
+        "guards",
+        help="measurement-validity guards (list the detectors / self-test)",
+    )
+    guards_sub = guards_p.add_subparsers(dest="guards_command", required=True)
+    guards_sub.add_parser(
+        "list", help="the detector catalogue and the pitfall each audits"
+    )
+    gr_p = guards_sub.add_parser(
+        "run",
+        help=(
+            "run detector fixtures and check each fires (exit 1 on a "
+            "self-test miss, 4 if --strict-guards and an audit fails)"
+        ),
+    )
+    gr_p.add_argument(
+        "fixtures",
+        nargs="*",
+        metavar="FIXTURE",
+        help="fixture names (default: the whole catalogue; see `guards list`)",
+    )
+    gr_p.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable verdicts on stdout",
+    )
+    gr_p.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print each fired detector's one-line finding",
+    )
+    add_guard_flags(gr_p)
 
     chaos_p = sub.add_parser(
         "chaos",
@@ -365,6 +467,8 @@ def _cmd_live_ping(target: str, timeout_s: float) -> int:
 
 
 def _cmd_live_measure(args: argparse.Namespace) -> int:
+    import json as _json
+
     from .exec.spec import RunSpec
     from .live import LiveMeasurementError
     from .measure import backend_defaults, measure_spec
@@ -387,22 +491,49 @@ def _cmd_live_measure(args: argparse.Namespace) -> int:
             "live",
             target=args.target,
             progress_timeout_s=args.progress_timeout,
+            stall_warn_s=args.stall_warn,
+            stall_probe_s=args.stall_probe,
+            max_lost_connection_fraction=args.max_lost_fraction,
         ):
             result = measure_spec(spec)
     except (LiveMeasurementError, ValueError) as exc:
         # The CI smoke contract: a clean attributed failure, never a
         # hang — distinguishable from success by exit code 3.
+        if args.json:
+            print(_json.dumps({"target": args.target, "error": str(exc)}, indent=1))
         print(f"live measure {args.target}: FAILED — {exc}", file=sys.stderr)
         return 3
-    metrics = ", ".join(
-        f"p{q * 100:g}={v:.1f}us" for q, v in sorted(result.metrics.items())
-    )
+    guards = getattr(result, "guards", None)
     sent = sum(r.requests_sent for r in result.reports)
-    print(f"live measure {args.target}: {metrics}")
-    print(
-        f"[{sent} requests over {len(result.reports)} instance(s) "
-        f"in {time.time() - start:.1f}s]"
-    )
+    if args.json:
+        payload = {
+            "target": args.target,
+            "metrics_us": {f"p{q * 100:g}": v for q, v in sorted(result.metrics.items())},
+            "requests_sent": int(sent),
+            "instances": len(result.reports),
+            "wall_s": time.time() - start,
+            "guards": guards.to_jsonable() if guards is not None else None,
+            "live_health": getattr(result, "live_health", None),
+            "send_lag": getattr(result, "send_lag", None),
+            "client_probe": getattr(result, "client_probe", None),
+        }
+        print(_json.dumps(payload, indent=1, default=str))
+    else:
+        metrics = ", ".join(
+            f"p{q * 100:g}={v:.1f}us" for q, v in sorted(result.metrics.items())
+        )
+        print(f"live measure {args.target}: {metrics}")
+        print(
+            f"[{sent} requests over {len(result.reports)} instance(s) "
+            f"in {time.time() - start:.1f}s]"
+        )
+        if guards is not None:
+            print(guards.format())
+    if args.strict_guards and guards is not None and not guards.ok:
+        print(
+            "live measure: validity guards FAILED (strict mode)", file=sys.stderr
+        )
+        return 4
     return 0
 
 
@@ -416,6 +547,9 @@ def _cmd_live_serve(args: argparse.Namespace) -> int:
             "--service", args.service,
             "--seed", str(args.seed),
             "--mode", args.mode,
+            "--drop-after", str(args.drop_after),
+            "--accept-delay-s", str(args.accept_delay_s),
+            "--drift-us-per-request", str(args.drift_us_per_request),
         ]
     )
 
@@ -509,6 +643,7 @@ def _cmd_scenario_run(scenario, args: argparse.Namespace) -> int:
     else:
         identical = None
         results = execute_specs(specs)
+    strict_failed = False
     for spec, result in zip(specs, results):
         metrics = ", ".join(
             f"p{q * 100:g}={v:.1f}us" for q, v in sorted(result.metrics.items())
@@ -519,7 +654,19 @@ def _cmd_scenario_run(scenario, args: argparse.Namespace) -> int:
                 f"p{q * 100:g}={v:.1f}us" for q, v in sorted(gm.items())
             )
             print(f"  ({fleet}, {pool}): {gmetrics}")
+        guards = getattr(result, "guards", None)
+        if guards is not None and guards.status != "pass":
+            for line in guards.format().splitlines():
+                print(f"  {line}")
+            if args.strict_guards and not guards.ok:
+                strict_failed = True
     print(f"[{scenario.name} completed in {time.time() - start:.1f}s]")
+    if strict_failed:
+        print(
+            f"scenario {scenario.name}: validity guards FAILED (strict mode)",
+            file=sys.stderr,
+        )
+        return 4
     return 0 if identical in (None, True) else 1
 
 
@@ -576,27 +723,134 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_guards_list() -> int:
+    from .guards import available_detectors, detector_info
+
+    names = available_detectors()
+    width = max(len(n) for n in names)
+    print(f"{len(names)} validity detector(s) audit every measurement:")
+    for name in names:
+        info = detector_info(name)
+        print(f"  {name:<{width}}  [{info.pitfall}]")
+        print(f"  {'':<{width}}  {info.summary}")
+    return 0
+
+
+def _cmd_guards_run(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .guards.fixtures import available_fixtures, run_fixture
+
+    names = list(args.fixtures) if args.fixtures else available_fixtures()
+    known = set(available_fixtures())
+    unknown = [n for n in names if n not in known]
+    if unknown:
+        print(
+            f"unknown fixture(s): {', '.join(unknown)} "
+            f"(known: {', '.join(sorted(known))})",
+            file=sys.stderr,
+        )
+        return 1
+    rows = []
+    misses = 0
+    for name in names:
+        fx, result = run_fixture(name)
+        report = result.guards
+        if fx.detector:
+            verdict = report.verdict(fx.detector)
+            got = verdict.status if verdict is not None else "missing"
+        else:
+            # Clean fixture: every detector must stay quiet, so the
+            # judged status is the whole report's worst verdict.
+            verdict = None
+            got = report.status
+        fired = _guard_at_least(got, fx.expect_at_least)
+        if not fired:
+            misses += 1
+        rows.append(
+            {
+                "fixture": name,
+                "detector": fx.detector,
+                "expect_at_least": fx.expect_at_least,
+                "got": got,
+                "ok": fired,
+                "evidence": dict(verdict.evidence) if verdict is not None else {},
+                "report": report.to_jsonable(),
+            }
+        )
+        if not args.json:
+            mark = "ok " if fired else "MISS"
+            what = fx.detector or "all detectors"
+            print(
+                f"[{mark}] {name}: {what} expected >= "
+                f"{fx.expect_at_least}, got {got}"
+            )
+            if args.verbose and verdict is not None:
+                print(f"       {verdict.summary}")
+    if args.json:
+        print(_json.dumps({"fixtures": rows, "misses": misses}, indent=1, default=str))
+    elif misses:
+        print(f"guards self-test: {misses}/{len(names)} fixture(s) MISSED", file=sys.stderr)
+    return 1 if misses else 0
+
+
+def _guard_at_least(got: str, floor: str) -> bool:
+    """True when verdict ``got`` is at least as severe as ``floor``."""
+    order = {"pass": 0, "skip": 0, "warn": 1, "fail": 2}
+    if floor == "pass":
+        # A clean fixture must stay clean: nothing above pass.
+        return order.get(got, 0) == 0
+    return order.get(got, 0) >= order[floor]
+
+
+def _guard_scope(args: argparse.Namespace):
+    """Enforcement scope implied by ``--strict-guards``."""
+    from .guards import guard_enforcement
+
+    strict = bool(getattr(args, "strict_guards", False))
+    return guard_enforcement("strict" if strict else "advisory")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    from .guards import GuardFailureError
+
     args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except GuardFailureError as exc:
+        # Strict mode: a failed validity audit is its own exit code so
+        # CI can tell "bad measurement" (4) from "broken run" (1/3).
+        print(f"validity guards FAILED: {exc}", file=sys.stderr)
+        return 4
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
-        with _execution_scope(args):
+        with _execution_scope(args), _guard_scope(args):
             return _cmd_run(args.artifact, args.scale, args.out)
     if args.command == "all":
-        with _execution_scope(args):
+        with _execution_scope(args), _guard_scope(args):
             return _cmd_all(args.scale)
     if args.command == "hardware":
         return _cmd_hardware()
     if args.command == "backends":
         return _cmd_backends()
+    if args.command == "guards":
+        if args.guards_command == "list":
+            return _cmd_guards_list()
+        if args.guards_command == "run":
+            with _guard_scope(args):
+                return _cmd_guards_run(args)
     if args.command == "live":
         if args.live_command == "ping":
             return _cmd_live_ping(args.target, args.timeout)
         if args.live_command == "serve":
             return _cmd_live_serve(args)
         if args.live_command == "measure":
-            return _cmd_live_measure(args)
+            with _guard_scope(args):
+                return _cmd_live_measure(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
     if args.command == "scenario":
@@ -614,7 +868,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 import json as _json
 
                 args.fault_plan = _json.dumps(dict(scenario.fault_plan))
-            with _execution_scope(args):
+            with _execution_scope(args), _guard_scope(args):
                 return _cmd_scenario_run(scenario, args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 

@@ -34,6 +34,8 @@ __all__ = [
     "grouped_quantiles",
     "pooled_quantile",
     "client_share_by_latency",
+    "combiner_weights",
+    "sample_share_imbalance",
 ]
 
 _COMBINERS = {
@@ -94,6 +96,48 @@ def grouped_quantiles(
         group: {q: aggregate_quantile(members, q, combine) for q in qs}
         for group, members in groups.items()
     }
+
+
+def combiner_weights(names: Sequence[str], combine: str = "mean") -> Dict[str, float]:
+    """The standing each client's *metric* gets under a combiner.
+
+    Every supported combiner treats the per-instance metrics
+    symmetrically — each client contributes exactly one number,
+    independent of how many samples it recorded — so the weights are
+    uniform.  The aggregation-bias guard compares these weights with
+    the clients' actual sample *shares*: when they diverge, the sound
+    per-instance rule and the pooled pitfall give materially different
+    answers and aggregation choice is load-bearing (Section III-B,
+    Fig. 2).
+    """
+    if combine not in _COMBINERS:
+        raise ValueError(f"unknown combiner {combine!r} (have {sorted(_COMBINERS)})")
+    names = list(names)
+    if not names:
+        raise ValueError("need at least one client")
+    w = 1.0 / len(names)
+    return {name: w for name in names}
+
+
+def sample_share_imbalance(
+    counts_by_client: Dict[str, int],
+    combine: str = "mean",
+) -> float:
+    """Total-variation distance between sample shares and combiner
+    weights, in ``[0, 1]``.
+
+    0 means every client contributed samples exactly in proportion to
+    the standing its metric gets; values near 1 mean one client's
+    samples dominate a pool that the aggregation treats as balanced.
+    """
+    weights = combiner_weights(list(counts_by_client), combine)
+    total = float(sum(counts_by_client.values()))
+    if total <= 0:
+        raise ValueError("no samples recorded")
+    return 0.5 * sum(
+        abs(counts_by_client[name] / total - weights[name])
+        for name in counts_by_client
+    )
 
 
 def pooled_quantile(samples_by_client: Dict[str, Sequence[float]], q: float) -> float:

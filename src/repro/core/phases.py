@@ -21,11 +21,13 @@ end of execution."
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Tuple
+
+import numpy as np
 
 from ..stats.histogram import AdaptiveHistogram
 
-__all__ = ["PhaseManager"]
+__all__ = ["PhaseManager", "guard_window_size"]
 
 PHASE_WARMUP = "warm-up"
 PHASE_CALIBRATION = "calibration"
@@ -36,6 +38,21 @@ PHASE_MEASUREMENT = "measurement"
 #: histogram ingest is batch-size-invariant (record_many == sequential
 #: adds), so this is purely an amortization knob.
 _FLUSH_EVERY = 512
+
+#: Windows the guard tape aims for over one measurement (validity
+#: detectors need enough windows for a robust drift statistic but each
+#: window needs enough samples for a stable quantile).
+_GUARD_WINDOWS_TARGET = 16
+
+
+def guard_window_size(measurement_samples: int) -> int:
+    """Deterministic guard-tape window size for a sample budget.
+
+    A pure function of the budget (never of timing or flush
+    boundaries), so the windowed summaries are bit-identical across
+    executors and batch sizes.
+    """
+    return max(8, int(measurement_samples) // _GUARD_WINDOWS_TARGET)
 
 
 class PhaseManager:
@@ -70,6 +87,15 @@ class PhaseManager:
         self._seen = 0
         self._collected = 0
         self._pending: List[float] = []
+        # Guard tape: windowed summaries of the post-warm-up stream
+        # plus the tail of the warm-up stream, consumed by the
+        # validity detectors in repro.guards (phase-boundary drift,
+        # non-stationarity).  Window boundaries depend only on sample
+        # *order*, never on flush timing, so the tape is deterministic.
+        self.guard_window = guard_window_size(measurement_samples)
+        self._windows: List[Tuple[int, float, float, float]] = []
+        self._win_buf: List[float] = []
+        self._warm_tail: List[float] = []
 
     @property
     def seen(self) -> int:
@@ -110,6 +136,10 @@ class PhaseManager:
         """
         self._seen += 1
         if self._seen <= self.warmup_samples:
+            tail = self._warm_tail
+            tail.append(latency_us)
+            if len(tail) >= 2 * self.guard_window:
+                del tail[: len(tail) - self.guard_window]
             return False
         self._collected += 1
         pending = self._pending
@@ -125,3 +155,36 @@ class PhaseManager:
         if self._pending:
             batch, self._pending = self._pending, []
             self._histogram.record_many(batch)
+            buf = self._win_buf
+            buf.extend(batch)
+            window = self.guard_window
+            while len(buf) >= window:
+                chunk = np.asarray(buf[:window], dtype=float)
+                del buf[:window]
+                q50, q95 = np.quantile(chunk, (0.5, 0.95))
+                self._windows.append(
+                    (window, float(chunk.mean()), float(q50), float(q95))
+                )
+
+    # ------------------------------------------------------------------
+    # guard tape (read by repro.guards detectors)
+    # ------------------------------------------------------------------
+    def guard_windows(self) -> np.ndarray:
+        """Completed guard-tape windows as a ``(k, 4)`` float array.
+
+        Columns are ``(count, mean, q50, q95)`` per window of the
+        post-warm-up sample stream, in arrival order.  The trailing
+        partial window is excluded so the summary is independent of
+        where the run stopped inside a window.
+        """
+        self.flush()
+        if not self._windows:
+            return np.empty((0, 4), dtype=float)
+        return np.asarray(self._windows, dtype=float)
+
+    @property
+    def warmup_tail(self) -> np.ndarray:
+        """Up to the last ``guard_window`` warm-up latencies (the
+        samples just before the phase boundary)."""
+        tail = self._warm_tail[-self.guard_window:]
+        return np.asarray(tail, dtype=float)

@@ -104,6 +104,32 @@ class ProcedureResult:
             max(r.client_utilizations.values()) for r in self.runs
         )
 
+    @property
+    def guards_status(self) -> str:
+        """Worst validity-guard status across all runs (``"pass"``
+        when every audited run is clean; un-audited runs — e.g. loaded
+        from a pre-guard cache — count as ``pass``)."""
+        order = {"pass": 0, "skip": 0, "warn": 1, "fail": 2}
+        worst = "pass"
+        for r in self.runs:
+            report = getattr(r, "guards", None)
+            status = report.status if report is not None else "pass"
+            if order.get(status, 0) > order[worst]:
+                worst = status
+        return worst
+
+    def guard_findings(self) -> List["object"]:
+        """Every warn/fail verdict across all runs, tagged with the
+        run index: ``[(run_index, GuardVerdict), ...]``."""
+        findings = []
+        for r in self.runs:
+            report = getattr(r, "guards", None)
+            if report is None:
+                continue
+            for v in (*report.failures(), *report.warnings()):
+                findings.append((r.run_index, v))
+        return findings
+
 
 class MeasurementProcedure:
     """Runs the full multi-instance, multi-run procedure.

@@ -23,7 +23,7 @@ are orchestrated by :mod:`repro.core.procedure`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -121,6 +121,15 @@ class InstanceReport:
     #: per-(fleet, pool) aggregation and attribution key on the pair.
     fleet: str = ""
     pool: str = ""
+    #: Guard tape (see :meth:`PhaseManager.guard_windows`): windowed
+    #: ``(count, mean, q50, q95)`` summaries of the post-warm-up
+    #: stream, consumed by the repro.guards drift detectors.
+    phase_windows: np.ndarray = field(
+        default_factory=lambda: np.empty((0, 4), dtype=float)
+    )
+    #: The last warm-up latencies (phase-boundary evidence for the
+    #: warm-up-insufficiency detector); empty when warm-up was zero.
+    warmup_tail: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=float))
 
     @property
     def group(self) -> "tuple[str, str]":
@@ -220,9 +229,11 @@ class PhaseRecorder:
                 np.asarray(self.phases.raw_samples, dtype=float),
                 ground_truth() if ground_truth is not None else np.empty(0),
                 {k: buf.array() for k, buf in self.components.items()},
+                self.phases.guard_windows(),
+                self.phases.warmup_tail,
             )
             self._report_key = key
-        raw, truth, components = self._report_arrays
+        raw, truth, components, windows, warm_tail = self._report_arrays
         return InstanceReport(
             name=self.name,
             histogram=self.phases.histogram,
@@ -234,6 +245,8 @@ class PhaseRecorder:
             components=components,
             fleet=self.fleet,
             pool=self.pool,
+            phase_windows=windows,
+            warmup_tail=warm_tail,
         )
 
 

@@ -53,7 +53,18 @@ __all__ = ["CACHE_SCHEMA", "QUARANTINE_DIR", "cache_version", "ResultCache"]
 #:    so payload bit-rot is detected on read instead of trusted.
 #: 3: ``RunResult`` gains ``group_metrics`` (scenario runs); pickles
 #:    written before the field would unpickle without the attribute.
-CACHE_SCHEMA = 3
+#: 4: ``RunResult`` gains ``guards`` (the validity audit) and
+#:    ``InstanceReport`` gains the guard tape (``phase_windows`` /
+#:    ``warmup_tail``).  Purely additive, so schema-3 entries written
+#:    by the same library+spec schema stay *readable*: on read the
+#:    missing attributes are backfilled with their defaults
+#:    (``guards=None`` — un-audited), see ``_COMPATIBLE_SCHEMAS``.
+CACHE_SCHEMA = 4
+
+#: Older cache schemas whose pickles this version can still read
+#: (additive field changes only).  The library and spec schema parts
+#: of the version string must still match exactly.
+_COMPATIBLE_SCHEMAS = ("3",)
 
 #: Corrupt entries are moved here (under the cache root), not deleted:
 #: forensically useful, and excluded from entry counts and ``clear()``.
@@ -76,6 +87,43 @@ def cache_version() -> str:
 
 def _checksum(payload: bytes) -> str:
     return hashlib.sha256(payload).hexdigest()
+
+
+def _version_readable(stored: str) -> bool:
+    """Whether an entry written under ``stored`` can still be read.
+
+    Exact match always can; otherwise the library version and spec
+    schema must match exactly and the cache schema must be one of the
+    additive-only :data:`_COMPATIBLE_SCHEMAS`.
+    """
+    if stored == cache_version():
+        return True
+    parts = stored.rsplit(":", 2)
+    if len(parts) != 3:
+        return False
+    lib, schema, spec_schema = parts
+    return (
+        lib == _library_version()
+        and spec_schema == str(SPEC_SCHEMA)
+        and schema in _COMPATIBLE_SCHEMAS
+    )
+
+
+def _backfill_additive_fields(outcome: RunResult) -> None:
+    """Give pickles from compatible older schemas the new attributes.
+
+    Old pickles restore ``__dict__`` directly, skipping ``__init__``,
+    so fields added since the entry was written are simply absent.
+    """
+    if not hasattr(outcome, "guards"):
+        outcome.guards = None
+    if not hasattr(outcome, "group_metrics"):
+        outcome.group_metrics = {}
+    for report in getattr(outcome, "reports", ()) or ():
+        if not hasattr(report, "phase_windows"):
+            report.phase_windows = np.empty((0, 4), dtype=float)
+        if not hasattr(report, "warmup_tail"):
+            report.warmup_tail = np.empty(0, dtype=float)
 
 
 class ResultCache:
@@ -165,7 +213,7 @@ class ResultCache:
             self._quarantine(entry, "corrupt meta.json")
             self.misses += 1
             return None
-        if meta.get("version") != cache_version():
+        if not _version_readable(str(meta.get("version", ""))):
             shutil.rmtree(entry, ignore_errors=True)
             self.misses += 1
             return None
@@ -189,6 +237,7 @@ class ResultCache:
             self._quarantine(entry, "unpicklable outcome.pkl")
             self.misses += 1
             return None
+        _backfill_additive_fields(outcome)
         outcome.from_cache = True
         outcome.wall_s = 0.0
         self.hits += 1

@@ -305,6 +305,11 @@ class RunResult:
     group_metrics: Dict[Tuple[str, str], Dict[float, float]] = field(
         default_factory=dict
     )
+    #: Validity audit (:class:`repro.guards.GuardReport`) attached by
+    #: the measurement dispatcher — pass/warn/fail verdicts from the
+    #: Treadmill §II pitfall detectors.  None for results produced (or
+    #: cached) before the guard layer existed.
+    guards: Optional[object] = None
 
     def ground_truth(self) -> np.ndarray:
         """Pooled NIC-level samples across instances (tcpdump view)."""

@@ -28,6 +28,7 @@ def run(
     backend: Optional[str] = None,
     executor: object = None,
     progress: object = None,
+    strict_guards: bool = False,
 ) -> Union[object, List[object]]:
     """Execute an experiment description end to end.
 
@@ -54,6 +55,13 @@ def run(
     progress:
         Optional :mod:`repro.exec.progress` hook forwarded to the
         executor.
+    strict_guards:
+        Guards are advisory by default: every result carries its
+        validity audit on ``result.guards`` and nothing raises.  With
+        ``strict_guards=True`` any run whose audit *fails* a detector
+        raises :class:`~repro.guards.api.GuardFailureError` (warnings
+        still pass) — the programmatic twin of the CLI's
+        ``--strict-guards`` flag.
 
     Examples
     --------
@@ -79,10 +87,11 @@ def run(
 
     if executor is None:
         if single:
-            return measure_spec(specs[0])
+            return _enforce_guards(measure_spec(specs[0]), strict_guards)
         from .exec.executors import execute_specs
 
-        return execute_specs(specs, progress=progress)
+        results = execute_specs(specs, progress=progress)
+        return [_enforce_guards(r, strict_guards) for r in results]
 
     if isinstance(executor, str):
         from .exec.api import make_executor
@@ -91,4 +100,22 @@ def run(
             results = ex.run(specs, progress=progress)
     else:
         results = executor.run(specs, progress=progress)
+    results = [_enforce_guards(r, strict_guards) for r in results]
     return results[0] if single else results
+
+
+def _enforce_guards(result: object, strict: bool) -> object:
+    if not strict:
+        return result
+    report = getattr(result, "guards", None)
+    if report is None or report.ok:
+        return result
+    from .guards.api import GuardFailureError
+
+    failures = report.failures()
+    names = ", ".join(v.detector for v in failures)
+    raise GuardFailureError(
+        f"measurement failed validity guard(s) {names}: "
+        + "; ".join(v.summary for v in failures),
+        verdicts=failures,
+    )

@@ -1,0 +1,434 @@
+"""Measurement-validity guards: verdicts, registry, and evaluation.
+
+Treadmill §II argues that most published tail-latency numbers are
+invalid before they are ever read: closed-loop clients coordinate
+with server slowness (coordinated omission), saturated clients queue
+their own requests, pooled aggregation lets one weird client own the
+tail, and insufficient warm-up measures a cold server.  This package
+turns that pitfall catalogue into *executable detectors* that run
+inside every measurement — simulated or live — through the
+:mod:`repro.measure` backend protocol (API v2).
+
+Design rules:
+
+* **Deterministic.**  A detector is a pure function of the
+  :class:`~repro.exec.spec.RunResult` (and spec/capabilities); it
+  draws no randomness and reads no clocks.  Identical results produce
+  bit-identical :class:`GuardVerdict`\\ s on every executor backend.
+* **Advisory by default.**  Detectors never mutate or reject a
+  result; they attach evidence.  Strict enforcement
+  (:class:`GuardFailureError`) is opt-in at the facade/CLI layer.
+* **Never crash a measurement.**  A detector that raises is reported
+  as a ``skip`` verdict carrying the error, not propagated.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, fields, replace
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "GUARDS_SCHEMA",
+    "PASS",
+    "WARN",
+    "FAIL",
+    "SKIP",
+    "LATE_GAP_FACTOR",
+    "GuardVerdict",
+    "GuardReport",
+    "GuardThresholds",
+    "GuardContext",
+    "GuardFailureError",
+    "register_detector",
+    "available_detectors",
+    "detector_info",
+    "evaluate_run",
+    "guard_thresholds",
+    "set_guard_thresholds",
+    "current_thresholds",
+    "guard_enforcement",
+    "set_guard_enforcement",
+    "current_enforcement",
+    "maybe_enforce",
+]
+
+#: Version of the verdict/evidence schema (bump when evidence keys or
+#: verdict semantics change incompatibly).
+GUARDS_SCHEMA = 1
+
+PASS = "pass"
+WARN = "warn"
+FAIL = "fail"
+#: The detector could not run (missing evidence channel, or it raised).
+SKIP = "skip"
+
+_STATUSES = (PASS, WARN, FAIL, SKIP)
+#: Severity order for "worst verdict wins".  ``skip`` is benign: a
+#: missing evidence channel is not a validity finding.
+_SEVERITY = {SKIP: 0, PASS: 0, WARN: 1, FAIL: 2}
+
+#: A send counts as "late" when its actual-minus-scheduled lag exceeds
+#: this many mean inter-arrival gaps.  Shared constant so the live
+#: driver (which summarizes lags online) and the coordinated-omission
+#: detector (which thresholds the late fraction) agree on the bucket.
+LATE_GAP_FACTOR = 4.0
+
+
+class GuardFailureError(RuntimeError):
+    """Raised under strict-guards enforcement when a run fails a
+    validity detector.  Carries the failing verdicts."""
+
+    def __init__(self, message: str, verdicts: Sequence["GuardVerdict"] = ()):
+        super().__init__(message)
+        self.verdicts: Tuple[GuardVerdict, ...] = tuple(verdicts)
+
+
+def _freeze_evidence(evidence) -> Tuple[Tuple[str, object], ...]:
+    if isinstance(evidence, dict):
+        items = evidence.items()
+    else:
+        items = tuple(evidence)
+    return tuple(sorted((str(k), v) for k, v in items))
+
+
+@dataclass(frozen=True)
+class GuardVerdict:
+    """One detector's finding for one run.
+
+    ``evidence`` is a sorted tuple of ``(key, value)`` pairs (values
+    are plain floats/ints/strings) so verdicts hash, pickle, and
+    compare bit-identically across executor backends.
+    """
+
+    detector: str
+    status: str
+    summary: str
+    #: The Treadmill §II pitfall this detector audits.
+    pitfall: str = ""
+    evidence: Tuple[Tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.status not in _STATUSES:
+            raise ValueError(
+                f"status must be one of {_STATUSES}, got {self.status!r}"
+            )
+        object.__setattr__(self, "evidence", _freeze_evidence(self.evidence))
+
+    @property
+    def ok(self) -> bool:
+        """True unless the detector found a validity problem."""
+        return self.status in (PASS, SKIP)
+
+    def evidence_dict(self) -> Dict[str, object]:
+        return dict(self.evidence)
+
+    def to_jsonable(self) -> Dict[str, object]:
+        return {
+            "detector": self.detector,
+            "status": self.status,
+            "summary": self.summary,
+            "pitfall": self.pitfall,
+            "evidence": dict(self.evidence),
+        }
+
+
+@dataclass(frozen=True)
+class GuardReport:
+    """All detector verdicts for one run, attached as
+    ``RunResult.guards``."""
+
+    verdicts: Tuple[GuardVerdict, ...] = ()
+    schema: int = GUARDS_SCHEMA
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "verdicts", tuple(self.verdicts))
+
+    @property
+    def status(self) -> str:
+        """Worst verdict status (``pass`` when every detector is
+        quiet or skipped)."""
+        worst = PASS
+        for v in self.verdicts:
+            if _SEVERITY[v.status] > _SEVERITY[worst]:
+                worst = v.status
+        return worst
+
+    @property
+    def ok(self) -> bool:
+        return self.status != FAIL
+
+    def verdict(self, detector: str) -> Optional[GuardVerdict]:
+        for v in self.verdicts:
+            if v.detector == detector:
+                return v
+        return None
+
+    def failures(self) -> Tuple[GuardVerdict, ...]:
+        return tuple(v for v in self.verdicts if v.status == FAIL)
+
+    def warnings(self) -> Tuple[GuardVerdict, ...]:
+        return tuple(v for v in self.verdicts if v.status == WARN)
+
+    def to_jsonable(self) -> Dict[str, object]:
+        return {
+            "schema": self.schema,
+            "status": self.status,
+            "verdicts": [v.to_jsonable() for v in self.verdicts],
+        }
+
+    def format(self, verbose: bool = False) -> str:
+        """Human-readable multi-line summary for CLI output."""
+        if not self.verdicts:
+            return "guards: (none evaluated)"
+        width = max(len(v.detector) for v in self.verdicts)
+        lines = [f"guards: {self.status}"]
+        for v in self.verdicts:
+            lines.append(f"  {v.detector.ljust(width)}  {v.status:<4}  {v.summary}")
+            if verbose and v.evidence:
+                ev = ", ".join(
+                    f"{k}={_fmt_value(val)}" for k, val in v.evidence
+                )
+                lines.append(f"  {' ' * width}        {ev}")
+        return "\n".join(lines)
+
+
+def _fmt_value(val: object) -> str:
+    if isinstance(val, float):
+        return f"{val:.4g}"
+    return str(val)
+
+
+@dataclass(frozen=True)
+class GuardThresholds:
+    """Tunable detector thresholds (digest-neutral: guards audit
+    results, they never shape them).
+
+    Scores named ``*_drift_*`` are robust z-scores: deviation of a
+    window statistic in units of ``max(MAD, rel_floor * median)`` of
+    the reference windows.
+    """
+
+    # client saturation --------------------------------------------------
+    client_utilization_warn: float = 0.25
+    client_utilization_fail: float = 0.50
+    #: live driver process CPU fraction (one Python thread, so the
+    #: interpreter's fixed per-request cost is expected; only a client
+    #: genuinely out of CPU compromises the schedule).
+    client_cpu_warn: float = 0.65
+    client_cpu_fail: float = 0.90
+    #: asyncio loop lag (p99) in units of the mean inter-arrival gap.
+    scheduler_lag_warn_gaps: float = 2.0
+    scheduler_lag_fail_gaps: float = 8.0
+    # coordinated omission -----------------------------------------------
+    #: fraction of sends later than LATE_GAP_FACTOR mean gaps.
+    late_fraction_warn: float = 0.01
+    late_fraction_fail: float = 0.05
+    # warm-up insufficiency ----------------------------------------------
+    warmup_drift_warn: float = 4.0
+    warmup_drift_fail: float = 8.0
+    # non-stationarity ---------------------------------------------------
+    drift_warn: float = 4.0
+    drift_fail: float = 8.0
+    # aggregation bias ---------------------------------------------------
+    #: total-variation distance between per-client sample shares and
+    #: the combiner's per-client weights (see sample_share_imbalance).
+    share_imbalance_warn: float = 0.15
+    share_imbalance_fail: float = 0.35
+    # shared -------------------------------------------------------------
+    #: minimum guard-tape windows before drift statistics are trusted.
+    min_windows: int = 6
+    #: relative scale floor for robust z-scores (fraction of the
+    #: reference median), guarding against near-zero MAD.
+    rel_floor: float = 0.05
+
+    def __post_init__(self) -> None:
+        for f in fields(self):
+            if float(getattr(self, f.name)) < 0:
+                raise ValueError(f"{f.name} must be non-negative")
+        if self.min_windows < 2:
+            raise ValueError("min_windows must be >= 2")
+
+
+_DEFAULT_THRESHOLDS = GuardThresholds()
+_current_thresholds = _DEFAULT_THRESHOLDS
+
+
+def current_thresholds() -> GuardThresholds:
+    """The process-wide thresholds detectors evaluate against."""
+    return _current_thresholds
+
+
+def set_guard_thresholds(thresholds: Optional[GuardThresholds]) -> None:
+    """Replace the process-wide thresholds (None restores defaults)."""
+    global _current_thresholds
+    _current_thresholds = thresholds or _DEFAULT_THRESHOLDS
+
+
+@contextmanager
+def guard_thresholds(**overrides) -> Iterator[GuardThresholds]:
+    """Scoped threshold overrides::
+
+        with guard_thresholds(client_utilization_fail=0.8):
+            result = repro.run(spec)
+    """
+    previous = _current_thresholds
+    set_guard_thresholds(replace(previous, **overrides))
+    try:
+        yield _current_thresholds
+    finally:
+        set_guard_thresholds(previous)
+
+
+# ---------------------------------------------------------------------------
+# enforcement mode (advisory by default; strict raises)
+# ---------------------------------------------------------------------------
+_ENFORCEMENT_MODES = ("advisory", "strict")
+_enforcement = "advisory"
+
+
+def current_enforcement() -> str:
+    return _enforcement
+
+
+def set_guard_enforcement(mode: str) -> None:
+    """``"advisory"`` (default) attaches verdicts and never raises;
+    ``"strict"`` makes any *failed* detector raise
+    :class:`GuardFailureError` from inside the measurement path (the
+    CLI's ``--strict-guards``).  Process-wide; prefer the scoped
+    :func:`guard_enforcement`."""
+    global _enforcement
+    if mode not in _ENFORCEMENT_MODES:
+        raise ValueError(f"mode must be one of {_ENFORCEMENT_MODES}, got {mode!r}")
+    _enforcement = mode
+
+
+@contextmanager
+def guard_enforcement(mode: str) -> Iterator[str]:
+    previous = _enforcement
+    set_guard_enforcement(mode)
+    try:
+        yield mode
+    finally:
+        set_guard_enforcement(previous)
+
+
+def maybe_enforce(report: GuardReport, context: str = "") -> None:
+    """Raise :class:`GuardFailureError` iff strict mode is on and the
+    report has failures.  Called by the measurement dispatcher after
+    attaching guards; a no-op in advisory mode."""
+    if _enforcement != "strict" or report.ok:
+        return
+    failures = report.failures()
+    names = ", ".join(v.detector for v in failures)
+    where = f" ({context})" if context else ""
+    raise GuardFailureError(
+        f"measurement{where} failed validity guard(s) {names}: "
+        + "; ".join(v.summary for v in failures),
+        verdicts=failures,
+    )
+
+
+# ---------------------------------------------------------------------------
+# detector registry
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GuardContext:
+    """Everything a detector may read.  ``capabilities`` is the
+    measuring backend's :class:`~repro.measure.api.BenchCapabilities`
+    when known (None for results loaded from old caches)."""
+
+    spec: object
+    result: object
+    capabilities: Optional[object]
+    thresholds: GuardThresholds
+
+    def reports(self) -> Sequence[object]:
+        return tuple(getattr(self.result, "reports", ()) or ())
+
+
+@dataclass(frozen=True)
+class DetectorInfo:
+    name: str
+    fn: Callable[[GuardContext], GuardVerdict]
+    pitfall: str
+    summary: str
+
+
+_DETECTORS: Dict[str, DetectorInfo] = {}
+
+
+def register_detector(
+    name: str,
+    fn: Callable[[GuardContext], GuardVerdict],
+    *,
+    pitfall: str,
+    summary: str,
+) -> None:
+    """Register a validity detector.  Names are unique; detectors are
+    evaluated in sorted-name order so reports are deterministic."""
+    if name in _DETECTORS:
+        raise ValueError(f"detector {name!r} already registered")
+    _DETECTORS[name] = DetectorInfo(name=name, fn=fn, pitfall=pitfall, summary=summary)
+
+
+def available_detectors() -> List[str]:
+    _ensure_builtin_detectors()
+    return sorted(_DETECTORS)
+
+
+def detector_info(name: str) -> DetectorInfo:
+    _ensure_builtin_detectors()
+    try:
+        return _DETECTORS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown detector {name!r} (have {sorted(_DETECTORS)})"
+        ) from None
+
+
+def _ensure_builtin_detectors() -> None:
+    # Import-for-effect: detectors.py registers the built-in set.
+    from . import detectors as _detectors  # noqa: F401
+
+
+def evaluate_run(
+    spec: object,
+    result: object,
+    capabilities: Optional[object] = None,
+    thresholds: Optional[GuardThresholds] = None,
+) -> GuardReport:
+    """Run every registered detector over one run's result.
+
+    Pure and deterministic: the report is a function of
+    ``(spec, result, capabilities, thresholds)`` only.  Detector
+    exceptions become ``skip`` verdicts — guards never take down a
+    measurement they were meant to audit.
+    """
+    _ensure_builtin_detectors()
+    ctx = GuardContext(
+        spec=spec,
+        result=result,
+        capabilities=capabilities,
+        thresholds=thresholds or current_thresholds(),
+    )
+    verdicts: List[GuardVerdict] = []
+    for name in sorted(_DETECTORS):
+        info = _DETECTORS[name]
+        try:
+            verdict = info.fn(ctx)
+        except Exception as exc:  # noqa: BLE001 — advisory layer
+            verdict = GuardVerdict(
+                detector=name,
+                status=SKIP,
+                summary=f"detector error: {type(exc).__name__}: {exc}",
+                pitfall=info.pitfall,
+            )
+        if verdict.detector != name:
+            verdict = replace(verdict, detector=name)
+        if not verdict.pitfall:
+            verdict = replace(verdict, pitfall=info.pitfall)
+        verdicts.append(verdict)
+    return GuardReport(verdicts=tuple(verdicts))

@@ -1,0 +1,535 @@
+"""The built-in validity detectors.
+
+Each detector audits one Treadmill §II methodological pitfall and is
+a pure, deterministic function of ``(spec, result, capabilities,
+thresholds)`` — see :func:`repro.guards.api.evaluate_run` for the
+contract.  Evidence channels they read off the result:
+
+==========================  ================================================
+``client_utilizations``     per-instance client CPU utilization (sim: the
+                            mechanistic core model; live: process CPU share)
+``client_probe``            live driver annotation: event-loop lag and
+                            process CPU fraction vs. the offered schedule
+``send_lag``                live driver annotation: scheduled-vs-actual
+                            send-gap summary (PR-7 send log, always-on)
+``reports[i].phase_windows``  guard tape: windowed (count, mean, q50, q95)
+                            summaries of the post-warm-up stream
+``reports[i].warmup_tail``  the last warm-up latencies (phase boundary)
+``live_health``             live driver annotation: reconnects, lost
+                            connections, stall-ladder events
+==========================  ================================================
+
+A missing channel yields ``skip`` (or a structural ``pass`` when the
+backend's capabilities rule the pitfall out by construction), never a
+false alarm.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..core.aggregation import sample_share_imbalance
+from .api import (
+    FAIL,
+    LATE_GAP_FACTOR,
+    PASS,
+    SKIP,
+    WARN,
+    GuardContext,
+    GuardVerdict,
+    register_detector,
+)
+
+__all__ = [
+    "client_saturation",
+    "coordinated_omission",
+    "warmup_insufficiency",
+    "non_stationarity",
+    "aggregation_imbalance",
+    "degradation",
+]
+
+
+def _grade(value: float, warn: float, fail: float) -> str:
+    if value >= fail:
+        return FAIL
+    if value >= warn:
+        return WARN
+    return PASS
+
+
+def _worst(statuses: Sequence[str]) -> str:
+    order = {PASS: 0, SKIP: 0, WARN: 1, FAIL: 2}
+    worst = PASS
+    for s in statuses:
+        if order[s] > order[worst]:
+            worst = s
+    return worst
+
+
+def _robust_z(value: float, reference: np.ndarray, rel_floor: float) -> float:
+    """|value - median(ref)| in units of max(MAD(ref), rel_floor*|median|)."""
+    ref = np.asarray(reference, dtype=float)
+    center = float(np.median(ref))
+    mad = float(np.median(np.abs(ref - center)))
+    scale = max(mad, rel_floor * abs(center), 1e-9)
+    return abs(float(value) - center) / scale
+
+
+#: Event-loop lag below OS timer granularity is jitter, not
+#: saturation: the loop-lag probe's sleep overshoot is graded against
+#: max(mean send gap, this floor) so high-rate clients on coarse
+#: timers do not chronically false-alarm.
+_LAG_DENOM_FLOOR_S = 5e-3
+
+
+def _report_windows(report) -> Optional[np.ndarray]:
+    windows = getattr(report, "phase_windows", None)
+    if windows is None:
+        return None
+    windows = np.asarray(windows, dtype=float)
+    if windows.ndim != 2 or windows.shape[0] == 0 or windows.shape[1] < 4:
+        return None
+    return windows
+
+
+# ---------------------------------------------------------------------------
+# client saturation
+# ---------------------------------------------------------------------------
+
+
+def client_saturation(ctx: GuardContext) -> GuardVerdict:
+    """A loaded client queues its own requests and the queueing shows
+    up as fake server tail latency (§II: "lightly-utilized client
+    machines").  Reads per-instance client utilization and — on live
+    runs — the event-loop lag probe."""
+    th = ctx.thresholds
+    utils = {
+        name: float(u)
+        for name, u in (getattr(ctx.result, "client_utilizations", None) or {}).items()
+        if u == u  # drop NaN (live runs without a probe)
+    }
+    probe = getattr(ctx.result, "client_probe", None)
+    if not utils and not probe:
+        return GuardVerdict(
+            detector="client_saturation",
+            status=SKIP,
+            summary="no client-utilization or scheduler-lag evidence",
+        )
+
+    statuses = []
+    evidence: Dict[str, object] = {}
+    if utils:
+        worst_client = max(utils, key=lambda k: (utils[k], k))
+        max_util = utils[worst_client]
+        statuses.append(
+            _grade(max_util, th.client_utilization_warn, th.client_utilization_fail)
+        )
+        evidence["max_client_utilization"] = max_util
+        evidence["max_client"] = worst_client
+    lag_gaps = None
+    if probe:
+        mean_gap = float(probe.get("mean_gap_s", 0.0) or 0.0)
+        lag_p99 = float(probe.get("loop_lag_p99_s", 0.0) or 0.0)
+        if mean_gap > 0:
+            lag_gaps = lag_p99 / max(mean_gap, _LAG_DENOM_FLOOR_S)
+            statuses.append(
+                _grade(lag_gaps, th.scheduler_lag_warn_gaps, th.scheduler_lag_fail_gaps)
+            )
+            evidence["loop_lag_p99_gaps"] = lag_gaps
+        if "cpu_fraction" in probe:
+            cpu = float(probe["cpu_fraction"])
+            statuses.append(_grade(cpu, th.client_cpu_warn, th.client_cpu_fail))
+            evidence["process_cpu_fraction"] = cpu
+
+    status = _worst(statuses) if statuses else SKIP
+    if status == PASS:
+        summary = "clients lightly utilized; offered schedule kept"
+    elif lag_gaps is not None and lag_gaps >= th.scheduler_lag_warn_gaps:
+        summary = (
+            f"client scheduler lag p99 is {lag_gaps:.1f}x the mean "
+            "inter-arrival gap — the client, not the server, is queueing"
+        )
+    else:
+        summary = (
+            f"client utilization up to "
+            f"{evidence.get('max_client_utilization', 0.0):.0%} — client-side "
+            "queueing can masquerade as server tail latency"
+        )
+    return GuardVerdict(
+        detector="client_saturation",
+        status=status,
+        summary=summary,
+        evidence=evidence,
+    )
+
+
+# ---------------------------------------------------------------------------
+# coordinated omission
+# ---------------------------------------------------------------------------
+
+
+def coordinated_omission(ctx: GuardContext) -> GuardVerdict:
+    """Closed-loop clients only send when the previous response
+    returned, so slow periods are sampled less — the omitted requests
+    are exactly the interesting ones (§II).  Audits the
+    scheduled-vs-actual send gap distribution."""
+    th = ctx.thresholds
+    send_lag = getattr(ctx.result, "send_lag", None)
+    if send_lag:
+        worst_name = None
+        worst = None
+        for name in sorted(send_lag):
+            stats = send_lag[name]
+            frac = float(stats.get("late_fraction", 0.0))
+            if worst is None or frac > worst["late_fraction"]:
+                worst_name = name
+                worst = {
+                    "late_fraction": frac,
+                    "max_lag_gaps": float(stats.get("max_lag_gaps", 0.0)),
+                    "p99_lag_gaps": float(stats.get("p99_lag_gaps", 0.0)),
+                    "sends": int(stats.get("n", 0)),
+                }
+        status = _grade(
+            worst["late_fraction"], th.late_fraction_warn, th.late_fraction_fail
+        )
+        if status == PASS:
+            summary = (
+                "send schedule kept: actual send times track the "
+                "open-loop arrival process"
+            )
+        else:
+            summary = (
+                f"{worst['late_fraction']:.1%} of sends slipped more than "
+                f"{LATE_GAP_FACTOR:g} mean gaps behind schedule — the "
+                "offered load coordinated with service slowness"
+            )
+        evidence = dict(worst)
+        evidence["instance"] = worst_name
+        evidence["late_gap_factor"] = LATE_GAP_FACTOR
+        return GuardVerdict(
+            detector="coordinated_omission",
+            status=status,
+            summary=summary,
+            evidence=evidence,
+        )
+
+    caps = ctx.capabilities
+    if caps is not None and getattr(caps, "deterministic", False) and not getattr(
+        caps, "wall_clock", False
+    ):
+        return GuardVerdict(
+            detector="coordinated_omission",
+            status=PASS,
+            summary=(
+                "structurally open-loop: sends are scheduled on the "
+                "virtual clock and cannot observe service times"
+            ),
+            evidence={"structural": "virtual-time schedule"},
+        )
+    return GuardVerdict(
+        detector="coordinated_omission",
+        status=SKIP,
+        summary="no send-lag evidence (backend did not record the send schedule)",
+    )
+
+
+# ---------------------------------------------------------------------------
+# warm-up insufficiency
+# ---------------------------------------------------------------------------
+
+
+def warmup_insufficiency(ctx: GuardContext) -> GuardVerdict:
+    """Samples taken before the server reaches steady state (cold
+    caches, empty queues, idle-state frequencies) bias the whole
+    distribution (§III-A's warm-up phase exists to discard them).
+    Tests the first measurement window for drift against the steady
+    tail of the run."""
+    th = ctx.thresholds
+    worst_score = None
+    worst_evidence: Dict[str, object] = {}
+    usable = 0
+    for report in ctx.reports():
+        windows = _report_windows(report)
+        if windows is None or windows.shape[0] < th.min_windows:
+            continue
+        usable += 1
+        q50s = windows[:, 2]
+        steady = q50s[windows.shape[0] // 2:]
+        score = _robust_z(q50s[0], steady, th.rel_floor)
+        if worst_score is None or score > worst_score:
+            worst_score = score
+            worst_evidence = {
+                "instance": getattr(report, "name", ""),
+                "drift_score": score,
+                "first_window_q50_us": float(q50s[0]),
+                "steady_q50_us": float(np.median(steady)),
+                "windows": int(windows.shape[0]),
+            }
+            tail = np.asarray(getattr(report, "warmup_tail", ()), dtype=float)
+            if tail.size:
+                worst_evidence["warmup_tail_q50_us"] = float(np.median(tail))
+    if usable == 0:
+        return GuardVerdict(
+            detector="warmup_insufficiency",
+            status=SKIP,
+            summary=(
+                "too few guard-tape windows to test the phase boundary "
+                f"(need {th.min_windows})"
+            ),
+        )
+    status = _grade(worst_score, th.warmup_drift_warn, th.warmup_drift_fail)
+    if status == PASS:
+        summary = "first measurement window matches steady state"
+    else:
+        summary = (
+            f"first measurement window drifts {worst_score:.1f} robust sigmas "
+            "from steady state — warm-up ended before the server settled"
+        )
+    return GuardVerdict(
+        detector="warmup_insufficiency",
+        status=status,
+        summary=summary,
+        evidence=worst_evidence,
+    )
+
+
+# ---------------------------------------------------------------------------
+# non-stationarity
+# ---------------------------------------------------------------------------
+
+
+def non_stationarity(ctx: GuardContext) -> GuardVerdict:
+    """A quantile is only meaningful if the underlying distribution
+    held still while it was measured (§II: interference and load drift
+    during the run).  Compares early vs. late thirds of the guard-tape
+    windows, after dropping the first window (the warm-up boundary
+    detector's territory)."""
+    th = ctx.thresholds
+    worst_score = None
+    worst_evidence: Dict[str, object] = {}
+    usable = 0
+    for report in ctx.reports():
+        windows = _report_windows(report)
+        if windows is None:
+            continue
+        body = windows[1:]
+        third = body.shape[0] // 3
+        if body.shape[0] < th.min_windows or third < 2:
+            continue
+        usable += 1
+        score = 0.0
+        per_col = {}
+        for col, label in ((2, "q50"), (3, "q95")):
+            early = body[:third, col]
+            late = body[-third:, col]
+            z = _robust_z(float(np.median(late)), early, th.rel_floor)
+            per_col[label] = z
+            score = max(score, z)
+        if worst_score is None or score > worst_score:
+            worst_score = score
+            worst_evidence = {
+                "instance": getattr(report, "name", ""),
+                "drift_score": score,
+                "q50_drift_score": per_col["q50"],
+                "q95_drift_score": per_col["q95"],
+                "windows": int(windows.shape[0]),
+            }
+    if usable == 0:
+        return GuardVerdict(
+            detector="non_stationarity",
+            status=SKIP,
+            summary=(
+                "too few guard-tape windows for a drift test "
+                f"(need {th.min_windows} past the first)"
+            ),
+        )
+    status = _grade(worst_score, th.drift_warn, th.drift_fail)
+    if status == PASS:
+        summary = "measurement-phase quantiles are stationary"
+    else:
+        summary = (
+            f"windowed quantiles drift {worst_score:.1f} robust sigmas from "
+            "early to late in the run — the measured distribution moved"
+        )
+    return GuardVerdict(
+        detector="non_stationarity",
+        status=status,
+        summary=summary,
+        evidence=worst_evidence,
+    )
+
+
+# ---------------------------------------------------------------------------
+# aggregation bias
+# ---------------------------------------------------------------------------
+
+
+def aggregation_imbalance(ctx: GuardContext) -> GuardVerdict:
+    """The sound rule gives every client's metric equal standing
+    (§III-B); pooling weights clients by sample count instead (§II,
+    Fig. 2).  When sample shares diverge from the combiner's weights,
+    the two answers separate and one weird or over-sampled client can
+    own the tail."""
+    th = ctx.thresholds
+    reports = ctx.reports()
+    counts = {
+        getattr(r, "name", str(i)): int(getattr(r, "responses_recorded", 0))
+        for i, r in enumerate(reports)
+    }
+    counts = {k: v for k, v in counts.items() if v > 0}
+    if len(counts) < 2:
+        return GuardVerdict(
+            detector="aggregation_imbalance",
+            status=PASS if counts else SKIP,
+            summary=(
+                "single-client run: per-instance and pooled aggregation "
+                "coincide"
+                if counts
+                else "no per-client sample counts recorded"
+            ),
+        )
+    combine = str(getattr(ctx.spec, "combine", "mean") or "mean")
+
+    # Evaluate globally (what result.metrics aggregates over) and per
+    # (fleet, pool) group (what group_metrics aggregates over).
+    scopes = {"all": counts}
+    groups: Dict[str, Dict[str, int]] = {}
+    for r in reports:
+        name = getattr(r, "name", "")
+        if name not in counts:
+            continue
+        fleet = getattr(r, "fleet", "") or ""
+        pool = getattr(r, "pool", "") or ""
+        if fleet or pool:
+            groups.setdefault(f"({fleet}, {pool})", {})[name] = counts[name]
+    for label, members in groups.items():
+        if len(members) > 1:
+            scopes[label] = members
+
+    worst_scope = None
+    worst_tv = -1.0
+    for label in sorted(scopes):
+        tv = sample_share_imbalance(scopes[label], combine)
+        if tv > worst_tv:
+            worst_tv = tv
+            worst_scope = label
+    ratio = max(counts.values()) / min(counts.values())
+    status = _grade(worst_tv, th.share_imbalance_warn, th.share_imbalance_fail)
+    evidence = {
+        "share_imbalance": worst_tv,
+        "scope": worst_scope,
+        "count_ratio": float(ratio),
+        "combine": combine,
+        "clients": len(counts),
+    }
+    if status == PASS:
+        summary = "per-client sample counts match the aggregation weights"
+    else:
+        summary = (
+            f"sample shares diverge from {combine!r} combiner weights by "
+            f"{worst_tv:.0%} (TV, scope {worst_scope}) — pooled and "
+            "per-instance aggregation would disagree"
+        )
+    return GuardVerdict(
+        detector="aggregation_imbalance",
+        status=status,
+        summary=summary,
+        evidence=evidence,
+    )
+
+
+# ---------------------------------------------------------------------------
+# live degradation (self-healing driver surface)
+# ---------------------------------------------------------------------------
+
+
+def degradation(ctx: GuardContext) -> GuardVerdict:
+    """Partial-result salvage: a live run that survived endpoint
+    trouble (reconnects, lost connections, stall warnings) completes
+    *degraded* instead of raising — this verdict is where that
+    degradation becomes visible to consumers of the result."""
+    health = getattr(ctx.result, "live_health", None)
+    if health is None:
+        caps = ctx.capabilities
+        if caps is not None and getattr(caps, "deterministic", False):
+            return GuardVerdict(
+                detector="degradation",
+                status=PASS,
+                summary="deterministic backend: no degradation channel to audit",
+            )
+        return GuardVerdict(
+            detector="degradation",
+            status=SKIP,
+            summary="no health telemetry recorded",
+        )
+    interesting = (
+        "lost_connections",
+        "dropped_connections",
+        "reconnects",
+        "lost_sends",
+        "lost_pending",
+        "stall_warnings",
+        "mid_run_probes",
+    )
+    evidence = {k: int(health.get(k, 0)) for k in interesting}
+    evidence["connections"] = int(health.get("connections", 0))
+    degraded = any(evidence[k] for k in interesting)
+    if not degraded:
+        return GuardVerdict(
+            detector="degradation",
+            status=PASS,
+            summary="no connection loss, reconnects, or stalls",
+            evidence=evidence,
+        )
+    parts = [f"{evidence[k]} {k.replace('_', ' ')}" for k in interesting if evidence[k]]
+    return GuardVerdict(
+        detector="degradation",
+        status=WARN,
+        summary="degraded live run salvaged: " + ", ".join(parts),
+        evidence=evidence,
+    )
+
+
+# ---------------------------------------------------------------------------
+# registration
+# ---------------------------------------------------------------------------
+
+register_detector(
+    "client_saturation",
+    client_saturation,
+    pitfall="§II client saturation (clients must stay lightly utilized)",
+    summary="client CPU utilization and event-loop lag vs. the offered load",
+)
+register_detector(
+    "coordinated_omission",
+    coordinated_omission,
+    pitfall="§II closed-loop coordinated omission",
+    summary="scheduled-vs-actual send gap distribution (open-loop schedule kept?)",
+)
+register_detector(
+    "warmup_insufficiency",
+    warmup_insufficiency,
+    pitfall="§III-A warm-up phase (cold-start samples must be discarded)",
+    summary="phase-boundary drift: first measurement window vs. steady state",
+)
+register_detector(
+    "non_stationarity",
+    non_stationarity,
+    pitfall="§II non-stationary load/interference during measurement",
+    summary="windowed quantile drift across the measurement phase",
+)
+register_detector(
+    "aggregation_imbalance",
+    aggregation_imbalance,
+    pitfall="§II / Fig. 2 biased aggregation (pooled distributions)",
+    summary="per-client sample-count shares vs. aggregation-weight parity",
+)
+register_detector(
+    "degradation",
+    degradation,
+    pitfall="partial-result salvage on live endpoints",
+    summary="reconnects, lost connections, and stall events survived by the run",
+)

@@ -1,4 +1,4 @@
-"""The "live" measurement backend: open-loop asyncio load driver.
+"""The "live" measurement backend: self-healing open-loop asyncio driver.
 
 One :class:`~repro.exec.spec.RunSpec` with ``backend="live"`` runs the
 *identical* Treadmill procedure against a real endpoint in wall-clock
@@ -23,11 +23,34 @@ time:
   :class:`~repro.core.treadmill.PhaseRecorder`, so convergence,
   cross-instance aggregation, and attribution run unchanged.
 
+Endpoint trouble degrades the run instead of killing it (the PR-8
+robustness layer):
+
+* a **health probe** before warm-up fails fast on a dead endpoint;
+* a dropped connection is **reconnected** with bounded exponential
+  backoff and decorrelated jitter (the
+  :class:`~repro.exec.api.RetryPolicy` schedule), its in-flight
+  requests counted lost;
+* a connection whose reconnect budget is exhausted is **salvaged**:
+  its sends re-route to the surviving connections and the run
+  completes *degraded* — the loss surfaces as a ``degradation`` guard
+  warning on ``result.guards`` — unless more than
+  ``max_lost_connection_fraction`` of all connections are gone, which
+  aborts cleanly;
+* a **stall-escalation ladder** replaces the old single hard deadline:
+  ``stall_warn_s`` without progress records a warning,
+  ``stall_probe_s`` actively re-probes the endpoint (abort if it is
+  gone), ``progress_timeout_s`` aborts with a clean
+  :class:`LiveMeasurementError` — converged or clean error, never a
+  hang.
+
 Wall-clock results are **not deterministic** (the capability flag says
 so), so they never enter the result cache and are excluded from the
-bit-identity CI gates.  A watchdog turns a dead or wedged endpoint
-into a clean :class:`LiveMeasurementError` — converged or clean error,
-never a hang.
+bit-identity CI gates.  The driver feeds the validity guards
+(``guard_evidence`` capability): an always-on scheduled-vs-actual
+send-lag summary (``result.send_lag``), a client CPU / event-loop lag
+probe (``result.client_probe``), and degradation telemetry
+(``result.live_health``).
 """
 
 from __future__ import annotations
@@ -35,11 +58,12 @@ from __future__ import annotations
 import asyncio
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..core.treadmill import PhaseRecorder, TreadmillConfig
+from ..guards.api import LATE_GAP_FACTOR
 from ..sim.rng import RngRegistry
 from .protocol import (
     PING,
@@ -55,6 +79,12 @@ __all__ = ["LiveOptions", "LiveMeasurementError", "LiveBackend", "ping"]
 #: knob, mirroring ``TreadmillConfig.rng_block``).
 _GAP_BLOCK = 512
 
+#: Cadence of the event-loop lag probe (sleep-overshoot sampling).
+_LAG_PROBE_INTERVAL_S = 0.02
+
+#: Degradation events kept on the result (oldest dropped first).
+_MAX_HEALTH_EVENTS = 64
+
 
 class LiveMeasurementError(RuntimeError):
     """A live measurement failed cleanly (endpoint dead, wedged, or
@@ -65,20 +95,60 @@ class LiveMeasurementError(RuntimeError):
 class LiveOptions:
     """Environment of the live backend (never part of a spec digest:
     *where* a measurement runs is configuration, *what* it measures is
-    the spec)."""
+    the spec).  All knobs are reachable through
+    ``backend_defaults("live", ...)`` scoped config."""
 
     #: Endpoint URL: ``tcp://host:port`` (echo protocol) or
     #: ``http://host:port`` (minimal HTTP).
     target: str = "tcp://127.0.0.1:7799"
-    #: Budget for establishing each connection.
+    #: Budget for establishing each connection (and each reconnect
+    #: attempt, and each health probe).
     connect_timeout_s: float = 5.0
-    #: Watchdog: with zero response progress for this long, the run is
-    #: aborted with a clean error instead of hanging.
+    #: Stall ladder, rung 3 (abort): with zero response progress for
+    #: this long, the run is aborted with a clean error.
     progress_timeout_s: float = 10.0
+    #: Stall ladder, rung 1 (warn): progress gaps longer than this are
+    #: recorded as stall warnings (surfaced by the degradation guard).
+    stall_warn_s: float = 1.0
+    #: Stall ladder, rung 2 (probe): a progress gap this long triggers
+    #: an active endpoint probe; a failed probe aborts immediately
+    #: instead of waiting out the full deadline.
+    stall_probe_s: float = 5.0
+    #: Probe the endpoint once before warm-up starts, so a dead target
+    #: fails in milliseconds rather than after a full connect fan-out.
+    health_probe: bool = True
+    #: Reconnect budget per dropped connection (0 disables reconnects;
+    #: the connection is then salvaged or the run aborted per
+    #: ``max_lost_connection_fraction``).
+    reconnect_attempts: int = 4
+    #: Reconnect backoff: first retry delay (decorrelated jitter grows
+    #: it towards the cap, RetryPolicy semantics).
+    reconnect_backoff_base_s: float = 0.05
+    #: Reconnect backoff ceiling.
+    reconnect_backoff_cap_s: float = 1.0
+    #: Partial-result salvage bound: the run completes (degraded) while
+    #: at most this fraction of all connections is permanently lost,
+    #: and aborts cleanly beyond it.
+    max_lost_connection_fraction: float = 0.25
     #: Record per-send scheduled/actual timestamps on the result
     #: (``result.send_log``) for offered-rate audits; costs memory, so
-    #: off by default.
+    #: off by default.  (A bounded send-*lag* summary is always on —
+    #: ``result.send_lag`` — feeding the coordinated-omission guard.)
     record_send_log: bool = False
+
+    def __post_init__(self) -> None:
+        if self.connect_timeout_s <= 0 or self.progress_timeout_s <= 0:
+            raise ValueError("timeouts must be positive")
+        if self.stall_warn_s <= 0 or self.stall_probe_s <= 0:
+            raise ValueError("stall thresholds must be positive")
+        if self.reconnect_attempts < 0:
+            raise ValueError("reconnect_attempts must be >= 0")
+        if self.reconnect_backoff_base_s <= 0:
+            raise ValueError("reconnect_backoff_base_s must be positive")
+        if self.reconnect_backoff_cap_s < self.reconnect_backoff_base_s:
+            raise ValueError("reconnect_backoff_cap_s must be >= the base")
+        if not 0.0 <= self.max_lost_connection_fraction <= 1.0:
+            raise ValueError("max_lost_connection_fraction must be in [0, 1]")
 
 
 class _Progress:
@@ -90,14 +160,105 @@ class _Progress:
         self.last = now
 
 
+class _Health:
+    """Run-wide degradation ledger shared by every instance.
+
+    Counts what the self-healing machinery absorbed; anything non-zero
+    turns into a ``degradation`` guard warning on the result.  The
+    ledger also enforces the salvage bound: losing more than
+    ``max_lost_fraction`` of all connections aborts the run.
+    """
+
+    def __init__(self, connections: int, max_lost_fraction: float, target: str):
+        self.connections = connections
+        self.max_lost_fraction = max_lost_fraction
+        self.target = target
+        self.dropped_connections = 0
+        self.reconnects = 0
+        self.lost_connections = 0
+        self.lost_sends = 0
+        self.lost_pending = 0
+        self.stall_warnings = 0
+        self.mid_run_probes = 0
+        self.events: List[str] = []
+
+    def event(self, kind: str, detail: str = "") -> None:
+        self.events.append(f"{kind}: {detail}" if detail else kind)
+        if len(self.events) > _MAX_HEALTH_EVENTS:
+            del self.events[: len(self.events) - _MAX_HEALTH_EVENTS]
+
+    def permanent_loss(self, label: str) -> None:
+        """One connection's reconnect budget is exhausted.  Raises when
+        the salvage bound is crossed; otherwise the run degrades."""
+        self.lost_connections += 1
+        self.event("connection-lost", label)
+        fraction = self.lost_connections / max(self.connections, 1)
+        if fraction > self.max_lost_fraction:
+            raise LiveMeasurementError(
+                f"lost {self.lost_connections}/{self.connections} connections "
+                f"to {self.target} ({fraction:.0%} > salvage bound "
+                f"{self.max_lost_fraction:.0%}); aborting instead of "
+                "measuring a shadow of the offered load"
+            )
+
+    @property
+    def degraded(self) -> bool:
+        return bool(
+            self.dropped_connections
+            or self.reconnects
+            or self.lost_connections
+            or self.lost_sends
+            or self.lost_pending
+            or self.stall_warnings
+            or self.mid_run_probes
+        )
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "connections": self.connections,
+            "dropped_connections": self.dropped_connections,
+            "reconnects": self.reconnects,
+            "lost_connections": self.lost_connections,
+            "lost_sends": self.lost_sends,
+            "lost_pending": self.lost_pending,
+            "stall_warnings": self.stall_warnings,
+            "mid_run_probes": self.mid_run_probes,
+            "degraded": self.degraded,
+            "events": tuple(self.events),
+        }
+
+
 class _Conn:
-    __slots__ = ("reader", "writer", "pending")
+    __slots__ = ("reader", "writer", "pending", "alive")
 
     def __init__(self, reader, writer):
         self.reader = reader
         self.writer = writer
         #: seq -> send timestamp (loop time) of outstanding requests.
         self.pending: Dict[int, float] = {}
+        self.alive = True
+
+
+async def _probe_connect(host: str, port: int, timeout_s: float) -> None:
+    """Connect-level endpoint health probe.
+
+    Deliberately protocol-agnostic (no PING): response-level liveness
+    is the watchdog's job; the probe answers "is anything still
+    accepting connections there?".
+    """
+    try:
+        _reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port), timeout_s
+        )
+    except (OSError, asyncio.TimeoutError) as exc:
+        raise LiveMeasurementError(
+            f"cannot connect to {host}:{port}: {exc}"
+        ) from exc
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (OSError, ConnectionError):  # pragma: no cover - platform noise
+        pass
 
 
 class _LiveInstance:
@@ -106,16 +267,20 @@ class _LiveInstance:
     def __init__(
         self,
         name: str,
+        index: int,
         spec,
         rate_rps: float,
         rng: RngRegistry,
         options: LiveOptions,
         progress: _Progress,
+        health: _Health,
     ):
         self.name = name
+        self.index = index
         self.spec = spec
         self.options = options
         self.progress = progress
+        self.health = health
         config = TreadmillConfig(
             rate_rps=rate_rps,
             connections=spec.connections_per_instance,
@@ -131,43 +296,46 @@ class _LiveInstance:
         self._conn_rng = rng.stream(f"{name}/arrivals")
         self.sent = 0
         self.responses = 0
-        #: Offered-rate audit trail (filled when record_send_log).
+        self._conns: List[_Conn] = []
+        #: Always-on send-lag trail (actual - scheduled per send),
+        #: summarized by :meth:`lag_summary` for the CO guard.
+        self._lags: List[float] = []
+        #: Full offered-rate audit trail (filled when record_send_log).
         self.scheduled_ts: List[float] = []
         self.actual_ts: List[float] = []
 
     # -- lifecycle -----------------------------------------------------
     async def run(self, proto: str, host: str, port: int) -> None:
+        loop = asyncio.get_running_loop()
         conns = await self._connect(host, port)
-        send_task = None
-        readers = []
+        self._conns = conns
+        conn_tasks = [
+            loop.create_task(self._conn_loop(proto, host, port, c, slot))
+            for slot, c in enumerate(conns)
+        ]
+        send_task = loop.create_task(self._send_loop(proto, conns))
+        pending = {send_task, *conn_tasks}
         try:
-            readers = [
-                asyncio.get_running_loop().create_task(self._read_loop(proto, c))
-                for c in conns
-            ]
-            send_task = asyncio.get_running_loop().create_task(
-                self._send_loop(proto, conns)
-            )
-            done, _ = await asyncio.wait(
-                [send_task, *readers], return_when=asyncio.FIRST_COMPLETED
-            )
-            for t in done:
-                exc = t.exception()
-                if exc is not None:
-                    raise exc
-            if send_task not in done:
-                raise LiveMeasurementError(
-                    f"{self.name}: server closed a connection before the "
-                    "measurement completed"
+            while True:
+                done, pending = await asyncio.wait(
+                    pending, return_when=asyncio.FIRST_COMPLETED
                 )
+                for t in done:
+                    exc = t.exception()
+                    if exc is not None:
+                        raise exc
+                if send_task.done():
+                    return  # measurement budget met
+                # A conn task retiring here is a permanently lost
+                # connection the health ledger already accepted
+                # (salvage): keep measuring on the survivors.
         finally:
-            tasks = [t for t in (send_task, *readers) if t is not None]
-            for t in tasks:
+            for t in (send_task, *conn_tasks):
                 t.cancel()
-            if tasks:
-                await asyncio.gather(*tasks, return_exceptions=True)
+            await asyncio.gather(send_task, *conn_tasks, return_exceptions=True)
             for c in conns:
-                c.writer.close()
+                if c.writer is not None:
+                    c.writer.close()
 
     async def _connect(self, host: str, port: int) -> List[_Conn]:
         conns = []
@@ -198,10 +366,16 @@ class _LiveInstance:
         preserving Poisson arrivals per connection.  No per-request
         ``drain()``: awaiting the kernel send buffer would couple the
         schedule to the receiver again.
+
+        A dead connection's picks re-route to the next alive one;
+        with none alive the schedule slot is counted as a lost send
+        (the arrival process never pauses for endpoint trouble).
         """
         loop = asyncio.get_running_loop()
         encode = encode_http_request if proto == "http" else encode_request
         record_log = self.options.record_send_log
+        lags = self._lags
+        health = self.health
         n_conns = len(conns)
         seq = 0
         next_t = loop.time()
@@ -223,22 +397,106 @@ class _LiveInstance:
                     return
                 seq += 1
                 conn = conns[pick]
+                if not conn.alive:
+                    for j in range(1, n_conns):
+                        alt = conns[(pick + j) % n_conns]
+                        if alt.alive:
+                            conn = alt
+                            break
+                    else:
+                        health.lost_sends += 1
+                        continue
                 now = loop.time()
-                conn.pending[seq] = now
+                lags.append(max(0.0, now - next_t))
                 if record_log:
                     self.scheduled_ts.append(next_t)
                     self.actual_ts.append(now)
-                conn.writer.write(encode(seq))
+                conn.pending[seq] = now
+                try:
+                    conn.writer.write(encode(seq))
+                except (OSError, RuntimeError):
+                    # Transport died between the reader noticing and us:
+                    # the conn loop will reconnect; the slot is lost.
+                    conn.pending.pop(seq, None)
+                    conn.alive = False
+                    health.lost_sends += 1
+                    continue
                 self.sent += 1
 
-    # -- reader --------------------------------------------------------
-    async def _read_loop(self, proto: str, conn: _Conn) -> None:
+    # -- reader + self-healing reconnect ---------------------------------
+    async def _conn_loop(self, proto: str, host: str, port: int, conn: _Conn, slot: int) -> None:
+        """Read responses until the run ends, reconnecting the
+        connection with backoff when the endpoint drops it.
+
+        Returning (rather than raising) means the connection is
+        permanently lost but the ledger accepted the loss — the run
+        continues degraded on the surviving connections.
+        """
+        label = f"{self.name}/conn{slot}"
+        # Seeded decorrelated-jitter schedule (RetryPolicy semantics).
+        backoff_rng = np.random.default_rng(
+            (abs(int(self.spec.seed)), int(self.spec.run_index), self.index, slot)
+        )
+        while True:
+            await self._read_until_closed(proto, conn)
+            if self.recorder.done:
+                return
+            conn.alive = False
+            self.health.dropped_connections += 1
+            self.health.lost_pending += len(conn.pending)
+            conn.pending.clear()
+            self.health.event("connection-drop", label)
+            try:
+                conn.writer.close()
+            except (OSError, RuntimeError):  # pragma: no cover - defensive
+                pass
+            if not await self._reconnect(host, port, conn, backoff_rng):
+                self.health.permanent_loss(label)  # raises past the bound
+                if not any(c.alive for c in self._conns):
+                    raise LiveMeasurementError(
+                        f"{self.name}: every connection to {host}:{port} "
+                        "permanently lost; the measurement cannot finish"
+                    )
+                return
+            self.health.reconnects += 1
+            self.health.event("reconnect", label)
+
+    async def _reconnect(self, host: str, port: int, conn: _Conn, rng) -> bool:
+        """Bounded exponential backoff with decorrelated jitter:
+        ``delay = min(cap, uniform(base, prev * 3))`` between attempts
+        (the :class:`~repro.exec.api.RetryPolicy` schedule)."""
+        opts = self.options
+        delay = opts.reconnect_backoff_base_s
+        for attempt in range(opts.reconnect_attempts):
+            if attempt:
+                await asyncio.sleep(delay)
+                delay = min(
+                    opts.reconnect_backoff_cap_s,
+                    float(rng.uniform(opts.reconnect_backoff_base_s, delay * 3.0)),
+                )
+            try:
+                reader, writer = await asyncio.wait_for(
+                    asyncio.open_connection(host, port), opts.connect_timeout_s
+                )
+            except (OSError, asyncio.TimeoutError):
+                continue
+            conn.reader = reader
+            conn.writer = writer
+            conn.alive = True
+            return True
+        return False
+
+    async def _read_until_closed(self, proto: str, conn: _Conn) -> None:
+        """Drain responses from one connection until EOF/reset."""
         loop = asyncio.get_running_loop()
         read = self._read_http_seq if proto == "http" else self._read_echo_seq
         while True:
-            seq = await read(conn.reader)
+            try:
+                seq = await read(conn.reader)
+            except (OSError, ConnectionError):
+                return
             if seq is None:
-                return  # EOF: surfaced as an error by run()
+                return  # EOF: the conn loop decides whether to reconnect
             sent_at = conn.pending.pop(seq, None)
             if sent_at is None:
                 continue  # unmatched (late duplicate); ignore
@@ -276,13 +534,42 @@ class _LiveInstance:
         return seq
 
     # -- reporting -----------------------------------------------------
-    def report(self):
+    def lag_summary(self) -> Dict[str, float]:
+        """Scheduled-vs-actual send lag distribution (seconds and mean
+        inter-arrival gaps) — the coordinated-omission evidence."""
+        mean_gap_s = 1.0 / self.arrival.rate_rps
+        lags = np.asarray(self._lags, dtype=float)
+        if lags.size == 0:
+            return {
+                "n": 0,
+                "mean_gap_s": mean_gap_s,
+                "max_lag_s": 0.0,
+                "mean_lag_s": 0.0,
+                "p99_lag_s": 0.0,
+                "max_lag_gaps": 0.0,
+                "p99_lag_gaps": 0.0,
+                "late_fraction": 0.0,
+            }
+        p99 = float(np.quantile(lags, 0.99))
+        return {
+            "n": int(lags.size),
+            "mean_gap_s": mean_gap_s,
+            "max_lag_s": float(lags.max()),
+            "mean_lag_s": float(lags.mean()),
+            "p99_lag_s": p99,
+            "max_lag_gaps": float(lags.max()) / mean_gap_s,
+            "p99_lag_gaps": p99 / mean_gap_s,
+            "late_fraction": float(np.mean(lags > LATE_GAP_FACTOR * mean_gap_s)),
+        }
+
+    def report(self, client_utilization: float = 0.0):
         return self.recorder.report(
             requests_sent=self.sent,
-            # A live client's CPU share is not observable from here;
-            # the open-loop schedule (not utilization accounting) is
-            # what protects against client bias.
-            client_utilization=0.0,
+            # Per-core accounting is not observable from here; the
+            # driver-level process CPU fraction (client_probe) is the
+            # best available stand-in and is what the saturation guard
+            # audits.
+            client_utilization=client_utilization,
         )
 
 
@@ -299,7 +586,10 @@ class _LiveRun:
 
         spec = self.spec
         t0 = time.perf_counter()
-        instances = asyncio.run(self._measure())
+        cpu0 = time.process_time()
+        instances, health, loop_lags = asyncio.run(self._measure())
+        wall_s = max(time.perf_counter() - t0, 1e-9)
+        cpu_fraction = min(1.0, (time.process_time() - cpu0) / wall_s)
         reports = [inst.report() for inst in instances]
         samples_by_client = {r.name: metric_samples(r) for r in reports}
         metrics = {
@@ -312,15 +602,27 @@ class _LiveRun:
             metrics=metrics,
             # Not observable from the client side of a live endpoint.
             server_utilization=float("nan"),
-            client_utilizations={r.name: 0.0 for r in reports},
+            # Per-core client utilization is a sim-model quantity; the
+            # live stand-in (process CPU fraction) rides client_probe.
+            client_utilizations={r.name: r.client_utilization for r in reports},
             spec_digest=spec.digest(),
-            wall_s=time.perf_counter() - t0,
+            wall_s=wall_s,
             events_processed=0,
         )
+        # Guard evidence channels (annotations, not RunResult fields:
+        # sim runs never carry them).
+        lag_arr = np.asarray(loop_lags, dtype=float)
+        result.client_probe = {
+            "cpu_fraction": cpu_fraction,
+            "loop_lag_p99_s": float(np.quantile(lag_arr, 0.99)) if lag_arr.size else 0.0,
+            "loop_lag_max_s": float(lag_arr.max()) if lag_arr.size else 0.0,
+            "mean_gap_s": 1.0 / spec.total_rate_rps,
+        }
+        result.send_lag = {inst.name: inst.lag_summary() for inst in instances}
+        result.live_health = health.summary()
         if self.options.record_send_log:
-            # Offered-rate audit trail for coordinated-omission checks;
-            # an annotation, not a RunResult field (sim runs never
-            # carry one).
+            # Full offered-rate audit trail for coordinated-omission
+            # deep dives (the always-on summary lives in send_lag).
             result.send_log = {
                 inst.name: {
                     "scheduled": np.asarray(inst.scheduled_ts),
@@ -330,38 +632,93 @@ class _LiveRun:
             }
         return result
 
-    async def _measure(self) -> List[_LiveInstance]:
+    async def _measure(self) -> Tuple[List[_LiveInstance], _Health, List[float]]:
         spec = self.spec
         options = self.options
         proto, host, port = parse_target(options.target)
         loop = asyncio.get_running_loop()
         progress = _Progress(loop.time())
+        health = _Health(
+            connections=spec.num_instances * spec.connections_per_instance,
+            max_lost_fraction=options.max_lost_connection_fraction,
+            target=options.target,
+        )
+        if options.health_probe:
+            try:
+                await _probe_connect(host, port, options.connect_timeout_s)
+            except LiveMeasurementError as exc:
+                raise LiveMeasurementError(
+                    f"pre-measurement health probe failed: {exc}"
+                ) from exc
         # Same per-run seeding as the simulated TestBench: repeated
         # runs are independent experiments drawn from (seed, run_index).
         rng = RngRegistry(hash((spec.seed, spec.run_index)) & 0x7FFFFFFF)
         rate_per_instance = spec.total_rate_rps / spec.num_instances
         instances = [
             _LiveInstance(
-                f"client{i}", spec, rate_per_instance, rng, options, progress
+                f"client{i}", i, spec, rate_per_instance, rng, options,
+                progress, health,
             )
             for i in range(spec.num_instances)
         ]
+        loop_lags: List[float] = []
+
+        async def lag_probe() -> None:
+            # Sleep-overshoot sampling: how late does the loop wake a
+            # timer?  Saturated clients overshoot by many send gaps.
+            while True:
+                t_before = loop.time()
+                await asyncio.sleep(_LAG_PROBE_INTERVAL_S)
+                loop_lags.append(
+                    max(0.0, loop.time() - t_before - _LAG_PROBE_INTERVAL_S)
+                )
 
         async def watchdog() -> None:
-            interval = max(0.05, options.progress_timeout_s / 8.0)
+            # The stall-escalation ladder: warn -> probe -> abort.
+            abort_s = options.progress_timeout_s
+            probe_s = min(options.stall_probe_s, abort_s)
+            warn_s = min(options.stall_warn_s, probe_s)
+            interval = min(max(warn_s / 4.0, 0.01), 0.5)
+            seen = progress.last
+            warned = probed = False
             while True:
                 await asyncio.sleep(interval)
-                if loop.time() - progress.last > options.progress_timeout_s:
+                if progress.last != seen:
+                    seen = progress.last
+                    warned = probed = False
+                idle = loop.time() - progress.last
+                if idle >= abort_s:
                     raise LiveMeasurementError(
                         f"no response progress from {options.target} for "
-                        f"{options.progress_timeout_s:.1f}s; aborting instead "
-                        "of hanging"
+                        f"{abort_s:.1f}s; aborting instead of hanging "
+                        f"(stall ladder: warned={warned}, probed={probed})"
                     )
+                if idle >= probe_s and not probed:
+                    probed = True
+                    health.mid_run_probes += 1
+                    try:
+                        await _probe_connect(
+                            host,
+                            port,
+                            min(options.connect_timeout_s, max(abort_s - idle, 0.1)),
+                        )
+                    except LiveMeasurementError as exc:
+                        raise LiveMeasurementError(
+                            f"endpoint {options.target} failed the mid-stall "
+                            f"health probe after {idle:.1f}s without "
+                            f"progress: {exc}"
+                        ) from exc
+                    health.event("stall-probe-ok", f"idle {idle:.2f}s")
+                elif idle >= warn_s and not warned:
+                    warned = True
+                    health.stall_warnings += 1
+                    health.event("stall-warn", f"idle {idle:.2f}s")
 
         body = asyncio.ensure_future(
             asyncio.gather(*(inst.run(proto, host, port) for inst in instances))
         )
         guard = loop.create_task(watchdog())
+        lag_task = loop.create_task(lag_probe())
         try:
             done, _ = await asyncio.wait(
                 [body, guard], return_when=asyncio.FIRST_COMPLETED
@@ -371,10 +728,10 @@ class _LiveRun:
                 if exc is not None:
                     raise exc
         finally:
-            body.cancel()
-            guard.cancel()
-            await asyncio.gather(body, guard, return_exceptions=True)
-        return instances
+            for t in (body, guard, lag_task):
+                t.cancel()
+            await asyncio.gather(body, guard, lag_task, return_exceptions=True)
+        return instances, health, loop_lags
 
 
 class LiveBackend:
@@ -408,6 +765,7 @@ class LiveBackend:
             fault_hookable=True,
             scenarios=False,
             utilization_targeting=False,
+            guard_evidence=True,
         )
 
     def close(self) -> None:
@@ -460,7 +818,7 @@ def _register() -> None:
         lambda options: LiveBackend(options),
         LiveOptions,
         summary="wall-clock asyncio open-loop driver for real endpoints "
-        "(never cached)",
+        "(self-healing, never cached)",
     )
 
 

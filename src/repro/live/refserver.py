@@ -23,6 +23,13 @@ a returned action freezes *global* request completion for
 coordinated-omission guard test injects.  Tests may also call
 :meth:`ReferenceServer.stall` directly.
 
+**Misbehavior modes** (for exercising the self-healing driver and the
+validity guards, individually attributable): ``drop_after=N`` closes
+every connection after its Nth request with the last response unsent
+(reconnect/salvage path), ``accept_delay_s`` serves each connection
+only after a fixed delay (slow accept), and ``drift_us_per_request``
+ramps the service time over the run (a live non-stationarity source).
+
 Run standalone::
 
     python -m repro.live.refserver --port 7799 \\
@@ -142,10 +149,30 @@ class RefServerConfig:
     #: is consulted per request and an action's ``seconds`` stalls all
     #: completions globally.
     injector: object = None
+    #: Misbehavior: drop each connection after it has carried this
+    #: many requests (the last one goes unanswered — its response is
+    #: in flight when the socket closes).  0 disables.  Exercises the
+    #: driver's reconnect/salvage path.
+    drop_after: int = 0
+    #: Misbehavior: sleep this long at the top of every accepted
+    #: connection before serving it (slow accept — e.g. an overloaded
+    #: listener backlog).  Exercises connect timeouts and the stall
+    #: ladder.
+    accept_delay_s: float = 0.0
+    #: Misbehavior: ramp the service time by this many microseconds
+    #: per request seen (a server that degrades under sustained load).
+    #: Exercises the non-stationarity guard on a live run.
+    drift_us_per_request: float = 0.0
 
     def __post_init__(self) -> None:
         if self.mode not in ("parallel", "serial"):
             raise ValueError("mode must be 'parallel' or 'serial'")
+        if self.drop_after < 0:
+            raise ValueError("drop_after must be >= 0")
+        if self.accept_delay_s < 0:
+            raise ValueError("accept_delay_s must be >= 0")
+        if self.drift_us_per_request < 0:
+            raise ValueError("drift_us_per_request must be >= 0")
 
 
 class ReferenceServer:
@@ -206,7 +233,16 @@ class ReferenceServer:
             action = injector.fire(STALL_SITE)
             if action is not None:
                 self._stall_now(float(getattr(action, "seconds", 0.0)))
-        done_at = now + self._service_delay_s()
+        delay_s = self._service_delay_s()
+        if self.config.drift_us_per_request:
+            # Ramped misbehavior: the server slows (or speeds up) with
+            # every request it has ever seen — a moving distribution.
+            delay_s = max(
+                0.0,
+                delay_s
+                + self.config.drift_us_per_request * self.requests_seen * 1e-6,
+            )
+        done_at = now + delay_s
         return max(done_at, self._stalled_until)
 
     async def _handle(
@@ -214,6 +250,11 @@ class ReferenceServer:
     ) -> None:
         loop = self._loop
         tasks = []
+        served = 0
+        if self.config.accept_delay_s > 0:
+            # Slow-accept misbehavior: the connection exists but the
+            # server takes its time before answering anything on it.
+            await asyncio.sleep(self.config.accept_delay_s)
         try:
             while True:
                 line = await reader.readline()
@@ -237,6 +278,12 @@ class ReferenceServer:
                     if seq is None:
                         break
                     payload = encode_response(seq)
+                served += 1
+                if self.config.drop_after and served >= self.config.drop_after:
+                    # drop_after misbehavior: the Nth request never
+                    # gets its answer — the socket just goes away,
+                    # taking any in-flight responses with it.
+                    break
                 done_at = self._completion_time(loop.time())
                 if self.config.mode == "serial":
                     delay = done_at - loop.time()
@@ -352,6 +399,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--mode", choices=("parallel", "serial"), default="parallel")
+    parser.add_argument(
+        "--drop-after",
+        type=int,
+        default=0,
+        help="misbehavior: drop each connection after N requests (0 = off)",
+    )
+    parser.add_argument(
+        "--accept-delay-s",
+        type=float,
+        default=0.0,
+        help="misbehavior: sleep this long before serving each connection",
+    )
+    parser.add_argument(
+        "--drift-us-per-request",
+        type=float,
+        default=0.0,
+        help="misbehavior: ramp service time by this many us per request",
+    )
     args = parser.parse_args(argv)
     config = RefServerConfig(
         host=args.host,
@@ -359,6 +424,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         service=json.loads(args.service),
         seed=args.seed,
         mode=args.mode,
+        drop_after=args.drop_after,
+        accept_delay_s=args.accept_delay_s,
+        drift_us_per_request=args.drift_us_per_request,
     )
 
     async def serve() -> None:

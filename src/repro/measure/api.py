@@ -72,7 +72,17 @@ __all__ = [
 #: Version of the MeasurementBackend contract.  Bump on any change to
 #: the protocol surface or the meaning of a capability flag; backends
 #: may check it at registration time.
-MEASUREMENT_API_VERSION = 1
+#:
+#: v2: the dispatcher attaches a validity audit
+#: (:class:`repro.guards.GuardReport`) to every result it returns, and
+#: :class:`BenchCapabilities` grew the optional ``guard_evidence``
+#: flag.  The protocol surface (``prepare -> drive``, ``capabilities``,
+#: ``close``) is unchanged, so v1 backends keep working verbatim — the
+#: compat shim is that guards degrade to ``skip``/structural verdicts
+#: when a backend supplies no evidence channels, and results that
+#: reject attribute assignment are returned un-audited rather than
+#: failed.
+MEASUREMENT_API_VERSION = 2
 
 
 # ----------------------------------------------------------------------
@@ -99,6 +109,12 @@ class BenchCapabilities:
     scenarios: bool = False
     #: Can resolve ``target_utilization`` specs without an absolute rate.
     utilization_targeting: bool = False
+    #: The backend supplies guard evidence channels beyond the shared
+    #: report stream (client probes, send-lag summaries, health
+    #: telemetry) for the repro.guards validity detectors.  v1 backends
+    #: never set this; detectors whose channel is missing report
+    #: ``skip`` instead of guessing (the API-v2 compat shim).
+    guard_evidence: bool = False
 
 
 @runtime_checkable
@@ -368,4 +384,36 @@ def measure_spec(spec: object) -> object:
                 "specs (capability 'scenarios' is False); lower the scenario "
                 "to plain RunSpecs or use the 'sim' backend"
             )
-    return backend.prepare(spec).drive()
+    result = backend.prepare(spec).drive()
+    return _attach_guards(spec, result, backend)
+
+
+def _attach_guards(spec: object, result: object, backend: MeasurementBackend) -> object:
+    """Audit ``result`` with the validity detectors (API v2).
+
+    Runs inside ``measure_spec`` — i.e. inside whatever worker process
+    executed the spec — so verdicts are computed once from the
+    bit-identical result and ride along in the executor's pickles:
+    serial, process-pool, and cluster lanes all see the same
+    ``result.guards``.  Third-party results that reject attribute
+    assignment (slots, frozen) are returned un-audited; the guard
+    layer never turns a successful measurement into a failure.
+    """
+    if getattr(result, "guards", None) is not None:
+        return result  # already audited (e.g. a backend that delegates here)
+    from ..guards.api import evaluate_run, maybe_enforce
+
+    try:
+        caps = backend.capabilities()
+    except Exception:  # noqa: BLE001 — capabilities are advisory here
+        caps = None
+    report = evaluate_run(spec, result, capabilities=caps)
+    try:
+        result.guards = report
+    except (AttributeError, TypeError):
+        pass
+    # No-op in (default) advisory mode; under strict enforcement a
+    # failed audit raises GuardFailureError here, inside the
+    # measurement path, so every caller of measure_spec is covered.
+    maybe_enforce(report, context=str(getattr(spec, "tag", "") or "run"))
+    return result

@@ -70,6 +70,9 @@ class SimBackend:
             fault_hookable=False,
             scenarios=True,
             utilization_targeting=True,
+            # The guard tape (windowed phase summaries, warm-up tail,
+            # mechanistic client utilizations) rides every sim report.
+            guard_evidence=True,
         )
 
     def close(self) -> None:  # stateless; nothing to release

@@ -8,7 +8,13 @@ simulator to completion, and report — overall metrics via the paper's
 per-instance-then-combine rule plus per-(fleet, pool)
 ``group_metrics``.  It is a pure function of the spec, so the
 serial-vs-parallel bit-identity guarantee of the execution layer
-extends to scenarios unchanged.  The simulator measurement backend
+extends to scenarios unchanged.  The ``fleet=``/``pool=`` labels each
+instance report carries double as the guard layer's grouping key: the
+aggregation-imbalance detector (:mod:`repro.guards.detectors`) audits
+per-client sample shares both pooled and per ``(fleet, pool)`` scope,
+and the per-instance guard tape (``phase_windows``/``warmup_tail``)
+recorded by the shared :class:`~repro.core.treadmill.PhaseRecorder`
+gives the drift detectors the same evidence here as on plain specs.  The simulator measurement backend
 calls it for every scenario-carrying spec; the public
 :func:`run_scenario_spec` name is a deprecated alias for
 :func:`repro.measure.measure_spec`.

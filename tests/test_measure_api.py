@@ -118,7 +118,9 @@ class TestRegistry:
         assert "sim" in names and "live" in names
 
     def test_api_is_versioned(self):
-        assert MEASUREMENT_API_VERSION == 1
+        # v2 added guard evidence channels (BenchCapabilities.guard_evidence)
+        # and the GuardReport attached to every result.
+        assert MEASUREMENT_API_VERSION == 2
 
     def test_unknown_backend_lists_available(self):
         with pytest.raises(KeyError, match="available"):
