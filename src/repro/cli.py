@@ -282,6 +282,33 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     meas_p.add_argument(
+        "--processes", type=int, default=1, metavar="N",
+        help=(
+            "shard the load across a supervised fleet of N client OS "
+            "processes (crash-safe: heartbeats, seeded respawns, a "
+            "fleet salvage bound)"
+        ),
+    )
+    meas_p.add_argument(
+        "--respawns", type=int, default=2, metavar="N",
+        help="fleet: respawn budget per crashed client process",
+    )
+    meas_p.add_argument(
+        "--max-lost-clients", type=float, default=0.34, metavar="F",
+        help=(
+            "fleet salvage bound: complete degraded while at most this "
+            "fraction of client processes is permanently lost"
+        ),
+    )
+    meas_p.add_argument(
+        "--heartbeat-interval", type=float, default=0.25, metavar="S",
+        help="fleet: client heartbeat cadence",
+    )
+    meas_p.add_argument(
+        "--heartbeat-timeout", type=float, default=2.0, metavar="S",
+        help="fleet: silence past this declares a client process dead",
+    )
+    meas_p.add_argument(
         "--json",
         action="store_true",
         help="machine-readable report (metrics, guards, health) on stdout",
@@ -317,6 +344,30 @@ def build_parser() -> argparse.ArgumentParser:
             "run each compiled spec through both the serial and the "
             "process executor and gate on outputs_identical"
         ),
+    )
+    scen_run_p.add_argument(
+        "--backend",
+        default="sim",
+        metavar="NAME",
+        help=(
+            "measurement backend for the compiled specs (default sim; "
+            "'live' routes the fleets to real endpoints — set "
+            "--pool-target per pool)"
+        ),
+    )
+    scen_run_p.add_argument(
+        "--pool-target",
+        action="append",
+        default=[],
+        metavar="POOL=URL",
+        help=(
+            "live backend: endpoint for one scenario pool "
+            "(repeatable, e.g. --pool-target web=tcp://127.0.0.1:7799)"
+        ),
+    )
+    scen_run_p.add_argument(
+        "--processes", type=int, default=1, metavar="N",
+        help="live backend: client processes per measurement (fleet mode)",
     )
     add_exec_flags(scen_run_p)
     add_guard_flags(scen_run_p)
@@ -378,6 +429,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--restart",
         action="store_true",
         help="also inject a coordinator restart (journal-recovery path)",
+    )
+    chaos_p.add_argument(
+        "--live",
+        action="store_true",
+        help=(
+            "chaos the live fleet instead of the cluster executor: "
+            "refserver + multi-process fleet under the live fault kinds "
+            "(client crash/hang, heartbeat drop, endpoint reset); the "
+            "invariant is degraded-converged or clean error, never a hang"
+        ),
+    )
+    chaos_p.add_argument(
+        "--processes", type=int, default=3, metavar="N",
+        help="--live: client processes in the fleet",
     )
     return parser
 
@@ -459,7 +524,10 @@ def _cmd_live_ping(target: str, timeout_s: float) -> int:
 
     try:
         rtt_s = ping(target, timeout_s=timeout_s)
-    except (LiveMeasurementError, ValueError) as exc:
+    except (LiveMeasurementError, ValueError, OSError) as exc:
+        # OSError covers the raw socket family (ConnectionRefusedError,
+        # unreachable host, DNS failure) — one line and exit 3, never a
+        # traceback.
         print(f"ping {target}: FAILED — {exc}", file=sys.stderr)
         return 3
     print(f"ping {target}: {rtt_s * 1e3:.3f} ms")
@@ -494,9 +562,14 @@ def _cmd_live_measure(args: argparse.Namespace) -> int:
             stall_warn_s=args.stall_warn,
             stall_probe_s=args.stall_probe,
             max_lost_connection_fraction=args.max_lost_fraction,
+            processes=args.processes,
+            respawn_attempts=args.respawns,
+            max_lost_client_fraction=args.max_lost_clients,
+            heartbeat_interval_s=args.heartbeat_interval,
+            heartbeat_timeout_s=args.heartbeat_timeout,
         ):
             result = measure_spec(spec)
-    except (LiveMeasurementError, ValueError) as exc:
+    except (LiveMeasurementError, ValueError, OSError) as exc:
         # The CI smoke contract: a clean attributed failure, never a
         # hang — distinguishable from success by exit code 3.
         if args.json:
@@ -629,6 +702,15 @@ def _cmd_scenario_run(scenario, args: argparse.Namespace) -> int:
         f"{len(scenario.pools)} pool(s) -> {len(specs)} run spec(s)"
     )
     start = time.time()
+    if args.backend != "sim":
+        if args.verify_identical:
+            print(
+                "scenario run: --verify-identical needs a deterministic "
+                "backend; drop it or use --backend sim",
+                file=sys.stderr,
+            )
+            return 1
+        return _scenario_run_live(scenario, specs, args, start)
     if args.verify_identical:
         # Two independent lanes, compared result by result: the same
         # gate the perf harness applies (identity, never wall-clock).
@@ -649,7 +731,7 @@ def _cmd_scenario_run(scenario, args: argparse.Namespace) -> int:
             f"p{q * 100:g}={v:.1f}us" for q, v in sorted(result.metrics.items())
         )
         print(f"{spec.tag}: {metrics} (peak server util {result.server_utilization:.2f})")
-        for (fleet, pool), gm in sorted(result.group_metrics.items()):
+        for (fleet, pool), gm in sorted((result.group_metrics or {}).items()):
             gmetrics = ", ".join(
                 f"p{q * 100:g}={v:.1f}us" for q, v in sorted(gm.items())
             )
@@ -668,6 +750,64 @@ def _cmd_scenario_run(scenario, args: argparse.Namespace) -> int:
         )
         return 4
     return 0 if identical in (None, True) else 1
+
+
+def _scenario_run_live(scenario, specs, args: argparse.Namespace, start: float) -> int:
+    """Run compiled scenario specs on a non-sim (live) backend.
+
+    Sequential on purpose: a live measurement is wall-clock and may
+    already be a multi-process fleet; racing several against the same
+    endpoints would let them distort each other's tails.
+    """
+    import dataclasses
+
+    from .live import LiveMeasurementError
+    from .measure import backend_defaults, measure_spec
+
+    strict_failed = False
+    try:
+        with backend_defaults(
+            args.backend,
+            pool_targets=tuple(args.pool_target),
+            processes=args.processes,
+        ):
+            for spec in specs:
+                spec = dataclasses.replace(spec, backend=args.backend)
+                result = measure_spec(spec)
+                metrics = ", ".join(
+                    f"p{q * 100:g}={v:.1f}us"
+                    for q, v in sorted(result.metrics.items())
+                )
+                print(f"{spec.tag}: {metrics}")
+                for (fleet, pool), gm in sorted(
+                    (result.group_metrics or {}).items()
+                ):
+                    gmetrics = ", ".join(
+                        f"p{q * 100:g}={v:.1f}us" for q, v in sorted(gm.items())
+                    )
+                    print(f"  ({fleet}, {pool}): {gmetrics}")
+                health = getattr(result, "live_health", None)
+                if health is not None and health.get("degraded"):
+                    print(f"  [degraded] {dict(health)}")
+                guards = getattr(result, "guards", None)
+                if guards is not None and guards.status != "pass":
+                    for line in guards.format().splitlines():
+                        print(f"  {line}")
+                    if args.strict_guards and not guards.ok:
+                        strict_failed = True
+    except (LiveMeasurementError, ValueError, OSError) as exc:
+        print(
+            f"scenario {scenario.name}: FAILED — {exc}", file=sys.stderr
+        )
+        return 3
+    print(f"[{scenario.name} completed in {time.time() - start:.1f}s]")
+    if strict_failed:
+        print(
+            f"scenario {scenario.name}: validity guards FAILED (strict mode)",
+            file=sys.stderr,
+        )
+        return 4
+    return 0
 
 
 def _load_fault_plan(text: Optional[str]):
@@ -705,17 +845,22 @@ def _execution_scope(args: argparse.Namespace):
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
-    from .faults.harness import run_chaos  # local import: chaos only
-
-    report = run_chaos(
-        seed=args.seed,
-        workers=args.workers,
-        n_specs=args.specs,
-        lease_s=args.lease_s,
-        include_restart=args.restart,
-    )
     import json as _json
 
+    if args.live:
+        from .faults.harness import run_live_chaos  # local import: chaos only
+
+        report = run_live_chaos(seed=args.seed, processes=args.processes)
+    else:
+        from .faults.harness import run_chaos  # local import: chaos only
+
+        report = run_chaos(
+            seed=args.seed,
+            workers=args.workers,
+            n_specs=args.specs,
+            lease_s=args.lease_s,
+            include_restart=args.restart,
+        )
     print(_json.dumps(report.summary(), indent=2))
     if not report.invariant_holds:
         print("[chaos] INVARIANT VIOLATED", file=sys.stderr)
@@ -822,6 +967,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         # CI can tell "bad measurement" (4) from "broken run" (1/3).
         print(f"validity guards FAILED: {exc}", file=sys.stderr)
         return 4
+    except KeyboardInterrupt:
+        # The conventional 128+SIGINT code, one line, no traceback —
+        # an interrupted live measurement is a user decision, not a bug.
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 def _dispatch(args: argparse.Namespace) -> int:

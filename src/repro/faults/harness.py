@@ -55,6 +55,8 @@ __all__ = [
     "result_signature",
     "ChaosReport",
     "run_chaos",
+    "LiveChaosReport",
+    "run_live_chaos",
 ]
 
 
@@ -302,5 +304,166 @@ def run_chaos(
     finally:
         if tmp is not None:
             tmp.cleanup()
+    report.wall_s = time.perf_counter() - t0
+    return report
+
+
+# ----------------------------------------------------------------------
+# the live-fleet chaos experiment
+# ----------------------------------------------------------------------
+@dataclass
+class LiveChaosReport:
+    """Outcome of one seeded *live-fleet* chaos run.
+
+    **The live chaos invariant** (the fleet counterpart of the
+    executor invariant above):
+
+        Under any live FaultPlan, a fleet measurement either
+        *converges* — possibly degraded, with the losses accounted on
+        the fleet ledger — or fails with a clean, attributed
+        :class:`~repro.live.LiveMeasurementError` within the deadline.
+        Never a hang.
+    """
+
+    seed: int
+    processes: int
+    plan_digest: str
+    kinds: Tuple[str, ...]
+    converged: bool = False
+    degraded: bool = False
+    clean_failure: Optional[str] = None
+    unexpected: Optional[str] = None
+    hang: bool = False
+    fired: List[Tuple[str, int, str]] = field(default_factory=list)
+    ledger: Dict[str, object] = field(default_factory=dict)
+    wall_s: float = 0.0
+
+    @property
+    def invariant_holds(self) -> bool:
+        """Converged (degraded or not), or clean failure — never a hang."""
+        if self.hang or self.unexpected is not None:
+            return False
+        return self.converged or self.clean_failure is not None
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "processes": self.processes,
+            "plan": self.plan_digest[:12],
+            "kinds": list(self.kinds),
+            "converged": self.converged,
+            "degraded": self.degraded,
+            "clean_failure": self.clean_failure,
+            "unexpected": self.unexpected,
+            "hang": self.hang,
+            "fired": [list(f) for f in self.fired],
+            "ledger": {
+                k: (list(v) if isinstance(v, tuple) else v)
+                for k, v in self.ledger.items()
+            },
+            "wall_s": round(self.wall_s, 3),
+            "invariant_holds": self.invariant_holds,
+        }
+
+
+def run_live_chaos(
+    seed: int,
+    processes: int = 3,
+    rate_rps: float = 1500.0,
+    samples_per_instance: int = 150,
+    plan: Optional[FaultPlan] = None,
+    deadline_s: float = 90.0,
+) -> LiveChaosReport:
+    """Run one seeded live-fleet chaos experiment end to end.
+
+    Boots a local reference server and a ``processes``-wide fleet
+    against it, with one *shared* injector wired into both the fleet
+    supervisor (``fleet.spawn`` / ``fleet.heartbeat``) and the server
+    (``server.connection``) — so a plan's occurrence counting spans
+    the whole experiment, exactly like the executor harness shares its
+    injector across coordinator restarts.  ``plan=None`` draws
+    :meth:`FaultPlan.generate_live`.
+
+    The measurement runs on a watchdog thread: if it neither returns
+    nor raises within ``deadline_s``, the run is recorded as a *hang*
+    — the one outcome the invariant forbids.
+    """
+    import threading
+
+    from ..exec.spec import RunSpec
+    from ..live import LiveMeasurementError, LiveOptions, serve_in_thread
+    from ..live.driver import LiveBackend
+    from ..live.refserver import RefServerConfig
+    from ..workloads import MemcachedWorkload
+
+    t0 = time.perf_counter()
+    if plan is None:
+        plan = FaultPlan.generate_live(seed)
+    injector = plan.injector()
+    report = LiveChaosReport(
+        seed=seed,
+        processes=processes,
+        plan_digest=plan.digest(),
+        kinds=plan.kinds(),
+    )
+    server = serve_in_thread(
+        RefServerConfig(
+            service={"type": "constant", "value": 200.0},
+            seed=seed,
+            injector=injector,
+        )
+    )
+    spec = RunSpec(
+        workload=MemcachedWorkload(),
+        total_rate_rps=rate_rps,
+        num_instances=processes,
+        connections_per_instance=2,
+        warmup_samples=30,
+        measurement_samples_per_instance=samples_per_instance,
+        seed=seed,
+        backend="live",
+        tag=f"live-chaos seed={seed}",
+    )
+    options = LiveOptions(
+        target=server.target,
+        processes=processes,
+        injector=injector,
+        heartbeat_interval_s=0.1,
+        heartbeat_timeout_s=1.0,
+        respawn_attempts=1,
+        respawn_backoff_base_s=0.05,
+        respawn_backoff_cap_s=0.5,
+        progress_timeout_s=8.0,
+        stall_warn_s=0.5,
+        stall_probe_s=2.0,
+    )
+    box: Dict[str, object] = {}
+
+    def _measure() -> None:
+        try:
+            box["result"] = LiveBackend(options).prepare(spec).drive()
+        except (LiveMeasurementError, ValueError) as exc:
+            box["clean"] = f"{type(exc).__name__}: {exc}"
+        except BaseException as exc:  # noqa: BLE001 — the invariant's evidence
+            box["unexpected"] = f"{type(exc).__name__}: {exc}"
+
+    thread = threading.Thread(target=_measure, daemon=True)
+    try:
+        thread.start()
+        thread.join(deadline_s)
+        if thread.is_alive():
+            report.hang = True
+        elif "result" in box:
+            result = box["result"]
+            report.converged = True
+            report.ledger = dict(getattr(result, "live_health", {}) or {})
+            report.degraded = bool(report.ledger.get("degraded", False))
+        elif "clean" in box:
+            report.clean_failure = str(box["clean"])
+        else:
+            report.unexpected = str(box.get("unexpected", "no outcome recorded"))
+    finally:
+        server.stop()
+    report.fired = list(injector.fired)
     report.wall_s = time.perf_counter() - t0
     return report

@@ -30,6 +30,13 @@ site                where it is consulted
                     (``coordinator_restart`` raises ``SimulatedCrash``)
 ``cache.put``       ``ResultCache.put`` after a store
                     (``corrupt_cache_entry`` flips payload bytes)
+``fleet.spawn``     ``repro.live.fleet`` per client-process spawn
+                    (``client_proc_crash`` / ``client_proc_hang`` ship
+                    a directive to that process)
+``fleet.heartbeat``  the fleet supervisor per received heartbeat
+                    (``fleet_frame_drop`` discards the frame)
+``server.connection``  the reference server per request
+                    (``endpoint_reset`` closes the connection abruptly)
 ==================  =====================================================
 
 An action fires on the *nth* arrival at its site and is consumed (at
@@ -49,13 +56,32 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 __all__ = [
     "FAULT_KINDS",
+    "LIVE_FAULT_KINDS",
     "KIND_SITES",
     "FaultAction",
     "FaultPlan",
     "FaultInjector",
 ]
 
-#: Every fault kind the harness knows how to inject.
+#: Fault kinds for the *live fleet* path (:mod:`repro.live.fleet`):
+#: the supervisor consults its injector at ``fleet.spawn`` (per client
+#: process spawn — a matching action ships a crash/hang directive to
+#: that process) and ``fleet.heartbeat`` (per received heartbeat — a
+#: matching ``fleet_frame_drop`` discards the frame, so a healthy
+#: client looks dead); the reference server fires
+#: ``server.connection`` per request (``endpoint_reset`` closes the
+#: connection abruptly, exercising the driver's reconnect path).
+#: Supervisor-side firing keeps occurrence counting global: an
+#: ``nth=1`` action hits exactly one process, not one per process.
+LIVE_FAULT_KINDS: Tuple[str, ...] = (
+    "client_proc_crash",
+    "client_proc_hang",
+    "fleet_frame_drop",
+    "endpoint_reset",
+)
+
+#: Every fault kind the harness knows how to inject (cluster executor
+#: kinds first, then the live-fleet kinds).
 FAULT_KINDS: Tuple[str, ...] = (
     "worker_crash",
     "worker_hang",
@@ -65,7 +91,7 @@ FAULT_KINDS: Tuple[str, ...] = (
     "corrupt_result",
     "corrupt_cache_entry",
     "coordinator_restart",
-)
+) + LIVE_FAULT_KINDS
 
 #: Hook sites each kind may be scheduled at (the RNG picks one).
 KIND_SITES: Dict[str, Tuple[str, ...]] = {
@@ -77,6 +103,10 @@ KIND_SITES: Dict[str, Tuple[str, ...]] = {
     "truncate_frame": ("coordinator.send", "worker.send"),
     "corrupt_cache_entry": ("cache.put",),
     "coordinator_restart": ("coordinator.loop",),
+    "client_proc_crash": ("fleet.spawn",),
+    "client_proc_hang": ("fleet.spawn",),
+    "fleet_frame_drop": ("fleet.heartbeat",),
+    "endpoint_reset": ("server.connection",),
 }
 
 _PLAN_VERSION = 1
@@ -133,13 +163,17 @@ class FaultPlan:
     ) -> "FaultPlan":
         """Draw a plan from a seeded RNG (pure function of arguments).
 
-        ``kinds`` restricts the palette (default: every kind except
-        ``coordinator_restart``, which needs a restart-capable driver
-        — the chaos harness adds it deliberately).
+        ``kinds`` restricts the palette (default: every *executor* kind
+        except ``coordinator_restart``, which needs a restart-capable
+        driver — the chaos harness adds it deliberately.  The live
+        kinds are likewise excluded: they target a different harness,
+        :meth:`generate_live`, and admitting them here would reshuffle
+        every historical seeded plan).
         """
         rng = random.Random(seed)
+        excluded = {"coordinator_restart", *LIVE_FAULT_KINDS}
         palette = list(kinds if kinds is not None else
-                       [k for k in FAULT_KINDS if k != "coordinator_restart"])
+                       [k for k in FAULT_KINDS if k not in excluded])
         actions: List[FaultAction] = []
         for _ in range(n_faults):
             kind = rng.choice(palette)
@@ -149,6 +183,39 @@ class FaultPlan:
                 seconds = hang_s
             elif kind == "slow_worker":
                 seconds = slow_s
+            actions.append(
+                FaultAction(
+                    kind=kind,
+                    site=site,
+                    nth=rng.randint(1, max_nth),
+                    seconds=seconds,
+                )
+            )
+        return cls(seed=seed, actions=tuple(actions))
+
+    @classmethod
+    def generate_live(
+        cls,
+        seed: int,
+        n_faults: int = 2,
+        kinds: Optional[Sequence[str]] = None,
+        max_nth: int = 3,
+        crash_after_s: float = 0.3,
+    ) -> "FaultPlan":
+        """Draw a live-fleet plan from a seeded RNG (pure function).
+
+        The palette defaults to :data:`LIVE_FAULT_KINDS`; ``seconds``
+        on a ``client_proc_crash`` is the in-process delay before the
+        abrupt exit (mid-measurement, not at start-up).
+        """
+        # Distinct stream from generate(): same seed, different harness.
+        rng = random.Random(f"live:{seed}")
+        palette = list(kinds if kinds is not None else LIVE_FAULT_KINDS)
+        actions: List[FaultAction] = []
+        for _ in range(n_faults):
+            kind = rng.choice(palette)
+            site = rng.choice(KIND_SITES[kind])
+            seconds = crash_after_s if kind == "client_proc_crash" else 0.0
             actions.append(
                 FaultAction(
                     kind=kind,

@@ -473,15 +473,27 @@ def degradation(ctx: GuardContext) -> GuardVerdict:
         "lost_pending",
         "stall_warnings",
         "mid_run_probes",
+        # Fleet-level counters (multi-process live runs; absent — and
+        # therefore zero — on plain single-process ledgers).
+        "lost_clients",
+        "respawns",
+        "quarantined_clients",
+        "heartbeat_misses",
+        "dropped_heartbeats",
     )
     evidence = {k: int(health.get(k, 0)) for k in interesting}
     evidence["connections"] = int(health.get("connections", 0))
+    if "processes" in health:
+        evidence["processes"] = int(health.get("processes", 0))
+        evidence["lost_partial_samples"] = int(
+            health.get("lost_partial_samples", 0)
+        )
     degraded = any(evidence[k] for k in interesting)
     if not degraded:
         return GuardVerdict(
             detector="degradation",
             status=PASS,
-            summary="no connection loss, reconnects, or stalls",
+            summary="no connection loss, reconnects, stalls, or client loss",
             evidence=evidence,
         )
     parts = [f"{evidence[k]} {k.replace('_', ' ')}" for k in interesting if evidence[k]]

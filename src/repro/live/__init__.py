@@ -12,12 +12,24 @@ endpoint with::
     with backend_defaults("live", target="tcp://127.0.0.1:7799"):
         result = repro.run(spec)
 
+Add ``processes=N`` to shard the load across a supervised fleet of N
+client OS processes (crash-safe: heartbeats, seeded respawns, a
+salvage bound — see :mod:`repro.live.fleet`), and
+``pool_targets={"pool": "tcp://..."}`` to run a scenario-carrying spec
+against M real endpoints.
+
 Modules:
 
 * :mod:`repro.live.protocol` — the minimal wire protocols (TCP
   line-echo and minimal HTTP) plus target-URL parsing.
 * :mod:`repro.live.driver` — the open-loop asyncio driver
-  (``LiveBackend``/``LiveOptions``) registered as backend ``"live"``.
+  (``LiveBackend``/``LiveOptions``) registered as backend ``"live"``,
+  and the spec→\\ :class:`~repro.live.driver.InstanceAssignment`
+  lowering shared by every execution shape.
+* :mod:`repro.live.backoff` — the seeded decorrelated-jitter schedule
+  behind both connection reconnects and process respawns.
+* :mod:`repro.live.fleet` / :mod:`repro.live.clientproc` — the
+  multi-process fleet supervisor and its client-process entry point.
 * :mod:`repro.live.refserver` — a deterministic local reference server
   (seeded service-time distribution, injectable stalls) used to
   validate the backend against the simulator.
@@ -29,7 +41,16 @@ never gated on an outstanding response (the paper's §II client-bias
 pitfall — see the coordinated-omission guard test).
 """
 
-from .driver import LiveBackend, LiveMeasurementError, LiveOptions, ping
+from .backoff import RESPAWN_CHANNEL, backoff_schedule, jitter_rng
+from .driver import (
+    InstanceAssignment,
+    LiveBackend,
+    LiveMeasurementError,
+    LiveOptions,
+    assignments_for_spec,
+    ping,
+)
+from .fleet import FleetRun
 from .protocol import parse_target
 from .refserver import RefServerConfig, ReferenceServer, serve_in_thread
 
@@ -37,8 +58,14 @@ __all__ = [
     "LiveBackend",
     "LiveMeasurementError",
     "LiveOptions",
+    "InstanceAssignment",
+    "FleetRun",
+    "assignments_for_spec",
     "ping",
     "parse_target",
+    "RESPAWN_CHANNEL",
+    "jitter_rng",
+    "backoff_schedule",
     "RefServerConfig",
     "ReferenceServer",
     "serve_in_thread",

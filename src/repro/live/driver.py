@@ -23,14 +23,33 @@ time:
   :class:`~repro.core.treadmill.PhaseRecorder`, so convergence,
   cross-instance aggregation, and attribution run unchanged.
 
+The unit of work is an :class:`InstanceAssignment` — one instance's
+name, rate, arrival process, sample budget, and endpoint — which makes
+three execution shapes one code path:
+
+* a **plain spec** lowers to ``num_instances`` assignments against one
+  endpoint (:func:`assignments_for_spec`);
+* a **scenario spec** (N fleets × M pools) lowers to per-fleet
+  assignments whose targets come from ``LiveOptions.pool_targets``
+  — M *real* endpoints — with the scenario's own RNG layout
+  (``{fleet}{i}/gaps`` streams keyed by the scenario seed), per-fleet
+  start offsets, and per-(fleet, pool) ``group_metrics`` on the
+  result, mirroring :mod:`repro.scenarios.runtime`;
+* with ``LiveOptions.processes > 1`` the same assignments are sharded
+  across a supervised fleet of client OS processes
+  (:mod:`repro.live.fleet`) — each process draws its instances' exact
+  gap streams from the shared registry layout, so the offered load
+  composes to the single-process schedule precisely.
+
 Endpoint trouble degrades the run instead of killing it (the PR-8
 robustness layer):
 
 * a **health probe** before warm-up fails fast on a dead endpoint;
 * a dropped connection is **reconnected** with bounded exponential
   backoff and decorrelated jitter (the
-  :class:`~repro.exec.api.RetryPolicy` schedule), its in-flight
-  requests counted lost;
+  :class:`~repro.exec.api.RetryPolicy` schedule, seeded per
+  ``(seed, run_index, instance, slot)`` — :mod:`repro.live.backoff`),
+  its in-flight requests counted lost;
 * a connection whose reconnect budget is exhausted is **salvaged**:
   its sends re-route to the surviving connections and the run
   completes *degraded* — the loss surfaces as a ``degradation`` guard
@@ -57,14 +76,15 @@ from __future__ import annotations
 
 import asyncio
 import time
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core.treadmill import PhaseRecorder, TreadmillConfig
 from ..guards.api import LATE_GAP_FACTOR
 from ..sim.rng import RngRegistry
+from .backoff import jitter_rng, next_delay
 from .protocol import (
     PING,
     decode_response,
@@ -73,7 +93,15 @@ from .protocol import (
     parse_target,
 )
 
-__all__ = ["LiveOptions", "LiveMeasurementError", "LiveBackend", "ping"]
+__all__ = [
+    "LiveOptions",
+    "InstanceAssignment",
+    "LiveMeasurementError",
+    "LiveBackend",
+    "assignments_for_spec",
+    "registry_for_spec",
+    "ping",
+]
 
 #: Gap/connection-pick variates drawn per pre-sampled block (a speed
 #: knob, mirroring ``TreadmillConfig.rng_block``).
@@ -91,6 +119,30 @@ class LiveMeasurementError(RuntimeError):
     refusing connections) instead of hanging."""
 
 
+def _freeze_pool_targets(value: object) -> Tuple[Tuple[str, str], ...]:
+    """Normalize pool→endpoint mappings to a sorted tuple of pairs.
+
+    Accepts a mapping, a sequence of ``(pool, target)`` pairs, or a
+    sequence of ``"pool=target"`` strings (the CLI spelling).
+    """
+    if not value:
+        return ()
+    pairs: List[Tuple[str, str]] = []
+    items = value.items() if isinstance(value, Mapping) else value
+    for item in items:
+        if isinstance(item, str):
+            pool, sep, target = item.partition("=")
+            if not sep or not pool or not target:
+                raise ValueError(
+                    f"pool target {item!r} must be spelled POOL=tcp://host:port"
+                )
+            pairs.append((pool, target))
+        else:
+            pool, target = item
+            pairs.append((str(pool), str(target)))
+    return tuple(sorted(pairs))
+
+
 @dataclass(frozen=True)
 class LiveOptions:
     """Environment of the live backend (never part of a spec digest:
@@ -101,6 +153,10 @@ class LiveOptions:
     #: Endpoint URL: ``tcp://host:port`` (echo protocol) or
     #: ``http://host:port`` (minimal HTTP).
     target: str = "tcp://127.0.0.1:7799"
+    #: Per-pool endpoints for scenario-carrying specs: a mapping (or
+    #: ``POOL=URL`` strings) from scenario pool names to target URLs.
+    #: A single-pool scenario falls back to ``target`` when empty.
+    pool_targets: Tuple[Tuple[str, str], ...] = ()
     #: Budget for establishing each connection (and each reconnect
     #: attempt, and each health probe).
     connect_timeout_s: float = 5.0
@@ -135,8 +191,42 @@ class LiveOptions:
     #: off by default.  (A bounded send-*lag* summary is always on —
     #: ``result.send_lag`` — feeding the coordinated-omission guard.)
     record_send_log: bool = False
+    #: Client OS processes to shard the instances across (the
+    #: :mod:`repro.live.fleet` supervisor); 1 keeps the historical
+    #: single-process in-loop driver.
+    processes: int = 1
+    #: Fleet supervision: heartbeat cadence each client process
+    #: reports at, and how long the supervisor waits past the last
+    #: heartbeat before declaring the process dead.
+    heartbeat_interval_s: float = 0.25
+    heartbeat_timeout_s: float = 2.0
+    #: Respawn budget per client process slot (seeded decorrelated-
+    #: jitter backoff between respawns; 0 disables respawns).
+    respawn_attempts: int = 2
+    respawn_backoff_base_s: float = 0.1
+    respawn_backoff_cap_s: float = 2.0
+    #: Fleet salvage bound: the run completes (degraded) while at most
+    #: this fraction of client processes is permanently lost, and
+    #: aborts with a clean :class:`LiveMeasurementError` beyond it.
+    #: (Default admits one loss out of three processes.)
+    max_lost_client_fraction: float = 0.34
+    #: Quarantine: a client process whose heartbeat CPU probe reports
+    #: at least this process-CPU fraction for ``saturation_strikes``
+    #: consecutive heartbeats is killed and counted lost — a saturated
+    #: client distorts the tail it measures, so it must not be
+    #: averaged in.  1.0 disables the check.
+    saturation_cpu_fraction: float = 1.0
+    saturation_strikes: int = 3
+    #: Optional duck-typed fault injector (``fire(site) -> action``,
+    #: the :mod:`repro.faults` shape) consulted by the fleet
+    #: supervisor at ``fleet.spawn`` / ``fleet.heartbeat``.  Chaos
+    #: testing only; never set in production.
+    injector: object = None
 
     def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "pool_targets", _freeze_pool_targets(self.pool_targets)
+        )
         if self.connect_timeout_s <= 0 or self.progress_timeout_s <= 0:
             raise ValueError("timeouts must be positive")
         if self.stall_warn_s <= 0 or self.stall_probe_s <= 0:
@@ -149,6 +239,61 @@ class LiveOptions:
             raise ValueError("reconnect_backoff_cap_s must be >= the base")
         if not 0.0 <= self.max_lost_connection_fraction <= 1.0:
             raise ValueError("max_lost_connection_fraction must be in [0, 1]")
+        if self.processes < 1:
+            raise ValueError("processes must be >= 1")
+        if self.heartbeat_interval_s <= 0:
+            raise ValueError("heartbeat_interval_s must be positive")
+        if self.heartbeat_timeout_s <= self.heartbeat_interval_s:
+            raise ValueError(
+                "heartbeat_timeout_s must exceed heartbeat_interval_s"
+            )
+        if self.respawn_attempts < 0:
+            raise ValueError("respawn_attempts must be >= 0")
+        if self.respawn_backoff_base_s <= 0:
+            raise ValueError("respawn_backoff_base_s must be positive")
+        if self.respawn_backoff_cap_s < self.respawn_backoff_base_s:
+            raise ValueError("respawn_backoff_cap_s must be >= the base")
+        if not 0.0 <= self.max_lost_client_fraction <= 1.0:
+            raise ValueError("max_lost_client_fraction must be in [0, 1]")
+        if not 0.0 < self.saturation_cpu_fraction <= 1.0:
+            raise ValueError("saturation_cpu_fraction must be in (0, 1]")
+        if self.saturation_strikes < 1:
+            raise ValueError("saturation_strikes must be >= 1")
+
+    def pool_target_map(self) -> Dict[str, str]:
+        return dict(self.pool_targets)
+
+
+@dataclass(frozen=True)
+class InstanceAssignment:
+    """One live instance's complete work order.
+
+    Plain specs, scenario fleets, and fleet client processes all run
+    lists of these; the fields are plain picklable values so a
+    supervisor can ship an assignment slice to a client process over
+    the frame protocol unchanged.
+    """
+
+    #: Instance name — also the RNG stream prefix (``{name}/gaps``),
+    #: so a process running a slice draws the same gap sequence the
+    #: single-process driver would for that instance.
+    name: str
+    #: Global instance index (backoff RNG identity).
+    index: int
+    rate_rps: float
+    connections: int
+    warmup_samples: int
+    measurement_samples: int
+    #: Endpoint URL this instance drives.
+    target: str
+    #: Grouping labels for per-(fleet, pool) metrics ("" on plain specs).
+    fleet: str = ""
+    pool: str = ""
+    #: Optional arrival-process spec dict (``arrival_from_spec``
+    #: vocabulary, without ``rate_rps``); None means Poisson.
+    arrival: Optional[Mapping] = None
+    #: Wall-clock delay before this instance begins sending.
+    start_s: float = 0.0
 
 
 class _Progress:
@@ -261,39 +406,177 @@ async def _probe_connect(host: str, port: int, timeout_s: float) -> None:
         pass
 
 
+# ----------------------------------------------------------------------
+# spec / scenario lowering to assignments
+# ----------------------------------------------------------------------
+def registry_for_spec(spec) -> RngRegistry:
+    """The RNG registry every live execution shape shares.
+
+    Plain specs seed from ``(spec.seed, run_index)`` — the simulated
+    TestBench layout; scenario specs from ``(scenario.seed,
+    run_index)`` — the :class:`~repro.scenarios.bench.ScenarioBench`
+    layout.  Streams are keyed by instance *name*, so a fleet client
+    process holding a slice of the assignments draws exactly the
+    sub-streams the single-process driver would for those instances.
+    """
+    scenario = getattr(spec, "scenario", None)
+    seed = scenario.seed if scenario is not None else spec.seed
+    return RngRegistry(hash((seed, spec.run_index)) & 0x7FFFFFFF)
+
+
+def assignments_for_spec(spec, options: LiveOptions) -> List[InstanceAssignment]:
+    """Lower a live spec (plain or scenario-carrying) to assignments."""
+    scenario = getattr(spec, "scenario", None)
+    if scenario is not None:
+        return _scenario_assignments(spec, scenario, options)
+    if getattr(spec, "total_rate_rps", None) is None:
+        raise ValueError(
+            "the live backend needs an absolute total_rate_rps: a real "
+            "endpoint's service model is unknown, so target_utilization "
+            "cannot be resolved (capability 'utilization_targeting' is "
+            "False)"
+        )
+    rate_per_instance = spec.total_rate_rps / spec.num_instances
+    return [
+        InstanceAssignment(
+            name=f"client{i}",
+            index=i,
+            rate_rps=rate_per_instance,
+            connections=spec.connections_per_instance,
+            warmup_samples=spec.warmup_samples,
+            measurement_samples=spec.measurement_samples_per_instance,
+            target=options.target,
+        )
+        for i in range(spec.num_instances)
+    ]
+
+
+def _scenario_assignments(
+    spec, scenario, options: LiveOptions
+) -> List[InstanceAssignment]:
+    """Lower a scenario to per-fleet assignments against M endpoints.
+
+    The topology (fleets × pools, rates, arrival processes, start
+    offsets, sample budgets) is realized literally; the *service* side
+    is the real endpoints named by ``pool_targets``.  Antagonists are
+    a simulator-model construct a live endpoint cannot realize, so
+    they are refused rather than silently dropped.
+    """
+    if scenario.antagonists:
+        raise ValueError(
+            f"scenario {scenario.name!r} declares "
+            f"{len(scenario.antagonists)} antagonist(s); the live backend "
+            "cannot inject antagonists into a real endpoint — use the sim "
+            "backend or remove them"
+        )
+    targets = options.pool_target_map()
+    pool_names = [p.name for p in scenario.pools]
+    missing = [p for p in pool_names if p not in targets]
+    if missing:
+        if len(pool_names) == 1 and not targets:
+            # Single-pool scenarios ride the plain target.
+            targets = {pool_names[0]: options.target}
+        else:
+            raise ValueError(
+                f"scenario {scenario.name!r}: no live endpoint configured "
+                f"for pool(s) {missing}; set backend_defaults('live', "
+                "pool_targets={'pool': 'tcp://host:port', ...}) or "
+                "--pool-target POOL=URL"
+            )
+    rates = _fleet_rates(scenario, spec.run_index)
+    assignments: List[InstanceAssignment] = []
+    index = 0
+    for fleet in scenario.fleets:
+        rate_per_instance = rates[fleet.name] / fleet.instances
+        for i in range(fleet.instances):
+            assignments.append(
+                InstanceAssignment(
+                    name=f"{fleet.name}{i}",
+                    index=index,
+                    rate_rps=rate_per_instance,
+                    connections=fleet.connections_per_instance,
+                    warmup_samples=fleet.warmup_samples,
+                    measurement_samples=fleet.measurement_samples_per_instance,
+                    target=targets[fleet.target],
+                    fleet=fleet.name,
+                    pool=fleet.target,
+                    arrival=dict(fleet.arrival) if fleet.arrival else None,
+                    start_s=fleet.start_us * 1e-6,
+                )
+            )
+            index += 1
+    return assignments
+
+
+def _fleet_rates(scenario, run_index: int) -> Dict[str, float]:
+    """Each fleet's total offered rate in rps.
+
+    ``target_utilization`` fleets are calibrated against the
+    scenario's *declared* pool service model via
+    :class:`~repro.scenarios.bench.ScenarioBench` — the same
+    arithmetic the simulator uses — on the assumption that the real
+    endpoint implements that service distribution (the reference
+    server seeded from the pool's service spec does exactly).
+    """
+    needs_bench = any(f.rate_rps is None for f in scenario.fleets)
+    if not needs_bench:
+        return {f.name: float(f.rate_rps) for f in scenario.fleets}
+    from ..scenarios.bench import ScenarioBench  # lazy: pulls in the sim
+
+    bench = ScenarioBench(scenario, run_index=run_index)
+    return {
+        f.name: float(bench.fleet_total_rate(f.name)) for f in scenario.fleets
+    }
+
+
+def _arrival_for(assignment: InstanceAssignment):
+    if assignment.arrival is None:
+        return None
+    from ..core.arrival import arrival_from_spec
+
+    return arrival_from_spec(
+        {**dict(assignment.arrival), "rate_rps": assignment.rate_rps}
+    )
+
+
 class _LiveInstance:
     """One Treadmill instance driving one set of connections."""
 
     def __init__(
         self,
-        name: str,
-        index: int,
+        assignment: InstanceAssignment,
         spec,
-        rate_rps: float,
         rng: RngRegistry,
         options: LiveOptions,
         progress: _Progress,
         health: _Health,
     ):
-        self.name = name
-        self.index = index
+        self.assignment = assignment
+        self.name = assignment.name
+        self.index = assignment.index
         self.spec = spec
         self.options = options
         self.progress = progress
         self.health = health
         config = TreadmillConfig(
-            rate_rps=rate_rps,
-            connections=spec.connections_per_instance,
-            warmup_samples=spec.warmup_samples,
-            measurement_samples=spec.measurement_samples_per_instance,
+            rate_rps=assignment.rate_rps,
+            connections=assignment.connections,
+            warmup_samples=assignment.warmup_samples,
+            measurement_samples=assignment.measurement_samples,
             keep_raw=spec.keep_raw,
+            arrival=_arrival_for(assignment),
         )
-        self.recorder = PhaseRecorder(name, config)
+        self.recorder = PhaseRecorder(
+            assignment.name,
+            config,
+            fleet=assignment.fleet,
+            pool=assignment.pool,
+        )
         self.arrival = config.make_arrival()
         # Same stream naming as the simulated bench, so the offered
         # arrival sequence for (seed, run_index) is the identical draw.
-        self._gap_rng = rng.stream(f"{name}/gaps")
-        self._conn_rng = rng.stream(f"{name}/arrivals")
+        self._gap_rng = rng.stream(f"{assignment.name}/gaps")
+        self._conn_rng = rng.stream(f"{assignment.name}/arrivals")
         self.sent = 0
         self.responses = 0
         self._conns: List[_Conn] = []
@@ -305,7 +588,13 @@ class _LiveInstance:
         self.actual_ts: List[float] = []
 
     # -- lifecycle -----------------------------------------------------
-    async def run(self, proto: str, host: str, port: int) -> None:
+    async def run(self) -> None:
+        proto, host, port = parse_target(self.assignment.target)
+        if self.assignment.start_s > 0:
+            # A fleet coming online mid-run (load shift, flash crowd):
+            # hold the whole instance back, connections included, so
+            # the endpoint sees the fleet arrive.
+            await asyncio.sleep(self.assignment.start_s)
         loop = asyncio.get_running_loop()
         conns = await self._connect(host, port)
         self._conns = conns
@@ -339,7 +628,7 @@ class _LiveInstance:
 
     async def _connect(self, host: str, port: int) -> List[_Conn]:
         conns = []
-        for _ in range(self.spec.connections_per_instance):
+        for _ in range(self.assignment.connections):
             try:
                 reader, writer = await asyncio.wait_for(
                     asyncio.open_connection(host, port),
@@ -433,9 +722,10 @@ class _LiveInstance:
         continues degraded on the surviving connections.
         """
         label = f"{self.name}/conn{slot}"
-        # Seeded decorrelated-jitter schedule (RetryPolicy semantics).
-        backoff_rng = np.random.default_rng(
-            (abs(int(self.spec.seed)), int(self.spec.run_index), self.index, slot)
+        # Seeded decorrelated-jitter schedule (RetryPolicy semantics;
+        # repro.live.backoff pins its determinism).
+        backoff_rng = jitter_rng(
+            self.spec.seed, self.spec.run_index, self.index, slot
         )
         while True:
             await self._read_until_closed(proto, conn)
@@ -464,15 +754,18 @@ class _LiveInstance:
     async def _reconnect(self, host: str, port: int, conn: _Conn, rng) -> bool:
         """Bounded exponential backoff with decorrelated jitter:
         ``delay = min(cap, uniform(base, prev * 3))`` between attempts
-        (the :class:`~repro.exec.api.RetryPolicy` schedule)."""
+        (the :class:`~repro.exec.api.RetryPolicy` schedule — see
+        :mod:`repro.live.backoff`)."""
         opts = self.options
         delay = opts.reconnect_backoff_base_s
         for attempt in range(opts.reconnect_attempts):
             if attempt:
                 await asyncio.sleep(delay)
-                delay = min(
+                delay = next_delay(
+                    rng,
+                    opts.reconnect_backoff_base_s,
                     opts.reconnect_backoff_cap_s,
-                    float(rng.uniform(opts.reconnect_backoff_base_s, delay * 3.0)),
+                    delay,
                 )
             try:
                 reader, writer = await asyncio.wait_for(
@@ -573,129 +866,100 @@ class _LiveInstance:
         )
 
 
-class _LiveRun:
-    """One prepared live experiment (``MeasurementRun``)."""
+# ----------------------------------------------------------------------
+# the shared driver core (in-process run of a set of assignments)
+# ----------------------------------------------------------------------
+async def drive_assignments(
+    spec,
+    options: LiveOptions,
+    assignments: Sequence[InstanceAssignment],
+    on_heartbeat=None,
+) -> Tuple[List[_LiveInstance], _Health, List[float]]:
+    """Run ``assignments`` to completion inside this process's loop.
 
-    def __init__(self, spec, options: LiveOptions):
-        self.spec = spec
-        self.options = options
-
-    def drive(self):
-        from ..core.aggregation import aggregate_quantile
-        from ..exec.spec import RunResult, metric_samples
-
-        spec = self.spec
-        t0 = time.perf_counter()
-        cpu0 = time.process_time()
-        instances, health, loop_lags = asyncio.run(self._measure())
-        wall_s = max(time.perf_counter() - t0, 1e-9)
-        cpu_fraction = min(1.0, (time.process_time() - cpu0) / wall_s)
-        reports = [inst.report() for inst in instances]
-        samples_by_client = {r.name: metric_samples(r) for r in reports}
-        metrics = {
-            q: aggregate_quantile(samples_by_client, q, combine=spec.combine)
-            for q in spec.quantiles
-        }
-        result = RunResult(
-            run_index=spec.run_index,
-            reports=reports,
-            metrics=metrics,
-            # Not observable from the client side of a live endpoint.
-            server_utilization=float("nan"),
-            # Per-core client utilization is a sim-model quantity; the
-            # live stand-in (process CPU fraction) rides client_probe.
-            client_utilizations={r.name: r.client_utilization for r in reports},
-            spec_digest=spec.digest(),
-            wall_s=wall_s,
-            events_processed=0,
-        )
-        # Guard evidence channels (annotations, not RunResult fields:
-        # sim runs never carry them).
-        lag_arr = np.asarray(loop_lags, dtype=float)
-        result.client_probe = {
-            "cpu_fraction": cpu_fraction,
-            "loop_lag_p99_s": float(np.quantile(lag_arr, 0.99)) if lag_arr.size else 0.0,
-            "loop_lag_max_s": float(lag_arr.max()) if lag_arr.size else 0.0,
-            "mean_gap_s": 1.0 / spec.total_rate_rps,
-        }
-        result.send_lag = {inst.name: inst.lag_summary() for inst in instances}
-        result.live_health = health.summary()
-        if self.options.record_send_log:
-            # Full offered-rate audit trail for coordinated-omission
-            # deep dives (the always-on summary lives in send_lag).
-            result.send_log = {
-                inst.name: {
-                    "scheduled": np.asarray(inst.scheduled_ts),
-                    "actual": np.asarray(inst.actual_ts),
-                }
-                for inst in instances
-            }
-        return result
-
-    async def _measure(self) -> Tuple[List[_LiveInstance], _Health, List[float]]:
-        spec = self.spec
-        options = self.options
-        proto, host, port = parse_target(options.target)
-        loop = asyncio.get_running_loop()
-        progress = _Progress(loop.time())
-        health = _Health(
-            connections=spec.num_instances * spec.connections_per_instance,
-            max_lost_fraction=options.max_lost_connection_fraction,
-            target=options.target,
-        )
-        if options.health_probe:
+    The machinery behind both the single-process driver
+    (:class:`_LiveRun`) and one fleet client process
+    (:mod:`repro.live.clientproc`): health probe each distinct
+    endpoint, stand the instances up on the shared RNG registry, and
+    supervise them with the stall-escalation watchdog and the
+    event-loop lag probe.  ``on_heartbeat(instances, loop_lags)`` is
+    invoked every ``heartbeat_interval_s`` when given — the client
+    process uses it to stream progress + partial recorder state to its
+    supervisor.
+    """
+    if not assignments:
+        raise ValueError("no instance assignments to drive")
+    loop = asyncio.get_running_loop()
+    progress = _Progress(loop.time())
+    targets = sorted({a.target for a in assignments})
+    health = _Health(
+        connections=sum(a.connections for a in assignments),
+        max_lost_fraction=options.max_lost_connection_fraction,
+        target=", ".join(targets),
+    )
+    endpoints = [parse_target(t) for t in targets]
+    if options.health_probe:
+        for (_proto, host, port), target in zip(endpoints, targets):
             try:
                 await _probe_connect(host, port, options.connect_timeout_s)
             except LiveMeasurementError as exc:
                 raise LiveMeasurementError(
-                    f"pre-measurement health probe failed: {exc}"
+                    f"pre-measurement health probe failed for {target}: {exc}"
                 ) from exc
-        # Same per-run seeding as the simulated TestBench: repeated
-        # runs are independent experiments drawn from (seed, run_index).
-        rng = RngRegistry(hash((spec.seed, spec.run_index)) & 0x7FFFFFFF)
-        rate_per_instance = spec.total_rate_rps / spec.num_instances
-        instances = [
-            _LiveInstance(
-                f"client{i}", i, spec, rate_per_instance, rng, options,
-                progress, health,
+    # Same per-run seeding as the simulated benches: repeated runs are
+    # independent experiments drawn from (seed, run_index).
+    rng = registry_for_spec(spec)
+    instances = [
+        _LiveInstance(a, spec, rng, options, progress, health)
+        for a in assignments
+    ]
+    loop_lags: List[float] = []
+
+    async def lag_probe() -> None:
+        # Sleep-overshoot sampling: how late does the loop wake a
+        # timer?  Saturated clients overshoot by many send gaps.
+        while True:
+            t_before = loop.time()
+            await asyncio.sleep(_LAG_PROBE_INTERVAL_S)
+            loop_lags.append(
+                max(0.0, loop.time() - t_before - _LAG_PROBE_INTERVAL_S)
             )
-            for i in range(spec.num_instances)
-        ]
-        loop_lags: List[float] = []
 
-        async def lag_probe() -> None:
-            # Sleep-overshoot sampling: how late does the loop wake a
-            # timer?  Saturated clients overshoot by many send gaps.
-            while True:
-                t_before = loop.time()
-                await asyncio.sleep(_LAG_PROBE_INTERVAL_S)
-                loop_lags.append(
-                    max(0.0, loop.time() - t_before - _LAG_PROBE_INTERVAL_S)
+    async def heartbeat() -> None:
+        while True:
+            await asyncio.sleep(options.heartbeat_interval_s)
+            on_heartbeat(instances, loop_lags)
+
+    async def watchdog() -> None:
+        # The stall-escalation ladder: warn -> probe -> abort.
+        abort_s = options.progress_timeout_s
+        probe_s = min(options.stall_probe_s, abort_s)
+        warn_s = min(options.stall_warn_s, probe_s)
+        interval = min(max(warn_s / 4.0, 0.01), 0.5)
+        seen = progress.last
+        warned = probed = False
+        # Start offsets delay first progress legitimately; give the
+        # ladder the same grace.
+        max_start = max((a.start_s for a in assignments), default=0.0)
+        if max_start:
+            await asyncio.sleep(max_start)
+            progress.last = max(progress.last, loop.time())
+        while True:
+            await asyncio.sleep(interval)
+            if progress.last != seen:
+                seen = progress.last
+                warned = probed = False
+            idle = loop.time() - progress.last
+            if idle >= abort_s:
+                raise LiveMeasurementError(
+                    f"no response progress from {health.target} for "
+                    f"{abort_s:.1f}s; aborting instead of hanging "
+                    f"(stall ladder: warned={warned}, probed={probed})"
                 )
-
-        async def watchdog() -> None:
-            # The stall-escalation ladder: warn -> probe -> abort.
-            abort_s = options.progress_timeout_s
-            probe_s = min(options.stall_probe_s, abort_s)
-            warn_s = min(options.stall_warn_s, probe_s)
-            interval = min(max(warn_s / 4.0, 0.01), 0.5)
-            seen = progress.last
-            warned = probed = False
-            while True:
-                await asyncio.sleep(interval)
-                if progress.last != seen:
-                    seen = progress.last
-                    warned = probed = False
-                idle = loop.time() - progress.last
-                if idle >= abort_s:
-                    raise LiveMeasurementError(
-                        f"no response progress from {options.target} for "
-                        f"{abort_s:.1f}s; aborting instead of hanging "
-                        f"(stall ladder: warned={warned}, probed={probed})"
-                    )
-                if idle >= probe_s and not probed:
-                    probed = True
-                    health.mid_run_probes += 1
+            if idle >= probe_s and not probed:
+                probed = True
+                health.mid_run_probes += 1
+                for (_proto, host, port), target in zip(endpoints, targets):
                     try:
                         await _probe_connect(
                             host,
@@ -704,34 +968,140 @@ class _LiveRun:
                         )
                     except LiveMeasurementError as exc:
                         raise LiveMeasurementError(
-                            f"endpoint {options.target} failed the mid-stall "
+                            f"endpoint {target} failed the mid-stall "
                             f"health probe after {idle:.1f}s without "
                             f"progress: {exc}"
                         ) from exc
-                    health.event("stall-probe-ok", f"idle {idle:.2f}s")
-                elif idle >= warn_s and not warned:
-                    warned = True
-                    health.stall_warnings += 1
-                    health.event("stall-warn", f"idle {idle:.2f}s")
+                health.event("stall-probe-ok", f"idle {idle:.2f}s")
+            elif idle >= warn_s and not warned:
+                warned = True
+                health.stall_warnings += 1
+                health.event("stall-warn", f"idle {idle:.2f}s")
 
-        body = asyncio.ensure_future(
-            asyncio.gather(*(inst.run(proto, host, port) for inst in instances))
+    body = asyncio.ensure_future(
+        asyncio.gather(*(inst.run() for inst in instances))
+    )
+    guard = loop.create_task(watchdog())
+    lag_task = loop.create_task(lag_probe())
+    extra = [loop.create_task(heartbeat())] if on_heartbeat is not None else []
+    try:
+        done, _ = await asyncio.wait(
+            [body, guard], return_when=asyncio.FIRST_COMPLETED
         )
-        guard = loop.create_task(watchdog())
-        lag_task = loop.create_task(lag_probe())
-        try:
-            done, _ = await asyncio.wait(
-                [body, guard], return_when=asyncio.FIRST_COMPLETED
-            )
-            for t in done:
-                exc = t.exception()
-                if exc is not None:
-                    raise exc
-        finally:
-            for t in (body, guard, lag_task):
-                t.cancel()
-            await asyncio.gather(body, guard, lag_task, return_exceptions=True)
-        return instances, health, loop_lags
+        for t in done:
+            exc = t.exception()
+            if exc is not None:
+                raise exc
+    finally:
+        for t in (body, guard, lag_task, *extra):
+            t.cancel()
+        await asyncio.gather(body, guard, lag_task, *extra, return_exceptions=True)
+    return instances, health, loop_lags
+
+
+def build_live_result(
+    spec,
+    reports,
+    *,
+    health_summary: Dict[str, object],
+    send_lag: Dict[str, Dict[str, float]],
+    client_probe: Dict[str, float],
+    wall_s: float,
+    send_log=None,
+):
+    """Assemble the RunResult every live execution shape returns.
+
+    One merge path for the single-process driver and the fleet
+    supervisor keeps the kill-test invariant checkable: metrics are a
+    pure function of the surviving reports (the paper's per-instance-
+    then-combine rule), so a fleet merge over the surviving slices
+    equals the single-process aggregation over the same reports.
+    """
+    from ..core.aggregation import aggregate_quantile, grouped_quantiles
+    from ..exec.spec import RunResult, metric_samples
+
+    samples_by_client = {r.name: metric_samples(r) for r in reports}
+    metrics = {
+        q: aggregate_quantile(samples_by_client, q, combine=spec.combine)
+        for q in spec.quantiles
+    }
+    group_metrics = None
+    if getattr(spec, "scenario", None) is not None:
+        group_metrics = grouped_quantiles(
+            samples_by_client,
+            {r.name: r.group for r in reports},
+            spec.quantiles,
+            combine=spec.combine,
+        )
+    result = RunResult(
+        run_index=spec.run_index,
+        reports=list(reports),
+        metrics=metrics,
+        # Not observable from the client side of a live endpoint.
+        server_utilization=float("nan"),
+        # Per-core client utilization is a sim-model quantity; the
+        # live stand-in (process CPU fraction) rides client_probe.
+        client_utilizations={r.name: r.client_utilization for r in reports},
+        spec_digest=spec.digest(),
+        wall_s=wall_s,
+        events_processed=0,
+        group_metrics=group_metrics,
+    )
+    # Guard evidence channels (annotations, not RunResult fields:
+    # sim runs never carry them).
+    result.client_probe = client_probe
+    result.send_lag = send_lag
+    result.live_health = health_summary
+    if send_log is not None:
+        result.send_log = send_log
+    return result
+
+
+class _LiveRun:
+    """One prepared single-process live experiment (``MeasurementRun``)."""
+
+    def __init__(self, spec, options: LiveOptions, assignments):
+        self.spec = spec
+        self.options = options
+        self.assignments = assignments
+
+    def drive(self):
+        spec = self.spec
+        t0 = time.perf_counter()
+        cpu0 = time.process_time()
+        instances, health, loop_lags = asyncio.run(
+            drive_assignments(spec, self.options, self.assignments)
+        )
+        wall_s = max(time.perf_counter() - t0, 1e-9)
+        cpu_fraction = min(1.0, (time.process_time() - cpu0) / wall_s)
+        reports = [inst.report() for inst in instances]
+        total_rate = sum(a.rate_rps for a in self.assignments)
+        lag_arr = np.asarray(loop_lags, dtype=float)
+        send_log = None
+        if self.options.record_send_log:
+            # Full offered-rate audit trail for coordinated-omission
+            # deep dives (the always-on summary lives in send_lag).
+            send_log = {
+                inst.name: {
+                    "scheduled": np.asarray(inst.scheduled_ts),
+                    "actual": np.asarray(inst.actual_ts),
+                }
+                for inst in instances
+            }
+        return build_live_result(
+            spec,
+            reports,
+            health_summary=health.summary(),
+            send_lag={inst.name: inst.lag_summary() for inst in instances},
+            client_probe={
+                "cpu_fraction": cpu_fraction,
+                "loop_lag_p99_s": float(np.quantile(lag_arr, 0.99)) if lag_arr.size else 0.0,
+                "loop_lag_max_s": float(lag_arr.max()) if lag_arr.size else 0.0,
+                "mean_gap_s": 1.0 / total_rate,
+            },
+            wall_s=wall_s,
+            send_log=send_log,
+        )
 
 
 class LiveBackend:
@@ -740,20 +1110,13 @@ class LiveBackend:
     def __init__(self, options: Optional[LiveOptions] = None):
         self.options = options if options is not None else LiveOptions()
 
-    def prepare(self, spec) -> _LiveRun:
-        if getattr(spec, "scenario", None) is not None:
-            raise ValueError(
-                "the live backend runs plain RunSpecs only; lower the "
-                "scenario first (scenarios.compiler.lower_degenerate)"
-            )
-        if getattr(spec, "total_rate_rps", None) is None:
-            raise ValueError(
-                "the live backend needs an absolute total_rate_rps: a real "
-                "endpoint's service model is unknown, so target_utilization "
-                "cannot be resolved (capability 'utilization_targeting' is "
-                "False)"
-            )
-        return _LiveRun(spec, self.options)
+    def prepare(self, spec):
+        assignments = assignments_for_spec(spec, self.options)
+        if self.options.processes > 1:
+            from .fleet import FleetRun  # lazy: subprocess plumbing
+
+            return FleetRun(spec, self.options, assignments)
+        return _LiveRun(spec, self.options, assignments)
 
     def capabilities(self):
         from ..measure.api import BenchCapabilities
@@ -763,7 +1126,9 @@ class LiveBackend:
             deterministic=False,
             wall_clock=True,
             fault_hookable=True,
-            scenarios=False,
+            # Scenario topologies (N fleets x M pools) are realized
+            # against M real endpoints via LiveOptions.pool_targets.
+            scenarios=True,
             utilization_targeting=False,
             guard_evidence=True,
         )
@@ -818,7 +1183,7 @@ def _register() -> None:
         lambda options: LiveBackend(options),
         LiveOptions,
         summary="wall-clock asyncio open-loop driver for real endpoints "
-        "(self-healing, never cached)",
+        "(self-healing, multi-process fleet, never cached)",
     )
 
 

@@ -35,6 +35,7 @@ __all__ = [
     "encode_http_request",
     "http_request_seq",
     "encode_http_response",
+    "TARGET_SCHEMES",
     "parse_target",
 ]
 
@@ -120,6 +121,25 @@ def encode_http_response(seq: int) -> bytes:
 # ----------------------------------------------------------------------
 # target URLs
 # ----------------------------------------------------------------------
+#: Schemes parse_target accepts, and the wire protocol each selects.
+TARGET_SCHEMES = {"tcp": "echo", "echo": "echo", "http": "http"}
+
+_TARGET_FORMS = (
+    "tcp://HOST:PORT, http://HOST:PORT, or HOST:PORT "
+    "(bracket IPv6 literals: tcp://[::1]:7799)"
+)
+
+
+def _target_error(target: str, problem: str, hint: str = "") -> ValueError:
+    """A target parse error with the nearest-form hint style the
+    scenario loader uses (state the problem, then the accepted forms,
+    then — when one is recognizable — the closest valid spelling)."""
+    msg = f"live target {target!r}: {problem}; expected {_TARGET_FORMS}"
+    if hint:
+        msg += f" — did you mean {hint!r}?"
+    return ValueError(msg)
+
+
 def parse_target(target: str) -> Tuple[str, str, int]:
     """Parse a live target URL into ``(protocol, host, port)``.
 
@@ -128,29 +148,67 @@ def parse_target(target: str) -> Tuple[str, str, int]:
         tcp://127.0.0.1:7799      -> ("echo", "127.0.0.1", 7799)
         http://127.0.0.1:8080     -> ("http", "127.0.0.1", 8080)
         127.0.0.1:7799            -> ("echo", "127.0.0.1", 7799)
+        tcp://[::1]:7799          -> ("echo", "::1", 7799)
+
+    IPv6 literals must be bracketed (the colons are ambiguous
+    otherwise); the brackets are stripped from the returned host.
+    Malformed targets raise :class:`ValueError` naming the problem and
+    the nearest accepted form.
     """
+    if not isinstance(target, str) or not target.strip():
+        raise _target_error(target, "empty target")
+    target = target.strip()
     proto = "echo"
     rest = target
     if "://" in target:
         scheme, rest = target.split("://", 1)
-        scheme = scheme.lower()
-        if scheme in ("tcp", "echo"):
-            proto = "echo"
-        elif scheme == "http":
-            proto = "http"
-        else:
-            raise ValueError(
-                f"unsupported live target scheme {scheme!r} in {target!r}; "
-                "use tcp:// or http://"
+        scheme_l = scheme.lower()
+        if scheme_l not in TARGET_SCHEMES:
+            import difflib
+
+            close = difflib.get_close_matches(
+                scheme_l, sorted(TARGET_SCHEMES), n=1, cutoff=0.6
             )
+            hint = f"{close[0]}://{rest}" if close else ""
+            raise _target_error(
+                target, f"unsupported scheme {scheme!r}", hint=hint
+            )
+        proto = TARGET_SCHEMES[scheme_l]
     rest = rest.rstrip("/")
-    host, sep, port_s = rest.rpartition(":")
-    if not sep or not host:
-        raise ValueError(f"live target {target!r} must include host:port")
+    if not rest:
+        raise _target_error(target, "missing host:port")
+    if rest.startswith("["):
+        # Bracketed IPv6 literal: [::1]:7799
+        end = rest.find("]")
+        if end < 0:
+            raise _target_error(target, "unclosed '[' in IPv6 literal")
+        host = rest[1:end]
+        tail = rest[end + 1:]
+        if not host:
+            raise _target_error(target, "empty IPv6 literal")
+        if not tail.startswith(":"):
+            raise _target_error(
+                target,
+                "missing port after IPv6 literal",
+                hint=f"tcp://[{host}]:7799",
+            )
+        port_s = tail[1:]
+    else:
+        host, sep, port_s = rest.rpartition(":")
+        if not sep or not host:
+            raise _target_error(
+                target, "missing host or port", hint=f"tcp://{rest}:7799"
+            )
+        if ":" in host:
+            raise _target_error(
+                target,
+                "unbracketed IPv6 literal (the colons are ambiguous)",
+                hint=f"tcp://[{host}]:{port_s}",
+            )
     try:
         port = int(port_s)
     except ValueError:
-        raise ValueError(f"live target {target!r} has a non-numeric port") from None
+        raise _target_error(target, f"non-numeric port {port_s!r}") from None
     if not 0 < port < 65536:
-        raise ValueError(f"live target {target!r} port out of range")
+        raise _target_error(target, f"port {port} out of range 1-65535")
     return proto, host, port

@@ -70,6 +70,12 @@ __all__ = [
 #: ``injector.fire(site)``, same protocol as ``repro.faults``).
 STALL_SITE = "server.request"
 
+#: Hook site consulted once per accepted request *before* servicing:
+#: a matching action (``endpoint_reset``) closes the connection
+#: abruptly with the request unanswered — the driver's reconnect path
+#: under chaos.
+RESET_SITE = "server.connection"
+
 
 class EmpiricalDistribution(Distribution):
     """Replay a recorded sample set (e.g. simulated latencies).
@@ -284,6 +290,15 @@ class ReferenceServer:
                     # gets its answer — the socket just goes away,
                     # taking any in-flight responses with it.
                     break
+                injector = self.config.injector
+                if injector is not None:
+                    action = injector.fire(RESET_SITE)
+                    if action is not None and getattr(
+                        action, "kind", ""
+                    ) == "endpoint_reset":
+                        # Chaos: reset this connection with the request
+                        # unanswered (same observable as drop_after).
+                        break
                 done_at = self._completion_time(loop.time())
                 if self.config.mode == "serial":
                     delay = done_at - loop.time()

@@ -82,7 +82,16 @@ __all__ = [
 #: when a backend supplies no evidence channels, and results that
 #: reject attribute assignment are returned un-audited rather than
 #: failed.
-MEASUREMENT_API_VERSION = 2
+#:
+#: v3: the ``scenarios`` capability is no longer a simulator-only
+#: promise — the live backend accepts scenario-carrying specs (fleets
+#: routed to M real endpoints via ``LiveOptions.pool_targets``) and
+#: returns per-(fleet, pool) ``group_metrics`` like the simulator.
+#: ``measure_spec``'s scenario gate is unchanged (it still consults
+#: ``capabilities().scenarios``), so v2 backends keep working
+#: verbatim; only code that *assumed* ``scenarios`` implied
+#: ``backend == "sim"`` must re-check the flag instead.
+MEASUREMENT_API_VERSION = 3
 
 
 # ----------------------------------------------------------------------

@@ -94,12 +94,28 @@ class TestFaultPlan:
                 FaultAction(kind=kind, site=site)  # must not raise
 
     def test_matrix_seeds_cover_every_injectable_kind(self):
-        """The chaos matrix below exercises every fault kind at least
-        once (coordinator_restart is added by the recovery test)."""
+        """The chaos matrix below exercises every distributed fault kind
+        at least once (coordinator_restart is added by the recovery
+        test; live kinds live in FaultPlan.generate_live's palette so
+        historical seeded plans stay bit-identical)."""
+        from repro.faults.plan import LIVE_FAULT_KINDS
+
         kinds = set()
         for seed in CHAOS_SEEDS:
             kinds |= set(FaultPlan.generate(seed).kinds())
-        assert kinds == set(FAULT_KINDS) - {"coordinator_restart"}
+        assert kinds == (
+            set(FAULT_KINDS) - {"coordinator_restart"} - set(LIVE_FAULT_KINDS)
+        )
+
+    def test_generate_live_palette_and_determinism(self):
+        from repro.faults.plan import LIVE_FAULT_KINDS
+
+        a = FaultPlan.generate_live(7)
+        b = FaultPlan.generate_live(7)
+        assert a.digest() == b.digest()
+        assert set(a.kinds()) <= set(LIVE_FAULT_KINDS)
+        # The live palette is decoupled: same seed, different stream.
+        assert a.digest() != FaultPlan.generate(7).digest()
 
 
 class TestFaultInjector:

@@ -93,7 +93,7 @@ class TestProtocol:
     def test_parse_target_errors(self):
         with pytest.raises(ValueError, match="scheme"):
             parse_target("ftp://h:21")
-        with pytest.raises(ValueError, match="host:port"):
+        with pytest.raises(ValueError, match="missing host or port"):
             parse_target("tcp://nohost")
         with pytest.raises(ValueError, match="port"):
             parse_target("tcp://h:notaport")
@@ -228,20 +228,41 @@ class TestLiveMeasurement:
         with pytest.raises(ValueError, match="total_rate_rps"):
             measure_spec(spec)
 
-    def test_live_rejects_scenario_specs(self):
+    def test_live_rejects_antagonist_scenarios(self):
         from repro.scenarios import scenario_from_json
 
         scenario = scenario_from_json(
             {
                 "name": "s",
                 "pools": [{"name": "p", "workload": {"workload": "memcached"}, "count": 2}],
-                "fleets": [
-                    {"name": "f", "target": "p", "rate_rps": 1000.0}
+                "fleets": [{"name": "f", "target": "p", "rate_rps": 1000.0}],
+                "antagonists": [
+                    {"name": "noisy", "pool": "p", "rate_rps": 500.0, "work_us": 50.0}
                 ],
             }
         )
         spec = RunSpec(workload=MemcachedWorkload(), scenario=scenario, backend="live")
-        with pytest.raises(ValueError, match="scenario"):
+        with pytest.raises(ValueError, match="antagonist"):
+            measure_spec(spec)
+
+    def test_live_scenario_requires_pool_targets(self):
+        from repro.scenarios import scenario_from_json
+
+        scenario = scenario_from_json(
+            {
+                "name": "s2",
+                "pools": [
+                    {"name": "a", "workload": {"workload": "memcached"}, "count": 1},
+                    {"name": "b", "workload": {"workload": "memcached"}, "count": 1},
+                ],
+                "fleets": [
+                    {"name": "fa", "target": "a", "rate_rps": 1000.0},
+                    {"name": "fb", "target": "b", "rate_rps": 1000.0},
+                ],
+            }
+        )
+        spec = RunSpec(workload=MemcachedWorkload(), scenario=scenario, backend="live")
+        with pytest.raises(ValueError, match="pool"):
             measure_spec(spec)
 
 

@@ -118,9 +118,9 @@ class TestRegistry:
         assert "sim" in names and "live" in names
 
     def test_api_is_versioned(self):
-        # v2 added guard evidence channels (BenchCapabilities.guard_evidence)
-        # and the GuardReport attached to every result.
-        assert MEASUREMENT_API_VERSION == 2
+        # v3: the live backend executes scenario specs (pool_targets) and
+        # capabilities().scenarios is no longer a sim-only promise.
+        assert MEASUREMENT_API_VERSION == 3
 
     def test_unknown_backend_lists_available(self):
         with pytest.raises(KeyError, match="available"):
@@ -160,7 +160,7 @@ class TestCapabilities:
         assert not caps.deterministic
         assert caps.wall_clock
         assert caps.fault_hookable
-        assert not caps.scenarios
+        assert caps.scenarios  # v3: fleets route to real endpoints
         assert not caps.utilization_targeting
 
     def test_determinism_lookup(self):
