@@ -86,6 +86,11 @@ def drive(bench, instances, slice_events):
         if executed:
             step_ns.append(dt / executed)
         if executed < slice_events and sim.peek() is None:
+            # Instances stop their own controllers at the final counted
+            # sample, so a drained queue with every instance done is the
+            # normal end of the run — anything else is a stall.
+            if all(inst.done for inst in instances):
+                break
             raise RuntimeError("simulation drained before instances finished")
     for inst in instances:
         inst.stop()
@@ -125,6 +130,93 @@ def run_measurement(args):
     return bench, instances, step_ns, wall_s
 
 
+def bench_run_spec(args):
+    """The bench workload as a RunSpec (the partitioned lane's unit).
+
+    Same shape as ``build_bench`` — one memcached server, N Treadmill
+    instances at a target utilization — expressed declaratively so the
+    serial and partitioned kernels measure the *same* experiment and
+    their ``RunResult``s can be fingerprint-compared.
+    """
+    from repro.exec.spec import RunSpec  # noqa: E402
+
+    return RunSpec(
+        workload=MemcachedWorkload(),
+        target_utilization=args.utilization,
+        num_instances=args.instances,
+        connections_per_instance=4,
+        warmup_samples=args.warmup,
+        measurement_samples_per_instance=args.samples,
+        keep_raw=True,
+        seed=args.seed,
+    )
+
+
+def run_partitioned_lane(args, partition_counts):
+    """Events/s of the sharded kernel vs the serial reference.
+
+    For each partition count: build the bench as N sub-kernels, drive
+    it through the conservative window protocol, and fingerprint the
+    merged ``RunResult`` against the serial kernel's.  The gate is
+    ``outputs_identical`` — bit-identity, never wall-clock.
+    """
+    from repro.exec.spec import result_fingerprint  # noqa: E402
+    from repro.measure.simbackend import (  # noqa: E402
+        _drive_single_server,
+        build_single_partitioned,
+        merge_single_partials,
+    )
+    from repro.sim.partition import (  # noqa: E402
+        collect_partial,
+        drive_partitioned,
+    )
+
+    spec = bench_run_spec(args)
+    serial = _drive_single_server(spec)
+    reference = result_fingerprint(serial)
+    lanes = []
+    all_identical = True
+    for n in partition_counts:
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        t0 = time.perf_counter()
+        try:
+            build = build_single_partitioned(spec, n)
+            stats = drive_partitioned(build)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        wall_s = time.perf_counter() - t0
+        partials = [collect_partial(build, s) for s in range(n)]
+        result = merge_single_partials(spec, partials, wall_s)
+        identical = result_fingerprint(result) == reference
+        all_identical = all_identical and identical
+        boundary_fraction = (
+            stats.boundary_events / stats.executed if stats.executed else 0.0
+        )
+        lanes.append(
+            {
+                "partitions": n,
+                "wall_s": round(wall_s, 3),
+                "events": stats.executed,
+                "events_per_s": round(stats.executed / wall_s, 1),
+                "windows": stats.windows,
+                "boundary_events": stats.boundary_events,
+                "boundary_event_fraction": round(boundary_fraction, 6),
+                "outputs_identical": identical,
+            }
+        )
+        print(
+            f"[bench_sim] partitioned n={n}: "
+            f"{stats.executed / wall_s:,.0f} events/s over "
+            f"{stats.windows:,} windows "
+            f"({boundary_fraction:.2%} boundary events), "
+            f"outputs_identical={identical}"
+        )
+    return lanes, all_identical
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--samples", type=int, default=3000,
@@ -135,6 +227,10 @@ def main() -> int:
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--slice-events", type=int, default=2048,
                         help="events per timed kernel slice")
+    parser.add_argument("--partitions", default="1,2,4", metavar="LIST",
+                        help=("partition counts for the sharded-kernel lane "
+                              "(comma-separated, default 1,2,4; empty "
+                              "string skips the lane)"))
     parser.add_argument("--quick", action="store_true",
                         help="small CI-sized run (fewer samples)")
     parser.add_argument("--profile", nargs="?", type=int, const=25,
@@ -177,7 +273,15 @@ def main() -> int:
         f"({draws:,} draws, {refills:,} block refills)"
     )
 
-    from repro.hostinfo import host_info  # noqa: E402
+    partition_counts = [
+        int(tok) for tok in args.partitions.split(",") if tok.strip()
+    ]
+    if partition_counts:
+        lanes, outputs_identical = run_partitioned_lane(args, partition_counts)
+    else:
+        lanes, outputs_identical = [], None
+
+    from repro.hostinfo import host_info, parallel_meaningful  # noqa: E402
 
     payload = {
         "bench": "sim_hot_path",
@@ -202,6 +306,13 @@ def main() -> int:
         "rng_batch_hit_rate": round(hit_rate, 6),
         "rng_draws": draws,
         "rng_block_refills": refills,
+        #: Wall-clock speedup from the multi-process mode only means
+        #: anything with real cores; the identity gate holds anywhere.
+        "parallel_meaningful": parallel_meaningful(),
+        "partitioned": lanes,
+        #: The acceptance gate: every partition count reproduced the
+        #: serial kernel's RunResult bit for bit (None = lane skipped).
+        "outputs_identical": outputs_identical,
     }
     with open(args.out, "w") as f:
         json.dump(payload, f, indent=2, sort_keys=True)
@@ -218,6 +329,13 @@ def main() -> int:
         profiler.disable()
         print(f"[bench_sim] top {args.profile} functions by internal time:")
         pstats.Stats(profiler).sort_stats("tottime").print_stats(args.profile)
+    if outputs_identical is False:
+        print(
+            "[bench_sim] FAIL: partitioned kernel diverged from the "
+            "serial reference (outputs_identical: false)",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

@@ -90,15 +90,31 @@ class TestBench:
     #: Not a pytest test class, despite the name.
     __test__ = False
 
-    def __init__(self, config: BenchConfig, run_index: int = 0):
+    def __init__(self, config: BenchConfig, run_index: int = 0, partition=None):
         self.config = config
         self.run_index = run_index
-        self.sim = Simulator()
+        #: Optional :class:`~repro.sim.partition.PartitionedSimulator`
+        #: with every host already assigned to a shard.  When set, each
+        #: host's machine and links land on its owning sub-kernel and
+        #: cross-shard flows become boundary channels; ``bench.sim`` is
+        #: then the *server's* kernel.
+        self._partition = partition
+        if partition is None:
+            self.sim = Simulator()
+        else:
+            self.sim = partition.sim_for_host(config.server_name)
         # Each run derives an independent seed so repeated runs are
         # independent experiments (the hysteresis procedure needs this).
         self.rng = RngRegistry(hash((config.seed, run_index)) & 0x7FFFFFFF)
+        # Spine delays draw from a per-source-host stream, so the draw
+        # order is a local property of each host's uplink FIFO — the
+        # property that lets sub-kernels replay the identical draws no
+        # matter how the simulation is sharded.
         self.topology = Topology(
-            self.sim, self.rng.stream("spine"), spine_config=config.spine
+            self.sim,
+            spine_config=config.spine,
+            spine_streams=lambda host: self.rng.stream(f"spine/{host}"),
+            sim_for_host=None if partition is None else partition.sim_for_host,
         )
         self.topology.add_host(
             config.server_name, config.server_rack, link_config=config.server_link
@@ -136,8 +152,10 @@ class TestBench:
         fwd = self.topology.path(name, self.config.server_name)
         rev = self.topology.path(self.config.server_name, name)
 
+        partition = self._partition
+        host_sim = self.sim if partition is None else partition.sim_for_host(name)
         client = ClientMachine(
-            self.sim,
+            host_sim,
             client_spec or ClientSpec(),
             name,
             send_packet=lambda request: None,  # replaced below
@@ -146,12 +164,30 @@ class TestBench:
 
         server_receive = self.server.receive
         deliver = client.deliver
+        server_name = self.config.server_name
 
-        def respond(request: Request) -> None:
-            rev.send(request.response_bytes, deliver, request)
+        if partition is None:
 
-        def send_packet(request: Request) -> None:
-            fwd.send(request.request_bytes, server_receive, request, respond)
+            def respond(request: Request) -> None:
+                rev.send(request.response_bytes, deliver, request)
+
+            def send_packet(request: Request) -> None:
+                fwd.send(request.request_bytes, server_receive, request, respond)
+
+        else:
+            # Identical flows, cut-aware: a channel whose endpoints
+            # share a shard degenerates to the closures above; a cut
+            # channel exports at the boundary.  Creation order (reverse
+            # path first — it is the forward continuation) is fixed, so
+            # channel ids are a pure function of the spec.
+            respond = partition.channel(
+                rev, deliver, src=server_name, dst=name,
+                size_attr="response_bytes",
+            )
+            send_packet = partition.channel(
+                fwd, server_receive, respond, src=name, dst=server_name,
+                size_attr="request_bytes",
+            )
 
         client._send_packet = send_packet
         self.clients[name] = client

@@ -96,6 +96,15 @@ class PhaseManager:
         self._windows: List[Tuple[int, float, float, float]] = []
         self._win_buf: List[float] = []
         self._warm_tail: List[float] = []
+        #: Fired exactly once, from inside the :meth:`record` call that
+        #: collects the final sample.  This is what makes instance
+        #: completion a property of the *sample stream* rather than of
+        #: any driver's polling cadence: a partitioned run observes the
+        #: same completion instant as the serial kernel, so everything
+        #: keyed off completion (controller shutdown, antagonist stop
+        #: scheduling) is order-independent and merges deterministically
+        #: across sub-kernels.
+        self.on_done = None
 
     @property
     def seen(self) -> int:
@@ -148,6 +157,8 @@ class PhaseManager:
             self.flush()
         if self.keep_raw:
             self.raw_samples.append(latency_us)
+        if self._collected == self.measurement_samples and self.on_done is not None:
+            self.on_done()
         return True
 
     def flush(self) -> None:

@@ -297,8 +297,11 @@ class TreadmillInstance:
             stream_factory=lambda p: bench.rng.stream(f"{name}/requests/{p}"),
             block=self.config.rng_block,
         )
+        # The controller runs on the *client machine's* kernel — in a
+        # serial bench that is bench.sim; in a partitioned bench it is
+        # the sub-kernel owning this client's host.
         self.controller = OpenLoopController(
-            bench.sim,
+            self.client.sim,
             self.config.make_arrival(),
             self._send,
             self.connections,
@@ -313,6 +316,17 @@ class TreadmillInstance:
         self._components = self.recorder.components
         self._req_counter = 0
         self._workload = bench.config.workload
+        # Self-stop on completion: the instance shuts its own controller
+        # down from inside the response that collects the final sample,
+        # so the trailing request count is a function of the sample
+        # stream alone — not of how often a drive loop polls ``done``.
+        # (Partitioned sub-kernels depend on this order-independence.)
+        self.phases.on_done = self._became_done
+        #: Virtual time at which the final sample was collected.
+        self.completed_at: Optional[float] = None
+        #: Optional completion callback ``fn(instance)`` set by the
+        #: bench (serial antagonist shutdown, partition completion log).
+        self.on_done = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -322,6 +336,13 @@ class TreadmillInstance:
 
     def stop(self) -> None:
         self.controller.stop()
+
+    def _became_done(self) -> None:
+        """Fired once by the phase machine at the final counted sample."""
+        self.controller.stop()
+        self.completed_at = self.client.sim.now
+        if self.on_done is not None:
+            self.on_done(self)
 
     @property
     def done(self) -> bool:

@@ -50,6 +50,7 @@ __all__ = [
     "run_spec",
     "metric_samples",
     "spec_digest",
+    "result_fingerprint",
 ]
 
 #: Bump when the meaning of a spec field (or the execution semantics
@@ -62,7 +63,16 @@ __all__ = [
 #:    per-purpose RNG streams (batched in pre-sampled blocks).  The
 #:    stream split changes the sampled values once; results remain
 #:    deterministic and block-size-invariant thereafter.
-SPEC_SCHEMA = 3
+#: 4: partitionable kernel — three execution-semantics changes that
+#:    make results independent of how the event heap is sharded:
+#:    (a) spine delays draw from per-source-host streams instead of
+#:    one shared stream, (b) instances stop their own controller from
+#:    inside the final counted sample instead of at the drive loop's
+#:    next poll, (c) scenario antagonists stop at a deterministic
+#:    virtual instant (last completion + network lookahead) instead of
+#:    at a poll boundary.  Measurement samples are unchanged; trailing
+#:    request counts, utilizations, and event totals shift once.
+SPEC_SCHEMA = 4
 
 
 # ----------------------------------------------------------------------
@@ -190,6 +200,14 @@ class RunSpec:
     #: backends (e.g. ``"live"``) digest in: a wall-clock measurement
     #: and a simulation of the same knobs are different experiments.
     backend: str = "sim"
+    #: Shard the simulation across this many sub-kernels advancing in
+    #: conservative time windows (:mod:`repro.sim.partition`).  Every
+    #: count — including 1 — is pinned bit-identical to the serial
+    #: kernel (None), so this knob is a *how*, never a *what*: it is
+    #: excluded from the content digest entirely, and cached results
+    #: are shared across partition counts.  The scenario compiler
+    #: auto-fills it from the rack topology when left None.
+    partitions: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.scenario is None:
@@ -208,17 +226,24 @@ class RunSpec:
             raise ValueError("measurement_samples_per_instance must be >= 1")
         if not self.backend or not isinstance(self.backend, str):
             raise ValueError("backend must be a non-empty measurement backend name")
+        if self.partitions is not None and self.partitions < 1:
+            raise ValueError("partitions must be >= 1 (or None for serial)")
         object.__setattr__(self, "quantiles", tuple(self.quantiles))
 
     # -- identity ------------------------------------------------------
     def digest(self) -> str:
-        """Stable content digest (excludes the cosmetic ``tag``)."""
+        """Stable content digest.
+
+        Excludes the cosmetic ``tag`` and the execution-strategy
+        ``partitions`` knob (any partition count is bit-identical to
+        serial, so it cannot be part of *what* is measured).
+        """
         cached = self.__dict__.get("_digest")
         if cached is None:
             body = {
                 f.name: _canonical(getattr(self, f.name))
                 for f in dataclasses.fields(self)
-                if f.name != "tag"
+                if f.name not in ("tag", "partitions")
                 and not (f.name == "scenario" and self.scenario is None)
                 and not (f.name == "backend" and self.backend == "sim")
             }
@@ -271,6 +296,8 @@ class RunSpec:
         }
         if self.backend != "sim":
             desc["backend"] = self.backend
+        if self.partitions is not None:
+            desc["partitions"] = self.partitions
         return desc
 
 
@@ -320,6 +347,37 @@ class RunResult:
         """Pooled raw user-level samples (only if keep_raw was set)."""
         parts = [np.asarray(r.raw_samples) for r in self.reports]
         return np.concatenate(parts) if parts else np.empty(0)
+
+
+def result_fingerprint(result: RunResult) -> str:
+    """Byte-level identity of a result, modulo execution incidentals.
+
+    SHA-256 over the pickled result with the fields that legitimately
+    differ between identical experiments normalized away: wall-clock
+    time, cache provenance, and the dispatcher-attached guard report.
+    Everything else — every histogram count, every raw sample, every
+    trailing request total, ``events_processed`` — participates, so
+    two fingerprints are equal iff the runs are bit-identical.  This
+    is the comparator behind the serial-vs-partitioned identity gates
+    (tests, ``bench_sim`` ``outputs_identical``, partition chaos).
+
+    Pickled with memoization disabled: the default memo encodes the
+    object-*sharing* topology (which strings alias which), and that is
+    an artifact of how a result was assembled, not of what it says —
+    a merged multi-process result interns differently than a serial
+    one.  The result graph is a tree, so no-memo pickling terminates.
+    """
+    import io
+    import pickle
+
+    normalized = dataclasses.replace(
+        result, wall_s=0.0, from_cache=False, guards=None
+    )
+    buf = io.BytesIO()
+    pickler = pickle.Pickler(buf, protocol=4)
+    pickler.fast = True
+    pickler.dump(normalized)
+    return hashlib.sha256(buf.getvalue()).hexdigest()
 
 
 # ----------------------------------------------------------------------

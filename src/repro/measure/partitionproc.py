@@ -1,0 +1,436 @@
+"""Multi-process partitioned execution: one worker per sub-kernel.
+
+The second execution mode behind the partitioned-simulation API
+(:mod:`repro.sim.partition`): each shard runs in its own OS process,
+exchanging window-boundary frames with the coordinating parent over
+the distributed executor's length-prefixed pickle protocol
+(:mod:`repro.exec.protocol`).
+
+The design leans on determinism rather than state shipping: a worker
+does not receive a serialized simulation — it receives the *spec* plus
+a builder reference, rebuilds the entire bench exactly as every other
+process does (builders are pure functions of ``(spec, n_shards)``),
+and then executes only its own shard.  The parent never builds the
+bench at all; it cross-checks the wiring metadata every worker reports
+at readiness (lookahead, channel routes, instance count, antagonist
+shards, spec digest) and refuses to run if any two workers disagree —
+version or environment skew surfaces as a clean error, not silent
+divergence.
+
+Window protocol (2 round trips per window, same shapes the in-process
+:class:`~repro.sim.partition.LocalShardHandle` consumes directly):
+
+* ``exchange`` — boundary imports + antagonist-stop controls in, the
+  shard's next event time out;
+* ``advance`` — the barrier in; exports, completions, executed count,
+  and local clock out;
+* ``finalize`` — the global clock in; the shard's partial result out.
+
+Failure containment: every socket carries a hard receive deadline, a
+worker that observes an out-of-order window sequence replies with an
+error and exits, and the parent kills all workers on any protocol
+fault — a lost or duplicated boundary frame therefore produces a
+clean :class:`~repro.sim.engine.SimulationError`, never a hang and
+never a silently wrong result.  The ``partition_desync`` chaos fault
+(:mod:`repro.faults`) injects exactly those frame drops/duplications
+at the ``partition.frame`` site to pin this contract.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import secrets
+import socket
+import subprocess
+import sys
+import time
+from typing import Dict, List, Optional
+
+from ..exec.protocol import ProtocolError, recv_msg, resolve_task, send_msg
+from ..sim.engine import SimulationError
+from ..sim.partition import LocalShardHandle, collect_partial, run_windows
+
+__all__ = ["PARTITION_PROTOCOL_VERSION", "run_partitioned_process"]
+
+#: Version pin for the window-frame protocol (checked at hello).
+PARTITION_PROTOCOL_VERSION = 1
+
+#: The chaos-injection site for window-boundary frames.
+FRAME_SITE = "partition.frame"
+
+
+# ----------------------------------------------------------------------
+# coordinator side
+# ----------------------------------------------------------------------
+class _RemoteShardHandle:
+    """Coordinator-side shard handle speaking the window protocol.
+
+    Duck-types :class:`~repro.sim.partition.LocalShardHandle`, so
+    :func:`run_windows` drives remote shards with the identical loop.
+    The begin/end split pipelines the fan-out: all shards receive
+    their frames before any reply is awaited.
+    """
+
+    def __init__(self, sock: socket.socket, shard: int, fault=None):
+        self._sock = sock
+        self.shard = shard
+        self._fault = fault
+        self.partial: Optional[Dict[str, object]] = None
+
+    def _send(self, msg: Dict[str, object]) -> None:
+        if self._fault is not None and msg["type"] == "exchange":
+            action = self._fault.fire(FRAME_SITE)
+            if action is not None and action.kind == "partition_desync":
+                if action.nth % 2 == 1:
+                    # Drop the boundary frame: the worker stalls, the
+                    # coordinator's receive deadline converts the stall
+                    # into a clean SimulationError.
+                    return
+                # Duplicate it: the worker sees an out-of-order window
+                # sequence and reports a protocol error.
+                send_msg(self._sock, msg)
+        send_msg(self._sock, msg)
+
+    def _recv(self, expect: str) -> Dict[str, object]:
+        msg = recv_msg(self._sock)
+        if msg is None:
+            raise SimulationError(
+                f"partition worker {self.shard} closed its connection mid-run"
+            )
+        if msg["type"] == "error":
+            raise SimulationError(
+                f"partition worker {self.shard}: {msg.get('message', 'unknown error')}"
+            )
+        if msg["type"] != expect:
+            raise SimulationError(
+                f"partition worker {self.shard} sent {msg['type']!r}, "
+                f"expected {expect!r}"
+            )
+        return msg
+
+    def begin_exchange(self, wseq: int, imports, controls) -> None:
+        self._send(
+            {"type": "exchange", "wseq": wseq, "imports": imports, "controls": controls}
+        )
+
+    def end_exchange(self) -> float:
+        return self._recv("exchanged")["next_time"]
+
+    def begin_advance(self, wseq: int, barrier: float) -> None:
+        self._send({"type": "advance", "wseq": wseq, "barrier": barrier})
+
+    def end_advance(self):
+        msg = self._recv("advanced")
+        return msg["exports"], msg["completions"], msg["executed"], msg["now"]
+
+    def finalize(self, global_now: float) -> None:
+        self._send({"type": "finalize", "now": global_now})
+        self.partial = self._recv("partial")["data"]
+
+
+def _repro_pythonpath() -> str:
+    """The import root of this package, prepended to PYTHONPATH so
+    spawned workers resolve ``repro`` regardless of how the parent
+    was launched."""
+    import repro
+
+    root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    existing = os.environ.get("PYTHONPATH", "")
+    return root + (os.pathsep + existing if existing else "")
+
+
+def _spawn_workers(n_shards: int, spawn_timeout_s: float, window_timeout_s: float):
+    """Start one worker per shard and complete the hello handshake."""
+    from ..exec.spec import SPEC_SCHEMA
+
+    token = secrets.token_hex(16)
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(n_shards)
+    listener.settimeout(spawn_timeout_s)
+    port = listener.getsockname()[1]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _repro_pythonpath()
+    procs = [
+        subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.measure.partitionproc",
+                "--connect",
+                f"127.0.0.1:{port}",
+                "--token",
+                token,
+                "--shard",
+                str(shard),
+            ],
+            env=env,
+            stdin=subprocess.DEVNULL,
+        )
+        for shard in range(n_shards)
+    ]
+    socks: List[Optional[socket.socket]] = [None] * n_shards
+    try:
+        for _ in range(n_shards):
+            sock, _addr = listener.accept()
+            sock.settimeout(window_timeout_s)
+            hello = recv_msg(sock)
+            if (
+                hello is None
+                or hello.get("type") != "phello"
+                or hello.get("token") != token
+            ):
+                raise SimulationError("partition worker failed its hello handshake")
+            if hello.get("protocol") != PARTITION_PROTOCOL_VERSION or hello.get(
+                "spec_schema"
+            ) != SPEC_SCHEMA:
+                raise SimulationError(
+                    "partition worker version skew: "
+                    f"protocol {hello.get('protocol')} / schema "
+                    f"{hello.get('spec_schema')} vs coordinator "
+                    f"{PARTITION_PROTOCOL_VERSION} / {SPEC_SCHEMA}"
+                )
+            shard = hello["shard"]
+            if not 0 <= shard < n_shards or socks[shard] is not None:
+                raise SimulationError(f"partition worker claimed bad shard {shard!r}")
+            socks[shard] = sock
+    finally:
+        listener.close()
+    return procs, socks
+
+
+def _shutdown(procs, socks) -> None:
+    for sock in socks:
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+    for proc in procs:
+        if proc.poll() is None:
+            proc.terminate()
+    for proc in procs:
+        try:
+            proc.wait(timeout=5.0)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait()
+
+
+def run_partitioned_process(
+    spec,
+    n_shards: int,
+    *,
+    builder_ref: str,
+    merge,
+    fault=None,
+    window_timeout_s: float = 120.0,
+    spawn_timeout_s: float = 60.0,
+):
+    """Execute ``spec`` sharded across ``n_shards`` worker processes.
+
+    ``builder_ref`` is a ``module:function`` reference to the pure
+    build function each worker runs; ``merge`` assembles the final
+    :class:`~repro.exec.spec.RunResult` from the shipped partials.
+    ``fault`` (a :class:`~repro.faults.FaultInjector`) enables
+    ``partition_desync`` injection on boundary frames.
+
+    Any transport, timeout, or protocol failure kills every worker and
+    raises :class:`~repro.sim.engine.SimulationError` — never a hang.
+    """
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    t0 = time.perf_counter()
+    procs, socks = [], []
+    try:
+        procs, socks = _spawn_workers(n_shards, spawn_timeout_s, window_timeout_s)
+        build_msg = {
+            "type": "build",
+            "builder": builder_ref,
+            "spec": spec,
+            "n_shards": n_shards,
+        }
+        for sock in socks:
+            send_msg(sock, build_msg)
+        handles = [
+            _RemoteShardHandle(sock, shard, fault=fault)
+            for shard, sock in enumerate(socks)
+        ]
+        metas = []
+        for handle in handles:
+            ready = handle._recv("ready")
+            metas.append(
+                (
+                    ready["lookahead"],
+                    ready["routes"],
+                    ready["n_instances"],
+                    tuple(ready["antagonist_shards"]),
+                    ready["spec_digest"],
+                )
+            )
+        if any(meta != metas[0] for meta in metas[1:]):
+            raise SimulationError(
+                "partition workers built divergent simulations "
+                "(wiring metadata mismatch across processes)"
+            )
+        lookahead, routes, n_instances, antagonist_shards, _digest = metas[0]
+        run_windows(
+            handles,
+            lookahead_us=lookahead,
+            n_instances=n_instances,
+            antagonist_shards=antagonist_shards,
+            routes=routes,
+        )
+        partials = [handle.partial for handle in handles]
+        return merge(spec, partials, time.perf_counter() - t0)
+    except SimulationError:
+        raise
+    except (ProtocolError, OSError, EOFError, socket.timeout) as exc:
+        raise SimulationError(
+            f"partitioned multi-process run failed: {exc}"
+        ) from exc
+    finally:
+        _shutdown(procs, socks)
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+def _worker_error(sock: socket.socket, message: str) -> None:
+    try:
+        send_msg(sock, {"type": "error", "message": message})
+    except OSError:
+        pass
+
+
+def _worker_loop(sock: socket.socket, shard: int) -> int:
+    msg = recv_msg(sock)
+    if msg is None or msg.get("type") != "build":
+        _worker_error(sock, "expected a build message")
+        return 1
+    try:
+        builder = resolve_task(msg["builder"])
+        build = builder(msg["spec"], msg["n_shards"])
+        partition = build.partition
+        partition.set_lookahead(build.lookahead)
+    except Exception as exc:  # ship the build failure, don't die silently
+        _worker_error(sock, f"build failed: {exc!r}")
+        return 1
+    handle = LocalShardHandle(
+        partition, shard, [proc for _, proc in build.antagonists]
+    )
+    send_msg(
+        sock,
+        {
+            "type": "ready",
+            "shard": shard,
+            "lookahead": build.lookahead,
+            "routes": partition.routes,
+            "n_instances": len(build.instances),
+            "antagonist_shards": [s for s, _ in build.antagonists],
+            "spec_digest": msg["spec"].digest(),
+        },
+    )
+    # Same GC discipline as the serial drivers: no reference cycles on
+    # the event path, so mid-run collector passes are pure overhead.
+    gc_was_enabled = gc.isenabled()
+    if gc_was_enabled:
+        gc.disable()
+    expect_wseq = 1
+    expect_phase = "exchange"
+    try:
+        while True:
+            msg = recv_msg(sock)
+            if msg is None:
+                return 1  # coordinator went away
+            mtype = msg["type"]
+            if mtype == "finalize":
+                handle.finalize(msg["now"])
+                partial = collect_partial(build, shard)
+                send_msg(sock, {"type": "partial", "shard": shard, "data": partial})
+                return 0
+            if mtype not in ("exchange", "advance"):
+                _worker_error(sock, f"unexpected frame {mtype!r}")
+                return 1
+            if mtype != expect_phase or msg["wseq"] != expect_wseq:
+                # A duplicated or reordered window-boundary frame.
+                # Refusing (rather than guessing) is what turns a
+                # desynchronized coordinator into a clean error.
+                _worker_error(
+                    sock,
+                    f"window desync: got {mtype} wseq={msg['wseq']}, "
+                    f"expected {expect_phase} wseq={expect_wseq}",
+                )
+                return 1
+            if mtype == "exchange":
+                handle.begin_exchange(msg["wseq"], msg["imports"], msg["controls"])
+                send_msg(
+                    sock,
+                    {
+                        "type": "exchanged",
+                        "wseq": msg["wseq"],
+                        "next_time": handle.end_exchange(),
+                    },
+                )
+                expect_phase = "advance"
+            else:
+                handle.begin_advance(msg["wseq"], msg["barrier"])
+                exports, completions, executed, now = handle.end_advance()
+                send_msg(
+                    sock,
+                    {
+                        "type": "advanced",
+                        "wseq": msg["wseq"],
+                        "exports": exports,
+                        "completions": completions,
+                        "executed": executed,
+                        "now": now,
+                    },
+                )
+                expect_phase = "exchange"
+                expect_wseq += 1
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+
+def _worker_main(argv: List[str]) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(prog="repro-partition-worker")
+    parser.add_argument("--connect", required=True, metavar="HOST:PORT")
+    parser.add_argument("--token", required=True)
+    parser.add_argument("--shard", required=True, type=int)
+    args = parser.parse_args(argv)
+    host, _, port = args.connect.rpartition(":")
+    sock = socket.create_connection((host, int(port)), timeout=60.0)
+    # Window cadence is driven by the coordinator; a long receive
+    # deadline here only bounds how long an orphaned worker lingers.
+    sock.settimeout(600.0)
+    from ..exec.spec import SPEC_SCHEMA
+
+    send_msg(
+        sock,
+        {
+            "type": "phello",
+            "shard": args.shard,
+            "token": args.token,
+            "protocol": PARTITION_PROTOCOL_VERSION,
+            "spec_schema": SPEC_SCHEMA,
+        },
+    )
+    try:
+        return _worker_loop(sock, args.shard)
+    except (ProtocolError, OSError, EOFError, socket.timeout) as exc:
+        _worker_error(sock, f"worker transport failure: {exc!r}")
+        return 1
+    finally:
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+
+if __name__ == "__main__":
+    sys.exit(_worker_main(sys.argv[1:]))

@@ -30,26 +30,40 @@ __all__ = ["SimOptions", "SimBackend"]
 class SimOptions:
     """Options for the simulator backend.
 
-    Deliberately empty: everything that influences a simulated result
-    must live in the :class:`~repro.exec.spec.RunSpec` content digest,
-    or equal specs would stop implying equal results and the cache
-    contract would break.  Environment-only knobs belong here if they
-    ever appear (none so far).
+    Everything that influences a simulated *result* must live in the
+    :class:`~repro.exec.spec.RunSpec` content digest, or equal specs
+    would stop implying equal results and the cache contract would
+    break.  ``partition_mode`` qualifies as environment-only precisely
+    because both modes are pinned bit-identical to the serial kernel:
+    it changes how the answer is computed, never the answer.
     """
+
+    #: How ``RunSpec.partitions`` executes: ``"inproc"`` (windowed
+    #: sub-kernels in this process, the correctness reference) or
+    #: ``"process"`` (one worker process per shard over the frame
+    #: protocol).  Ignored when the spec requests no partitioning.
+    partition_mode: str = "inproc"
 
 
 class _SimRun:
     """One prepared simulator experiment (``MeasurementRun``)."""
 
-    def __init__(self, spec) -> None:
+    def __init__(self, spec, options: "SimOptions | None" = None) -> None:
         self.spec = spec
+        self.options = options if options is not None else SimOptions()
 
     def drive(self):
         spec = self.spec
         if spec.scenario is not None:
             from ..scenarios.runtime import _execute_scenario_spec
 
-            return _execute_scenario_spec(spec)
+            return _execute_scenario_spec(
+                spec, partition_mode=self.options.partition_mode
+            )
+        if spec.partitions is not None:
+            return _drive_single_partitioned(
+                spec, spec.partitions, self.options.partition_mode
+            )
         return _drive_single_server(spec)
 
 
@@ -60,7 +74,7 @@ class SimBackend:
         self.options = options if options is not None else SimOptions()
 
     def prepare(self, spec) -> _SimRun:
-        return _SimRun(spec)
+        return _SimRun(spec, self.options)
 
     def capabilities(self) -> BenchCapabilities:
         return BenchCapabilities(
@@ -123,6 +137,27 @@ def _drive_single_server(spec):
             gc.enable()
 
     reports = [inst.report() for inst in instances]
+    return _finish_single(
+        spec,
+        reports,
+        server_utilization=bench.server.measured_utilization(),
+        client_utilizations={
+            name: client.utilization() for name, client in bench.clients.items()
+        },
+        events_processed=bench.sim.events_processed,
+        wall_s=time.perf_counter() - t0,
+    )
+
+
+def _finish_single(
+    spec, reports, *, server_utilization, client_utilizations,
+    events_processed, wall_s,
+):
+    """Metric aggregation + RunResult assembly shared by the serial
+    and partitioned single-server paths (one assembly, one byte
+    layout)."""
+    from ..exec.spec import RunResult, metric_samples
+
     samples_by_client = {r.name: metric_samples(r) for r in reports}
     metrics = {
         q: aggregate_quantile(samples_by_client, q, combine=spec.combine)
@@ -132,14 +167,127 @@ def _drive_single_server(spec):
         run_index=spec.run_index,
         reports=reports,
         metrics=metrics,
-        server_utilization=bench.server.measured_utilization(),
-        client_utilizations={
-            name: client.utilization() for name, client in bench.clients.items()
-        },
+        server_utilization=server_utilization,
+        client_utilizations=client_utilizations,
         spec_digest=spec.digest(),
-        wall_s=time.perf_counter() - t0,
-        events_processed=bench.sim.events_processed,
+        wall_s=wall_s,
+        events_processed=events_processed,
     )
+
+
+# ----------------------------------------------------------------------
+# partitioned execution (sharded sub-kernels, bit-identical to serial)
+# ----------------------------------------------------------------------
+def build_single_partitioned(spec, n_shards: int):
+    """Build the single-server bench sharded across ``n_shards``.
+
+    Pure function of ``(spec, n_shards)``; every worker process calls
+    this identically and executes only its own shard.  The single
+    server keeps shard 0; clients round-robin over the remaining
+    shards (one rack, so the split is within-rack).
+    """
+    from ..sim.partition import PartitionedBuild, PartitionedSimulator, assign_shards
+
+    config = BenchConfig(
+        workload=spec.workload, hardware=spec.hardware, seed=spec.seed
+    )
+    hosts = [(config.server_name, config.server_rack)]
+    hosts += [(f"client{i}", config.server_rack) for i in range(spec.num_instances)]
+    partition = PartitionedSimulator(n_shards)
+    partition.assign(assign_shards(hosts, n_shards))
+    bench = TestBench(config, run_index=spec.run_index, partition=partition)
+    if spec.total_rate_rps is not None:
+        total_rate = spec.total_rate_rps
+    else:
+        per_us = bench.server.arrival_rate_for_utilization(spec.target_utilization)
+        total_rate = per_us * 1e6
+    rate_per_instance = total_rate / spec.num_instances
+    instances = []
+    for i in range(spec.num_instances):
+        tm_cfg = TreadmillConfig(
+            rate_rps=rate_per_instance,
+            connections=spec.connections_per_instance,
+            warmup_samples=spec.warmup_samples,
+            measurement_samples=spec.measurement_samples_per_instance,
+            keep_raw=spec.keep_raw,
+        )
+        instances.append(TreadmillInstance(bench, f"client{i}", tm_cfg))
+    instance_shards = {}
+    for inst in instances:
+        shard = partition.shard_of(inst.name)
+        instance_shards[inst.name] = shard
+        inst.on_done = partition.completion_recorder(shard)
+        inst.start()
+    return PartitionedBuild(
+        partition=partition,
+        bench=bench,
+        instances=instances,
+        antagonists=[],
+        instance_shards=instance_shards,
+        servers=[
+            (
+                partition.shard_of(config.server_name),
+                config.server_name,
+                bench.server,
+            )
+        ],
+        lookahead=bench.topology.lookahead_us(),
+    )
+
+
+def merge_single_partials(spec, partials, wall_s: float):
+    """Merge per-shard partial results into the single-server RunResult.
+
+    Used by both execution modes — the in-process reference collects
+    the same partial dicts locally that workers ship over the wire —
+    so there is exactly one merge path to pin bit-identical.
+    """
+    reports_by = {}
+    client_utils_by = {}
+    server_utils_by = {}
+    events = 0
+    for partial in partials:
+        reports_by.update(partial["reports"])
+        client_utils_by.update(partial["client_utils"])
+        server_utils_by.update(partial["server_utils"])
+        events += partial["events"]
+    names = [f"client{i}" for i in range(spec.num_instances)]
+    return _finish_single(
+        spec,
+        [reports_by[name] for name in names],
+        server_utilization=server_utils_by[next(iter(server_utils_by))],
+        client_utilizations={name: client_utils_by[name] for name in names},
+        events_processed=events,
+        wall_s=wall_s,
+    )
+
+
+def _drive_single_partitioned(spec, n_shards: int, mode: str):
+    from ..sim.partition import collect_partial, drive_partitioned
+
+    if mode == "process":
+        from .partitionproc import run_partitioned_process
+
+        return run_partitioned_process(
+            spec,
+            n_shards,
+            builder_ref="repro.measure.simbackend:build_single_partitioned",
+            merge=merge_single_partials,
+        )
+    if mode != "inproc":
+        raise ValueError(f"unknown partition_mode {mode!r}")
+    t0 = time.perf_counter()
+    build = build_single_partitioned(spec, n_shards)
+    gc_was_enabled = gc.isenabled()
+    if gc_was_enabled:
+        gc.disable()
+    try:
+        drive_partitioned(build)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    partials = [collect_partial(build, s) for s in range(n_shards)]
+    return merge_single_partials(spec, partials, time.perf_counter() - t0)
 
 
 register_measurement_backend(

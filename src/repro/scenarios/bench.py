@@ -91,12 +91,20 @@ class _FleetView:
         cap = PacketCapture(name) if capture else None
         routes = parent._routes
 
-        def send_packet(request: Request) -> None:
-            fwd, receive, respond = routes[request.conn_id]
-            fwd.send(request.request_bytes, receive, request, respond)
+        if parent._partition is None:
+
+            def send_packet(request: Request) -> None:
+                fwd, receive, respond = routes[request.conn_id]
+                fwd.send(request.request_bytes, receive, request, respond)
+
+        else:
+            # Partitioned: each route entry is the connection's
+            # cut-aware forward channel (see open_connections).
+            def send_packet(request: Request) -> None:
+                routes[request.conn_id](request)
 
         client = ClientMachine(
-            parent.sim,
+            parent._sim_for(name),
             client_spec or ClientSpec(),
             name,
             send_packet=send_packet,
@@ -124,6 +132,7 @@ class _FleetView:
         if client is None:
             raise RuntimeError("open_connections before add_client")
         ids = []
+        partition = parent._partition
         for _ in range(count):
             conn_id = parent._conn_counter
             parent._conn_counter += 1
@@ -134,10 +143,25 @@ class _FleetView:
             rev = parent.topology.path(server.name, client.name)
             deliver = client.deliver
 
-            def respond(request: Request, _rev=rev, _deliver=deliver) -> None:
-                _rev.send(request.response_bytes, _deliver, request)
+            if partition is None:
 
-            parent._routes[conn_id] = (fwd, server.receive, respond)
+                def respond(request: Request, _rev=rev, _deliver=deliver) -> None:
+                    _rev.send(request.response_bytes, _deliver, request)
+
+                parent._routes[conn_id] = (fwd, server.receive, respond)
+            else:
+                # Same flows as the serial closures, cut-aware; the
+                # reverse path first (it is the forward continuation),
+                # so channel ids are a pure function of the scenario.
+                respond = partition.channel(
+                    rev, deliver, src=server.name, dst=client.name,
+                    size_attr="response_bytes",
+                )
+                parent._routes[conn_id] = partition.channel(
+                    fwd, server.receive, respond,
+                    src=client.name, dst=server.name,
+                    size_attr="request_bytes",
+                )
             ids.append(conn_id)
         return ids
 
@@ -145,10 +169,20 @@ class _FleetView:
 class ScenarioBench:
     """One wired scenario run (pools + topology + antagonists)."""
 
-    def __init__(self, scenario: ScenarioSpec, run_index: int = 0):
+    def __init__(self, scenario: ScenarioSpec, run_index: int = 0, partition=None):
         self.scenario = scenario
         self.run_index = run_index
-        self.sim = Simulator()
+        #: Optional :class:`~repro.sim.partition.PartitionedSimulator`
+        #: (every scenario host pre-assigned to a shard).  When set,
+        #: machines and links land on their owning sub-kernels and
+        #: per-connection routes become cut-aware channels.
+        self._partition = partition
+        if partition is None:
+            self.sim = Simulator()
+        else:
+            # Nominal base kernel; every host resolves its own via
+            # sim_for_host below.
+            self.sim = partition.kernels[0]
         # Same per-run seed derivation as TestBench: equal (seed,
         # run_index) means the same random universe either way.
         self.rng = RngRegistry(hash((scenario.seed, run_index)) & 0x7FFFFFFF)
@@ -157,8 +191,14 @@ class ScenarioBench:
             if scenario.spine is not None
             else SpineConfig()
         )
+        # Per-source-host spine streams: the draw order is local to
+        # each host's uplink FIFO, so sharded execution replays the
+        # identical delays (see repro.sim.partition).
         self.topology = Topology(
-            self.sim, self.rng.stream("spine"), spine_config=spine_cfg
+            self.sim,
+            spine_config=spine_cfg,
+            spine_streams=lambda host: self.rng.stream(f"spine/{host}"),
+            sim_for_host=None if partition is None else partition.sim_for_host,
         )
         #: pool name -> that pool's booted servers, in index order.
         self.pools: Dict[str, List[ServerMachine]] = {}
@@ -179,7 +219,7 @@ class ScenarioBench:
                 server_name = f"{pool.name}{i}"
                 self.topology.add_host(server_name, pool.rack, link_config=link)
                 server = ServerMachine(
-                    self.sim,
+                    self._sim_for(server_name),
                     hardware,
                     workload,
                     self.rng.child(server_name),
@@ -203,7 +243,7 @@ class ScenarioBench:
                 )
                 self.antagonists.append(
                     AntagonistProcess(
-                        self.sim,
+                        server.sim,
                         server,
                         cfg,
                         self.rng.stream(f"antagonist/{spec.name}/{server.name}"),
@@ -213,7 +253,26 @@ class ScenarioBench:
         self.clients: Dict[str, ClientMachine] = {}
         self.captures: Dict[str, PacketCapture] = {}
         self._conn_counter = 0
-        self._routes: Dict[int, Tuple[object, Callable, Callable]] = {}
+        self._routes: Dict[int, object] = {}
+        # Deterministic antagonist shutdown: when the final instance
+        # completes at T_done, every antagonist gets a stop event at
+        # T_done + lookahead.  Same rule the partitioned coordinator
+        # applies at its window barriers, so both modes silence
+        # background load at the identical virtual instant.
+        self._expected: Optional[int] = None
+        self._completed = 0
+
+    def _sim_for(self, host: str) -> Simulator:
+        if self._partition is None:
+            return self.sim
+        return self._partition.sim_for_host(host)
+
+    def _note_done(self, inst) -> None:
+        self._completed += 1
+        if self._completed >= (self._expected or 0) and self.antagonists:
+            stop_at = self.sim.now + self.topology.lookahead_us()
+            for proc in self.antagonists:
+                proc.sim.at(stop_at, proc.stop)
 
     def fleet_view(self, fleet_name: str) -> _FleetView:
         """The bench adapter a fleet's Treadmill instances drive."""
@@ -248,13 +307,21 @@ class ScenarioBench:
     def run_to_completion(self, instances) -> None:
         """Run until every instance is done, then drain in-flight work.
 
-        Antagonists are stopped *between* the done-condition and the
-        drain: they reschedule themselves forever, so draining with
-        them live would never terminate.
+        Instances stop their own controllers at the final counted
+        sample; completion callbacks wired here schedule one stop
+        event per antagonist at ``T_done + lookahead`` (they reschedule
+        themselves forever, so draining without a stop would never
+        terminate).  Both the completion instant and the stop instant
+        are properties of the event stream, never of the drive loop's
+        polling cadence — the partitioned coordinator reproduces them
+        exactly.
         """
         pending = list(instances)
+        self._expected = len(pending)
+        self._completed = 0
+        for inst in pending:
+            inst.on_done = self._note_done
         self.run_until(lambda: all(inst.done for inst in pending))
         for inst in pending:
             inst.stop()
-        self.stop_antagonists()
         self.sim.run()

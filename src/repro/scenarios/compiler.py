@@ -148,6 +148,21 @@ def lower_degenerate(
     )
 
 
+def auto_partitions(spec: ScenarioSpec) -> "int | None":
+    """Partition count implied by the rack topology: one sub-kernel
+    per distinct rack when the scenario spans several racks, else None
+    (serial).  The rack split is exactly the grouping whose minimum
+    cross-partition propagation delay the network exposes as the
+    conservative lookahead, so it is the natural sharding."""
+    racks = {pool.rack for pool in spec.pools}
+    for fleet in spec.fleets:
+        if fleet.rack is not None:
+            racks.add(fleet.rack)
+        else:
+            racks.add(spec.pool(fleet.target).rack)
+    return len(racks) if len(racks) > 1 else None
+
+
 def expand_scenario(
     spec: ScenarioSpec,
 ) -> List[Tuple[Tuple[int, ...], int, RunSpec]]:
@@ -177,6 +192,13 @@ def expand_scenario(
                     run_index=r,
                     tag=tag,
                     scenario=variant,
+                    # Auto-partition from the rack topology: one
+                    # sub-kernel per rack when the scenario spans
+                    # several (partitions is digest-excluded — results
+                    # are pinned bit-identical to serial — so this is
+                    # an execution-strategy default, not a semantic
+                    # change).
+                    partitions=auto_partitions(variant),
                 )
             out.append((coded, r, run))
     return out

@@ -54,17 +54,10 @@ def run_scenario_spec(spec) -> "RunResult":
     return measure_spec(spec)
 
 
-def _execute_scenario_spec(spec) -> "RunResult":
-    """Execute one scenario experiment described by ``spec.scenario``."""
-    # Late imports from exec.spec: this module is imported *by* it.
-    from ..exec.spec import RunResult, metric_samples
-
+def _build_instances(spec, bench: ScenarioBench) -> List[TreadmillInstance]:
+    """Stand up every fleet's Treadmill instances (construction order
+    is a pure function of the scenario — all RNG streams ride on it)."""
     scenario: ScenarioSpec = spec.scenario
-    if scenario is None:
-        raise ValueError("run_scenario_spec needs a scenario-carrying spec")
-    t0 = time.perf_counter()
-    bench = ScenarioBench(scenario, run_index=spec.run_index)
-
     instances: List[TreadmillInstance] = []
     for fleet in scenario.fleets:
         view = bench.fleet_view(fleet.name)
@@ -93,6 +86,53 @@ def _execute_scenario_spec(spec) -> "RunResult":
                     pool=fleet.target,
                 )
             )
+    return instances
+
+
+def _finish_scenario(
+    spec, reports, *, server_utilization, client_utilizations,
+    events_processed, wall_s,
+) -> "RunResult":
+    """Aggregation + RunResult assembly shared by the serial and
+    partitioned scenario paths (one assembly, one byte layout)."""
+    from ..exec.spec import RunResult, metric_samples
+
+    samples_by_client = {r.name: metric_samples(r) for r in reports}
+    metrics = {
+        q: aggregate_quantile(samples_by_client, q, combine=spec.combine)
+        for q in spec.quantiles
+    }
+    group_metrics = grouped_quantiles(
+        samples_by_client,
+        {r.name: r.group for r in reports},
+        spec.quantiles,
+        combine=spec.combine,
+    )
+    return RunResult(
+        run_index=spec.run_index,
+        reports=reports,
+        metrics=metrics,
+        # One scalar slot for many servers: report the bottleneck (the
+        # hottest server), which is what capacity reasoning needs.
+        server_utilization=server_utilization,
+        client_utilizations=client_utilizations,
+        spec_digest=spec.digest(),
+        wall_s=wall_s,
+        events_processed=events_processed,
+        group_metrics=group_metrics,
+    )
+
+
+def _execute_scenario_spec(spec, partition_mode: str = "inproc") -> "RunResult":
+    """Execute one scenario experiment described by ``spec.scenario``."""
+    scenario: ScenarioSpec = spec.scenario
+    if scenario is None:
+        raise ValueError("run_scenario_spec needs a scenario-carrying spec")
+    if spec.partitions is not None:
+        return _execute_scenario_partitioned(spec, spec.partitions, partition_mode)
+    t0 = time.perf_counter()
+    bench = ScenarioBench(scenario, run_index=spec.run_index)
+    instances = _build_instances(spec, bench)
 
     bench.start_antagonists()
     for inst in instances:
@@ -109,33 +149,130 @@ def _execute_scenario_spec(spec) -> "RunResult":
             gc.enable()
 
     reports = [inst.report() for inst in instances]
-    samples_by_client = {r.name: metric_samples(r) for r in reports}
-    metrics = {
-        q: aggregate_quantile(samples_by_client, q, combine=spec.combine)
-        for q in spec.quantiles
-    }
-    group_metrics = grouped_quantiles(
-        samples_by_client,
-        {r.name: r.group for r in reports},
-        spec.quantiles,
-        combine=spec.combine,
-    )
     server_utils: Dict[str, float] = {}
     for servers in bench.pools.values():
         for server in servers:
             server_utils[server.name] = server.measured_utilization()
-    return RunResult(
-        run_index=spec.run_index,
-        reports=reports,
-        metrics=metrics,
-        # One scalar slot for many servers: report the bottleneck (the
-        # hottest server), which is what capacity reasoning needs.
+    return _finish_scenario(
+        spec,
+        reports,
         server_utilization=float(max(server_utils.values())),
         client_utilizations={
             name: client.utilization() for name, client in bench.clients.items()
         },
-        spec_digest=spec.digest(),
-        wall_s=time.perf_counter() - t0,
         events_processed=bench.sim.events_processed,
-        group_metrics=group_metrics,
+        wall_s=time.perf_counter() - t0,
     )
+
+
+# ----------------------------------------------------------------------
+# partitioned execution
+# ----------------------------------------------------------------------
+def scenario_hosts(scenario: ScenarioSpec) -> List[tuple]:
+    """Every scenario host as ``(name, rack)`` in construction order
+    (pool servers first, then fleet clients) — the input to
+    :func:`repro.sim.partition.assign_shards`."""
+    hosts = []
+    for pool in scenario.pools:
+        for i in range(pool.count):
+            hosts.append((f"{pool.name}{i}", pool.rack))
+    for fleet in scenario.fleets:
+        rack = fleet.rack
+        if rack is None:
+            rack = scenario.pool(fleet.target).rack
+        for i in range(fleet.instances):
+            hosts.append((f"{fleet.name}{i}", rack))
+    return hosts
+
+
+def build_scenario_partitioned(spec, n_shards: int):
+    """Build one scenario bench sharded across ``n_shards`` sub-kernels.
+
+    Pure function of ``(spec, n_shards)``: every worker process
+    rebuilds the identical simulation and executes only its shard.
+    """
+    from ..sim.partition import PartitionedBuild, PartitionedSimulator, assign_shards
+
+    scenario: ScenarioSpec = spec.scenario
+    partition = PartitionedSimulator(n_shards)
+    partition.assign(assign_shards(scenario_hosts(scenario), n_shards))
+    bench = ScenarioBench(scenario, run_index=spec.run_index, partition=partition)
+    instances = _build_instances(spec, bench)
+    instance_shards = {}
+    for inst in instances:
+        shard = inst.client.sim.shard_id
+        instance_shards[inst.name] = shard
+        inst.on_done = partition.completion_recorder(shard)
+    bench.start_antagonists()
+    for inst in instances:
+        inst.start()
+    servers = []
+    for pool in scenario.pools:
+        for server in bench.pools[pool.name]:
+            servers.append((server.sim.shard_id, server.name, server))
+    return PartitionedBuild(
+        partition=partition,
+        bench=bench,
+        instances=instances,
+        antagonists=[(proc.sim.shard_id, proc) for proc in bench.antagonists],
+        instance_shards=instance_shards,
+        servers=servers,
+        lookahead=bench.topology.lookahead_us(),
+    )
+
+
+def merge_scenario_partials(spec, partials, wall_s: float) -> "RunResult":
+    """Merge per-shard partials into the scenario RunResult (the one
+    merge path shared by the in-process and multi-process modes)."""
+    scenario: ScenarioSpec = spec.scenario
+    reports_by: Dict[str, object] = {}
+    client_utils_by: Dict[str, float] = {}
+    server_utils_by: Dict[str, float] = {}
+    events = 0
+    for partial in partials:
+        reports_by.update(partial["reports"])
+        client_utils_by.update(partial["client_utils"])
+        server_utils_by.update(partial["server_utils"])
+        events += partial["events"]
+    names = [
+        f"{fleet.name}{i}"
+        for fleet in scenario.fleets
+        for i in range(fleet.instances)
+    ]
+    reports = [reports_by[name] for name in names]
+    return _finish_scenario(
+        spec,
+        reports,
+        server_utilization=float(max(server_utils_by.values())),
+        client_utilizations={r.name: client_utils_by[r.name] for r in reports},
+        events_processed=events,
+        wall_s=wall_s,
+    )
+
+
+def _execute_scenario_partitioned(spec, n_shards: int, mode: str) -> "RunResult":
+    from ..sim.partition import collect_partial, drive_partitioned
+
+    if mode == "process":
+        from ..measure.partitionproc import run_partitioned_process
+
+        return run_partitioned_process(
+            spec,
+            n_shards,
+            builder_ref="repro.scenarios.runtime:build_scenario_partitioned",
+            merge=merge_scenario_partials,
+        )
+    if mode != "inproc":
+        raise ValueError(f"unknown partition_mode {mode!r}")
+    t0 = time.perf_counter()
+    build = build_scenario_partitioned(spec, n_shards)
+    gc_was_enabled = gc.isenabled()
+    if gc_was_enabled:
+        gc.disable()
+    try:
+        drive_partitioned(build)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    partials = [collect_partial(build, s) for s in range(n_shards)]
+    return merge_scenario_partials(spec, partials, time.perf_counter() - t0)

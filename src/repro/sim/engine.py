@@ -174,6 +174,19 @@ class Simulator:
         pool = self._pool
         if pool:
             event = pool.pop()
+            if __debug__:
+                # Stale-handle tripwire: a pooled Event must be a dead
+                # tombstone owned by *this* kernel.  A live or foreign
+                # event here means a handle crossed a partition boundary
+                # and was cancelled/rescheduled after recycling — which
+                # would silently retarget an unrelated future event.
+                assert event.cancelled and event.fn is None, (
+                    "pooled Event escaped with live state; a stale handle "
+                    "was recycled while still scheduled"
+                )
+                assert event._sim is self, (
+                    "Event recycled across a simulator/partition boundary"
+                )
             event.time = time
             event.fn = fn
             event.args = args
@@ -193,6 +206,14 @@ class Simulator:
         pool = self._pool
         if pool:
             event = pool.pop()
+            if __debug__:
+                assert event.cancelled and event.fn is None, (
+                    "pooled Event escaped with live state; a stale handle "
+                    "was recycled while still scheduled"
+                )
+                assert event._sim is self, (
+                    "Event recycled across a simulator/partition boundary"
+                )
             event.time = time
             event.fn = fn
             event.args = args
@@ -364,6 +385,79 @@ class Simulator:
         if not self._stopped and self.now < time:
             self.now = time
         return executed
+
+    def run_window(self, limit: float) -> int:
+        """Execute every event with timestamp strictly below ``limit``.
+
+        The conservative-window primitive for partitioned execution
+        (:mod:`repro.sim.partition`): a sub-kernel may safely run all
+        events below the window barrier, because the partitioning
+        lookahead guarantees no cross-partition event can arrive with a
+        timestamp under the barrier.  Unlike :meth:`run_until` the
+        clock is **not** advanced to ``limit`` — it stays on the last
+        executed event, so the final merged clock equals the serial
+        kernel's (``max`` over sub-kernels of the last event time).
+
+        Returns the number of events executed.
+        """
+        heap = self._heap
+        pool = self._pool
+        executed = 0
+        while heap:
+            head = heap[0]
+            event = head[2]
+            if event.cancelled:
+                _heappop(heap)
+                self._tombstones -= 1
+                if _getrefcount(event) == 3 and len(pool) < _POOL_MAX:
+                    # 3: `head`, `event`, and the refcount probe.
+                    del head
+                    event.fn = None
+                    event.args = ()
+                    pool.append(event)
+                continue
+            t = head[0]
+            if t >= limit:
+                break
+            _heappop(heap)
+            del head
+            self.now = t
+            event.cancelled = True  # fired; late cancel() is a no-op
+            executed += 1
+            fn = event.fn
+            args = event.args
+            if _getrefcount(event) == 2 and len(pool) < _POOL_MAX:
+                event.fn = None
+                event.args = ()
+                pool.append(event)
+            del event
+            fn(*args)
+        self._events_processed += executed
+        return executed
+
+    def next_time(self) -> float:
+        """Timestamp of the next live event, or ``inf`` when drained.
+
+        The window-barrier variant of :meth:`peek`: partitioned
+        coordinators take a ``min`` across sub-kernels, for which
+        ``inf`` composes and ``None`` does not.
+        """
+        self._prune()
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def sync_now(self, time: float) -> None:
+        """Advance the idle clock to ``time`` without executing events.
+
+        Used at partitioned finalization: every sub-kernel's clock is
+        synchronized to the global last-event time so rate-style
+        readings (utilizations divide by ``now``) match the serial
+        kernel exactly.  Rewinding is refused.
+        """
+        if time < self.now:
+            raise SimulationError(
+                f"sync_now({time!r}) would rewind the clock (now={self.now!r})"
+            )
+        self.now = time
 
     def stop(self) -> None:
         """Stop the currently executing :meth:`run` / :meth:`run_until`."""

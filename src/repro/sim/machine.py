@@ -24,9 +24,21 @@ mapping, the connection-to-thread assignment offset, per-connection
 buffer placements, and a global placement-quality multiplier — so each
 boot converges to its own latency level no matter how many samples a
 single run collects.
+
+**Partitioning contract.**  Every machine schedules exclusively on its
+own ``self.sim`` — the sub-kernel owning its rack when the run is
+sharded (:mod:`repro.sim.partition`), the single kernel otherwise —
+and all cross-host interaction flows through :class:`Topology` paths.
+That affinity is what lets the partition layer cut the simulation at
+rack boundaries without touching this module: the only entry points a
+cut channel replays are :meth:`ServerMachine.receive` and
+:meth:`ClientMachine.deliver`, and both carry ``__debug__`` tripwires
+against a window-boundary frame delivering the same request twice.
 """
 
 from __future__ import annotations
+
+import math
 
 from dataclasses import dataclass, field
 from functools import partial
@@ -192,6 +204,10 @@ class ServerMachine:
         conn = self._conns.get(request.conn_id)
         if conn is None:
             raise KeyError(f"request on unknown connection {request.conn_id}")
+        assert math.isnan(request.t_server_nic_in), (
+            f"request {request.req_id} on conn {request.conn_id} entered "
+            "the server pipeline twice (duplicated partition import?)"
+        )
         request.t_server_nic_in = self.sim.now
         irq_cost = self.nic.irq_cost_us(conn.irq_core) + self.spec.kernel.server_rx_us
         irq_job = Job(
@@ -496,6 +512,10 @@ class ClientMachine:
 
     def deliver(self, request: Request) -> None:
         """Response packet arrived at this client's NIC."""
+        assert math.isnan(request.t_nic_recv), (
+            f"request {request.req_id} delivered to client "
+            f"{self.name!r} twice (duplicated partition import?)"
+        )
         request.t_nic_recv = self.sim.now
         if self.capture is not None:
             self.capture.record_rx(request)

@@ -1,0 +1,547 @@
+"""Conservative parallel DES: one simulation, many sub-kernels.
+
+The serial kernel (:mod:`repro.sim.engine`) executes one global event
+heap.  This module shards that heap: hosts are grouped into
+**sub-kernels** (per rack when the partition count allows, splitting
+within racks otherwise), each owning its own event queue, and all
+sub-kernels advance in lockstep through **conservative time windows**.
+
+Why this is exact, not approximate
+----------------------------------
+
+Every cross-host interaction travels the network model
+(:mod:`repro.sim.network`), and every network edge imposes a minimum
+propagation delay before a packet can be observed by another host.
+The minimum over all edges — :meth:`Topology.lookahead_us` — is the
+**lookahead** ``L``.  With ``gmin`` the earliest pending event across
+all sub-kernels, every event below the barrier ``gmin + L`` is safe to
+execute: any message it emits toward another partition carries a
+timestamp ``>= its emit time + L >= gmin + L`` (float addition is
+monotone), i.e. at or beyond the barrier.  So each window runs without
+null messages, and cross-partition events are exchanged only at window
+boundaries.
+
+Exchanged events are inserted into the destination kernel in a
+deterministic total order — ``(timestamp, source partition, per-window
+sequence)`` — so two boundary events sharing a timestamp always enqueue
+in the same order regardless of which partition reported first.
+Events at equal timestamps in *different* kernels commute (they touch
+disjoint hosts; cross-host effects only flow through the network,
+which is itself an event), so the merged execution reproduces the
+serial kernel's results bit for bit.  The one caveat: an *exact*
+float-equal timestamp collision between a boundary event and an
+unrelated local event has no serial-order witness; with continuous
+stochastic delays such collisions have probability zero, and the
+golden-digest gates would catch one if it ever mattered.
+
+Event-count parity
+------------------
+
+``RunResult.events_processed`` is part of the bit-identical contract,
+so a cut edge must cost exactly as many events as its serial
+counterpart:
+
+* same-rack cut: the source side uses :meth:`Link.transmit` (FIFO
+  bookkeeping, **no event**) and exports the delivery time; the import
+  fires the destination downlink at that time — 2 events, like the
+  serial uplink→downlink chain.
+* cross-rack cut: the uplink schedules a local *traverse* event that
+  draws the spine delay from the source host's own stream and exports;
+  the import fires the downlink — 3 events, like serial
+  uplink→spine→downlink.
+
+Execution modes
+---------------
+
+:func:`run_windows` is the one window-barrier loop, written against a
+shard-handle interface.  In-process handles drive sub-kernels
+directly (the correctness reference); the multi-process mode
+(:mod:`repro.measure.partitionproc`) drives identical logic over the
+distributed executor's frame protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from operator import attrgetter
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .engine import SimulationError, Simulator
+
+__all__ = [
+    "SimError",
+    "SubKernel",
+    "assign_shards",
+    "PartitionedSimulator",
+    "PartitionedBuild",
+    "CoordinatorStats",
+    "LocalShardHandle",
+    "run_windows",
+    "drive_partitioned",
+    "collect_partial",
+]
+
+#: The ISSUE-facing alias: partition-protocol failures raise the
+#: kernel's own :class:`SimulationError` — one error type for "the
+#: simulation could not proceed", whether serial or sharded.
+SimError = SimulationError
+
+
+class SubKernel(Simulator):
+    """One partition's event queue plus its boundary mailboxes."""
+
+    def __init__(self, shard_id: int):
+        super().__init__()
+        self.shard_id = shard_id
+        #: Boundary events produced this window: ``(time, cid, payload)``
+        #: in emission order (the per-window sequence of the tiebreak).
+        self.outbox: List[Tuple[float, int, object]] = []
+        #: ``(time, instance name)`` completion records for this window.
+        self.completions: List[Tuple[float, str]] = []
+
+
+def assign_shards(
+    hosts: Sequence[Tuple[str, str]], n_shards: int
+) -> Dict[str, int]:
+    """Deterministically map hosts to sub-kernels, rack-affine.
+
+    ``hosts`` is ``(name, rack)`` in construction order.  When the
+    partition count does not exceed the rack count, whole racks map to
+    shards (per-rack sub-kernels, the primary grouping the network
+    lookahead argument is built around); otherwise shards are split
+    among racks in proportion to rack order and hosts round-robin
+    within their rack's shard block.  Any deterministic map is
+    *correct* (cross-host causality only flows through the network);
+    this one just minimizes cut edges.
+    """
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    rack_order: List[str] = []
+    rack_hosts: Dict[str, List[str]] = {}
+    for name, rack in hosts:
+        if rack not in rack_hosts:
+            rack_order.append(rack)
+            rack_hosts[rack] = []
+        rack_hosts[rack].append(name)
+    mapping: Dict[str, int] = {}
+    n_racks = len(rack_order)
+    if n_racks == 0:
+        return mapping
+    if n_shards <= n_racks:
+        for i, rack in enumerate(rack_order):
+            shard = i % n_shards
+            for name in rack_hosts[rack]:
+                mapping[name] = shard
+        return mapping
+    # More shards than racks: rack i owns the contiguous shard block
+    # [floor(i*K/R), floor((i+1)*K/R)); its hosts round-robin inside.
+    for i, rack in enumerate(rack_order):
+        lo = (i * n_shards) // n_racks
+        hi = ((i + 1) * n_shards) // n_racks
+        width = max(1, hi - lo)
+        for j, name in enumerate(rack_hosts[rack]):
+            mapping[name] = lo + (j % width)
+    return mapping
+
+
+# ----------------------------------------------------------------------
+# channels: every cross-machine flow, cut-aware
+# ----------------------------------------------------------------------
+class _ThroughChannel:
+    """A flow whose endpoints share a sub-kernel: plain path.send."""
+
+    __slots__ = ("cid", "path", "deliver", "extra", "size_of")
+
+    def __init__(self, cid, path, deliver, extra, size_of):
+        self.cid = cid
+        self.path = path
+        self.deliver = deliver
+        self.extra = extra
+        self.size_of = size_of
+
+    def send(self, payload) -> None:
+        self.path.send(self.size_of(payload), self.deliver, payload, *self.extra)
+
+
+class _CutChannel:
+    """A flow crossing partitions: source-side export, barrier import."""
+
+    __slots__ = (
+        "cid",
+        "src_kernel",
+        "downlink",
+        "uplink",
+        "spine_port",
+        "deliver",
+        "extra",
+        "size_of",
+        "src_shard",
+        "dst_shard",
+    )
+
+    def __init__(
+        self, cid, path, deliver, extra, size_of, src_kernel, src_shard, dst_shard
+    ):
+        self.cid = cid
+        self.uplink = path.uplink
+        self.downlink = path.downlink
+        self.spine_port = path.spine
+        self.deliver = deliver
+        self.extra = extra
+        self.size_of = size_of
+        self.src_kernel = src_kernel
+        self.src_shard = src_shard
+        self.dst_shard = dst_shard
+
+    def send(self, payload) -> None:
+        if self.spine_port is None:
+            # Same-rack cut: occupy the uplink now, no local event —
+            # export the delivery-at-downlink time (>= now + link
+            # propagation, the lookahead bound for this edge).
+            t = self.uplink.transmit(self.size_of(payload))
+            self.src_kernel.outbox.append((t, self.cid, payload))
+        else:
+            # Cross-rack cut: the traverse stays a *local* event (as in
+            # serial), so the spine delay is drawn from the source
+            # host's stream in local uplink-FIFO order.
+            self.uplink.send(self.size_of(payload), self._traverse, payload)
+
+    def _traverse(self, payload) -> None:
+        t = self.src_kernel.now + self.spine_port.delay_us()
+        self.src_kernel.outbox.append((t, self.cid, payload))
+
+    def deliver_import(self, payload) -> None:
+        """Runs in the destination kernel at the exported timestamp."""
+        self.downlink.send(self.size_of(payload), self.deliver, payload, *self.extra)
+
+
+class PartitionedSimulator:
+    """K sub-kernels, a host→shard map, and the cut-aware channels.
+
+    One instance represents one sharded simulation.  Benches build
+    against it exactly as they build against a single
+    :class:`Simulator` — hosts land on their owning kernels via
+    :meth:`sim_for_host`, flows become channels via :meth:`channel` —
+    and :func:`run_windows` advances all kernels in conservative
+    windows.  ``n_shards=1`` degenerates to a windowed serial run and
+    is part of the bit-identical test matrix.
+    """
+
+    def __init__(self, n_shards: int):
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        self.n_shards = n_shards
+        self.kernels = [SubKernel(i) for i in range(n_shards)]
+        self.shard_map: Dict[str, int] = {}
+        self.channels: List[object] = []
+        self._import_fns: Dict[int, Callable[[object], None]] = {}
+        #: ``cid -> (src_shard, dst_shard)`` — the coordinator's routing
+        #: table, also the cross-process wiring-divergence check.
+        self.routes: Dict[int, Tuple[int, int]] = {}
+        self.lookahead_us: Optional[float] = None
+
+    # -- construction --------------------------------------------------
+    def assign(self, mapping: Dict[str, int]) -> None:
+        for host, shard in mapping.items():
+            if not 0 <= shard < self.n_shards:
+                raise ValueError(f"host {host!r} assigned to bad shard {shard}")
+        self.shard_map.update(mapping)
+
+    def shard_of(self, host: str) -> int:
+        return self.shard_map[host]
+
+    def sim_for_host(self, host: str) -> Simulator:
+        """Topology hook: each host's links live on its owning kernel."""
+        return self.kernels[self.shard_map[host]]
+
+    def set_lookahead(self, lookahead_us: float) -> None:
+        """Validate and pin the window lookahead (must be positive)."""
+        if lookahead_us <= 0.0:
+            raise SimulationError(
+                "partitioned execution requires positive network lookahead; "
+                f"topology offers {lookahead_us!r}us (zero-propagation links "
+                "leave no conservative window)"
+            )
+        self.lookahead_us = lookahead_us
+
+    def channel(
+        self,
+        path,
+        deliver: Callable[..., None],
+        *extra: object,
+        src: str,
+        dst: str,
+        size_attr: str,
+    ) -> Callable[[object], None]:
+        """Wrap one directed flow ``src -> dst``; returns its send callable.
+
+        ``deliver(payload, *extra)`` fires on the destination host after
+        its downlink, exactly like the serial continuation.  Channel ids
+        are assigned in creation order, which is a pure function of the
+        spec — every process derives the identical wiring, and the
+        multi-process coordinator cross-checks that.
+        """
+        cid = len(self.channels)
+        src_shard = self.shard_map[src]
+        dst_shard = self.shard_map[dst]
+        size_of = attrgetter(size_attr)
+        if src_shard == dst_shard:
+            ch: object = _ThroughChannel(cid, path, deliver, extra, size_of)
+        else:
+            ch = _CutChannel(
+                cid,
+                path,
+                deliver,
+                extra,
+                size_of,
+                self.kernels[src_shard],
+                src_shard,
+                dst_shard,
+            )
+            self._import_fns[cid] = ch.deliver_import
+        self.channels.append(ch)
+        self.routes[cid] = (src_shard, dst_shard)
+        return ch.send
+
+    def import_fn(self, cid: int) -> Callable[[object], None]:
+        return self._import_fns[cid]
+
+    def completion_recorder(self, shard: int) -> Callable[[object], None]:
+        """An ``instance.on_done`` callback logging into ``shard``'s kernel."""
+        kernel = self.kernels[shard]
+
+        def _note(inst) -> None:
+            kernel.completions.append((kernel.now, inst.name))
+
+        return _note
+
+    # -- introspection -------------------------------------------------
+    @property
+    def events_processed(self) -> int:
+        return sum(k.events_processed for k in self.kernels)
+
+    def sync_clocks(self, now: float) -> None:
+        for kernel in self.kernels:
+            kernel.sync_now(now)
+
+
+@dataclass
+class PartitionedBuild:
+    """One sharded bench, fully wired and started, ready to drive.
+
+    Produced by a backend builder (``build_single_partitioned`` /
+    ``build_scenario_partitioned``) — in every process identically, so
+    the multi-process mode can rebuild the same simulation per worker
+    and execute only its own shard.
+    """
+
+    partition: PartitionedSimulator
+    #: The bench object (kept alive: it owns machines and topology).
+    bench: object
+    #: Measurement instances in global (spec) order.
+    instances: List[object]
+    #: ``(shard, AntagonistProcess)`` in global deterministic order.
+    antagonists: List[Tuple[int, object]]
+    instance_shards: Dict[str, int]
+    #: ``(shard, name, ServerMachine)`` for every server.
+    servers: List[Tuple[int, str, object]]
+    lookahead: float
+
+
+# ----------------------------------------------------------------------
+# the window-barrier loop
+# ----------------------------------------------------------------------
+@dataclass
+class CoordinatorStats:
+    """What one partitioned run did (bench + chaos evidence)."""
+
+    windows: int = 0
+    boundary_events: int = 0
+    executed: int = 0
+    global_now: float = 0.0
+    completions: List[Tuple[float, str]] = field(default_factory=list)
+    t_done: Optional[float] = None
+
+
+class LocalShardHandle:
+    """Drives one in-process sub-kernel through the window protocol.
+
+    Also the worker-side engine of the multi-process mode: a remote
+    worker wraps one of these and replays coordinator frames into it.
+    """
+
+    def __init__(self, partition: PartitionedSimulator, shard: int, antagonists):
+        self._part = partition
+        self.kernel = partition.kernels[shard]
+        self.shard = shard
+        self._antagonists = antagonists
+        self._next_time = 0.0
+        self._barrier = 0.0
+
+    # exchange: apply boundary imports + control events, report next time
+    def begin_exchange(self, wseq: int, imports, controls) -> None:
+        kernel = self.kernel
+        at = kernel.at
+        import_fn = self._part.import_fn
+        for t, cid, payload in imports:
+            at(t, import_fn(cid), payload)
+        for t, idx in controls:
+            at(t, self._antagonists[idx].stop)
+        self._next_time = kernel.next_time()
+
+    def end_exchange(self) -> float:
+        return self._next_time
+
+    # advance: run the window, harvest exports and completions
+    def begin_advance(self, wseq: int, barrier: float) -> None:
+        self._barrier = barrier
+
+    def end_advance(self):
+        kernel = self.kernel
+        executed = kernel.run_window(self._barrier)
+        exports = kernel.outbox
+        completions = kernel.completions
+        if exports:
+            kernel.outbox = []
+        if completions:
+            kernel.completions = []
+        return exports, completions, executed, kernel.now
+
+    def finalize(self, global_now: float) -> None:
+        self.kernel.sync_now(global_now)
+
+
+def run_windows(
+    handles,
+    *,
+    lookahead_us: float,
+    n_instances: int,
+    antagonist_shards: Sequence[int],
+    routes: Dict[int, Tuple[int, int]],
+) -> CoordinatorStats:
+    """Advance all shards to quiescence through conservative windows.
+
+    One loop for both execution modes: per window, (1) every shard
+    applies the previous window's boundary imports (in ``(time, source
+    partition, sequence)`` order) plus any control events and reports
+    its earliest pending event; (2) the coordinator takes the global
+    minimum ``gmin`` and broadcasts the barrier ``gmin + L``; (3) every
+    shard runs strictly below the barrier and returns its exports and
+    instance completions.  When the final instance completes at
+    ``T_done``, one stop control per antagonist is issued at ``T_done +
+    L`` — at or beyond the next barrier by construction, and the same
+    rule the serial bench applies inline, so both modes shut background
+    load down at the identical virtual instant.
+
+    Raises :class:`SimulationError` if the heaps drain before every
+    instance completed (wiring bug or lost boundary frame — the clean
+    arm of the chaos invariant).
+    """
+    stats = CoordinatorStats()
+    n_shards = len(handles)
+    pending_imports: List[List[Tuple[float, int, object]]] = [
+        [] for _ in range(n_shards)
+    ]
+    pending_controls: List[List[Tuple[float, int]]] = [[] for _ in range(n_shards)]
+    controls_issued = not antagonist_shards
+    nows = [0.0] * n_shards
+    wseq = 0
+    while True:
+        wseq += 1
+        for shard, handle in enumerate(handles):
+            handle.begin_exchange(
+                wseq, pending_imports[shard], pending_controls[shard]
+            )
+        next_times = [h.end_exchange() for h in handles]
+        pending_imports = [[] for _ in range(n_shards)]
+        pending_controls = [[] for _ in range(n_shards)]
+        gmin = min(next_times)
+        if gmin == float("inf"):
+            break
+        barrier = gmin + lookahead_us
+        for handle in handles:
+            handle.begin_advance(wseq, barrier)
+        exported: List[Tuple[float, int, int, int, object]] = []
+        for shard, handle in enumerate(handles):
+            exports, completions, executed, now = handle.end_advance()
+            stats.executed += executed
+            nows[shard] = now
+            for seq, (t, cid, payload) in enumerate(exports):
+                exported.append((t, shard, seq, cid, payload))
+            stats.completions.extend(completions)
+        stats.windows += 1
+        if exported:
+            # The deterministic total order of boundary events:
+            # timestamp, then (partition, sequence) as the stable tiebreak.
+            exported.sort(key=lambda r: (r[0], r[1], r[2]))
+            for t, _shard, _seq, cid, payload in exported:
+                pending_imports[routes[cid][1]].append((t, cid, payload))
+            stats.boundary_events += len(exported)
+        if not controls_issued and len(stats.completions) >= n_instances:
+            stats.t_done = max(t for t, _ in stats.completions)
+            stop_at = stats.t_done + lookahead_us
+            for idx, shard in enumerate(antagonist_shards):
+                pending_controls[shard].append((stop_at, idx))
+            controls_issued = True
+    if len(stats.completions) < n_instances:
+        raise SimulationError(
+            f"partitioned run drained after {stats.windows} windows with "
+            f"{len(stats.completions)}/{n_instances} instances complete "
+            "(lost boundary event or wiring bug)"
+        )
+    if stats.t_done is None:
+        stats.t_done = max(t for t, _ in stats.completions)
+    stats.global_now = max(nows)
+    for handle in handles:
+        handle.finalize(stats.global_now)
+    return stats
+
+
+def drive_partitioned(build) -> CoordinatorStats:
+    """Drive one in-process partitioned build to quiescence.
+
+    ``build`` is a :class:`PartitionedBuild`-shaped object (see the
+    backend builders): a :class:`PartitionedSimulator`, the instances,
+    and the antagonist list.  Returns the coordinator stats; the
+    caller assembles results from the (clock-synced) local state.
+    """
+    part = build.partition
+    part.set_lookahead(build.lookahead)
+    handles = [
+        LocalShardHandle(part, shard, [a for _, a in build.antagonists])
+        for shard in range(part.n_shards)
+    ]
+    return run_windows(
+        handles,
+        lookahead_us=build.lookahead,
+        n_instances=len(build.instances),
+        antagonist_shards=[shard for shard, _ in build.antagonists],
+        routes=part.routes,
+    )
+
+
+def collect_partial(build, shard: int) -> Dict[str, object]:
+    """One shard's contribution to the merged result (post clock-sync).
+
+    The multi-process worker ships this dict to the coordinator; the
+    in-process mode collects the same dicts locally — one merge path,
+    both modes.
+    """
+    reports = {}
+    client_utils = {}
+    for inst in build.instances:
+        if build.instance_shards[inst.name] == shard:
+            reports[inst.name] = inst.report()
+            client_utils[inst.name] = inst.client.utilization()
+    server_utils = {
+        name: server.measured_utilization()
+        for srv_shard, name, server in build.servers
+        if srv_shard == shard
+    }
+    return {
+        "shard": shard,
+        "reports": reports,
+        "client_utils": client_utils,
+        "server_utils": server_utils,
+        "events": build.partition.kernels[shard].events_processed,
+    }

@@ -217,7 +217,10 @@ class TestGoldenDigest:
     and refreeze the digest below.
     """
 
-    GOLDEN = "50f7830615751421"
+    #: Schema-4 refreeze (partitionable kernel): per-source-host spine
+    #: streams, instance self-stop at the final sample, deterministic
+    #: antagonist shutdown — see the SPEC_SCHEMA changelog.
+    GOLDEN = "fa6210374f2a5de0"
 
     #: The declarative twin of ``golden_spec()``: a 1-fleet x 1-pool
     #: scenario the compiler must lower to the *same* plain RunSpec —
@@ -266,12 +269,13 @@ class TestGoldenDigest:
         )
         return hashlib.sha256(blob.encode()).hexdigest()[:16]
 
-    #: Frozen *spec* digest (the cache/dedup key).  The ``backend``
-    #: field added in PR 7 is excluded from the digest when it holds
-    #: the default ``"sim"``, so every pre-existing spec — and every
-    #: cache entry keyed by it — keeps this exact digest.
+    #: Frozen *spec* digest (the cache/dedup key).  Digest-neutral
+    #: fields (``backend`` when "sim", ``scenario`` when None,
+    #: ``partitions`` always) are excluded, so specs differing only in
+    #: execution strategy share this digest and its cache entries.
+    #: Refrozen at SPEC_SCHEMA 4 (partitionable kernel).
     GOLDEN_SPEC_DIGEST = (
-        "d5b37ebf206aaab767566f51035abe47992a5275d29979fffa05a9719d70de56"
+        "1b5355e9ef8e2c9d3ef3144e723bb8c496b4a954db782251f275327f0b509006"
     )
 
     def test_full_run_digest_is_frozen(self):
